@@ -1,0 +1,39 @@
+"""Ablation (DESIGN.md choice #3): the block count k.
+
+The paper fixes k = 32 as "balancing the quality of model partitioning
+results and the search space".  Sweeps k over {8, 16, 32, 64} on a
+medium BERT, reporting throughput and search cost: quality saturates
+while search cost grows with k.
+"""
+
+from repro.hardware import paper_cluster
+from repro.models import BertConfig, build_bert
+from repro.partitioner import auto_partition
+from repro.profiler import GraphProfiler
+
+
+def test_block_count_sweep(once):
+    cluster = paper_cluster()
+    graph = build_bert(BertConfig(hidden_size=1536, num_layers=96))
+
+    def sweep():
+        rows = []
+        for k in (8, 16, 32, 64):
+            profiler = GraphProfiler(graph, cluster)
+            plan = auto_partition(
+                graph, cluster, 256, num_blocks=k, profiler=profiler
+            )
+            rows.append(
+                (k, plan.throughput, plan.num_stages, profiler.profile_calls)
+            )
+        return rows
+
+    rows = once(sweep)
+    print("\nk   samples/s  stages  profile_calls")
+    for k, thr, s, calls in rows:
+        print(f"{k:<4}{thr:>9.2f}{s:>8}{calls:>14}")
+    throughputs = {k: thr for k, thr, _, _ in rows}
+    # k = 32 should be within a few percent of the best of the sweep
+    assert throughputs[32] >= 0.9 * max(throughputs.values())
+    # and much better than a crude k = 8 partition is allowed to be worse
+    assert throughputs[32] >= throughputs[8] * 0.95

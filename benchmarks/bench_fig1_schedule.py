@@ -1,0 +1,25 @@
+"""Fig. 1 -- synchronous pipeline schedule (microbatch waves).
+
+Regenerates the schedule grid of the figure and checks its structural
+properties: makespan 2(MB + S - 1) slots, (S - 1)-slot fill/drain bubbles,
+and the bubble fraction decreasing in the microbatch count.
+"""
+
+from repro.experiments import run_fig1
+
+
+def test_fig1_schedule(once):
+    result = once(run_fig1, 4, 8)
+    print("\n" + result.rendered)
+    assert result.makespan_slots == 2 * (8 + 4 - 1)
+    assert abs(result.bubble_fraction - 3 / 11) < 1e-12
+    # monotone bubble decay with more microbatches (the figure's point)
+    series = result.bubble_series
+    assert all(a >= b for a, b in zip(series, series[1:]))
+    assert series[0] == 0.75  # MB=1: 3 of 4 slots idle per wave
+
+
+def test_fig1_schedule_large(once):
+    result = once(run_fig1, 8, 32)
+    assert result.makespan_slots == 2 * (32 + 8 - 1)
+    assert result.bubble_fraction < 0.2

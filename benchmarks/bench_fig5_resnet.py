@@ -1,0 +1,37 @@
+"""Fig. 5 -- enlarged-ResNet training throughput.
+
+Regenerates both settings (1 node x 8 GPU, batch 128, with GPipe-Model;
+4 nodes x 32 GPU, batch 512) and asserts the paper's claims:
+
+* RaNNC and GPipe-Model train all models; data parallelism only the
+  smallest;
+* RaNNC outperforms GPipe-Model "by a large margin in all of the
+  settings" (asserted as >= 1.3x here; the paper's figure shows 2-4x).
+"""
+
+from repro.experiments import run_fig5
+from repro.experiments.runner import format_rows
+
+
+def test_fig5(once):
+    rows = once(run_fig5)
+    print("\n" + format_rows(rows, "Fig. 5, samples/s"))
+    by_fw = {}
+    for r in rows:
+        by_fw.setdefault(r.framework, {})[r.workload] = r
+
+    rannc = by_fw["rannc"]
+    gpipe = by_fw["gpipe_model"]
+    dp = by_fw["data_parallel"]
+
+    assert all(r.feasible for r in rannc.values())
+    assert all(r.feasible for r in gpipe.values())
+    # DP trains only the smallest model per setting
+    for label in ("8gpu", "32gpu"):
+        feas = [w for w, r in dp.items() if r.feasible and w.endswith(label)]
+        assert feas == [f"resnet50x8/{label}"]
+    # RaNNC beats GPipe-Model by a large margin everywhere it applies
+    for w, r in gpipe.items():
+        assert rannc[w].throughput > 1.3 * r.throughput, (
+            w, rannc[w].throughput, r.throughput,
+        )

@@ -1,0 +1,30 @@
+"""Extension beyond the paper's grid: decoder-only (GPT) models.
+
+The paper's conclusion announces evaluating "enormous models ... in
+various applications" as future work; this bench sweeps the GPT-2 family
+plus an enlarged ~7 B-parameter variant on the paper cluster, asserting
+the same shape as Fig. 4: RaNNC trains everything, data parallelism dies
+early, pipelines deepen with model size.
+"""
+
+from repro.experiments.gpt_extension import GPT_FAMILY, run_gpt_extension
+from repro.experiments.runner import format_rows
+
+
+def test_gpt_extension(once):
+    rows = once(run_gpt_extension, GPT_FAMILY)
+    print("\n" + format_rows(rows, "GPT family (FP32), samples/s"))
+    by = {(r.framework, r.workload): r for r in rows}
+
+    # RaNNC trains every member, including the 7B variant
+    for name, *_ in GPT_FAMILY:
+        assert by[("rannc", name)].feasible, name
+    # data parallelism cannot train the enlarged model
+    assert not by[("data_parallel", "gpt2-7b")].feasible
+    # where DP runs, RaNNC matches or beats it (it may BE DP with S=1)
+    for name, *_ in GPT_FAMILY:
+        dp = by[("data_parallel", name)]
+        if dp.feasible:
+            assert by[("rannc", name)].throughput >= 0.99 * dp.throughput
+    # the 7B model needs a real pipeline
+    assert by[("rannc", "gpt2-7b")].detail["stages"] > 1

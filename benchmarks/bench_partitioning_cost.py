@@ -1,0 +1,41 @@
+"""Partitioning cost itself: time to auto-partition each paper model.
+
+Not a paper figure, but the paper's practicality claim ("Rapid" Neural
+Network Connector) rests on the search finishing quickly; this benchmark
+records end-to-end auto_partition wall time per workload, using
+pytest-benchmark's statistics on repeated runs for the smallest model.
+"""
+
+import pytest
+
+from repro.hardware import paper_cluster
+from repro.models import BertConfig, ResNetConfig, build_bert, build_resnet
+from repro.partitioner import auto_partition
+
+
+def test_partition_bert_large(benchmark):
+    cluster = paper_cluster()
+    graph = build_bert(BertConfig())
+
+    plan = benchmark.pedantic(
+        lambda: auto_partition(graph, cluster, 256),
+        rounds=3, iterations=1,
+    )
+    assert plan.throughput > 0
+
+
+@pytest.mark.parametrize(
+    "hidden,layers", [(1536, 96), (2048, 192)], ids=["2.8B", "9.7B"]
+)
+def test_partition_large_bert(once, hidden, layers):
+    cluster = paper_cluster()
+    graph = build_bert(BertConfig(hidden_size=hidden, num_layers=layers))
+    plan = once(auto_partition, graph, cluster, 256)
+    assert plan.throughput > 0
+
+
+def test_partition_resnet152x8(once):
+    cluster = paper_cluster()
+    graph = build_resnet(ResNetConfig(depth=152, width_factor=8))
+    plan = once(auto_partition, graph, cluster, 512)
+    assert plan.throughput > 0

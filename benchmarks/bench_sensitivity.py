@@ -1,0 +1,34 @@
+"""Sensitivity of the chosen plan to hardware parameters (extension).
+
+Checks that the partitioner reacts to the cluster the way the paper's
+reasoning predicts: tighter device memory forces deeper pipelines; faster
+interconnect never hurts throughput.
+"""
+
+from repro.experiments.sensitivity import (
+    format_sensitivity,
+    run_bandwidth_sensitivity,
+    run_memory_sensitivity,
+)
+
+
+def test_memory_sensitivity(once):
+    rows = once(run_memory_sensitivity, (8, 16, 32, 64))
+    print("\n" + format_sensitivity(rows, "device memory sweep (2.8B BERT)"))
+    feasible = [r for r in rows if r.feasible]
+    assert feasible, "at least the largest memory must be feasible"
+    # deeper pipelines when memory shrinks: stages nonincreasing in memory
+    stages = [r.num_stages for r in feasible]
+    assert all(a >= b for a, b in zip(stages, stages[1:]))
+    # more memory never reduces throughput materially
+    thr = [r.throughput for r in feasible]
+    assert thr[-1] >= thr[0] * 0.99
+
+
+def test_bandwidth_sensitivity(once):
+    rows = once(run_bandwidth_sensitivity, (5, 25, 100))
+    print("\n" + format_sensitivity(rows, "interconnect bandwidth sweep"))
+    assert all(r.feasible for r in rows)
+    thr = [r.throughput for r in rows]
+    # faster links never hurt
+    assert all(a <= b * 1.01 for a, b in zip(thr, thr[1:]))

@@ -1,0 +1,29 @@
+"""Extension: measure the parameter-staleness argument of Sec. II-B.
+
+Asserts the qualitative law the paper stakes its design on: at every
+learning rate, training quality degrades monotonically with staleness
+depth, and at aggressive learning rates async training blows up while
+synchronous training stays stable.
+"""
+
+from repro.experiments.staleness_demo import format_staleness, run_staleness_demo
+
+
+def test_staleness_degradation(once):
+    rows = once(run_staleness_demo)
+    print("\n" + format_staleness(rows))
+
+    for row in rows:
+        tails = row.tail_by_delay()
+        # staleness never helps: delay 0 is the best (or ties)
+        best = min(tails.values())
+        assert tails[0] <= best + 1e-9
+        # degradation is monotone in delay at this fixed data stream
+        ordered = [tails[d] for d in sorted(tails)]
+        assert all(a <= b + 1e-9 for a, b in zip(ordered, ordered[1:]))
+
+    # at the aggressive learning rate the gap is catastrophic (>5x),
+    # while the synchronous run remains at the same scale as smaller lrs
+    aggressive = rows[-1].tail_by_delay()
+    assert aggressive[max(aggressive)] > 5 * aggressive[0]
+    assert aggressive[0] < 2 * rows[0].tail_by_delay()[0]

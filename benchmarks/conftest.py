@@ -1,0 +1,20 @@
+"""Benchmark helpers: run expensive experiment harnesses exactly once per
+benchmark (they regenerate whole paper figures) and echo the regenerated
+tables so `pytest benchmarks/ --benchmark-only -s` shows the results."""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """benchmark.pedantic with a single round (experiments are minutes-
+    scale; statistical repetition belongs to the micro-benchmarks)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

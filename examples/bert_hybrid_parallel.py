@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Enlarged-BERT hybrid parallelism: the paper's Fig. 4 workload.
+
+Partitions BERT models of increasing size on the paper's 4-node x 8-V100
+cluster and compares RaNNC's automatic plan against every baseline
+framework.  The smallest model degenerates to pure data parallelism
+(S = 1); larger ones get deeper pipelines; the largest models are only
+trainable by graph partitioning.
+
+Run:  python examples/bert_hybrid_parallel.py          (a few minutes)
+      python examples/bert_hybrid_parallel.py --fast   (two models)
+"""
+
+import argparse
+
+from repro.baselines import (
+    run_data_parallel,
+    run_gpipe_hybrid,
+    run_megatron,
+    run_pipedream_2bw,
+)
+from repro.hardware import paper_cluster
+from repro.models import BertConfig, build_bert
+from repro.partitioner import PartitioningError, auto_partition
+from repro.profiler import GraphProfiler
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true",
+                        help="run only two model sizes")
+    parser.add_argument("--batch-size", type=int, default=256)
+    args = parser.parse_args()
+
+    cluster = paper_cluster()
+    sizes = [(1024, 24), (1536, 96), (2048, 192)]
+    if args.fast:
+        sizes = sizes[:2]
+
+    for hidden, layers in sizes:
+        cfg = BertConfig(hidden_size=hidden, num_layers=layers)
+        graph = build_bert(cfg)
+        profiler = GraphProfiler(graph, cluster)
+        print(f"\n=== {cfg.name}: {graph.num_parameters() / 1e9:.2f}B params ===")
+
+        for name, runner in [
+            ("data parallel", lambda: run_data_parallel(
+                graph, cluster, args.batch_size, profiler=profiler)),
+            ("Megatron-LM  ", lambda: run_megatron(
+                graph, cfg, cluster, args.batch_size, profiler=profiler)),
+            ("GPipe-Hybrid ", lambda: run_gpipe_hybrid(
+                graph, cluster, args.batch_size, profiler=profiler)),
+            ("PipeDream-2BW", lambda: run_pipedream_2bw(
+                graph, cluster, args.batch_size, profiler=profiler)),
+        ]:
+            result = runner()
+            if result.feasible:
+                print(f"{name}: {result.throughput:8.1f} samples/s  {result.config}")
+            else:
+                print(f"{name}: OOM ({result.reason})")
+
+        try:
+            plan = auto_partition(graph, cluster, args.batch_size,
+                                  profiler=profiler)
+            print(f"RaNNC        : {plan.throughput:8.1f} samples/s  "
+                  f"S={plan.num_stages} MB={plan.num_microbatches} "
+                  f"R={plan.replica_factor} "
+                  f"devices/stage={[s.devices_per_pipeline for s in plan.stages]}")
+            print(plan.summary())
+        except PartitioningError as exc:
+            print(f"RaNNC        : INFEASIBLE ({exc})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Quickstart: automatically partition a model with one call.
+
+Builds a plain MLP (no parallelism annotations anywhere), asks RaNNC to
+partition it for a simulated 4-GPU node, and prints the resulting plan:
+how many pipeline stages, how many replicas of each, which microbatch
+count, and the estimated training throughput.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.hardware import tiny_cluster
+from repro.models import build_mlp
+from repro.partitioner import auto_partition
+
+def main() -> None:
+    # 1. describe the model exactly as you would for single-device training
+    model = build_mlp(widths=(512, 1024, 1024, 1024, 256, 10))
+    print(f"model: {model}\n")
+
+    # 2. describe the hardware (here: one node with four 2-GiB devices)
+    cluster = tiny_cluster(num_nodes=1, devices_per_node=4,
+                           memory_bytes=2 * 1024**3)
+
+    # 3. one call: atomic partitioning -> block partitioning -> stage DP
+    plan = auto_partition(model, cluster, batch_size=64)
+
+    print(plan.summary())
+    print()
+    print(f"atomic components : {plan.extras['num_atomic_components']:.0f}")
+    print(f"blocks            : {plan.extras['num_blocks']:.0f}")
+    print(f"DP invocations    : {plan.extras['dp_calls']:.0f}")
+    print(f"pipeline time     : {plan.extras['pipeline_time'] * 1e3:.2f} ms")
+    print(f"allreduce time    : {plan.extras['allreduce_time'] * 1e3:.2f} ms")
+
+    # the device assignment shows where every stage replica runs
+    assignment = plan.assignment
+    for replica in range(plan.replica_factor):
+        for stage in range(plan.num_stages):
+            ranks = assignment.devices_of(replica, stage)
+            print(f"pipeline {replica}, stage {stage} -> device ranks {ranks}")
+
+
+if __name__ == "__main__":
+    main()

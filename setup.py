@@ -1,0 +1,6 @@
+"""Setup shim for legacy editable installs (offline environments without
+the `wheel` package, where PEP-517 editable builds are unavailable)."""
+
+from setuptools import setup
+
+setup()

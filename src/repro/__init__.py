@@ -1,0 +1,31 @@
+"""repro -- reproduction of RaNNC: "Automatic Graph Partitioning for Very
+Large-scale Deep Learning" (Tanaka et al., IPDPS 2021).
+
+Public API highlights:
+
+* :func:`repro.partitioner.auto_partition` -- one-call automatic hybrid-
+  parallel partitioning of an unannotated model graph.
+* :mod:`repro.models` -- the paper's workloads (enlarged BERT / ResNet).
+* :mod:`repro.nn` -- PyTorch-style module frontend + tracer.
+* :mod:`repro.hardware` -- simulated cluster specs (the paper's testbed).
+* :mod:`repro.runtime` -- NumPy execution of whole or partitioned graphs.
+* :mod:`repro.experiments` -- regenerate every paper table and figure.
+
+See README.md for a quickstart and DESIGN.md for the system inventory.
+"""
+
+from repro.hardware import ClusterSpec, DeviceSpec, Precision, paper_cluster
+from repro.partitioner import PartitioningError, PartitionPlan, auto_partition
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterSpec",
+    "DeviceSpec",
+    "PartitionPlan",
+    "PartitioningError",
+    "Precision",
+    "auto_partition",
+    "paper_cluster",
+    "__version__",
+]

@@ -1,0 +1,60 @@
+"""Shared baseline types and the Table-I feature matrix."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class FrameworkInfo:
+    """One row of the paper's Table I."""
+
+    name: str
+    partitioning_style: str  # "tensor" | "graph" | "data"
+    hybrid_parallelism: bool
+    automatic: bool
+    memory_estimation: bool
+    staleness_free: bool
+
+
+#: Table I of the paper, verbatim (plus the data-parallel reference row).
+TABLE1_ROWS: List[FrameworkInfo] = [
+    FrameworkInfo("Mesh-TensorFlow", "tensor", True, False, False, True),
+    FrameworkInfo("Megatron-LM", "tensor", True, False, False, True),
+    FrameworkInfo("OptCNN", "tensor", True, True, False, True),
+    FrameworkInfo("FlexFlow", "tensor", True, True, False, True),
+    FrameworkInfo("Tofu", "tensor", True, True, False, True),
+    FrameworkInfo("GPipe", "graph", False, False, False, True),
+    FrameworkInfo("AMPNet", "graph", False, False, False, False),
+    FrameworkInfo("XPipe", "graph", False, False, False, False),
+    FrameworkInfo("PipeDream", "graph", True, True, False, False),
+    FrameworkInfo("SpecTrain", "graph", True, True, False, False),
+    FrameworkInfo("PipeDream-2BW", "graph", True, True, True, False),
+    FrameworkInfo("HetPipe", "graph", True, True, True, False),
+    FrameworkInfo("RaNNC", "graph", True, True, True, True),
+]
+
+
+@dataclass
+class FrameworkResult:
+    """Outcome of one framework on one workload.
+
+    ``feasible=False`` means the framework OOMs (or is inapplicable);
+    ``reason`` explains why.  Throughput is samples/second.
+    """
+
+    framework: str
+    feasible: bool
+    throughput: float = 0.0
+    iteration_time: float = 0.0
+    reason: str = ""
+    config: Dict[str, float] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        if not self.feasible:
+            return f"{self.framework}: INFEASIBLE ({self.reason})"
+        return (
+            f"{self.framework}: {self.throughput:.1f} samples/s "
+            f"(iter {self.iteration_time * 1e3:.1f} ms, {self.config})"
+        )

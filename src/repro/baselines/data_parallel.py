@@ -1,0 +1,87 @@
+"""Pure data parallelism (PyTorch DDP) with gradient accumulation.
+
+Every device holds the complete model; the global batch is sharded across
+all devices and each shard optionally split into accumulation steps to
+shrink activation memory ("we also used gradient accumulation ... for
+data parallelism", Sec. IV-A).  Parameters, gradients and optimizer state
+cannot shrink, so DP OOMs first as models grow -- the Fig. 4/5 baseline
+behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.base import FrameworkResult
+from repro.graph.ir import TaskGraph
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.device import Precision
+from repro.profiler.profiler import GraphProfiler
+
+
+def run_data_parallel(
+    graph: TaskGraph,
+    cluster: ClusterSpec,
+    batch_size: int,
+    precision: Precision = Precision.FP32,
+    profiler: Optional[GraphProfiler] = None,
+) -> FrameworkResult:
+    """Evaluate pure DP: feasibility, accumulation steps, throughput."""
+    if profiler is None:
+        profiler = GraphProfiler(graph, cluster, precision)
+    world = cluster.total_devices
+    if batch_size % world:
+        return FrameworkResult(
+            "data_parallel", False,
+            reason=f"batch {batch_size} not divisible by {world} devices",
+        )
+    per_device = batch_size // world
+    M = cluster.device.usable_memory
+    tasks = list(graph.tasks)
+
+    # smallest power-of-two accumulation count whose chunk fits memory
+    chosen = None
+    accum = 1
+    while accum <= per_device:
+        chunk = per_device // accum
+        if per_device % accum == 0:
+            prof = profiler.profile(
+                tasks, chunk, microbatches_in_flight=1,
+                checkpointing=False, key="__dp__",
+            )
+            if prof.memory <= M:
+                chosen = (accum, chunk, prof)
+                break
+        accum *= 2
+    if chosen is None:
+        smallest = profiler.profile(
+            tasks, 1, microbatches_in_flight=1, checkpointing=False,
+            key="__dp__",
+        )
+        return FrameworkResult(
+            "data_parallel", False,
+            reason=(
+                f"model needs {smallest.memory / 2**30:.1f} GiB at batch 1, "
+                f"device has {M / 2**30:.1f} GiB"
+            ),
+        )
+
+    accum, chunk, prof = chosen
+    compute = accum * (prof.time_fwd + prof.time_bwd)
+    grad_bytes = graph.num_parameters() * 4.0
+    allreduce = cluster.allreduce_time(
+        grad_bytes, world, spans_nodes=cluster.num_nodes > 1
+    )
+    opt = graph.num_parameters() * 28.0 / cluster.device.mem_bandwidth
+    iteration = compute + allreduce + opt
+    return FrameworkResult(
+        "data_parallel",
+        True,
+        throughput=batch_size / iteration,
+        iteration_time=iteration,
+        config={
+            "accumulation_steps": accum,
+            "per_device_chunk": chunk,
+            "memory_gib": prof.memory / 2**30,
+        },
+    )

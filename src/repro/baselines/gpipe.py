@@ -1,0 +1,279 @@
+"""GPipe baselines: GPipe-Hybrid and GPipe-Model.
+
+*GPipe-Hybrid* (the PipeDream-2BW authors' PyTorch port used in Fig. 4)
+splits a Transformer into ``S`` stages of equal *layer counts* -- the
+manual rewriting the paper contrasts with RaNNC -- and replicates the
+whole pipeline uniformly (``world / S`` copies).  Following Sec. IV-B we
+sweep S over {2, 4, 8, 16}, require the layer count to divide evenly,
+sweep the microbatch count, and report the best feasible setting.
+
+*GPipe-Model* (torchgpipe, used for ResNet in Fig. 5) runs model-parallel
+pipeline stages on the GPUs of a single node (max 8 stages), with the
+microbatch count fixed to 64 as in the paper, and stage boundaries chosen
+to balance computation as well as a human reasonably could at coarse layer
+granularity (greedy prefix balancing over whole residual blocks).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.base import FrameworkResult
+from repro.graph.ir import TaskGraph
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.device import Precision
+from repro.pipeline.simulator import simulate_sync_pipeline
+from repro.profiler.profiler import GraphProfiler
+
+
+def layer_units(graph: TaskGraph) -> List[Tuple[str, List[str]]]:
+    """Group tasks into the coarse 'layers' a manual user would see.
+
+    Units are task-name prefixes: ``layerN`` / ``embeddings`` / ``mlm`` /
+    ``nsp`` for BERT, ``stem`` / ``stageX.blockY`` / ``head`` for ResNet.
+    Order follows first appearance (topological).
+    """
+    units: Dict[str, List[str]] = {}
+    order: List[str] = []
+    for tname in graph.tasks:
+        parts = tname.split(".")
+        if parts[0].startswith("stage") and len(parts) > 1 and parts[1].startswith(
+            "block"
+        ):
+            key = f"{parts[0]}.{parts[1]}"
+        else:
+            key = parts[0]
+        if key not in units:
+            units[key] = []
+            order.append(key)
+        units[key].append(tname)
+    return [(key, units[key]) for key in order]
+
+
+def _transformer_layer_count(units: Sequence[Tuple[str, List[str]]]) -> int:
+    return sum(1 for key, _ in units if key.startswith("layer"))
+
+
+def _uniform_layer_stages(
+    units: Sequence[Tuple[str, List[str]]], num_stages: int
+) -> Optional[List[List[str]]]:
+    """Equal-layer-count stages; embeddings join the first stage, heads
+    the last.  ``None`` when the layer count is not divisible by S."""
+    layer_keys = [k for k, _ in units if k.startswith("layer")]
+    L = len(layer_keys)
+    if L % num_stages:
+        return None
+    per = L // num_stages
+    unit_map = dict(units)
+    stages: List[List[str]] = []
+    for s in range(num_stages):
+        tasks: List[str] = []
+        if s == 0:
+            for k, t in units:
+                if not k.startswith(("layer", "mlm", "nsp", "total_loss")):
+                    tasks.extend(t)
+        for k in layer_keys[s * per : (s + 1) * per]:
+            tasks.extend(unit_map[k])
+        if s == num_stages - 1:
+            for k, t in units:
+                if k.startswith(("mlm", "nsp")) or k == "total_loss":
+                    tasks.extend(t)
+        stages.append(tasks)
+    return stages
+
+
+def _evaluate_pipeline(
+    profiler: GraphProfiler,
+    cluster: ClusterSpec,
+    stages: List[List[str]],
+    batch_size: int,
+    replicas: int,
+    num_microbatches: int,
+    key_prefix: str,
+    extra_static_bytes_per_param: float = 0.0,
+    in_flight: Optional[int] = None,
+) -> Optional[Tuple[float, float, float]]:
+    """(iteration_time, pipeline_time, max_mem) or None if OOM/invalid."""
+    per_pipeline_batch = batch_size // replicas
+    if per_pipeline_batch == 0 or per_pipeline_batch % num_microbatches:
+        return None
+    bs_micro = per_pipeline_batch // num_microbatches
+    M = cluster.device.usable_memory
+    tf: List[float] = []
+    tb: List[float] = []
+    max_mem = 0.0
+    max_param = 0
+    for i, tasks in enumerate(stages):
+        prof = profiler.profile(
+            tasks,
+            bs_micro,
+            microbatches_in_flight=(
+                in_flight if in_flight is not None else num_microbatches
+            ),
+            checkpointing=True,
+            key=(key_prefix, len(stages), i),
+        )
+        memory = prof.memory + prof.param_count * extra_static_bytes_per_param
+        if memory > M:
+            return None
+        max_mem = max(max_mem, memory)
+        max_param = max(max_param, prof.param_count)
+        send = cluster.p2p_time(prof.out_bytes) if prof.out_bytes else 0.0
+        recv = cluster.p2p_time(prof.in_bytes) if prof.in_bytes else 0.0
+        tf.append(prof.time_fwd + send)
+        tb.append(prof.time_bwd + recv)
+    pipe = simulate_sync_pipeline(tf, tb, num_microbatches)
+    allreduce = (
+        cluster.allreduce_time(
+            max_param * 4.0, replicas, spans_nodes=cluster.num_nodes > 1
+        )
+        if replicas > 1
+        else 0.0
+    )
+    opt = max_param * 28.0 / cluster.device.mem_bandwidth
+    return pipe + allreduce + opt, pipe, max_mem
+
+
+def run_gpipe_hybrid(
+    graph: TaskGraph,
+    cluster: ClusterSpec,
+    batch_size: int,
+    precision: Precision = Precision.FP32,
+    stage_counts: Sequence[int] = (2, 4, 8, 16),
+    profiler: Optional[GraphProfiler] = None,
+) -> FrameworkResult:
+    """GPipe with hybrid parallelism on a Transformer graph."""
+    units = layer_units(graph)
+    if _transformer_layer_count(units) == 0:
+        return FrameworkResult(
+            "gpipe_hybrid", False,
+            reason="implementation is specialized to BERT-style models",
+        )
+    if profiler is None:
+        profiler = GraphProfiler(graph, cluster, precision)
+    world = cluster.total_devices
+    best: Optional[FrameworkResult] = None
+    for S in stage_counts:
+        if world % S:
+            continue
+        stages = _uniform_layer_stages(units, S)
+        if stages is None:
+            continue
+        replicas = world // S
+        if batch_size % replicas:
+            continue
+        MB = 1
+        while MB <= batch_size // replicas:
+            outcome = _evaluate_pipeline(
+                profiler, cluster, stages, batch_size, replicas, MB,
+                key_prefix="gpipe_hybrid",
+            )
+            if outcome is not None:
+                iteration, pipe, mem = outcome
+                result = FrameworkResult(
+                    "gpipe_hybrid",
+                    True,
+                    throughput=batch_size / iteration,
+                    iteration_time=iteration,
+                    config={
+                        "stages": S,
+                        "replicas": replicas,
+                        "microbatches": MB,
+                        "memory_gib": mem / 2**30,
+                    },
+                )
+                if best is None or result.throughput > best.throughput:
+                    best = result
+            MB *= 2
+    if best is None:
+        return FrameworkResult(
+            "gpipe_hybrid", False,
+            reason="no (stages, microbatches) setting fits device memory",
+        )
+    return best
+
+
+def run_gpipe_model(
+    graph: TaskGraph,
+    cluster: ClusterSpec,
+    batch_size: int,
+    precision: Precision = Precision.FP32,
+    num_stages: int = 8,
+    num_microbatches: int = 64,
+    profiler: Optional[GraphProfiler] = None,
+) -> FrameworkResult:
+    """torchgpipe-style model parallelism on one node (Fig. 5 baseline)."""
+    if cluster.num_nodes != 1:
+        return FrameworkResult(
+            "gpipe_model", False,
+            reason="GPipe-Model can use only GPUs on a single node",
+        )
+    if profiler is None:
+        profiler = GraphProfiler(graph, cluster, precision)
+    num_stages = min(num_stages, cluster.devices_per_node)
+    units = layer_units(graph)
+    stages = _balanced_unit_stages(profiler, units, num_stages)
+
+    MB = num_microbatches
+    while MB >= 1:
+        if batch_size % MB == 0:
+            outcome = _evaluate_pipeline(
+                profiler, cluster, stages, batch_size, 1, MB,
+                key_prefix="gpipe_model",
+            )
+            if outcome is not None:
+                iteration, pipe, mem = outcome
+                return FrameworkResult(
+                    "gpipe_model",
+                    True,
+                    throughput=batch_size / iteration,
+                    iteration_time=iteration,
+                    config={
+                        "stages": len(stages),
+                        "microbatches": MB,
+                        "memory_gib": mem / 2**30,
+                    },
+                )
+        MB //= 2
+    return FrameworkResult(
+        "gpipe_model", False, reason="stages exceed device memory at all MB",
+    )
+
+
+def _balanced_unit_stages(
+    profiler: GraphProfiler,
+    units: Sequence[Tuple[str, List[str]]],
+    num_stages: int,
+) -> List[List[str]]:
+    """Greedy prefix balancing of whole units into contiguous stages --
+    the 'as balanced as possible by hand' split of Sec. IV-B."""
+    tf, tb = profiler._times_at(1)
+    weights = []
+    for _, tasks in units:
+        idx = profiler.indices_of(tasks)
+        weights.append(float(tf[idx].sum() + tb[idx].sum()))
+    total = sum(weights)
+    target = total / num_stages
+    stages: List[List[str]] = []
+    current: List[str] = []
+    acc = 0.0
+    remaining = num_stages
+    for (key, tasks), w in zip(units, weights):
+        units_left = len(units) - len(stages)
+        if (
+            current
+            and acc + w > target * 1.05
+            and len(stages) < num_stages - 1
+        ):
+            stages.append(current)
+            current = []
+            acc = 0.0
+        current.extend(tasks)
+        acc += w
+    if current:
+        stages.append(current)
+    # merge tail stages if we overshot the stage count
+    while len(stages) > num_stages:
+        stages[-2].extend(stages[-1])
+        stages.pop()
+    return stages

@@ -1,0 +1,182 @@
+"""Command-line interface: partition models and regenerate paper results.
+
+Examples::
+
+    python -m repro partition --model bert --hidden 1536 --layers 96 \
+        --nodes 4 --batch-size 256
+    python -m repro fig4 --fast
+    python -m repro fig5
+    python -m repro table1
+    python -m repro ablation
+    python -m repro loss-validation
+    python -m repro schedule --stages 4 --microbatches 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.hardware import Precision, paper_cluster
+from repro.models import BertConfig, GPTConfig, ResNetConfig
+from repro.models import build_bert, build_gpt, build_resnet
+from repro.partitioner import PartitioningError, auto_partition
+
+
+def _add_partition(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("partition", help="auto-partition one model")
+    p.add_argument("--model", choices=("bert", "resnet", "gpt"), default="bert")
+    p.add_argument("--hidden", type=int, default=1024, help="BERT/GPT hidden size")
+    p.add_argument("--layers", type=int, default=24, help="BERT/GPT layer count")
+    p.add_argument("--depth", type=int, default=50, help="ResNet depth")
+    p.add_argument("--width-factor", type=int, default=8, help="ResNet width factor")
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--batch-size", type=int, default=256)
+    p.add_argument("--amp", action="store_true", help="mixed precision")
+    p.add_argument("--blocks", type=int, default=32, help="block count k")
+    p.add_argument("--save", type=str, default=None,
+                   help="write the deployment JSON to this path")
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    if args.model == "bert":
+        graph = build_bert(BertConfig(hidden_size=args.hidden,
+                                      num_layers=args.layers))
+    elif args.model == "gpt":
+        graph = build_gpt(GPTConfig(hidden_size=args.hidden,
+                                    num_layers=args.layers))
+    else:
+        graph = build_resnet(ResNetConfig(depth=args.depth,
+                                          width_factor=args.width_factor))
+    cluster = paper_cluster(num_nodes=args.nodes)
+    precision = Precision.AMP if args.amp else Precision.FP32
+    print(f"{graph}  on {cluster.total_devices} devices, BS={args.batch_size}, "
+          f"{precision.value}")
+    try:
+        plan = auto_partition(graph, cluster, args.batch_size,
+                              precision=precision, num_blocks=args.blocks)
+    except PartitioningError as exc:
+        print(f"INFEASIBLE: {exc}")
+        return 1
+    print(plan.summary())
+    if args.save:
+        from repro.partitioner.deployment import plan_to_json
+
+        with open(args.save, "w") as fh:
+            fh.write(plan_to_json(plan, graph))
+        print(f"deployment written to {args.save}")
+    return 0
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    from repro.experiments import FIG4_FAST_GRID, run_fig4
+    from repro.experiments.charts import bar_chart
+    from repro.experiments.fig4_bert import FIG4_FULL_GRID, headline_claims
+    from repro.experiments.runner import format_rows
+
+    grid = FIG4_FAST_GRID if args.fast else FIG4_FULL_GRID
+    precision = Precision.AMP if args.amp else Precision.FP32
+    rows = run_fig4(grid, precision)
+    if args.chart:
+        print(bar_chart(rows, f"Fig. 4 ({precision.value}), samples/s"))
+    else:
+        print(format_rows(rows, f"Fig. 4 ({precision.value}), samples/s"))
+    for claim, ok in headline_claims(rows).items():
+        print(f"  {claim}: {'OK' if ok else 'VIOLATED'}")
+    return 0
+
+
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    from repro.experiments import run_fig5
+    from repro.experiments.charts import bar_chart
+    from repro.experiments.runner import format_rows
+
+    rows = run_fig5()
+    if args.chart:
+        print(bar_chart(rows, "Fig. 5, samples/s"))
+    else:
+        print(format_rows(rows, "Fig. 5, samples/s"))
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.experiments import run_table1
+    from repro.experiments.table1_features import format_table1
+
+    print(format_table1(run_table1()))
+    return 0
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    from repro.experiments import run_coarsening_ablation
+    from repro.experiments.coarsening_ablation import format_ablation
+
+    layers = (24, 48) if args.fast else (24, 48, 96)
+    print(format_ablation(run_coarsening_ablation(layer_counts=layers)))
+    return 0
+
+
+def _cmd_loss_validation(args: argparse.Namespace) -> int:
+    from repro.experiments import run_loss_validation
+
+    result = run_loss_validation(steps=args.steps)
+    for i, (a, b) in enumerate(
+        zip(result.reference_losses, result.partitioned_losses)
+    ):
+        print(f"step {i}: whole={a:.8f} partitioned={b:.8f} diff={abs(a - b):.2e}")
+    ok = result.within_paper_tolerance
+    print(f"within paper tolerance (1e-3): {'OK' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    from repro.pipeline.schedule import render_schedule, sync_pipeline_schedule
+
+    events = sync_pipeline_schedule(args.stages, args.microbatches)
+    print(render_schedule(events, args.stages))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point: parse arguments and dispatch to a subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RaNNC reproduction: automatic graph partitioning "
+                    "for very large-scale deep learning (IPDPS 2021)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    _add_partition(sub)
+    p4 = sub.add_parser("fig4", help="regenerate the Fig. 4 BERT sweep")
+    p4.add_argument("--fast", action="store_true")
+    p4.add_argument("--amp", action="store_true")
+    p4.add_argument("--chart", action="store_true",
+                    help="render as ASCII bars instead of a table")
+    p5 = sub.add_parser("fig5", help="regenerate the Fig. 5 ResNet sweep")
+    p5.add_argument("--chart", action="store_true",
+                    help="render as ASCII bars instead of a table")
+    sub.add_parser("table1", help="print the Table I feature matrix")
+    pab = sub.add_parser("ablation", help="Sec. IV-C coarsening ablation")
+    pab.add_argument("--fast", action="store_true")
+    plv = sub.add_parser("loss-validation", help="Sec. IV-B loss validation")
+    plv.add_argument("--steps", type=int, default=10)
+    psc = sub.add_parser("schedule", help="render a pipeline schedule (Fig. 1)")
+    psc.add_argument("--stages", type=int, default=4)
+    psc.add_argument("--microbatches", type=int, default=8)
+
+    args = parser.parse_args(argv)
+    handler = {
+        "partition": _cmd_partition,
+        "fig4": _cmd_fig4,
+        "fig5": _cmd_fig5,
+        "table1": _cmd_table1,
+        "ablation": _cmd_ablation,
+        "loss-validation": _cmd_loss_validation,
+        "schedule": _cmd_schedule,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

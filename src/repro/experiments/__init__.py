@@ -1,0 +1,30 @@
+"""Experiment harnesses regenerating every table and figure of the paper.
+
+Each module exposes a ``run_*`` function returning structured rows plus a
+``format_*`` helper that prints them the way the paper reports them; the
+``benchmarks/`` directory wires each one into pytest-benchmark.  See
+EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+"""
+
+from repro.experiments.runner import SweepRow, format_rows
+from repro.experiments.fig1_schedule import run_fig1
+from repro.experiments.fig4_bert import run_fig4, FIG4_FAST_GRID, FIG4_FULL_GRID
+from repro.experiments.fig5_resnet import run_fig5
+from repro.experiments.table1_features import run_table1
+from repro.experiments.coarsening_ablation import run_coarsening_ablation
+from repro.experiments.gpt_extension import run_gpt_extension
+from repro.experiments.loss_validation import run_loss_validation
+
+__all__ = [
+    "FIG4_FAST_GRID",
+    "FIG4_FULL_GRID",
+    "SweepRow",
+    "format_rows",
+    "run_coarsening_ablation",
+    "run_fig1",
+    "run_fig4",
+    "run_fig5",
+    "run_gpt_extension",
+    "run_loss_validation",
+    "run_table1",
+]

@@ -1,0 +1,89 @@
+"""ASCII bar charts for the throughput figures.
+
+The paper's Figs. 4-5 are grouped bar charts (one bar per framework per
+model).  Without a plotting dependency, this renders the same comparison
+as horizontal unicode bars -- good enough to eyeball who wins and by what
+factor straight from the terminal or CI logs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.runner import SweepRow
+
+_BAR = "#"
+
+
+def bar_chart(
+    rows: Sequence[SweepRow],
+    title: str = "",
+    width: int = 50,
+    frameworks: Optional[Sequence[str]] = None,
+) -> str:
+    """Render sweep rows as grouped horizontal bars.
+
+    Bars are normalized per-chart to the best throughput; infeasible
+    entries render as ``OOM``.
+    """
+    if frameworks is None:
+        seen: List[str] = []
+        for row in rows:
+            if row.framework not in seen:
+                seen.append(row.framework)
+        frameworks = seen
+    by_workload: Dict[str, Dict[str, SweepRow]] = {}
+    order: List[str] = []
+    for row in rows:
+        if row.workload not in by_workload:
+            by_workload[row.workload] = {}
+            order.append(row.workload)
+        by_workload[row.workload][row.framework] = row
+
+    best = max((r.throughput for r in rows if r.feasible), default=1.0)
+    if best <= 0:
+        best = 1.0
+    fw_width = max(len(f) for f in frameworks) + 1
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for workload in order:
+        lines.append(f"{workload}  "
+                     f"({by_workload[workload][frameworks[0]].params_billion:.2f}B)"
+                     if frameworks[0] in by_workload[workload]
+                     else workload)
+        for fw in frameworks:
+            row = by_workload[workload].get(fw)
+            if row is None:
+                continue
+            if not row.feasible:
+                lines.append(f"  {fw:<{fw_width}}|{'OOM':>8}")
+                continue
+            filled = max(1, int(round(width * row.throughput / best)))
+            lines.append(
+                f"  {fw:<{fw_width}}|{_BAR * filled} {row.throughput:.1f}"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def series_chart(
+    values: Sequence[float],
+    labels: Sequence[str],
+    title: str = "",
+    width: int = 50,
+) -> str:
+    """Render one numeric series (e.g. bubble fraction vs MB) as bars."""
+    if len(values) != len(labels):
+        raise ValueError("values and labels must align")
+    best = max(values) if values else 1.0
+    if best <= 0:
+        best = 1.0
+    lw = max(len(l) for l in labels) + 1
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        filled = max(0, int(round(width * value / best)))
+        lines.append(f"{label:<{lw}}|{_BAR * filled} {value:.3g}")
+    return "\n".join(lines)

@@ -1,0 +1,45 @@
+"""Fig. 1: the synchronous pipeline-parallelism schedule.
+
+Regenerates the schedule grid of the figure (stages x time slots with
+microbatch indices, forward then backward with fill/drain bubbles) and the
+quantitative series behind it: bubble fraction versus microbatch count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.pipeline.schedule import (
+    bubble_fraction,
+    render_schedule,
+    schedule_makespan_slots,
+    sync_pipeline_schedule,
+)
+
+
+@dataclass
+class Fig1Result:
+    """Rendered schedule plus its quantitative series."""
+
+    num_stages: int
+    num_microbatches: int
+    rendered: str
+    makespan_slots: int
+    bubble_fraction: float
+    bubble_series: List[float]  # bubble fraction vs MB = 1..16
+
+
+def run_fig1(num_stages: int = 4, num_microbatches: int = 8) -> Fig1Result:
+    """Regenerate the Fig. 1 schedule and its bubble-fraction series."""
+    events = sync_pipeline_schedule(num_stages, num_microbatches)
+    return Fig1Result(
+        num_stages=num_stages,
+        num_microbatches=num_microbatches,
+        rendered=render_schedule(events, num_stages),
+        makespan_slots=schedule_makespan_slots(num_stages, num_microbatches),
+        bubble_fraction=bubble_fraction(num_stages, num_microbatches),
+        bubble_series=[
+            bubble_fraction(num_stages, mb) for mb in range(1, 17)
+        ],
+    )

@@ -1,0 +1,92 @@
+"""Fig. 5: training throughput of enlarged (width-factor-8) ResNets.
+
+Two settings, as in the paper: one node / 8 GPUs with effective batch 128
+(where GPipe-Model is applicable) and four nodes / 32 GPUs with batch 512
+(data parallelism and RaNNC only -- GPipe-Model "can use only GPUs on a
+single node").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.baselines import run_data_parallel, run_gpipe_model
+from repro.experiments.runner import SweepRow
+from repro.hardware import ClusterSpec, Precision, paper_cluster, single_node
+from repro.models import ResNetConfig, build_resnet
+from repro.partitioner import PartitioningError, auto_partition
+from repro.profiler import GraphProfiler
+
+FIG5_DEPTHS = (50, 101, 152)
+
+
+def run_fig5(
+    depths: Sequence[int] = FIG5_DEPTHS,
+    width_factor: int = 8,
+    single_node_batch: int = 128,
+    multi_node_batch: int = 512,
+    precision: Precision = Precision.FP32,
+    include_multi_node: bool = True,
+) -> List[SweepRow]:
+    """Run the Fig. 5 sweep on both cluster settings."""
+    rows: List[SweepRow] = []
+    settings = [("8gpu", single_node(), single_node_batch, True)]
+    if include_multi_node:
+        settings.append(("32gpu", paper_cluster(), multi_node_batch, False))
+
+    for label, cluster, batch_size, with_gpipe in settings:
+        for depth in depths:
+            cfg = ResNetConfig(depth=depth, width_factor=width_factor)
+            graph = build_resnet(cfg)
+            profiler = GraphProfiler(graph, cluster, precision)
+            params_b = graph.num_parameters() / 1e9
+            name = f"resnet{depth}x{width_factor}/{label}"
+
+            result = run_data_parallel(
+                graph, cluster, batch_size, precision, profiler
+            )
+            rows.append(
+                SweepRow(
+                    name, "data_parallel", params_b, result.feasible,
+                    result.throughput,
+                    detail=dict(result.config) if result.feasible else {
+                        "reason": result.reason
+                    },
+                )
+            )
+            if with_gpipe:
+                result = run_gpipe_model(
+                    graph, cluster, batch_size, precision, profiler=profiler
+                )
+                rows.append(
+                    SweepRow(
+                        name, "gpipe_model", params_b, result.feasible,
+                        result.throughput,
+                        detail=dict(result.config) if result.feasible else {
+                            "reason": result.reason
+                        },
+                    )
+                )
+            try:
+                plan = auto_partition(
+                    graph, cluster, batch_size,
+                    precision=precision, profiler=profiler,
+                )
+                rows.append(
+                    SweepRow(
+                        name, "rannc", params_b, True, plan.throughput,
+                        detail={
+                            "stages": plan.num_stages,
+                            "microbatches": plan.num_microbatches,
+                            "replica_factor": plan.replica_factor,
+                        },
+                    )
+                )
+            except PartitioningError as exc:
+                rows.append(
+                    SweepRow(
+                        name, "rannc", params_b, False,
+                        detail={"reason": str(exc)},
+                    )
+                )
+    return rows

@@ -1,0 +1,76 @@
+"""Extension experiment: decoder-only (GPT) models.
+
+Not part of the paper's evaluation grid, but its introduction motivates
+RaNNC with GPT-3-scale models and the conclusion announces evaluation "of
+enormous models ... in various applications" as future work.  This
+harness sweeps GPT-2-family sizes (small / medium / large / XL and an
+enlarged multi-billion variant) on the paper cluster, demonstrating that
+the partitioner needs no architecture-specific handling: pre-LN blocks,
+causal masks and the tied LM head are partitioned exactly like BERT.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.baselines import run_data_parallel
+from repro.experiments.runner import SweepRow
+from repro.hardware import ClusterSpec, Precision, paper_cluster
+from repro.models import GPTConfig, build_gpt
+from repro.partitioner import PartitioningError, auto_partition
+from repro.profiler import GraphProfiler
+
+#: (name, hidden, layers, heads) -- the GPT-2 family + an enlarged model
+GPT_FAMILY: List[Tuple[str, int, int, int]] = [
+    ("gpt2-small", 768, 12, 12),
+    ("gpt2-medium", 1024, 24, 16),
+    ("gpt2-large", 1280, 36, 20),
+    ("gpt2-xl", 1600, 48, 25),
+    ("gpt2-7b", 2560, 64, 32),  # enlarged: ~6.9B params
+]
+
+
+def run_gpt_extension(
+    family: Sequence[Tuple[str, int, int, int]] = GPT_FAMILY,
+    batch_size: int = 64,
+    seq_len: int = 1024,
+    precision: Precision = Precision.FP32,
+    cluster: Optional[ClusterSpec] = None,
+) -> List[SweepRow]:
+    """Sweep decoder-only models; rows for data parallelism and RaNNC."""
+    if cluster is None:
+        cluster = paper_cluster()
+    rows: List[SweepRow] = []
+    for name, hidden, layers, heads in family:
+        cfg = GPTConfig(hidden_size=hidden, num_layers=layers,
+                        num_heads=heads, seq_len=seq_len)
+        graph = build_gpt(cfg)
+        profiler = GraphProfiler(graph, cluster, precision)
+        params_b = graph.num_parameters() / 1e9
+
+        dp = run_data_parallel(graph, cluster, batch_size, precision, profiler)
+        rows.append(
+            SweepRow(name, "data_parallel", params_b, dp.feasible,
+                     dp.throughput,
+                     detail=dict(dp.config) if dp.feasible else
+                     {"reason": dp.reason})
+        )
+        try:
+            plan = auto_partition(graph, cluster, batch_size,
+                                  precision=precision, profiler=profiler)
+            rows.append(
+                SweepRow(
+                    name, "rannc", params_b, True, plan.throughput,
+                    detail={
+                        "stages": plan.num_stages,
+                        "microbatches": plan.num_microbatches,
+                        "replica_factor": plan.replica_factor,
+                    },
+                )
+            )
+        except PartitioningError as exc:
+            rows.append(
+                SweepRow(name, "rannc", params_b, False,
+                         detail={"reason": str(exc)})
+            )
+    return rows

@@ -1,0 +1,63 @@
+"""Shared sweep-result record and table formatting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class SweepRow:
+    """One (workload, framework) measurement of a sweep."""
+
+    workload: str
+    framework: str
+    params_billion: float
+    feasible: bool
+    throughput: float = 0.0  # samples/s; 0 when infeasible
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def cell(self) -> str:
+        """Table-cell rendering: throughput or OOM."""
+        return f"{self.throughput:.1f}" if self.feasible else "OOM"
+
+
+def format_rows(
+    rows: Sequence[SweepRow],
+    title: str = "",
+    frameworks: Optional[Sequence[str]] = None,
+) -> str:
+    """Render sweep rows as a workload x framework table (paper style)."""
+    if frameworks is None:
+        seen: List[str] = []
+        for row in rows:
+            if row.framework not in seen:
+                seen.append(row.framework)
+        frameworks = seen
+    workloads: List[str] = []
+    params: Dict[str, float] = {}
+    cells: Dict[str, Dict[str, str]] = {}
+    for row in rows:
+        if row.workload not in cells:
+            cells[row.workload] = {}
+            workloads.append(row.workload)
+            params[row.workload] = row.params_billion
+        cells[row.workload][row.framework] = row.cell
+
+    w0 = max([len(w) for w in workloads] + [len("model")]) + 2
+    wcol = max([len(f) for f in frameworks] + [8]) + 2
+    lines = []
+    if title:
+        lines.append(title)
+    header = "model".ljust(w0) + "params".rjust(8) + "".join(
+        f.rjust(wcol) for f in frameworks
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for w in workloads:
+        line = w.ljust(w0) + f"{params[w]:.2f}B".rjust(8)
+        for f in frameworks:
+            line += cells[w].get(f, "-").rjust(wcol)
+        lines.append(line)
+    return "\n".join(lines)

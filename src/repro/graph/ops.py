@@ -1,0 +1,477 @@
+"""Operator registry: shape inference and FLOP accounting per op type.
+
+Every task's ``op_type`` must be registered here.  The registry drives
+
+* the :class:`~repro.graph.builder.GraphBuilder` (shape inference),
+* the analytic profiler (forward FLOPs, backward FLOP factor, bytes moved),
+* the NumPy runtime (which binds executable kernels separately in
+  :mod:`repro.runtime.tensor` keyed by the same op names).
+
+Shapes are canonical batch-size-1 shapes; the profiler scales per-op FLOPs
+linearly in the batch size for batched ops, which is exact for all
+standard per-sample-separable NN operators.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+Shape = Tuple[int, ...]
+ShapeFn = Callable[[Sequence[Shape], Dict[str, object]], List[Shape]]
+FlopFn = Callable[[Sequence[Shape], Sequence[Shape], Dict[str, object]], float]
+
+
+def _numel(shape: Shape) -> int:
+    n = 1
+    for d in shape:
+        n *= d
+    return n
+
+
+def _broadcast(a: Shape, b: Shape) -> Shape:
+    """NumPy-style broadcast of two shapes."""
+    out: List[int] = []
+    ra, rb = a[::-1], b[::-1]
+    for i in range(max(len(ra), len(rb))):
+        da = ra[i] if i < len(ra) else 1
+        db = rb[i] if i < len(rb) else 1
+        if da != db and 1 not in (da, db):
+            raise ValueError(f"cannot broadcast {a} with {b}")
+        out.append(max(da, db))
+    return tuple(out[::-1])
+
+
+@dataclass
+class OpSpec:
+    """Static description of an operator type.
+
+    Attributes:
+        name: op type string.
+        infer: shape-inference function.
+        flops: forward FLOPs at the given (canonical) shapes.
+        bwd_factor: backward-pass FLOPs as a multiple of forward FLOPs
+            (2.0 for matmul-like ops computing both dX and dW, ~1.0 for
+            elementwise ops).
+        n_inputs: expected input arity (``None`` = variadic).
+        elementwise: hint used by the runtime and memory model.
+    """
+
+    name: str
+    infer: ShapeFn
+    flops: FlopFn
+    bwd_factor: float = 2.0
+    n_inputs: Optional[int] = None
+    elementwise: bool = False
+
+
+class OpRegistry:
+    """Registry mapping op-type names to :class:`OpSpec`."""
+
+    def __init__(self) -> None:
+        self._specs: Dict[str, OpSpec] = {}
+
+    def register(self, spec: OpSpec) -> OpSpec:
+        if spec.name in self._specs:
+            raise ValueError(f"op {spec.name!r} already registered")
+        self._specs[spec.name] = spec
+        return spec
+
+    def get(self, name: str) -> OpSpec:
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise KeyError(f"unknown op type {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def names(self) -> List[str]:
+        return sorted(self._specs)
+
+    # convenience wrappers over a TaskNode in a TaskGraph ---------------
+    def infer_shapes(self, op_type: str, in_shapes: Sequence[Shape],
+                     attrs: Dict[str, object]) -> List[Shape]:
+        return self.get(op_type).infer(in_shapes, attrs)
+
+    def flops(self, task, graph, batch_size: int = 1) -> float:
+        """Forward FLOPs of a task instance at the given batch size."""
+        spec = self.get(task.op_type)
+        in_shapes = [graph.values[v].shape for v in task.inputs]
+        out_shapes = [graph.values[v].shape for v in task.outputs]
+        base = spec.flops(in_shapes, out_shapes, task.attrs)
+        batched = any(graph.values[v].batched for v in task.inputs) or any(
+            graph.values[v].batched for v in task.outputs
+        )
+        return base * batch_size if batched else base
+
+    def backward_flops(self, task, graph, batch_size: int = 1) -> float:
+        spec = self.get(task.op_type)
+        return self.flops(task, graph, batch_size) * spec.bwd_factor
+
+
+registry = OpRegistry()
+
+
+def _op(name: str, *, n_inputs: Optional[int] = None, bwd_factor: float = 2.0,
+        elementwise: bool = False) -> Callable[[ShapeFn], ShapeFn]:
+    """Decorator registering ``infer`` and pairing it with a flops fn set
+    via the ``.flops`` attribute afterwards (defaults to zero FLOPs)."""
+
+    def wrap(infer: ShapeFn) -> ShapeFn:
+        def default_flops(ins, outs, attrs):  # zero-cost by default
+            return 0.0
+
+        spec = OpSpec(
+            name=name,
+            infer=infer,
+            flops=default_flops,
+            bwd_factor=bwd_factor,
+            n_inputs=n_inputs,
+            elementwise=elementwise,
+        )
+        registry.register(spec)
+        infer._spec = spec  # type: ignore[attr-defined]
+        return infer
+
+    return wrap
+
+
+def _set_flops(infer: ShapeFn, fn: FlopFn) -> None:
+    infer._spec.flops = fn  # type: ignore[attr-defined]
+
+
+# ---------------------------------------------------------------------------
+# linear algebra
+# ---------------------------------------------------------------------------
+
+@_op("matmul", n_inputs=2, bwd_factor=2.0)
+def _matmul(ins: Sequence[Shape], attrs) -> List[Shape]:
+    a, b = ins
+    if len(a) < 1 or len(b) < 2:
+        raise ValueError(f"matmul needs >=1D x >=2D, got {a} x {b}")
+    if a[-1] != b[-2]:
+        raise ValueError(f"matmul inner-dim mismatch: {a} x {b}")
+    if len(b) == 2:
+        return [a[:-1] + (b[-1],)]
+    lead = _broadcast(a[:-2], b[:-2])
+    return [lead + (a[-2], b[-1])]
+
+
+def _matmul_flops(ins, outs, attrs) -> float:
+    a, b = ins
+    out = outs[0]
+    return 2.0 * _numel(out) * a[-1]
+
+
+_set_flops(_matmul, _matmul_flops)
+
+
+@_op("linear", n_inputs=3, bwd_factor=2.0)
+def _linear(ins: Sequence[Shape], attrs) -> List[Shape]:
+    """x @ W^T + b with W stored as (out_features, in_features)."""
+    x, w, b = ins
+    if x[-1] != w[1]:
+        raise ValueError(f"linear dims mismatch: x={x} W={w}")
+    if b != (w[0],):
+        raise ValueError(f"linear bias shape {b} != ({w[0]},)")
+    return [x[:-1] + (w[0],)]
+
+
+_set_flops(_linear, lambda ins, outs, attrs: 2.0 * _numel(outs[0]) * ins[0][-1])
+
+
+# ---------------------------------------------------------------------------
+# elementwise / broadcast arithmetic
+# ---------------------------------------------------------------------------
+
+def _binary_infer(ins: Sequence[Shape], attrs) -> List[Shape]:
+    return [_broadcast(ins[0], ins[1])]
+
+
+for _name in ("add", "sub", "mul", "div"):
+    registry.register(
+        OpSpec(
+            name=_name,
+            infer=_binary_infer,
+            flops=lambda ins, outs, attrs: float(_numel(outs[0])),
+            bwd_factor=1.0,
+            n_inputs=2,
+            elementwise=True,
+        )
+    )
+
+
+def _unary_infer(ins: Sequence[Shape], attrs) -> List[Shape]:
+    return [ins[0]]
+
+
+def _register_unary(name: str, cost_per_elem: float, bwd_factor: float = 1.0):
+    registry.register(
+        OpSpec(
+            name=name,
+            infer=_unary_infer,
+            flops=lambda ins, outs, attrs, c=cost_per_elem: c * _numel(outs[0]),
+            bwd_factor=bwd_factor,
+            n_inputs=1,
+            elementwise=True,
+        )
+    )
+
+
+_register_unary("relu", 1.0)
+_register_unary("gelu", 10.0)
+_register_unary("tanh", 5.0)
+_register_unary("sigmoid", 5.0)
+_register_unary("identity", 0.0)
+_register_unary("dropout", 1.0)
+_register_unary("neg", 1.0)
+
+
+@_op("scale", n_inputs=1, bwd_factor=1.0, elementwise=True)
+def _scale(ins: Sequence[Shape], attrs) -> List[Shape]:
+    return [ins[0]]
+
+
+_set_flops(_scale, lambda ins, outs, attrs: float(_numel(outs[0])))
+
+
+@_op("softmax", n_inputs=1, bwd_factor=2.0, elementwise=True)
+def _softmax(ins: Sequence[Shape], attrs) -> List[Shape]:
+    return [ins[0]]
+
+
+_set_flops(_softmax, lambda ins, outs, attrs: 5.0 * _numel(outs[0]))
+
+
+@_op("layernorm", n_inputs=3, bwd_factor=2.0)
+def _layernorm(ins: Sequence[Shape], attrs) -> List[Shape]:
+    x, gamma, beta = ins
+    h = x[-1]
+    if gamma != (h,) or beta != (h,):
+        raise ValueError(f"layernorm affine shapes {gamma}/{beta} != ({h},)")
+    return [x]
+
+
+_set_flops(_layernorm, lambda ins, outs, attrs: 8.0 * _numel(outs[0]))
+
+
+# ---------------------------------------------------------------------------
+# shape manipulation
+# ---------------------------------------------------------------------------
+
+@_op("transpose", n_inputs=1, bwd_factor=1.0)
+def _transpose(ins: Sequence[Shape], attrs) -> List[Shape]:
+    x = ins[0]
+    perm = attrs.get("perm")
+    if perm is None:
+        perm = tuple(reversed(range(len(x))))
+    perm = tuple(perm)
+    if sorted(perm) != list(range(len(x))):
+        raise ValueError(f"bad perm {perm} for rank-{len(x)} input")
+    return [tuple(x[p] for p in perm)]
+
+
+_set_flops(_transpose, lambda ins, outs, attrs: 0.0)
+
+
+@_op("reshape", n_inputs=1, bwd_factor=0.0)
+def _reshape(ins: Sequence[Shape], attrs) -> List[Shape]:
+    """Reshape the *non-batch tail* of the input.
+
+    ``attrs['shape']`` gives the full target shape at canonical batch 1
+    (the leading batch axis, if the value is batched, must stay axis 0 with
+    extent equal to the input's axis-0 extent -- builders enforce this).
+    A single ``-1`` entry is inferred.
+    """
+    x = ins[0]
+    target = list(attrs["shape"])  # type: ignore[index]
+    if target.count(-1) > 1:
+        raise ValueError("reshape allows at most one -1")
+    known = 1
+    for d in target:
+        if d != -1:
+            known *= d
+    total = _numel(x)
+    if -1 in target:
+        if total % known:
+            raise ValueError(f"cannot infer -1 reshaping {x} to {target}")
+        target[target.index(-1)] = total // known
+    if _numel(tuple(target)) != total:
+        raise ValueError(f"reshape numel mismatch: {x} -> {target}")
+    return [tuple(target)]
+
+
+_set_flops(_reshape, lambda ins, outs, attrs: 0.0)
+
+
+@_op("flatten", n_inputs=1, bwd_factor=0.0)
+def _flatten(ins: Sequence[Shape], attrs) -> List[Shape]:
+    """Flatten everything after the leading (batch) axis."""
+    x = ins[0]
+    return [(x[0], _numel(x[1:]))]
+
+
+_set_flops(_flatten, lambda ins, outs, attrs: 0.0)
+
+
+@_op("concat", bwd_factor=0.0)
+def _concat(ins: Sequence[Shape], attrs) -> List[Shape]:
+    axis = int(attrs.get("axis", -1))  # type: ignore[arg-type]
+    base = list(ins[0])
+    axis = axis % len(base)
+    for s in ins[1:]:
+        if len(s) != len(base):
+            raise ValueError("concat rank mismatch")
+        for i, (a, b) in enumerate(zip(base, s)):
+            if i != axis and a != b:
+                raise ValueError(f"concat non-axis mismatch: {ins}")
+        base[axis] += s[axis]
+    return [tuple(base)]
+
+
+_set_flops(_concat, lambda ins, outs, attrs: 0.0)
+
+
+# ---------------------------------------------------------------------------
+# embeddings and losses
+# ---------------------------------------------------------------------------
+
+@_op("embedding", n_inputs=2, bwd_factor=1.0)
+def _embedding(ins: Sequence[Shape], attrs) -> List[Shape]:
+    ids, weight = ins
+    if len(weight) != 2:
+        raise ValueError(f"embedding weight must be 2D, got {weight}")
+    return [ids + (weight[1],)]
+
+
+_set_flops(_embedding, lambda ins, outs, attrs: float(_numel(outs[0])))
+
+
+@_op("cross_entropy", n_inputs=2, bwd_factor=1.0)
+def _cross_entropy(ins: Sequence[Shape], attrs) -> List[Shape]:
+    logits, targets = ins
+    if logits[:-1] != targets:
+        raise ValueError(
+            f"cross_entropy targets {targets} must match logits[:-1] {logits[:-1]}"
+        )
+    return [(1,)]
+
+
+_set_flops(_cross_entropy, lambda ins, outs, attrs: 5.0 * _numel(ins[0]))
+
+
+@_op("mse_loss", n_inputs=2, bwd_factor=1.0)
+def _mse(ins: Sequence[Shape], attrs) -> List[Shape]:
+    if ins[0] != ins[1]:
+        raise ValueError(f"mse_loss shape mismatch: {ins}")
+    return [(1,)]
+
+
+_set_flops(_mse, lambda ins, outs, attrs: 3.0 * _numel(ins[0]))
+
+
+# ---------------------------------------------------------------------------
+# convolutional ops
+# ---------------------------------------------------------------------------
+
+def _conv_out(size: int, k: int, stride: int, pad: int) -> int:
+    out = (size + 2 * pad - k) // stride + 1
+    if out <= 0:
+        raise ValueError(f"conv output collapsed: size={size} k={k} s={stride} p={pad}")
+    return out
+
+
+@_op("conv2d", n_inputs=2, bwd_factor=2.0)
+def _conv2d(ins: Sequence[Shape], attrs) -> List[Shape]:
+    x, w = ins
+    if len(x) != 4 or len(w) != 4:
+        raise ValueError(f"conv2d needs NCHW x OIHW, got {x} x {w}")
+    n, c, h, wd = x
+    o, ci, kh, kw = w
+    if c != ci:
+        raise ValueError(f"conv2d channels mismatch: {x} x {w}")
+    stride = int(attrs.get("stride", 1))  # type: ignore[arg-type]
+    pad = int(attrs.get("padding", 0))  # type: ignore[arg-type]
+    return [(n, o, _conv_out(h, kh, stride, pad), _conv_out(wd, kw, stride, pad))]
+
+
+def _conv2d_flops(ins, outs, attrs) -> float:
+    w = ins[1]
+    out = outs[0]
+    return 2.0 * _numel(out) * w[1] * w[2] * w[3]
+
+
+_set_flops(_conv2d, _conv2d_flops)
+
+
+@_op("batchnorm2d", n_inputs=3, bwd_factor=2.0)
+def _batchnorm2d(ins: Sequence[Shape], attrs) -> List[Shape]:
+    x, gamma, beta = ins
+    if len(x) != 4 or gamma != (x[1],) or beta != (x[1],):
+        raise ValueError(f"batchnorm2d shapes: x={x} gamma={gamma} beta={beta}")
+    return [x]
+
+
+_set_flops(_batchnorm2d, lambda ins, outs, attrs: 5.0 * _numel(outs[0]))
+
+
+@_op("maxpool2d", n_inputs=1, bwd_factor=1.0)
+def _maxpool2d(ins: Sequence[Shape], attrs) -> List[Shape]:
+    x = ins[0]
+    k = int(attrs.get("kernel", 2))  # type: ignore[arg-type]
+    stride = int(attrs.get("stride", k))  # type: ignore[arg-type]
+    pad = int(attrs.get("padding", 0))  # type: ignore[arg-type]
+    n, c, h, w = x
+    return [(n, c, _conv_out(h, k, stride, pad), _conv_out(w, k, stride, pad))]
+
+
+_set_flops(
+    _maxpool2d,
+    lambda ins, outs, attrs: float(
+        _numel(outs[0]) * int(attrs.get("kernel", 2)) ** 2
+    ),
+)
+
+
+@_op("global_avgpool", n_inputs=1, bwd_factor=1.0)
+def _global_avgpool(ins: Sequence[Shape], attrs) -> List[Shape]:
+    x = ins[0]
+    if len(x) != 4:
+        raise ValueError(f"global_avgpool needs NCHW, got {x}")
+    return [(x[0], x[1])]
+
+
+_set_flops(_global_avgpool, lambda ins, outs, attrs: float(_numel(ins[0])))
+
+
+# ---------------------------------------------------------------------------
+# reductions / misc
+# ---------------------------------------------------------------------------
+
+@_op("reduce_mean", n_inputs=1, bwd_factor=1.0)
+def _reduce_mean(ins: Sequence[Shape], attrs) -> List[Shape]:
+    x = ins[0]
+    axis = attrs.get("axis")
+    if axis is None:
+        return [(1,)]
+    axis = int(axis) % len(x)  # type: ignore[arg-type]
+    return [tuple(d for i, d in enumerate(x) if i != axis)]
+
+
+_set_flops(_reduce_mean, lambda ins, outs, attrs: float(_numel(ins[0])))
+
+
+@_op("slice_rows", n_inputs=1, bwd_factor=0.0)
+def _slice_rows(ins: Sequence[Shape], attrs) -> List[Shape]:
+    """Take rows [start, stop) along axis 1 (e.g. the [CLS] token)."""
+    x = ins[0]
+    start = int(attrs.get("start", 0))  # type: ignore[arg-type]
+    stop = int(attrs.get("stop", start + 1))  # type: ignore[arg-type]
+    if not (0 <= start < stop <= x[1]):
+        raise ValueError(f"bad slice [{start}:{stop}] on {x}")
+    return [(x[0], stop - start) + x[2:]]
+
+
+_set_flops(_slice_rows, lambda ins, outs, attrs: 0.0)

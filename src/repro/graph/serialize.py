@@ -1,0 +1,72 @@
+"""JSON (de)serialization of task graphs.
+
+Round-tripping a traced model through JSON is how partition plans and
+model graphs can be cached between runs -- RaNNC similarly caches
+partitioning results ("deployments") on disk so repeated launches skip the
+search.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.graph.ir import DataType, TaskGraph, TaskNode, ValueKind, ValueNode
+
+
+def graph_to_json(graph: TaskGraph) -> str:
+    """Serialize a graph to a JSON string (deterministic key order)."""
+    doc: Dict[str, Any] = {
+        "name": graph.name,
+        "values": [
+            {
+                "name": v.name,
+                "shape": list(v.shape),
+                "dtype": v.dtype.value,
+                "kind": v.kind.value,
+                "batched": v.batched,
+            }
+            for v in graph.values.values()
+        ],
+        "tasks": [
+            {
+                "name": t.name,
+                "op_type": t.op_type,
+                "inputs": list(t.inputs),
+                "outputs": list(t.outputs),
+                "attrs": t.attrs,
+            }
+            for t in graph.tasks.values()
+        ],
+        "outputs": list(graph.output_names),
+    }
+    return json.dumps(doc, sort_keys=True)
+
+
+def graph_from_json(text: str) -> TaskGraph:
+    """Deserialize a graph previously produced by :func:`graph_to_json`."""
+    doc = json.loads(text)
+    graph = TaskGraph(doc["name"])
+    for vdoc in doc["values"]:
+        graph.add_value(
+            ValueNode(
+                name=vdoc["name"],
+                shape=tuple(vdoc["shape"]),
+                dtype=DataType(vdoc["dtype"]),
+                kind=ValueKind(vdoc["kind"]),
+                batched=vdoc["batched"],
+            )
+        )
+    for tdoc in doc["tasks"]:
+        graph.add_task(
+            TaskNode(
+                name=tdoc["name"],
+                op_type=tdoc["op_type"],
+                inputs=list(tdoc["inputs"]),
+                outputs=list(tdoc["outputs"]),
+                attrs=dict(tdoc["attrs"]),
+            )
+        )
+    for oname in doc["outputs"]:
+        graph.mark_output(oname)
+    return graph

@@ -1,0 +1,221 @@
+"""Graph traversal utilities: topological order, reachability, convexity.
+
+Convexity is the central structural constraint of block-level partitioning
+(Sec. III-B): "a group u is convex if and only if there is no path between
+any pair alpha, beta in u such that the path goes through any gamma not in
+u".  A non-convex stage would deadlock the pipeline, so every merge and
+every uncoarsening move must preserve it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.graph.ir import TaskGraph
+
+
+def task_successors(graph: TaskGraph) -> Dict[str, List[str]]:
+    """Adjacency map task -> successor tasks (via produced values)."""
+    succ: Dict[str, List[str]] = {t: [] for t in graph.tasks}
+    for producer, consumer in graph.iter_edges():
+        succ[producer].append(consumer)
+    return succ
+
+
+def task_predecessors(graph: TaskGraph) -> Dict[str, List[str]]:
+    """Adjacency map task -> predecessor tasks."""
+    pred: Dict[str, List[str]] = {t: [] for t in graph.tasks}
+    for producer, consumer in graph.iter_edges():
+        pred[consumer].append(producer)
+    return pred
+
+
+def topo_sort_tasks(graph: TaskGraph) -> List[str]:
+    """Kahn topological sort, deterministic (insertion order tie-break).
+
+    Raises ``ValueError`` if the graph contains a cycle.
+    """
+    succ = task_successors(graph)
+    indeg: Dict[str, int] = {t: 0 for t in graph.tasks}
+    for _, consumer in graph.iter_edges():
+        indeg[consumer] += 1
+    ready = deque(t for t in graph.tasks if indeg[t] == 0)
+    order: List[str] = []
+    while ready:
+        t = ready.popleft()
+        order.append(t)
+        for s in succ[t]:
+            indeg[s] -= 1
+            if indeg[s] == 0:
+                ready.append(s)
+    if len(order) != len(graph.tasks):
+        raise ValueError("task graph contains a cycle")
+    return order
+
+
+def descendants(graph: TaskGraph, roots: Iterable[str]) -> Set[str]:
+    """All tasks reachable from ``roots`` (excluding the roots themselves
+    unless reachable through a cycle-free path from another root)."""
+    succ = task_successors(graph)
+    seen: Set[str] = set()
+    stack = list(roots)
+    while stack:
+        t = stack.pop()
+        for s in succ[t]:
+            if s not in seen:
+                seen.add(s)
+                stack.append(s)
+    return seen
+
+
+def ancestors(graph: TaskGraph, roots: Iterable[str]) -> Set[str]:
+    """All tasks that can reach ``roots``."""
+    pred = task_predecessors(graph)
+    seen: Set[str] = set()
+    stack = list(roots)
+    while stack:
+        t = stack.pop()
+        for p in pred[t]:
+            if p not in seen:
+                seen.add(p)
+                stack.append(p)
+    return seen
+
+
+def is_convex(graph: TaskGraph, members: Iterable[str]) -> bool:
+    """Check convexity of a task subset.
+
+    A subset is convex iff no directed path exits the subset and re-enters
+    it.  Implemented as a BFS through *external* tasks starting from the
+    external successors of the subset; if any member is reached, some path
+    leaves and comes back.
+    """
+    mset = set(members)
+    succ = task_successors(graph)
+    frontier: deque = deque()
+    seen: Set[str] = set()
+    for t in mset:
+        for s in succ[t]:
+            if s not in mset and s not in seen:
+                seen.add(s)
+                frontier.append(s)
+    while frontier:
+        t = frontier.popleft()
+        for s in succ[t]:
+            if s in mset:
+                return False
+            if s not in seen:
+                seen.add(s)
+                frontier.append(s)
+    return True
+
+
+class GroupGraph:
+    """A DAG over disjoint task groups, supporting incremental merges.
+
+    Used by block-level partitioning: groups start as atomic subcomponents
+    and are repeatedly merged.  The class maintains group adjacency and
+    answers the *convex-merge* query cheaply: merging adjacent groups
+    ``v -> w`` stays convex iff every path from ``v`` to ``w`` in the group
+    DAG is the direct edge (i.e. ``w`` unreachable from ``v`` once the
+    direct edge is removed), and symmetrically.  This is equivalent to the
+    task-level convexity definition when all current groups are convex.
+    """
+
+    def __init__(
+        self,
+        node_ids: Sequence[int],
+        edges: Iterable[Tuple[int, int]],
+    ) -> None:
+        self.succ: Dict[int, Set[int]] = {n: set() for n in node_ids}
+        self.pred: Dict[int, Set[int]] = {n: set() for n in node_ids}
+        for a, b in edges:
+            if a == b:
+                continue
+            self.succ[a].add(b)
+            self.pred[b].add(a)
+
+    def nodes(self) -> List[int]:
+        return list(self.succ)
+
+    def adjacent(self, v: int, w: int) -> bool:
+        return w in self.succ[v] or w in self.pred[v]
+
+    def _reachable_avoiding_edge(self, src: int, dst: int) -> bool:
+        """Is ``dst`` reachable from ``src`` without using edge src->dst?"""
+        stack = [s for s in self.succ[src] if s != dst]
+        seen = set(stack)
+        while stack:
+            n = stack.pop()
+            if n == dst:
+                return True
+            for s in self.succ[n]:
+                if s not in seen:
+                    seen.add(s)
+                    stack.append(s)
+        return False
+
+    def can_merge(self, v: int, w: int) -> bool:
+        """True if merging adjacent groups v and w keeps convexity."""
+        if v == w:
+            return False
+        if w in self.succ[v]:
+            src, dst = v, w
+        elif v in self.succ[w]:
+            src, dst = w, v
+        else:
+            return False  # not adjacent
+        return not self._reachable_avoiding_edge(src, dst)
+
+    def merge(self, keep: int, absorb: int) -> None:
+        """Merge node ``absorb`` into node ``keep`` (must keep acyclicity,
+        i.e. callers check :meth:`can_merge` first)."""
+        if keep == absorb:
+            raise ValueError("cannot merge a node with itself")
+        for s in self.succ.pop(absorb):
+            self.pred[s].discard(absorb)
+            if s != keep:
+                self.succ[keep].add(s)
+                self.pred[s].add(keep)
+        for p in self.pred.pop(absorb):
+            self.succ[p].discard(absorb)
+            if p != keep:
+                self.pred[keep].add(p)
+                self.succ[p].add(keep)
+        self.succ[keep].discard(keep)
+        self.pred[keep].discard(keep)
+
+    def topo_order(self) -> List[int]:
+        indeg = {n: len(self.pred[n]) for n in self.succ}
+        ready = deque(sorted(n for n, d in indeg.items() if d == 0))
+        order: List[int] = []
+        while ready:
+            n = ready.popleft()
+            order.append(n)
+            for s in sorted(self.succ[n]):
+                indeg[s] -= 1
+                if indeg[s] == 0:
+                    ready.append(s)
+        if len(order) != len(self.succ):
+            raise ValueError("group graph contains a cycle")
+        return order
+
+
+def group_graph(
+    graph: TaskGraph, groups: Sequence[FrozenSet[str]]
+) -> GroupGraph:
+    """Contract a task graph onto a partition into disjoint groups."""
+    owner: Dict[str, int] = {}
+    for gid, members in enumerate(groups):
+        for t in members:
+            if t in owner:
+                raise ValueError(f"task {t!r} in two groups")
+            owner[t] = gid
+    edges = set()
+    for producer, consumer in graph.iter_edges():
+        a, b = owner.get(producer), owner.get(consumer)
+        if a is None or b is None or a == b:
+            continue
+        edges.add((a, b))
+    return GroupGraph(range(len(groups)), edges)

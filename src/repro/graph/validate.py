@@ -1,0 +1,99 @@
+"""Structural validation of task graphs.
+
+``validate_graph`` is called by tests and by the public partitioning API to
+reject malformed inputs early.  It checks:
+
+* every task references existing values with correct arity;
+* every non-leaf value has exactly one producer;
+* insertion order is a topological order (and the graph is acyclic);
+* re-running shape inference reproduces the stored shapes;
+* declared outputs exist and are produced by some task;
+* batched/param flags are consistent (params/consts never batched).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.graph.ir import TaskGraph, ValueKind
+from repro.graph.ops import registry
+
+
+class GraphValidationError(ValueError):
+    """Raised when a task graph violates a structural invariant."""
+
+
+def validate_graph(graph: TaskGraph) -> None:
+    """Validate ``graph``; raises :class:`GraphValidationError` on failure."""
+    problems: List[str] = []
+
+    produced: set = set()
+    for tname, task in graph.tasks.items():
+        if task.op_type not in registry:
+            problems.append(f"task {tname!r}: unknown op {task.op_type!r}")
+            continue
+        spec = registry.get(task.op_type)
+        if spec.n_inputs is not None and len(task.inputs) != spec.n_inputs:
+            problems.append(
+                f"task {tname!r}: op {task.op_type!r} expects "
+                f"{spec.n_inputs} inputs, has {len(task.inputs)}"
+            )
+        for vname in task.inputs:
+            if vname not in graph.values:
+                problems.append(f"task {tname!r}: missing input {vname!r}")
+                continue
+            value = graph.values[vname]
+            if value.producer is None:
+                continue
+            if value.producer not in produced:
+                problems.append(
+                    f"task {tname!r} consumes {vname!r} before its producer "
+                    f"{value.producer!r} (insertion order not topological)"
+                )
+        produced.add(tname)
+
+        # shape re-inference must agree with stored shapes
+        try:
+            in_shapes = [graph.values[v].shape for v in task.inputs]
+            out_shapes = registry.infer_shapes(task.op_type, in_shapes, task.attrs)
+        except Exception as exc:  # noqa: BLE001 - collecting all problems
+            problems.append(f"task {tname!r}: shape inference failed: {exc}")
+        else:
+            stored = [graph.values[v].shape for v in task.outputs]
+            if list(map(tuple, out_shapes)) != list(map(tuple, stored)):
+                problems.append(
+                    f"task {tname!r}: stored output shapes {stored} != "
+                    f"inferred {out_shapes}"
+                )
+
+    for vname, value in graph.values.items():
+        if value.kind in (ValueKind.PARAM, ValueKind.CONST):
+            if value.batched:
+                problems.append(f"value {vname!r}: {value.kind.value} is batched")
+            if value.producer is not None:
+                problems.append(
+                    f"value {vname!r}: {value.kind.value} has a producer"
+                )
+        if value.kind is ValueKind.ACTIVATION and value.producer is None:
+            problems.append(f"value {vname!r}: activation without producer")
+        for consumer in value.consumers:
+            if consumer not in graph.tasks:
+                problems.append(
+                    f"value {vname!r}: unknown consumer {consumer!r}"
+                )
+
+    for oname in graph.output_names:
+        if oname not in graph.values:
+            problems.append(f"declared output {oname!r} does not exist")
+        elif graph.values[oname].producer is None:
+            problems.append(f"declared output {oname!r} has no producer")
+
+    if not graph.output_names:
+        problems.append("graph declares no outputs")
+    if not graph.input_names:
+        problems.append("graph declares no inputs")
+
+    if problems:
+        raise GraphValidationError(
+            f"graph {graph.name!r} failed validation:\n  " + "\n  ".join(problems)
+        )

@@ -1,0 +1,33 @@
+"""Simulated accelerator hardware.
+
+The paper's testbed -- compute nodes with eight 32 GB V100s linked by
+NVLink (25-50 GB/s) and 100 Gb/s InfiniBand between nodes -- is modelled
+by :class:`DeviceSpec` and :class:`ClusterSpec`.  All throughput numbers
+produced by this repository are *simulated* on these specs (see DESIGN.md
+for the substitution rationale).
+"""
+
+from repro.hardware.device import DeviceSpec, Precision
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.presets import (
+    PAPER_CLUSTER,
+    SINGLE_NODE,
+    TINY_CLUSTER,
+    V100,
+    paper_cluster,
+    single_node,
+    tiny_cluster,
+)
+
+__all__ = [
+    "ClusterSpec",
+    "DeviceSpec",
+    "PAPER_CLUSTER",
+    "Precision",
+    "SINGLE_NODE",
+    "TINY_CLUSTER",
+    "V100",
+    "paper_cluster",
+    "single_node",
+    "tiny_cluster",
+]

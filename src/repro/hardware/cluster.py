@@ -1,0 +1,73 @@
+"""Cluster topology: nodes, devices and interconnect bandwidths."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.hardware.device import DeviceSpec
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster of accelerator nodes.
+
+    Bandwidths follow the paper's setup: ``intra_node_bandwidth`` is the
+    device-to-device NVLink rate used to estimate stage-to-stage
+    communication time (footnote 3: "we use the intra-node bandwidth, not
+    the inter-node bandwidth" because device allocation keeps adjacent
+    stages on the same node where possible); ``inter_node_bandwidth`` is
+    the network rate used for cross-node data-parallel allreduce.
+    """
+
+    num_nodes: int
+    devices_per_node: int
+    device: DeviceSpec
+    intra_node_bandwidth: float  # B/s, e.g. NVLink 25 GB/s
+    inter_node_bandwidth: float  # B/s, e.g. 100 Gb/s IB = 12.5 GB/s
+    comm_latency: float = 10.0e-6  # per-transfer fixed latency (s)
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1 or self.devices_per_node < 1:
+            raise ValueError("cluster must have >=1 node and >=1 device/node")
+
+    @property
+    def total_devices(self) -> int:
+        return self.num_nodes * self.devices_per_node
+
+    def node_of(self, device_rank: int) -> int:
+        """Node index hosting a global device rank."""
+        if not 0 <= device_rank < self.total_devices:
+            raise ValueError(f"device rank {device_rank} out of range")
+        return device_rank // self.devices_per_node
+
+    def p2p_time(self, nbytes: float, same_node: bool = True) -> float:
+        """Point-to-point transfer time between two devices."""
+        bw = self.intra_node_bandwidth if same_node else self.inter_node_bandwidth
+        return self.comm_latency + nbytes / bw
+
+    def allreduce_time(self, nbytes: float, n_ranks: int,
+                       spans_nodes: bool = True) -> float:
+        """Ring-allreduce time over ``n_ranks`` replicas.
+
+        Standard ring cost ``2 (n-1)/n * size / min_link_bw``; the
+        bottleneck link is the inter-node network whenever the ring spans
+        nodes.
+        """
+        if n_ranks <= 1:
+            return 0.0
+        bw = self.inter_node_bandwidth if spans_nodes else self.intra_node_bandwidth
+        return self.comm_latency * 2 * (n_ranks - 1) + (
+            2.0 * (n_ranks - 1) / n_ranks
+        ) * nbytes / bw
+
+    def scaled(self, num_nodes: int) -> "ClusterSpec":
+        """Same hardware, different node count (Algorithm 2 iterates n)."""
+        return ClusterSpec(
+            num_nodes=num_nodes,
+            devices_per_node=self.devices_per_node,
+            device=self.device,
+            intra_node_bandwidth=self.intra_node_bandwidth,
+            inter_node_bandwidth=self.inter_node_bandwidth,
+            comm_latency=self.comm_latency,
+        )

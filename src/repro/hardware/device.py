@@ -1,0 +1,66 @@
+"""Accelerator device specification and precision modes."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Precision(enum.Enum):
+    """Training numeric mode.
+
+    ``FP32`` is plain single precision.  ``AMP`` models Apex-AMP style
+    mixed precision (the paper trains RaNNC and Megatron-LM in both):
+    FP16 activations and tensor-core matmuls with FP32 master weights.
+    """
+
+    FP32 = "fp32"
+    AMP = "amp"
+
+    @property
+    def activation_bytes_factor(self) -> float:
+        """Activation size relative to FP32."""
+        return 1.0 if self is Precision.FP32 else 0.5
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Performance/capacity model of one accelerator.
+
+    Attributes:
+        name: human label.
+        memory_bytes: device memory capacity.
+        peak_flops_fp32: peak FP32 throughput (FLOP/s).
+        peak_flops_fp16: peak FP16 tensor-core throughput (FLOP/s).
+        mem_bandwidth: device memory bandwidth (B/s).
+        matmul_efficiency: fraction of peak achievable by dense
+            matmul/conv kernels (cuBLAS/cuDNN realistic sustained rate).
+        kernel_overhead: fixed per-kernel launch latency (s).
+        memory_reserve_fraction: fraction of device memory unavailable to
+            the model (framework/NCCL/workspace reserve).
+    """
+
+    name: str
+    memory_bytes: int
+    peak_flops_fp32: float
+    peak_flops_fp16: float
+    mem_bandwidth: float
+    matmul_efficiency: float = 0.50
+    kernel_overhead: float = 4.0e-6
+    memory_reserve_fraction: float = 0.08
+
+    def peak_flops(self, precision: Precision) -> float:
+        return (
+            self.peak_flops_fp32
+            if precision is Precision.FP32
+            else self.peak_flops_fp16
+        )
+
+    @property
+    def usable_memory(self) -> float:
+        """Memory budget the partitioner may plan against."""
+        return self.memory_bytes * (1.0 - self.memory_reserve_fraction)
+
+    def matmul_time(self, flops: float, precision: Precision) -> float:
+        """Time for a compute-bound kernel at sustained matmul efficiency."""
+        return flops / (self.peak_flops(precision) * self.matmul_efficiency)

@@ -1,0 +1,68 @@
+"""Hardware presets mirroring the paper's testbed.
+
+"Each compute node in our cluster has two Intel Xeon Gold 6140 processors,
+768 GB memory, and eight NVIDIA V100s connected via NVLinks.  Each V100
+has 32 GB device memory.  The bandwidth between two V100s is 25 GB/s or
+50 GB/s.  The compute nodes are connected by InfiniBand, and the bandwidth
+is 100 Gbps." (Sec. IV-A)
+"""
+
+from __future__ import annotations
+
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.device import DeviceSpec
+
+#: NVIDIA V100 SXM2 32 GB: 15.7 TFLOP/s FP32, 125 TFLOP/s FP16 tensor
+#: cores, 900 GB/s HBM2.
+V100 = DeviceSpec(
+    name="V100-SXM2-32GB",
+    memory_bytes=32 * 1024**3,
+    peak_flops_fp32=15.7e12,
+    peak_flops_fp16=125.0e12,
+    mem_bandwidth=900.0e9,
+)
+
+
+def paper_cluster(num_nodes: int = 4) -> ClusterSpec:
+    """The paper's evaluation cluster: ``num_nodes`` x 8 V100.
+
+    NVLink pairs run at 25 or 50 GB/s; we use the conservative 25 GB/s the
+    paper quotes as the lower bound.  InfiniBand 100 Gb/s = 12.5 GB/s.
+    """
+    return ClusterSpec(
+        num_nodes=num_nodes,
+        devices_per_node=8,
+        device=V100,
+        intra_node_bandwidth=25.0e9,
+        inter_node_bandwidth=12.5e9,
+    )
+
+
+def single_node() -> ClusterSpec:
+    """One node x 8 V100 (the Fig. 5 GPipe-Model setting)."""
+    return paper_cluster(num_nodes=1)
+
+
+def tiny_cluster(num_nodes: int = 1, devices_per_node: int = 4,
+                 memory_bytes: int = 2 * 1024**3) -> ClusterSpec:
+    """A small cluster with shrunken device memory, for fast tests that
+    still trip memory-infeasibility paths on toy models."""
+    dev = DeviceSpec(
+        name="tiny",
+        memory_bytes=memory_bytes,
+        peak_flops_fp32=V100.peak_flops_fp32,
+        peak_flops_fp16=V100.peak_flops_fp16,
+        mem_bandwidth=V100.mem_bandwidth,
+    )
+    return ClusterSpec(
+        num_nodes=num_nodes,
+        devices_per_node=devices_per_node,
+        device=dev,
+        intra_node_bandwidth=25.0e9,
+        inter_node_bandwidth=12.5e9,
+    )
+
+
+PAPER_CLUSTER = paper_cluster()
+SINGLE_NODE = single_node()
+TINY_CLUSTER = tiny_cluster()

@@ -1,0 +1,36 @@
+"""Model zoo: traced task graphs for the paper's workloads.
+
+All models are built through :class:`repro.graph.builder.GraphBuilder` the
+way RaNNC's PyTorch tracer would record them -- at the granularity of
+individual tensor ops, *without any partitioning annotations*.  The zoo
+covers the exact configurations evaluated in the paper:
+
+* enlarged BERT (Fig. 4): hidden in {1024, 1536, 2048}, layers in
+  {24, 48, 96, 144, 192, 256}, sequence length 512, up to 12.9 B params;
+* enlarged BiT-style ResNet (Fig. 5): ResNet{50,101,152} with width
+  factor 8, up to 3.7 B params;
+* a GPT-2-like decoder (extension beyond the paper's eval);
+* small MLP / diamond / Fig. 2-example graphs for tests and examples.
+"""
+
+from repro.models.configs import BertConfig, GPTConfig, ResNetConfig, T5Config, t5_11b
+from repro.models.bert import build_bert
+from repro.models.resnet import build_resnet
+from repro.models.gpt import build_gpt
+from repro.models.t5 import build_t5
+from repro.models.mlp import build_diamond, build_fig2_example, build_mlp
+
+__all__ = [
+    "BertConfig",
+    "GPTConfig",
+    "ResNetConfig",
+    "T5Config",
+    "build_bert",
+    "build_diamond",
+    "build_fig2_example",
+    "build_gpt",
+    "build_mlp",
+    "build_resnet",
+    "build_t5",
+    "t5_11b",
+]

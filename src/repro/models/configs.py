@@ -1,0 +1,159 @@
+"""Model configuration dataclasses and the paper's evaluated grids."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class BertConfig:
+    """Configuration of an (enlarged) BERT model.
+
+    Defaults give BERT-Large (340 M parameters).  The paper enlarges the
+    model by sweeping ``hidden_size`` over {1024, 1536, 2048} and
+    ``num_layers`` over {24, 48, 96, 144, 192, 256}; the largest
+    (2048 x 256) has 12.9 B parameters.
+    """
+
+    hidden_size: int = 1024
+    num_layers: int = 24
+    num_heads: int = 16
+    seq_len: int = 512
+    vocab_size: int = 30522
+    intermediate_size: int = 0  # 0 -> 4 * hidden_size
+    type_vocab_size: int = 2
+    include_nsp: bool = True
+    tie_word_embeddings: bool = True
+
+    @property
+    def ffn_size(self) -> int:
+        return self.intermediate_size or 4 * self.hidden_size
+
+    @property
+    def head_dim(self) -> int:
+        if self.hidden_size % self.num_heads:
+            raise ValueError("hidden_size must be divisible by num_heads")
+        return self.hidden_size // self.num_heads
+
+    def approx_params(self) -> int:
+        """Closed-form parameter count (cross-checked against the traced
+        graph in tests)."""
+        h, f = self.hidden_size, self.ffn_size
+        emb = self.vocab_size * h + self.seq_len * h + self.type_vocab_size * h + 2 * h
+        per_layer = (
+            4 * (h * h + h)          # q, k, v, attention output projections
+            + (h * f + f)            # FFN up
+            + (f * h + h)            # FFN down
+            + 4 * h                  # two layernorms
+        )
+        head = h * h + h + 2 * h + (0 if self.tie_word_embeddings else self.vocab_size * h)
+        head += self.vocab_size  # decoder bias
+        if self.include_nsp:
+            head += h * h + h + 2 * h + 2
+        return emb + self.num_layers * per_layer + head
+
+    @property
+    def name(self) -> str:
+        return f"bert_h{self.hidden_size}_l{self.num_layers}"
+
+
+@dataclass(frozen=True)
+class ResNetConfig:
+    """Configuration of an (enlarged) BiT-style ResNet.
+
+    ``width_factor`` multiplies every convolution's filter count, following
+    Big Transfer (BiT); the paper uses width factor 8, making
+    ResNet152x8 a 3.7 B-parameter model.
+    """
+
+    depth: int = 50  # one of 50, 101, 152
+    width_factor: int = 1
+    num_classes: int = 1000
+    image_size: int = 224
+
+    BLOCKS = {50: (3, 4, 6, 3), 101: (3, 4, 23, 3), 152: (3, 8, 36, 3)}
+
+    @property
+    def stage_blocks(self) -> Tuple[int, int, int, int]:
+        try:
+            return self.BLOCKS[self.depth]
+        except KeyError:
+            raise ValueError(f"unsupported ResNet depth {self.depth}") from None
+
+    @property
+    def name(self) -> str:
+        return f"resnet{self.depth}x{self.width_factor}"
+
+
+@dataclass(frozen=True)
+class GPTConfig:
+    """GPT-2-like decoder-only Transformer (extension workload)."""
+
+    hidden_size: int = 768
+    num_layers: int = 12
+    num_heads: int = 12
+    seq_len: int = 1024
+    vocab_size: int = 50257
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden_size // self.num_heads
+
+    @property
+    def name(self) -> str:
+        return f"gpt_h{self.hidden_size}_l{self.num_layers}"
+
+
+@dataclass(frozen=True)
+class T5Config:
+    """T5-style encoder-decoder configuration (extension workload).
+
+    Defaults approximate T5-Small's shape; ``t5_11b()`` below gives the
+    paper-motivating 11 B-parameter scale."""
+
+    hidden_size: int = 512
+    num_encoder_layers: int = 6
+    num_decoder_layers: int = 6
+    num_heads: int = 8
+    enc_seq_len: int = 512
+    dec_seq_len: int = 128
+    vocab_size: int = 32128
+    intermediate_size: int = 0  # 0 -> 4 * hidden_size
+
+    @property
+    def ffn_size(self) -> int:
+        return self.intermediate_size or 4 * self.hidden_size
+
+    @property
+    def head_dim(self) -> int:
+        if self.hidden_size % self.num_heads:
+            raise ValueError("hidden_size must be divisible by num_heads")
+        return self.hidden_size // self.num_heads
+
+    @property
+    def name(self) -> str:
+        return (
+            f"t5_h{self.hidden_size}"
+            f"_e{self.num_encoder_layers}d{self.num_decoder_layers}"
+        )
+
+
+def t5_11b() -> T5Config:
+    """Roughly T5-XXL scale (the 11 B-parameter model the paper cites)."""
+    return T5Config(
+        hidden_size=4096, num_encoder_layers=24, num_decoder_layers=24,
+        num_heads=64, intermediate_size=10240,
+    )
+
+
+# The exact grids of the paper's evaluation -------------------------------
+
+FIG4_HIDDEN_SIZES: List[int] = [1024, 1536, 2048]
+FIG4_NUM_LAYERS: List[int] = [24, 48, 96, 144, 192, 256]
+
+FIG5_RESNETS: List[ResNetConfig] = [
+    ResNetConfig(depth=50, width_factor=8),
+    ResNetConfig(depth=101, width_factor=8),
+    ResNetConfig(depth=152, width_factor=8),
+]

@@ -1,0 +1,102 @@
+"""Small synthetic graphs: MLP chains, a branching diamond, and the
+running example of the paper's Fig. 2(b).
+
+These are the workhorses of the test suite and of the NumPy-runtime
+numerical-equivalence experiments (real training fits in milliseconds).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.ir import TaskGraph
+
+
+def build_mlp(
+    widths: Sequence[int] = (64, 128, 128, 64, 10),
+    activation: str = "relu",
+    name: str = "mlp",
+) -> TaskGraph:
+    """A plain MLP regression model: ``len(widths) - 1`` linear layers with
+    ``activation`` between them and an MSE loss at the end."""
+    if len(widths) < 2:
+        raise ValueError("need at least input and output widths")
+    b = GraphBuilder(name)
+    x = b.input("x", (1, widths[0]))
+    h = x
+    for i, width in enumerate(widths[1:]):
+        h = b.linear(h, width, name=f"fc{i}")
+        if i < len(widths) - 2:
+            h = b.op(activation, [h], name=f"act{i}")
+    y = b.input("y", (1, widths[-1]))
+    loss = b.op("mse_loss", [h, y], name="loss")
+    return b.finish([loss])
+
+
+def build_diamond(width: int = 32, name: str = "diamond") -> TaskGraph:
+    """A branch-and-merge graph::
+
+            fc_in
+           /     \\
+        fc_a     fc_b
+           \\     /
+            add -> fc_out -> loss
+
+    Exercises convexity: {fc_in, fc_a, fc_out} is NOT convex (a path runs
+    through fc_b), while {fc_a}, {fc_a, add, fc_b} etc. are.
+    """
+    b = GraphBuilder(name)
+    x = b.input("x", (1, width))
+    h = b.linear(x, width, name="fc_in")
+    left = b.linear(h, width, name="fc_a")
+    left = b.op("relu", [left], name="act_a")
+    right = b.linear(h, width, name="fc_b")
+    right = b.op("relu", [right], name="act_b")
+    merged = b.op("add", [left, right], name="merge")
+    out = b.linear(merged, width, name="fc_out")
+    y = b.input("y", (1, width))
+    loss = b.op("mse_loss", [out, y], name="loss")
+    return b.finish([loss])
+
+
+def build_fig2_example(dim: int = 8) -> TaskGraph:
+    """The task graph of the paper's Fig. 2(b).
+
+    Input ``x`` feeds ``matmul(w1^T)``; the result and ``x`` are added; the
+    sum feeds ``matmul(w3^T)``.  The two weight transposes are *constant
+    tasks* whose outputs flow into non-constant matmuls -- the example the
+    paper uses to illustrate atomic subcomponents C1..C3 (transposes get
+    folded into the consuming matmul's subcomponent).
+    """
+    b = GraphBuilder("fig2")
+    x = b.input("x", (1, dim))
+    w1 = b.param("w1", (dim, dim))
+    w3 = b.param("w3", (dim, dim))
+
+    w1t = b.op("transpose", [w1], name="transpose_w1")   # constant task
+    m1 = b.op("matmul", [x, w1t], name="matmul_1")       # C2's non-constant task
+    s = b.op("add", [x, m1], name="add_1")               # C1's non-constant task
+    w3t = b.op("transpose", [w3], name="transpose_w3")   # constant task
+    m2 = b.op("matmul", [s, w3t], name="matmul_2")       # C3's non-constant task
+    y = b.input("y", (1, dim))
+    loss = b.op("mse_loss", [m2, y], name="loss")
+    return b.finish([loss])
+
+
+def build_shared_constant(dim: int = 8) -> TaskGraph:
+    """A graph where one constant task's output feeds TWO non-constant
+    consumers -- the cloning case of atomic partitioning ("the output of a
+    constant task can have multiple outgoing edges that target different
+    subcomponents, so ... we clone the task and its (constant)
+    predecessors")."""
+    b = GraphBuilder("shared_const")
+    x = b.input("x", (1, dim))
+    w = b.param("w", (dim, dim))
+    wt = b.op("transpose", [w], name="transpose_w")  # shared constant task
+    m1 = b.op("matmul", [x, wt], name="matmul_a")
+    m2 = b.op("matmul", [x, wt], name="matmul_b")
+    s = b.op("add", [m1, m2], name="add_ab")
+    y = b.input("y", (1, dim))
+    loss = b.op("mse_loss", [s, y], name="loss")
+    return b.finish([loss])

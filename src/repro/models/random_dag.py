@@ -1,0 +1,104 @@
+"""Random layered-DAG model generator for stress and property testing.
+
+The paper's workloads are mostly chains; the partitioner, however, claims
+to handle arbitrary model graphs.  This generator produces random
+*layered* DAGs -- each node consumes one or two earlier values (skip
+connections allowed), with occasional constant transposes of weights (the
+Fig. 2 pattern) -- all executable by the NumPy runtime, so property tests
+can assert end-to-end invariants (atomic/block/DP structure, partitioned
+vs. whole numerical equivalence) on shapes no hand-written model covers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.graph.builder import GraphBuilder, Sym
+from repro.graph.ir import TaskGraph
+
+
+def build_random_dag(
+    seed: int = 0,
+    num_nodes: int = 12,
+    width: int = 16,
+    skip_prob: float = 0.35,
+    const_prob: float = 0.15,
+    name: Optional[str] = None,
+) -> TaskGraph:
+    """Generate a random executable model graph.
+
+    Args:
+        seed: RNG seed (graphs are deterministic per seed).
+        num_nodes: number of generated interior compute nodes.
+        width: feature width of every value (uniform so any pair of
+            values can be combined).
+        skip_prob: probability a node consumes a second, earlier value
+            (creating branch/merge structure).
+        const_prob: probability a matmul uses a constant-transposed
+            weight (exercising constant folding/cloning).
+
+    Returns:
+        A validated graph ending in an MSE loss.
+    """
+    rng = np.random.default_rng(seed)
+    b = GraphBuilder(name or f"random_dag_{seed}")
+    x = b.input("x", (1, width))
+    values: List[Sym] = [x]
+
+    for i in range(num_nodes):
+        src = values[int(rng.integers(0, len(values)))]
+        kind = rng.random()
+        if kind < 0.45:
+            if rng.random() < const_prob:
+                # matmul with a transposed weight: constant task feeding a
+                # non-constant one (Fig. 2 pattern)
+                w = b.param(f"w{i}", (width, width))
+                wt = b.op("transpose", [w], name=f"wt{i}")
+                out = b.op("matmul", [src, wt], name=f"mm{i}")
+            else:
+                out = b.linear(src, width, name=f"fc{i}")
+        elif kind < 0.65:
+            op = ["relu", "gelu", "tanh", "sigmoid"][int(rng.integers(0, 4))]
+            out = b.op(op, [src], name=f"{op}{i}")
+        elif kind < 0.8:
+            out = b.layernorm(src, name=f"ln{i}")
+        else:
+            other = values[int(rng.integers(0, len(values)))]
+            out = b.op("add", [src, other], name=f"add{i}")
+        if rng.random() < skip_prob and len(values) > 1:
+            other = values[int(rng.integers(0, len(values)))]
+            out = b.op("add", [out, other], name=f"skip{i}")
+        values.append(out)
+
+    # fan everything unused into the head so no value dangles
+    head = values[-1]
+    used = set()
+    for task in b.graph.tasks.values():
+        used.update(task.inputs)
+    dangling = [
+        v for v in values[:-1]
+        if v.name not in used and v.name != x.name
+    ]
+    for j, v in enumerate(dangling):
+        head = b.op("add", [head, v], name=f"collect{j}")
+
+    y = b.input("y", (1, width))
+    loss = b.op("mse_loss", [head, y], name="loss")
+    graph = b.finish([loss])
+
+    from repro.graph.validate import validate_graph
+
+    validate_graph(graph)
+    return graph
+
+
+def random_batch(graph: TaskGraph, batch_size: int, seed: int = 0):
+    """Synthesize a runtime batch for a random-DAG graph."""
+    rng = np.random.default_rng(seed)
+    feeds = {}
+    for value in graph.inputs:
+        shape = (batch_size,) + value.shape[1:]
+        feeds[value.name] = rng.standard_normal(shape)
+    return feeds

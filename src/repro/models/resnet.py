@@ -1,0 +1,78 @@
+"""Enlarged (BiT-style) ResNet traced at tensor-op granularity.
+
+Follows torchvision's ResNet-v1 bottleneck architecture -- the "model
+description available at PyTorch's official repository" that the paper
+feeds to RaNNC and data parallelism -- with every convolution's filter
+count multiplied by a Big-Transfer-style ``width_factor`` (the paper uses
+8, yielding 3.7 B parameters for ResNet152x8).
+
+Unlike BERT, layer compute here is strongly *imbalanced* (early layers see
+large spatial extents, late layers many channels), which is the paper's
+argument for automatic block balancing over manual stage selection
+(Sec. IV-B: "the ResNet model architecture has many more imbalanced layers
+than BERT").
+"""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder, Sym
+from repro.graph.ir import DataType, TaskGraph
+from repro.models.configs import ResNetConfig
+
+_EXPANSION = 4
+
+
+def _bottleneck(
+    b: GraphBuilder, x: Sym, width: int, stride: int, idx: str
+) -> Sym:
+    """Standard ResNet-v1 bottleneck: 1x1 -> 3x3 -> 1x1 with projection
+    shortcut when shape changes."""
+    in_ch = x.shape[1]
+    out_ch = width * _EXPANSION
+
+    h = b.conv2d(x, width, kernel=1, name=f"{idx}.conv1")
+    h = b.batchnorm2d(h, name=f"{idx}.bn1")
+    h = b.op("relu", [h], name=f"{idx}.relu1")
+
+    h = b.conv2d(h, width, kernel=3, stride=stride, padding=1, name=f"{idx}.conv2")
+    h = b.batchnorm2d(h, name=f"{idx}.bn2")
+    h = b.op("relu", [h], name=f"{idx}.relu2")
+
+    h = b.conv2d(h, out_ch, kernel=1, name=f"{idx}.conv3")
+    h = b.batchnorm2d(h, name=f"{idx}.bn3")
+
+    if stride != 1 or in_ch != out_ch:
+        sc = b.conv2d(x, out_ch, kernel=1, stride=stride, name=f"{idx}.downsample")
+        sc = b.batchnorm2d(sc, name=f"{idx}.downsample_bn")
+    else:
+        sc = x
+
+    h = b.op("add", [h, sc], name=f"{idx}.residual")
+    return b.op("relu", [h], name=f"{idx}.relu3")
+
+
+def build_resnet(cfg: ResNetConfig = ResNetConfig()) -> TaskGraph:
+    """Trace an enlarged ResNet classification graph (cross-entropy loss)."""
+    b = GraphBuilder(cfg.name)
+    wf = cfg.width_factor
+
+    x = b.input("images", (1, 3, cfg.image_size, cfg.image_size))
+    labels = b.input("labels", (1,), DataType.INT64)
+
+    h = b.conv2d(x, 64 * wf, kernel=7, stride=2, padding=3, name="stem.conv")
+    h = b.batchnorm2d(h, name="stem.bn")
+    h = b.op("relu", [h], name="stem.relu")
+    h = b.op(
+        "maxpool2d", [h], {"kernel": 3, "stride": 2, "padding": 1}, name="stem.pool"
+    )
+
+    widths = [64 * wf, 128 * wf, 256 * wf, 512 * wf]
+    for stage, (width, blocks) in enumerate(zip(widths, cfg.stage_blocks)):
+        for block in range(blocks):
+            stride = 2 if (stage > 0 and block == 0) else 1
+            h = _bottleneck(b, h, width, stride, f"stage{stage}.block{block}")
+
+    h = b.op("global_avgpool", [h], name="head.pool")
+    logits = b.linear(h, cfg.num_classes, name="head.fc")
+    loss = b.op("cross_entropy", [logits, labels], name="head.loss")
+    return b.finish([loss])

@@ -1,0 +1,118 @@
+"""T5-style encoder-decoder Transformer (extension workload).
+
+The paper's introduction opens with T5 (11 B parameters) as a motivating
+model; this graph adds the encoder-decoder *topology* to the zoo.  It
+matters to the partitioner beyond size: the encoder's output feeds the
+cross-attention of EVERY decoder layer, so the task DAG is not a chain --
+one boundary value fans out across many prospective stages, exercising
+convexity checks and boundary-byte accounting on skip-like edges.
+
+Simplifications vs. real T5 (which do not change the partitioning
+structure): learned absolute position embeddings instead of relative
+position biases, GELU instead of gated GeLU, and a standard LayerNorm.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.graph.builder import GraphBuilder, Sym
+from repro.graph.ir import DataType, TaskGraph
+from repro.models.configs import T5Config
+
+
+def _attention(
+    b: GraphBuilder,
+    cfg: T5Config,
+    q_src: Sym,
+    kv_src: Sym,
+    mask: Sym,
+    q_len: int,
+    kv_len: int,
+    prefix: str,
+) -> Sym:
+    """Multi-head attention; ``q_src`` and ``kv_src`` may differ
+    (cross-attention reads the encoder output)."""
+    h, a, dh = cfg.hidden_size, cfg.num_heads, cfg.head_dim
+    q = b.linear(q_src, h, name=f"{prefix}.q")
+    k = b.linear(kv_src, h, name=f"{prefix}.k")
+    v = b.linear(kv_src, h, name=f"{prefix}.v")
+
+    qh = b.op("reshape", [q], {"shape": (1, q_len, a, dh)}, name=f"{prefix}.q_split")
+    qh = b.op("transpose", [qh], {"perm": (0, 2, 1, 3)}, name=f"{prefix}.q_perm")
+    kh = b.op("reshape", [k], {"shape": (1, kv_len, a, dh)}, name=f"{prefix}.k_split")
+    kh = b.op("transpose", [kh], {"perm": (0, 2, 3, 1)}, name=f"{prefix}.k_perm")
+    vh = b.op("reshape", [v], {"shape": (1, kv_len, a, dh)}, name=f"{prefix}.v_split")
+    vh = b.op("transpose", [vh], {"perm": (0, 2, 1, 3)}, name=f"{prefix}.v_perm")
+
+    scores = b.op("matmul", [qh, kh], name=f"{prefix}.scores")
+    scores = b.op("scale", [scores], {"factor": 1.0 / math.sqrt(dh)},
+                  name=f"{prefix}.scale")
+    scores = b.op("add", [scores, mask], name=f"{prefix}.mask")
+    probs = b.op("softmax", [scores], name=f"{prefix}.softmax")
+    ctx = b.op("matmul", [probs, vh], name=f"{prefix}.context")
+    ctx = b.op("transpose", [ctx], {"perm": (0, 2, 1, 3)},
+               name=f"{prefix}.merge_perm")
+    ctx = b.op("reshape", [ctx], {"shape": (1, q_len, h)}, name=f"{prefix}.merge")
+    return b.linear(ctx, h, name=f"{prefix}.out")
+
+
+def _ffn(b: GraphBuilder, cfg: T5Config, x: Sym, prefix: str) -> Sym:
+    ff = b.linear(x, cfg.ffn_size, name=f"{prefix}.up")
+    ff = b.op("gelu", [ff], name=f"{prefix}.gelu")
+    return b.linear(ff, cfg.hidden_size, name=f"{prefix}.down")
+
+
+def build_t5(cfg: T5Config = None) -> TaskGraph:
+    """Trace a T5-style seq2seq graph (teacher-forced LM loss)."""
+    cfg = cfg or T5Config()
+    b = GraphBuilder(cfg.name)
+    h = cfg.hidden_size
+    se, sd = cfg.enc_seq_len, cfg.dec_seq_len
+
+    input_ids = b.input("input_ids", (1, se), DataType.INT64)
+    decoder_ids = b.input("decoder_input_ids", (1, sd), DataType.INT64)
+    enc_mask = b.input("encoder_mask", (1, 1, 1, se))
+    causal_mask = b.input("causal_mask", (1, 1, sd, sd))
+    cross_mask = b.input("cross_mask", (1, 1, 1, se))
+    labels = b.input("labels", (1, sd), DataType.INT64)
+
+    shared = b.param("shared.embedding", (cfg.vocab_size, h))
+    enc_pos = b.param("encoder.position", (se, h))
+    dec_pos = b.param("decoder.position", (sd, h))
+
+    # ---- encoder -----------------------------------------------------
+    x = b.op("embedding", [input_ids, shared], name="encoder.embed")
+    x = b.op("add", [x, enc_pos], name="encoder.add_pos")
+    for i in range(cfg.num_encoder_layers):
+        p = f"encoder.layer{i}"
+        ln = b.layernorm(x, name=f"{p}.ln1")
+        attn = _attention(b, cfg, ln, ln, enc_mask, se, se, f"{p}.attn")
+        x = b.op("add", [x, attn], name=f"{p}.attn_residual")
+        ln = b.layernorm(x, name=f"{p}.ln2")
+        x = b.op("add", [x, _ffn(b, cfg, ln, f"{p}.ffn")],
+                 name=f"{p}.ffn_residual")
+    memory = b.layernorm(x, name="encoder.final_ln")
+
+    # ---- decoder (cross-attends to `memory` in every layer) ----------
+    y = b.op("embedding", [decoder_ids, shared], name="decoder.embed")
+    y = b.op("add", [y, dec_pos], name="decoder.add_pos")
+    for i in range(cfg.num_decoder_layers):
+        p = f"decoder.layer{i}"
+        ln = b.layernorm(y, name=f"{p}.ln1")
+        self_attn = _attention(b, cfg, ln, ln, causal_mask, sd, sd,
+                               f"{p}.self_attn")
+        y = b.op("add", [y, self_attn], name=f"{p}.self_residual")
+        ln = b.layernorm(y, name=f"{p}.ln2")
+        cross = _attention(b, cfg, ln, memory, cross_mask, sd, se,
+                           f"{p}.cross_attn")
+        y = b.op("add", [y, cross], name=f"{p}.cross_residual")
+        ln = b.layernorm(y, name=f"{p}.ln3")
+        y = b.op("add", [y, _ffn(b, cfg, ln, f"{p}.ffn")],
+                 name=f"{p}.ffn_residual")
+    y = b.layernorm(y, name="decoder.final_ln")
+
+    lm_w = b.op("transpose", [shared], name="lm_head.weight_t")
+    logits = b.op("matmul", [y, lm_w], name="lm_head")
+    loss = b.op("cross_entropy", [logits, labels], name="lm_loss")
+    return b.finish([loss])

@@ -1,0 +1,332 @@
+"""PyTorch-style module frontend over the graph builder.
+
+RaNNC's promise is taking "a model description for PyTorch without any
+specification for model parallelism".  This module provides the same user
+experience for the NumPy stack: define a model by composing ``Module``
+subclasses exactly like ``torch.nn``, then :func:`trace` it into the task
+graph the partitioner consumes -- no annotations, no manual stages.
+
+Example::
+
+    class Net(nn.Module):
+        def __init__(self):
+            super().__init__()
+            self.fc1 = nn.Linear(784, 256)
+            self.act = nn.ReLU()
+            self.fc2 = nn.Linear(256, 10)
+
+        def forward(self, x):
+            return self.fc2(self.act(self.fc1(x)))
+
+    graph = nn.trace(Net(), {"x": nn.Input((1, 784))}, loss="cross_entropy",
+                     targets=nn.Input((1,), dtype=DataType.INT64))
+    plan = auto_partition(graph, cluster, batch_size=64)
+
+During tracing every layer call records IR tasks through a shared
+:class:`~repro.graph.builder.GraphBuilder`; parameters get hierarchical
+names (``fc1.weight`` etc.) derived from attribute paths, like PyTorch's
+``state_dict`` keys.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.graph.builder import GraphBuilder, Sym
+from repro.graph.ir import DataType, Shape, TaskGraph
+
+
+@dataclass(frozen=True)
+class Input:
+    """Declaration of a traced model input (canonical batch-1 shape)."""
+
+    shape: Shape
+    dtype: DataType = DataType.FLOAT32
+    batched: bool = True
+
+
+class _TraceContext:
+    """Per-trace state: the builder plus the current module name scope."""
+
+    def __init__(self, builder: GraphBuilder) -> None:
+        self.builder = builder
+        self.scope: List[str] = []
+
+    def scoped(self, name: str) -> str:
+        return ".".join(self.scope + [name]) if self.scope else name
+
+
+_ACTIVE: List[_TraceContext] = []
+
+
+def _ctx() -> _TraceContext:
+    if not _ACTIVE:
+        raise RuntimeError(
+            "modules can only be called inside nn.trace(...)"
+        )
+    return _ACTIVE[-1]
+
+
+class Module:
+    """Base class for composable layers.
+
+    Subclasses implement :meth:`forward` over :class:`Sym` handles.
+    Calling a module inside a trace pushes its attribute name onto the
+    parameter scope, so parameters are named like PyTorch state dicts.
+    """
+
+    def __init__(self) -> None:
+        self._name: Optional[str] = None
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Module) and not name.startswith("_"):
+            value._name = name
+        if isinstance(value, (list, tuple)) and value and all(
+            isinstance(v, Module) for v in value
+        ):
+            for i, v in enumerate(value):
+                v._name = f"{name}.{i}"
+        super().__setattr__(name, value)
+
+    def forward(self, *args: Sym) -> Sym:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def __call__(self, *args: Sym) -> Sym:
+        ctx = _ctx()
+        pushed = False
+        if self._name:
+            ctx.scope.append(self._name)
+            pushed = True
+        try:
+            return self.forward(*args)
+        finally:
+            if pushed:
+                ctx.scope.pop()
+
+    # small helpers for subclasses ------------------------------------
+    @staticmethod
+    def _param(name: str, shape: Shape) -> Sym:
+        ctx = _ctx()
+        return ctx.builder.param(ctx.scoped(name), shape)
+
+    @staticmethod
+    def _op(op_type: str, inputs: Sequence[Sym],
+            attrs: Optional[Dict[str, object]] = None,
+            name: Optional[str] = None) -> Sym:
+        ctx = _ctx()
+        return ctx.builder.op(
+            op_type, inputs, attrs,
+            name=ctx.scoped(name) if name else None,
+        )
+
+
+class Linear(Module):
+    """Fully connected layer: ``x @ W.T + b``."""
+
+    def __init__(self, in_features: int, out_features: int) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+
+    def forward(self, x: Sym) -> Sym:
+        w = self._param("weight", (self.out_features, self.in_features))
+        b = self._param("bias", (self.out_features,))
+        return self._op("linear", [x, w, b], name="linear")
+
+
+class LayerNorm(Module):
+    def __init__(self, normalized_shape: int) -> None:
+        super().__init__()
+        self.normalized_shape = normalized_shape
+
+    def forward(self, x: Sym) -> Sym:
+        gamma = self._param("gamma", (self.normalized_shape,))
+        beta = self._param("beta", (self.normalized_shape,))
+        return self._op("layernorm", [x, gamma, beta], name="layernorm")
+
+
+class Embedding(Module):
+    def __init__(self, num_embeddings: int, embedding_dim: int) -> None:
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+
+    def forward(self, ids: Sym) -> Sym:
+        table = self._param("weight", (self.num_embeddings, self.embedding_dim))
+        return self._op("embedding", [ids, table], name="embedding")
+
+
+class Conv2d(Module):
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: int = 0) -> None:
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+
+    def forward(self, x: Sym) -> Sym:
+        w = self._param(
+            "weight",
+            (self.out_channels, self.in_channels,
+             self.kernel_size, self.kernel_size),
+        )
+        return self._op(
+            "conv2d", [x, w],
+            {"stride": self.stride, "padding": self.padding}, name="conv",
+        )
+
+
+class BatchNorm2d(Module):
+    def __init__(self, num_features: int) -> None:
+        super().__init__()
+        self.num_features = num_features
+
+    def forward(self, x: Sym) -> Sym:
+        gamma = self._param("gamma", (self.num_features,))
+        beta = self._param("beta", (self.num_features,))
+        return self._op("batchnorm2d", [x, gamma, beta], name="bn")
+
+
+class _Activation(Module):
+    OP = "identity"
+
+    def forward(self, x: Sym) -> Sym:
+        return self._op(self.OP, [x], name=self.OP)
+
+
+class ReLU(_Activation):
+    OP = "relu"
+
+
+class GELU(_Activation):
+    OP = "gelu"
+
+
+class Tanh(_Activation):
+    OP = "tanh"
+
+
+class Sigmoid(_Activation):
+    OP = "sigmoid"
+
+
+class Dropout(Module):
+    def __init__(self, p: float = 0.1) -> None:
+        super().__init__()
+        self.p = p
+
+    def forward(self, x: Sym) -> Sym:
+        return self._op("dropout", [x], {"p": self.p}, name="dropout")
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel_size: int, stride: Optional[int] = None,
+                 padding: int = 0) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+        self.padding = padding
+
+    def forward(self, x: Sym) -> Sym:
+        return self._op(
+            "maxpool2d", [x],
+            {"kernel": self.kernel_size, "stride": self.stride,
+             "padding": self.padding},
+            name="pool",
+        )
+
+
+class Flatten(Module):
+    def forward(self, x: Sym) -> Sym:
+        return self._op("flatten", [x], name="flatten")
+
+
+class Sequential(Module):
+    """Chain of modules, PyTorch-style."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self.layers = list(modules)
+        for i, m in enumerate(self.layers):
+            m._name = m._name or str(i)
+
+    def forward(self, x: Sym) -> Sym:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+
+# ---------------------------------------------------------------------------
+# functional helpers usable inside Module.forward
+# ---------------------------------------------------------------------------
+
+def add(a: Sym, b: Sym) -> Sym:
+    return _ctx().builder.op("add", [a, b])
+
+
+def concat(parts: Sequence[Sym], axis: int = -1) -> Sym:
+    return _ctx().builder.op("concat", list(parts), {"axis": axis})
+
+
+def reshape(x: Sym, shape: Shape) -> Sym:
+    return _ctx().builder.op("reshape", [x], {"shape": tuple(shape)})
+
+
+def global_avgpool(x: Sym) -> Sym:
+    return _ctx().builder.op("global_avgpool", [x])
+
+
+# ---------------------------------------------------------------------------
+# tracing entry point
+# ---------------------------------------------------------------------------
+
+def trace(
+    module: Module,
+    inputs: Dict[str, Input],
+    loss: Optional[str] = "cross_entropy",
+    targets: Optional[Input] = None,
+    name: Optional[str] = None,
+) -> TaskGraph:
+    """Trace a module into a partitionable task graph.
+
+    Args:
+        module: the model; its ``forward`` receives the declared inputs as
+            :class:`Sym` handles, in dict order.
+        inputs: name -> :class:`Input` declarations.
+        loss: loss op appended to the model output ("cross_entropy",
+            "mse_loss", or ``None`` to mark the raw output as the graph
+            output -- note the partitioner and runtime expect a scalar
+            loss for training workloads).
+        targets: declaration of the target input when ``loss`` is set.
+
+    Returns:
+        A validated :class:`TaskGraph`.
+    """
+    builder = GraphBuilder(name or type(module).__name__.lower())
+    ctx = _TraceContext(builder)
+    _ACTIVE.append(ctx)
+    try:
+        syms = [
+            builder.input(iname, spec.shape, spec.dtype, spec.batched)
+            for iname, spec in inputs.items()
+        ]
+        out = module(*syms)
+        if loss is not None:
+            if targets is None:
+                raise ValueError("loss requires a `targets` declaration")
+            tgt = builder.input(
+                "targets", targets.shape, targets.dtype, targets.batched
+            )
+            out = builder.op(loss, [out, tgt], name="loss")
+        graph = builder.finish([out])
+    finally:
+        _ACTIVE.pop()
+
+    from repro.graph.validate import validate_graph
+
+    validate_graph(graph)
+    return graph

@@ -1,0 +1,45 @@
+"""The paper's contribution: three-phase automatic graph partitioning.
+
+* :mod:`repro.partitioner.atomic` -- atomic-level partitioning (Sec. III-A):
+  classify constant vs. non-constant tasks, form one atomic subcomponent
+  per non-constant task, cloning shared constant subtrees.
+* :mod:`repro.partitioner.blocks` -- block-level partitioning (Sec. III-B):
+  multilevel coarsening / uncoarsening / compaction to ``k`` balanced,
+  convex, memory-feasible blocks.
+* :mod:`repro.partitioner.stage_dp` -- stage-level partitioning
+  (Sec. III-C, Algorithm 1): dynamic programming over stage boundaries and
+  per-stage replica counts with the ``d_min`` pruning rule.
+* :mod:`repro.partitioner.search` -- Algorithm 2: the outer loop over node
+  counts, stage counts and microbatch counts.
+* :mod:`repro.partitioner.api` -- ``auto_partition``: the one-call entry
+  point gluing all phases together.
+"""
+
+from repro.partitioner.atomic import AtomicComponent, atomic_partition
+from repro.partitioner.blocks import Block, BlockPartitioner, block_partition
+from repro.partitioner.plan import (
+    DeviceAssignment,
+    PartitionPlan,
+    StageSpec,
+)
+from repro.partitioner.stage_dp import DPContext, DPSolution, form_stage_dp
+from repro.partitioner.search import SearchResult, form_stage
+from repro.partitioner.api import PartitioningError, auto_partition
+
+__all__ = [
+    "AtomicComponent",
+    "Block",
+    "BlockPartitioner",
+    "DPContext",
+    "DPSolution",
+    "DeviceAssignment",
+    "PartitionPlan",
+    "SearchResult",
+    "StageSpec",
+    "atomic_partition",
+    "PartitioningError",
+    "auto_partition",
+    "block_partition",
+    "form_stage",
+    "form_stage_dp",
+]

@@ -1,0 +1,48 @@
+"""Device allocation: map pipeline replicas and stages to device ranks.
+
+Each of the ``R`` pipeline replicas receives a contiguous band of
+``D = sum_i (d_i - d_{i-1})`` global device ranks; stages take consecutive
+ranks within the band.  Because Algorithm 2 aligns ``D`` to whole nodes,
+a pipeline never straddles more nodes than necessary and stage-to-stage
+edges stay on NVLink wherever the stage boundary does not coincide with a
+node boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.hardware.cluster import ClusterSpec
+from repro.partitioner.plan import DeviceAssignment
+
+
+def allocate_devices(
+    cluster: ClusterSpec,
+    device_counts: List[int],
+    replica_factor: int,
+) -> DeviceAssignment:
+    """Assign global device ranks to every (replica, stage) pair.
+
+    Args:
+        cluster: target cluster.
+        device_counts: devices per stage within one pipeline
+            (``d_i - d_{i-1}`` from Algorithm 1).
+        replica_factor: number of whole-pipeline replicas R.
+
+    Raises:
+        ValueError: if the allocation does not exactly cover the cluster.
+    """
+    D = sum(device_counts)
+    total = D * replica_factor
+    if total != cluster.total_devices:
+        raise ValueError(
+            f"allocation covers {total} devices, cluster has "
+            f"{cluster.total_devices}"
+        )
+    ranks: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+    rank = 0
+    for replica in range(replica_factor):
+        for stage, count in enumerate(device_counts):
+            ranks[(replica, stage)] = tuple(range(rank, rank + count))
+            rank += count
+    return DeviceAssignment(ranks=ranks, cluster=cluster)

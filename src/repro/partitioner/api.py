@@ -1,0 +1,137 @@
+"""One-call public API: ``auto_partition``.
+
+Runs the full RaNNC flow on an unannotated model graph: validate ->
+atomic-level partitioning -> block-level partitioning -> Algorithm-2
+search -> device allocation -> throughput evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.graph.ir import TaskGraph
+from repro.graph.validate import validate_graph
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.device import Precision
+from repro.partitioner.allocation import allocate_devices
+from repro.partitioner.atomic import atomic_partition
+from repro.partitioner.blocks import block_partition
+from repro.partitioner.plan import PartitionPlan, StageSpec
+from repro.partitioner.search import form_stage
+from repro.partitioner.stage_dp import DPContext
+from repro.pipeline.hybrid import evaluate_plan
+from repro.profiler.memory import OptimizerKind
+from repro.profiler.profiler import GraphProfiler, ProfileResult
+
+
+class PartitioningError(RuntimeError):
+    """Raised when no feasible partition exists (the model cannot be
+    trained on the given cluster at the given batch size)."""
+
+
+def auto_partition(
+    graph: TaskGraph,
+    cluster: ClusterSpec,
+    batch_size: int,
+    precision: Precision = Precision.FP32,
+    num_blocks: int = 32,
+    optimizer: OptimizerKind = OptimizerKind.ADAM,
+    uncoarsen: bool = True,
+    max_microbatches: Optional[int] = None,
+    validate: bool = True,
+    profiler: Optional[GraphProfiler] = None,
+) -> PartitionPlan:
+    """Automatically partition ``graph`` for hybrid parallelism.
+
+    This is the user-facing equivalent of wrapping a PyTorch module in
+    ``pyrannc.RaNNCModule``: no annotations, no manual stages.
+
+    Args:
+        graph: the traced model (see :mod:`repro.models`).
+        cluster: target cluster (e.g. ``paper_cluster()``).
+        batch_size: global minibatch size.
+        precision: FP32 or AMP mixed precision.
+        num_blocks: ``k`` of block-level partitioning (paper uses 32).
+        optimizer: optimizer whose state enters the memory estimate.
+        uncoarsen: enable the uncoarsening refinement step.
+        max_microbatches: optional cap on the microbatch search.
+        validate: structurally validate the graph first.
+        profiler: reuse an existing profiler (e.g. across experiments).
+
+    Returns:
+        A fully evaluated :class:`PartitionPlan`.
+
+    Raises:
+        PartitioningError: if no feasible partition exists.
+    """
+    if validate:
+        validate_graph(graph)
+    if batch_size < 1:
+        raise ValueError("batch size must be >= 1")
+    if profiler is None:
+        profiler = GraphProfiler(graph, cluster, precision, optimizer)
+
+    components = atomic_partition(graph)
+    blocks = block_partition(
+        graph,
+        components,
+        profiler,
+        num_blocks=num_blocks,
+        uncoarsen=uncoarsen,
+    )
+    ctx = DPContext(graph, blocks, profiler, batch_size)
+    result = form_stage(
+        ctx,
+        num_nodes=cluster.num_nodes,
+        devices_per_node=cluster.devices_per_node,
+        batch_size=batch_size,
+        max_microbatches=max_microbatches,
+    )
+    if result is None:
+        raise PartitioningError(
+            f"no feasible partition for {graph.name!r} on "
+            f"{cluster.total_devices} devices at batch size {batch_size}"
+        )
+
+    sol = result.solution
+    stages = []
+    lo = 0
+    for i, (hi, devs) in enumerate(zip(sol.boundaries, sol.device_counts)):
+        prof = sol.stage_profiles[i]
+        stages.append(
+            StageSpec(
+                index=i,
+                block_range=(lo, hi),
+                tasks=ctx.range_tasks(lo, hi),
+                devices_per_pipeline=devs,
+                microbatch_size=prof.microbatch_size,
+                profile=ProfileResult(
+                    time_fwd=prof.time_fwd,
+                    time_bwd=prof.time_bwd,
+                    memory=prof.memory,
+                    param_count=prof.param_count,
+                    in_bytes=prof.in_bytes,
+                    out_bytes=prof.out_bytes,
+                ),
+            )
+        )
+        lo = hi
+
+    assignment = allocate_devices(
+        cluster, sol.device_counts, result.replica_factor
+    )
+    plan = PartitionPlan(
+        model_name=graph.name,
+        stages=stages,
+        num_microbatches=sol.num_microbatches,
+        replica_factor=result.replica_factor,
+        batch_size=batch_size,
+        precision=precision,
+        cluster=cluster,
+        assignment=assignment,
+    )
+    plan.extras["dp_calls"] = float(result.dp_calls)
+    plan.extras["num_blocks"] = float(len(blocks))
+    plan.extras["num_atomic_components"] = float(len(components))
+    return evaluate_plan(plan, schedule="sync")

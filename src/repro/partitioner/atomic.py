@@ -1,0 +1,179 @@
+"""Atomic-level partitioning (Sec. III-A).
+
+Two traversals over the task graph:
+
+1. **Forward** (input -> output): classify every task as *non-constant*
+   (its output depends on the model's input: some input value is a model
+   input or the output of another non-constant task) or *constant*
+   (computable from parameters/constants alone, e.g. the transpose of a
+   weight matrix).
+
+2. **Backward** (output -> input): every non-constant task seeds one
+   atomic subcomponent; each constant task is folded into the
+   subcomponent(s) consuming its output.  When a constant task's output
+   feeds several subcomponents, the task *and its constant predecessors*
+   are cloned into each (the paper's cloning rule), so the components
+   remain independently executable.
+
+The result guarantees the paper's replication property: every atomic
+subcomponent contains exactly one non-constant task, so replicating it
+under data parallelism is never wasted work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.graph.ir import TaskGraph, ValueKind
+
+
+@dataclass(frozen=True)
+class AtomicComponent:
+    """An atomic subcomponent: one non-constant task plus the constant
+    tasks folded (possibly as clones) into it.
+
+    ``tasks`` is ordered with constants first, the non-constant task last,
+    consistent with intra-component execution order.
+    """
+
+    index: int
+    non_constant_task: str
+    tasks: Tuple[str, ...]
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+
+def classify_tasks(graph: TaskGraph) -> Dict[str, bool]:
+    """Forward traversal: map task name -> is_non_constant.
+
+    A task is non-constant iff any of its inputs is a model input or the
+    output of a non-constant task.  Tasks are visited in the graph's
+    topological insertion order, so producers are classified first.
+    """
+    non_constant: Dict[str, bool] = {}
+    for tname, task in graph.tasks.items():
+        flag = False
+        for vname in task.inputs:
+            value = graph.values[vname]
+            if value.kind is ValueKind.INPUT:
+                flag = True
+                break
+            if value.producer is not None and non_constant[value.producer]:
+                flag = True
+                break
+        non_constant[tname] = flag
+    return non_constant
+
+
+def _constant_closure(
+    graph: TaskGraph, seed: str, non_constant: Dict[str, bool]
+) -> List[str]:
+    """The constant task ``seed`` plus all its (necessarily constant)
+    predecessors, in topological order."""
+    members: Set[str] = set()
+    stack = [seed]
+    while stack:
+        tname = stack.pop()
+        if tname in members:
+            continue
+        members.add(tname)
+        for vname in graph.tasks[tname].inputs:
+            producer = graph.values[vname].producer
+            if producer is not None:
+                if non_constant[producer]:  # pragma: no cover - impossible
+                    raise AssertionError(
+                        f"constant task {tname} consumes non-constant {producer}"
+                    )
+                stack.append(producer)
+    return [t for t in graph.tasks if t in members]
+
+
+def atomic_partition(graph: TaskGraph) -> List[AtomicComponent]:
+    """Identify atomic subcomponents (backward traversal with cloning).
+
+    Returns components in topological order of their non-constant tasks.
+    Constant tasks shared by several components appear in each of them
+    (clones); non-constant tasks appear in exactly one.
+    """
+    non_constant = classify_tasks(graph)
+    order = list(graph.tasks)
+
+    # one component per non-constant task, keyed by that task's name
+    component_of_nc: Dict[str, int] = {}
+    nc_order: List[str] = [t for t in order if non_constant[t]]
+    if not nc_order:
+        raise ValueError(
+            "model has no non-constant task: nothing depends on its inputs"
+        )
+    for i, tname in enumerate(nc_order):
+        component_of_nc[tname] = i
+
+    members: List[Set[str]] = [set([t]) for t in nc_order]
+
+    # Backward traversal: attach each constant task (with its constant
+    # predecessor closure) to every component that consumes its output.
+    targets_of_const: Dict[str, Set[int]] = {}
+    for tname in reversed(order):
+        if non_constant[tname]:
+            continue
+        task = graph.tasks[tname]
+        targets: Set[int] = set()
+        for vname in task.outputs:
+            for consumer in graph.values[vname].consumers:
+                if non_constant[consumer]:
+                    targets.add(component_of_nc[consumer])
+                else:
+                    # consumed by another constant task: inherit that
+                    # task's targets (it was processed already -- it is a
+                    # successor, hence later in topological order)
+                    targets.update(targets_of_const.get(consumer, ()))
+        if not targets:
+            # dead constant subtree (no path to any non-constant task):
+            # attach to the first component so every task is placed
+            targets = {0}
+        targets_of_const[tname] = targets
+        closure = _constant_closure(graph, tname, non_constant)
+        for idx in targets:
+            members[idx].update(closure)
+
+    order_index = {t: j for j, t in enumerate(order)}
+    components: List[AtomicComponent] = []
+    for i, nc_task in enumerate(nc_order):
+        ordered = sorted(members[i], key=order_index.__getitem__)
+        components.append(
+            AtomicComponent(index=i, non_constant_task=nc_task, tasks=tuple(ordered))
+        )
+    return components
+
+
+def check_atomic_invariants(
+    graph: TaskGraph, components: List[AtomicComponent]
+) -> None:
+    """Assert the Sec. III-A invariants (used by tests and the API):
+
+    * every task appears in >= 1 component;
+    * every *non-constant* task appears in exactly one;
+    * each component has exactly one non-constant task;
+    * within a component, the non-constant task is reachable from every
+      constant member (constants are its predecessors' closure).
+    """
+    non_constant = classify_tasks(graph)
+    seen_counts: Dict[str, int] = {t: 0 for t in graph.tasks}
+    for comp in components:
+        ncs = [t for t in comp.tasks if non_constant[t]]
+        if ncs != [comp.non_constant_task]:
+            raise AssertionError(
+                f"component {comp.index} has non-constant tasks {ncs}, "
+                f"expected exactly [{comp.non_constant_task}]"
+            )
+        for t in comp.tasks:
+            seen_counts[t] += 1
+    for t, count in seen_counts.items():
+        if count == 0:
+            raise AssertionError(f"task {t!r} not covered by any component")
+        if non_constant[t] and count != 1:
+            raise AssertionError(
+                f"non-constant task {t!r} appears in {count} components"
+            )

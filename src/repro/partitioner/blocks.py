@@ -1,0 +1,624 @@
+"""Block-level partitioning (Sec. III-B).
+
+Groups atomic subcomponents into ``k`` coarse-grained *blocks* balancing
+two criteria: computation-time balance and inter-block communication.
+The three steps follow the k-way multilevel scheme the paper adapts from
+Karypis-Kumar / Huynh et al.:
+
+1. **Coarsening** -- iteratively merge each group (visited in ascending
+   order of computation time) with the adjacent group minimizing the
+   merged computation time, subject to convexity and the device-memory
+   bound.  Levels are recorded for the next step.
+
+2. **Uncoarsening** -- walk the levels back from coarsest to finest; for
+   each recorded merge ``v U w``, try to move ``v`` (or ``w``) into an
+   adjacent group if that reduces the bytes crossing group boundaries,
+   keeping convexity and memory feasibility.  Moves are evaluated exactly
+   on the contracted group DAG.
+
+3. **Compaction** -- if more than ``k`` groups remain, topologically sort
+   them and repeatedly merge the cheapest group with its cheaper
+   list-neighbour (any consecutive range of a topological order is convex,
+   so no convexity check is needed here) until ``k`` blocks remain or no
+   merge fits in memory.
+
+Implementation note (documented in DESIGN.md): on very large graphs
+(>#`uncoarsen_max_groups` groups) uncoarsening only revisits the coarse
+levels, where the final block boundaries are actually decided; fine-level
+moves on a 15 000-component graph cost O(records x |E|) for no measurable
+communication gain on the paper's chain-structured workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.graph.ir import TaskGraph, ValueKind
+from repro.graph.traversal import GroupGraph
+from repro.partitioner.atomic import AtomicComponent, classify_tasks
+from repro.profiler.profiler import GraphProfiler
+
+
+@dataclass(frozen=True)
+class Block:
+    """A coarse-grained block: the unit of stage-level partitioning."""
+
+    index: int
+    atomic_indices: Tuple[int, ...]
+    tasks: Tuple[str, ...]
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+
+@dataclass
+class _MergeRecord:
+    """One coarsening merge: the two parts' atomic-id sets at merge time
+    and the group count of the level it happened in."""
+
+    part_v: FrozenSet[int]
+    part_w: FrozenSet[int]
+    level_group_count: int
+
+
+class BlockPartitioner:
+    """Stateful driver of the three block-partitioning steps."""
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        components: Sequence[AtomicComponent],
+        profiler: GraphProfiler,
+        num_blocks: int = 32,
+        ref_batch_size: int = 1,
+        uncoarsen: bool = True,
+        uncoarsen_max_groups: int = 512,
+        balance_factor: float = 0.25,
+    ) -> None:
+        self.graph = graph
+        self.components = list(components)
+        self.profiler = profiler
+        self.k = num_blocks
+        self.ref_batch_size = max(1, ref_batch_size)
+        self.uncoarsen_enabled = uncoarsen
+        self.uncoarsen_max_groups = uncoarsen_max_groups
+        self.balance_factor = balance_factor
+
+        n = len(self.components)
+        if n == 0:
+            raise ValueError("no atomic components")
+
+        # --- atomic-level DAG over components (edges between the unique
+        # owners of non-constant tasks; cloned constants are internal) ----
+        non_constant = classify_tasks(graph)
+        owner: Dict[str, int] = {}
+        for comp in self.components:
+            owner[comp.non_constant_task] = comp.index
+        self.comp_succ: List[Set[int]] = [set() for _ in range(n)]
+        self.comp_pred: List[Set[int]] = [set() for _ in range(n)]
+        self.edge_bytes: Dict[Tuple[int, int], float] = {}
+        act_factor = profiler.precision.activation_bytes_factor
+        for producer, consumer in graph.iter_edges():
+            if not (non_constant.get(producer) and non_constant.get(consumer)):
+                continue
+            a, b = owner[producer], owner[consumer]
+            if a == b:
+                continue
+            self.comp_succ[a].add(b)
+            self.comp_pred[b].add(a)
+        # byte weight per cross-component value edge (for comm objective)
+        for value in graph.values.values():
+            if value.producer is None or not non_constant.get(value.producer):
+                continue
+            a = owner[value.producer]
+            scale = act_factor if value.dtype.value.startswith("float") else 1.0
+            nbytes = value.nbytes(self.ref_batch_size) * scale
+            for consumer in set(value.consumers):
+                if not non_constant.get(consumer):
+                    continue
+                b = owner[consumer]
+                if a == b:
+                    continue
+                key = (a, b)
+                self.edge_bytes[key] = self.edge_bytes.get(key, 0.0) + nbytes
+
+        # --- per-component cost coefficients -----------------------------
+        tf, tb = profiler._times_at(self.ref_batch_size)
+        self.comp_time = np.zeros(n)
+        self.comp_saved = np.zeros(n)
+        self.comp_param_ids: List[FrozenSet[int]] = []
+        for comp in self.components:
+            idx = profiler.indices_of(comp.tasks)
+            self.comp_time[comp.index] = float(tf[idx].sum() + tb[idx].sum())
+            self.comp_saved[comp.index] = float(
+                profiler.saved_bytes[idx].sum()
+            )
+            pids: Set[int] = set()
+            for i in idx:
+                pids.update(profiler._task_param_ids[i])
+            self.comp_param_ids.append(frozenset(pids))
+
+        # --- mutable partition state -------------------------------------
+        # group id -> set of atomic indices; group ids are stable ints
+        self.group_atoms: Dict[int, Set[int]] = {
+            i: {i} for i in range(n)
+        }
+        self.atom_owner: List[int] = list(range(n))
+        self.gg = GroupGraph(
+            range(n),
+            [(a, b) for a in range(n) for b in self.comp_succ[a]],
+        )
+        self.records: List[_MergeRecord] = []
+        self.memory_limit = profiler.cluster.device.usable_memory
+
+    # ------------------------------------------------------------------
+    # cost helpers (incremental aggregates)
+    # ------------------------------------------------------------------
+    def _group_time(self, atoms: Set[int]) -> float:
+        return float(self.comp_time[list(atoms)].sum())
+
+    def _group_memory(self, atoms: Set[int]) -> float:
+        """Loose memory estimate used during block formation: static
+        parameter/optimizer state plus one reference microbatch's
+        checkpointed activations.  The DP re-checks memory exactly."""
+        saved = float(self.comp_saved[list(atoms)].sum())
+        saved *= self.ref_batch_size * self.profiler.precision.activation_bytes_factor
+        pids: Set[int] = set()
+        for a in atoms:
+            pids.update(self.comp_param_ids[a])
+        params = int(
+            self.profiler._param_sizes_arr[
+                np.fromiter(pids, dtype=np.int64)
+            ].sum()
+        ) if pids else 0
+        return self.profiler.memory_model.static_bytes(params) + saved
+
+    def _cut_bytes_of_group(self, gid: int) -> float:
+        """Bytes on edges crossing the boundary of group ``gid``."""
+        atoms = self.group_atoms[gid]
+        total = 0.0
+        for (a, b), w in self.edge_bytes.items():
+            if (a in atoms) != (b in atoms):
+                total += w
+        return total
+
+    def total_cut_bytes(self) -> float:
+        """Bytes crossing any group boundary (the uncoarsening objective)."""
+        total = 0.0
+        for (a, b), w in self.edge_bytes.items():
+            if self.atom_owner[a] != self.atom_owner[b]:
+                total += w
+        return total
+
+    # ------------------------------------------------------------------
+    # step 1: coarsening
+    # ------------------------------------------------------------------
+    def coarsen(self) -> None:
+        """Iteratively merge groups until ``k`` remain or nothing merges.
+
+        Merges respect a load threshold of ``balance_factor x total / k``
+        (the streaming-partitioning balance criterion the paper adapts):
+        a merge that would create a group heavier than the ideal per-block
+        load is rejected, so no block becomes "a strong bottleneck".  The
+        compaction step lifts the threshold when memory-feasible merges
+        are still needed to reach exactly ``k`` groups.
+        """
+        threshold = self.balance_factor * float(self.comp_time.sum()) / self.k
+        while len(self.group_atoms) > self.k:
+            ordered = sorted(
+                self.group_atoms,
+                key=lambda g: self._group_time(self.group_atoms[g]),
+            )
+            consumed: Set[int] = set()
+            merged_any = False
+            level_count = len(self.group_atoms)
+            for v in ordered:
+                if v in consumed or v not in self.group_atoms:
+                    continue
+                if len(self.group_atoms) <= self.k:
+                    break
+                best_w: Optional[int] = None
+                best_time = float("inf")
+                neighbors = set(self.gg.succ[v]) | set(self.gg.pred[v])
+                for w in neighbors:
+                    if w in consumed:
+                        continue
+                    if not self.gg.can_merge(v, w):
+                        continue
+                    merged_atoms = self.group_atoms[v] | self.group_atoms[w]
+                    if self._group_memory(merged_atoms) > self.memory_limit:
+                        continue
+                    t = self._group_time(merged_atoms)
+                    if t > threshold:
+                        continue
+                    if t < best_time:
+                        best_time = t
+                        best_w = w
+                if best_w is None:
+                    continue
+                self.records.append(
+                    _MergeRecord(
+                        part_v=frozenset(self.group_atoms[v]),
+                        part_w=frozenset(self.group_atoms[best_w]),
+                        level_group_count=level_count,
+                    )
+                )
+                self._do_merge(v, best_w)
+                consumed.add(v)
+                consumed.add(best_w)
+                merged_any = True
+            if not merged_any:
+                break
+
+    def _do_merge(self, keep: int, absorb: int) -> None:
+        for a in self.group_atoms[absorb]:
+            self.atom_owner[a] = keep
+        self.group_atoms[keep] |= self.group_atoms.pop(absorb)
+        self.gg.merge(keep, absorb)
+
+    # ------------------------------------------------------------------
+    # step 2: uncoarsening (boundary refinement)
+    # ------------------------------------------------------------------
+    def uncoarsen(self) -> int:
+        """Walk merge records coarse-to-fine, moving merge parts into
+        adjacent groups when it reduces crossing bytes.  Returns the number
+        of moves applied."""
+        if not self.uncoarsen_enabled:
+            return 0
+        moves = 0
+        for record in reversed(self.records):
+            if record.level_group_count > self.uncoarsen_max_groups:
+                continue
+            for part in (record.part_v, record.part_w):
+                if self._try_move(part):
+                    moves += 1
+        return moves
+
+    def _part_owner(self, part: FrozenSet[int]) -> Optional[int]:
+        owners = {self.atom_owner[a] for a in part}
+        return owners.pop() if len(owners) == 1 else None
+
+    def _try_move(self, part: FrozenSet[int]) -> bool:
+        g = self._part_owner(part)
+        if g is None or part == frozenset(self.group_atoms[g]):
+            return False  # scattered by an earlier move, or whole group
+        # candidate target groups: those adjacent to the part
+        targets: Set[int] = set()
+        for a in part:
+            for b in self.comp_succ[a] | self.comp_pred[a]:
+                t = self.atom_owner[b]
+                if t != g:
+                    targets.add(t)
+        if not targets:
+            return False
+        before = self._local_cut(part, g)
+        best_target: Optional[int] = None
+        best_after = before
+        for t in targets:
+            after = self._local_cut(part, t)
+            if after < best_after and self._move_is_valid(part, g, t):
+                best_after = after
+                best_target = t
+        if best_target is None:
+            return False
+        self._apply_move(part, g, best_target)
+        return True
+
+    def _local_cut(self, part: FrozenSet[int], owner_group: int) -> float:
+        """Bytes on edges incident to ``part`` that would cross a group
+        boundary if ``part`` lived in ``owner_group``."""
+        total = 0.0
+        for (a, b), w in self.edge_bytes.items():
+            a_in, b_in = a in part, b in part
+            if a_in == b_in:
+                continue
+            other = b if a_in else a
+            # edge crosses unless the other endpoint is in owner_group
+            # (edges internal to the part are excluded above)
+            if self.atom_owner[other] != owner_group:
+                total += w
+        return total
+
+    def _move_is_valid(self, part: FrozenSet[int], g: int, t: int) -> bool:
+        """Check convexity of (g - part) and (t + part) plus memory of
+        (t + part), on the contracted group DAG with g split."""
+        remaining = self.group_atoms[g] - part
+        target_atoms = self.group_atoms[t] | part
+        if self._group_memory(target_atoms) > self.memory_limit:
+            return False
+        # build a contracted adjacency over current groups, with g split
+        # into `remaining` and `part`; then both changed sets must be
+        # convex.  Node labels: group ids, plus -1 for `part`.
+        label: Dict[int, int] = {}
+        for a in part:
+            label[a] = -1
+        succ: Dict[int, Set[int]] = {}
+
+        def lab(atom: int) -> int:
+            lbl = label.get(atom)
+            return lbl if lbl is not None else self.atom_owner[atom]
+
+        for a in range(len(self.components)):
+            la = lab(a)
+            for b in self.comp_succ[a]:
+                lb = lab(b)
+                if la != lb:
+                    succ.setdefault(la, set()).add(lb)
+            succ.setdefault(la, set())
+        # after the move, `part` fuses with t: contract labels -1 and t
+        def final(lbl: int) -> int:
+            return t if lbl == -1 else lbl
+
+        fsucc: Dict[int, Set[int]] = {}
+        for a, bs in succ.items():
+            fa = final(a)
+            fsucc.setdefault(fa, set())
+            for b_ in bs:
+                fb = final(b_)
+                if fa != fb:
+                    fsucc[fa].add(fb)
+        return _is_dag(fsucc)
+
+    def _apply_move(self, part: FrozenSet[int], g: int, t: int) -> None:
+        for a in part:
+            self.atom_owner[a] = t
+        self.group_atoms[g] -= part
+        self.group_atoms[t] |= part
+        if not self.group_atoms[g]:
+            del self.group_atoms[g]
+        self._rebuild_group_graph()
+
+    def _rebuild_group_graph(self) -> None:
+        gids = list(self.group_atoms)
+        edges = []
+        for a in range(len(self.components)):
+            for b in self.comp_succ[a]:
+                ga, gb = self.atom_owner[a], self.atom_owner[b]
+                if ga != gb:
+                    edges.append((ga, gb))
+        self.gg = GroupGraph(gids, edges)
+
+    # ------------------------------------------------------------------
+    # step 3: compaction
+    # ------------------------------------------------------------------
+    def compact(self) -> None:
+        """Compact the remaining groups into exactly ``k`` balanced,
+        contiguous blocks.
+
+        The paper's greedy rule (cheapest group absorbs its cheaper
+        topo-list neighbour, :meth:`compact_greedy`) can pair a tiny group
+        with a near-threshold one, creating a bottleneck block ~1.5x the
+        ideal load.  Since any consecutive range of a topological order is
+        convex, the same step can instead solve the classic *linear
+        partitioning* problem exactly: binary-search the max block load
+        and greedily pack groups in topological order under that cap (and
+        the device-memory cap).  This refinement is documented as
+        deviation D3 in DESIGN.md and ablated in the benchmarks.
+        """
+        order = self.gg.topo_order()
+        if len(order) <= self.k:
+            return
+        times = [self._group_time(self.group_atoms[g]) for g in order]
+        best = None
+        if len(order) <= 1024:
+            best = self._exact_partition(order, times)
+        if best is None:
+            lo = max(times)
+            hi = sum(times)
+            for _ in range(40):
+                cap = 0.5 * (lo + hi)
+                parts = self._pack(order, times, cap)
+                if parts is not None and len(parts) <= self.k:
+                    best = parts
+                    hi = cap
+                else:
+                    lo = cap
+        if best is None:
+            # memory constraints defeat every cap: fall back to greedy
+            self.compact_greedy()
+            return
+        self._rebuild_from_parts(best)
+
+    def _exact_partition(
+        self, order: List[int], times: List[float]
+    ) -> Optional[List[List[int]]]:
+        """Optimal minimax contiguous partition into exactly ``k`` parts
+        (classic linear-partitioning DP); returns ``None`` if any part of
+        the optimum violates the memory cap (caller falls back)."""
+        n = len(order)
+        k = min(self.k, n)
+        prefix = np.concatenate([[0.0], np.cumsum(times)])
+        INF = float("inf")
+        cost = np.full((k + 1, n + 1), INF)
+        cut = np.zeros((k + 1, n + 1), dtype=np.int64)
+        cost[0, 0] = 0.0
+        for parts in range(1, k + 1):
+            for end in range(parts, n - (k - parts) + 1):
+                starts = np.arange(parts - 1, end)
+                bins = prefix[end] - prefix[starts]
+                cand = np.maximum(cost[parts - 1, starts], bins)
+                j = int(np.argmin(cand))
+                cost[parts, end] = cand[j]
+                cut[parts, end] = starts[j]
+        if not np.isfinite(cost[k, n]):
+            return None
+        bounds = [n]
+        end = n
+        for parts in range(k, 0, -1):
+            end = int(cut[parts, end])
+            bounds.append(end)
+        bounds.reverse()
+        parts_list: List[List[int]] = []
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            part = order[lo:hi]
+            atoms: Set[int] = set()
+            for gid in part:
+                atoms |= self.group_atoms[gid]
+            if self._group_memory(atoms) > self.memory_limit:
+                return None
+            parts_list.append(part)
+        return parts_list
+
+    def _pack(
+        self,
+        order: List[int],
+        times: List[float],
+        cap: float,
+    ) -> Optional[List[List[int]]]:
+        """Greedy prefix packing under a load cap and the memory cap."""
+        parts: List[List[int]] = []
+        current: List[int] = []
+        atoms: Set[int] = set()
+        acc = 0.0
+        for gid, t in zip(order, times):
+            if not current:
+                if t > cap:
+                    return None  # a single group exceeds the load cap
+                current, atoms, acc = [gid], set(self.group_atoms[gid]), t
+                continue
+            candidate = atoms | self.group_atoms[gid]
+            if acc + t > cap or self._group_memory(candidate) > self.memory_limit:
+                parts.append(current)
+                if t > cap:
+                    return None
+                current, atoms, acc = [gid], set(self.group_atoms[gid]), t
+            else:
+                current.append(gid)
+                atoms, acc = candidate, acc + t
+        if current:
+            parts.append(current)
+        return parts
+
+    def _rebuild_from_parts(self, parts: List[List[int]]) -> None:
+        new_groups: Dict[int, Set[int]] = {}
+        for i, gids in enumerate(parts):
+            atoms: Set[int] = set()
+            for gid in gids:
+                atoms |= self.group_atoms[gid]
+            new_groups[i] = atoms
+            for a in atoms:
+                self.atom_owner[a] = i
+        self.group_atoms = new_groups
+        self._rebuild_group_graph()
+
+    def compact_greedy(self) -> None:
+        """The paper's literal compaction rule: in ascending order of
+        computation time, merge each group with its cheaper topologically
+        adjacent list-neighbour until ``k`` groups remain."""
+        while len(self.group_atoms) > self.k:
+            order = self.gg.topo_order()
+            pos = {g: i for i, g in enumerate(order)}
+            by_time = sorted(
+                order, key=lambda g: self._group_time(self.group_atoms[g])
+            )
+            merged = False
+            for v in by_time:
+                i = pos[v]
+                candidates = []
+                if i > 0:
+                    candidates.append(order[i - 1])
+                if i + 1 < len(order):
+                    candidates.append(order[i + 1])
+                if not candidates:
+                    continue
+                candidates.sort(
+                    key=lambda g: self._group_time(self.group_atoms[g])
+                )
+                for w in candidates:
+                    merged_atoms = self.group_atoms[v] | self.group_atoms[w]
+                    if self._group_memory(merged_atoms) > self.memory_limit:
+                        continue
+                    # merging list-adjacent groups of a topological order
+                    # is always convex (interval argument), but the group
+                    # graph must stay acyclic -- guaranteed for immediate
+                    # neighbours only when they are also DAG-compatible:
+                    if not self._list_merge_keeps_dag(v, w):
+                        continue
+                    self._do_merge(v, w)
+                    merged = True
+                    break
+                if merged:
+                    break
+            if not merged:
+                break  # memory prevents reaching k; return what we have
+
+    def _list_merge_keeps_dag(self, v: int, w: int) -> bool:
+        """Merging consecutive topo-list groups keeps the contracted graph
+        acyclic iff no *other* group lies on a path between them."""
+        if not self.gg.adjacent(v, w):
+            return True  # independent groups: union is trivially fine
+        return self.gg.can_merge(v, w)
+
+    # ------------------------------------------------------------------
+    def run(self) -> List[Block]:
+        """Execute coarsening, uncoarsening and compaction; return blocks
+        in topological order."""
+        self.coarsen()
+        self.uncoarsen()
+        if len(self.group_atoms) > self.k:
+            self.compact()
+        order = self.gg.topo_order()
+        task_pos = {t: i for i, t in enumerate(self.graph.tasks)}
+        blocks: List[Block] = []
+        for new_idx, gid in enumerate(order):
+            atoms = sorted(self.group_atoms[gid])
+            tasks: Set[str] = set()
+            for a in atoms:
+                tasks.update(self.components[a].tasks)
+            blocks.append(
+                Block(
+                    index=new_idx,
+                    atomic_indices=tuple(atoms),
+                    tasks=tuple(sorted(tasks, key=task_pos.__getitem__)),
+                )
+            )
+        return blocks
+
+
+def block_partition(
+    graph: TaskGraph,
+    components: Sequence[AtomicComponent],
+    profiler: GraphProfiler,
+    num_blocks: int = 32,
+    ref_batch_size: int = 1,
+    uncoarsen: bool = True,
+) -> List[Block]:
+    """Convenience wrapper running the full block-level phase."""
+    return BlockPartitioner(
+        graph,
+        components,
+        profiler,
+        num_blocks=num_blocks,
+        ref_batch_size=ref_batch_size,
+        uncoarsen=uncoarsen,
+    ).run()
+
+
+def _is_dag(succ: Dict[int, Set[int]]) -> bool:
+    """Cycle check via iterative DFS colouring."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = {n: WHITE for n in succ}
+    for root in succ:
+        if colour[root] != WHITE:
+            continue
+        stack: List[Tuple[int, iter]] = [(root, iter(succ[root]))]
+        colour[root] = GREY
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                c = colour.get(nxt, WHITE)
+                if c == GREY:
+                    return False
+                if c == WHITE:
+                    colour[nxt] = GREY
+                    stack.append((nxt, iter(succ.get(nxt, ()))))
+                    advanced = True
+                    break
+            if not advanced:
+                colour[node] = BLACK
+                stack.pop()
+    return True

@@ -1,0 +1,129 @@
+"""Deployment cache: (de)serialize partition plans to JSON.
+
+RaNNC saves partitioning results ("deployments") so that relaunching a
+job skips the search entirely; this module provides the same: a plan can
+be written next to a checkpoint and restored against the same graph and
+cluster.  A content hash of the graph guards against restoring a plan for
+a different (or modified) model.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict
+
+from repro.graph.ir import TaskGraph
+from repro.graph.serialize import graph_to_json
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.device import Precision
+from repro.partitioner.allocation import allocate_devices
+from repro.partitioner.plan import PartitionPlan, StageSpec
+from repro.pipeline.hybrid import evaluate_plan
+from repro.profiler.profiler import ProfileResult
+
+
+class DeploymentMismatchError(ValueError):
+    """The stored deployment does not match the supplied graph/cluster."""
+
+
+def graph_fingerprint(graph: TaskGraph) -> str:
+    """Stable content hash of a traced graph."""
+    return hashlib.sha256(graph_to_json(graph).encode()).hexdigest()[:16]
+
+
+def plan_to_json(plan: PartitionPlan, graph: TaskGraph) -> str:
+    """Serialize a plan (with the graph's fingerprint) to JSON."""
+    doc: Dict[str, Any] = {
+        "version": 1,
+        "model_name": plan.model_name,
+        "graph_fingerprint": graph_fingerprint(graph),
+        "batch_size": plan.batch_size,
+        "precision": plan.precision.value,
+        "num_microbatches": plan.num_microbatches,
+        "replica_factor": plan.replica_factor,
+        "cluster": {
+            "num_nodes": plan.cluster.num_nodes,
+            "devices_per_node": plan.cluster.devices_per_node,
+        },
+        "stages": [
+            {
+                "index": s.index,
+                "block_range": list(s.block_range),
+                "tasks": list(s.tasks),
+                "devices_per_pipeline": s.devices_per_pipeline,
+                "microbatch_size": s.microbatch_size,
+                "profile": {
+                    "time_fwd": s.profile.time_fwd,
+                    "time_bwd": s.profile.time_bwd,
+                    "memory": s.profile.memory,
+                    "param_count": s.profile.param_count,
+                    "in_bytes": s.profile.in_bytes,
+                    "out_bytes": s.profile.out_bytes,
+                },
+            }
+            for s in plan.stages
+        ],
+    }
+    return json.dumps(doc, sort_keys=True)
+
+
+def plan_from_json(
+    text: str, graph: TaskGraph, cluster: ClusterSpec
+) -> PartitionPlan:
+    """Restore a plan; re-validates it against graph and cluster.
+
+    Raises :class:`DeploymentMismatchError` if the graph content or the
+    cluster shape changed since the plan was saved.
+    """
+    doc = json.loads(text)
+    if doc.get("version") != 1:
+        raise DeploymentMismatchError(f"unknown deployment version: {doc.get('version')!r}")
+    if doc["graph_fingerprint"] != graph_fingerprint(graph):
+        raise DeploymentMismatchError(
+            "deployment was computed for a different model graph"
+        )
+    if (
+        doc["cluster"]["num_nodes"] != cluster.num_nodes
+        or doc["cluster"]["devices_per_node"] != cluster.devices_per_node
+    ):
+        raise DeploymentMismatchError(
+            "deployment was computed for a different cluster shape"
+        )
+    missing = [
+        t
+        for sdoc in doc["stages"]
+        for t in sdoc["tasks"]
+        if t not in graph.tasks
+    ]
+    if missing:
+        raise DeploymentMismatchError(
+            f"deployment references unknown tasks: {missing[:3]}"
+        )
+
+    stages = [
+        StageSpec(
+            index=sdoc["index"],
+            block_range=tuple(sdoc["block_range"]),
+            tasks=tuple(sdoc["tasks"]),
+            devices_per_pipeline=sdoc["devices_per_pipeline"],
+            microbatch_size=sdoc["microbatch_size"],
+            profile=ProfileResult(**sdoc["profile"]),
+        )
+        for sdoc in doc["stages"]
+    ]
+    plan = PartitionPlan(
+        model_name=doc["model_name"],
+        stages=stages,
+        num_microbatches=doc["num_microbatches"],
+        replica_factor=doc["replica_factor"],
+        batch_size=doc["batch_size"],
+        precision=Precision(doc["precision"]),
+        cluster=cluster,
+        assignment=allocate_devices(
+            cluster,
+            [s.devices_per_pipeline for s in stages],
+            doc["replica_factor"],
+        ),
+    )
+    return evaluate_plan(plan, schedule="sync")

@@ -1,0 +1,139 @@
+"""Partition-plan data types: stages, device assignments, full plans."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.device import Precision
+from repro.profiler.profiler import ProfileResult
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One pipeline stage of the final plan.
+
+    Attributes:
+        index: stage position in the pipeline (0-based).
+        block_range: half-open block interval ``(lo, hi]`` in the paper's
+            1-based convention, i.e. blocks ``lo+1 .. hi`` (0-based:
+            ``blocks[lo:hi]``).
+        tasks: all task names of the stage.
+        devices_per_pipeline: devices allocated to this stage inside ONE
+            pipeline replica (``d_i - d_{i-1}`` of Algorithm 1).
+        microbatch_size: per-device microbatch size the stage was
+            profiled with (``BS/R/MB/(d_i - d_{i-1})``).
+        profile: the ``(t_f, t_b, m)`` profile of the stage.
+    """
+
+    index: int
+    block_range: Tuple[int, int]
+    tasks: Tuple[str, ...]
+    devices_per_pipeline: int
+    microbatch_size: int
+    profile: ProfileResult
+
+    @property
+    def time_fwd(self) -> float:
+        return self.profile.time_fwd
+
+    @property
+    def time_bwd(self) -> float:
+        return self.profile.time_bwd
+
+
+@dataclass(frozen=True)
+class DeviceAssignment:
+    """Mapping of (pipeline replica, stage) -> global device ranks.
+
+    Device ranks are assigned contiguously: pipeline replica ``r`` owns
+    ranks ``[r*D, (r+1)*D)`` and its stages take consecutive ranks inside
+    that range, so adjacent stages land on the same node whenever possible
+    (the alignment Algorithm 2 aims at with ``D = D_node x n``).
+    """
+
+    ranks: Dict[Tuple[int, int], Tuple[int, ...]]
+    cluster: ClusterSpec
+
+    def devices_of(self, replica: int, stage: int) -> Tuple[int, ...]:
+        return self.ranks[(replica, stage)]
+
+    def stage_spans_nodes(self, replica: int, stage: int) -> bool:
+        nodes = {self.cluster.node_of(r) for r in self.ranks[(replica, stage)]}
+        return len(nodes) > 1
+
+    def crossing_is_internode(self, replica: int, stage: int) -> bool:
+        """Whether the boundary between ``stage`` and ``stage+1`` crosses
+        a node boundary (determines p2p bandwidth)."""
+        a = self.ranks[(replica, stage)]
+        b = self.ranks.get((replica, stage + 1))
+        if b is None:
+            return False
+        return self.cluster.node_of(a[-1]) != self.cluster.node_of(b[0])
+
+    def total_devices_used(self) -> int:
+        return sum(len(v) for v in self.ranks.values())
+
+
+@dataclass
+class PartitionPlan:
+    """The complete result of automatic partitioning for one model."""
+
+    model_name: str
+    stages: List[StageSpec]
+    num_microbatches: int
+    replica_factor: int  # R of Algorithm 2: whole-pipeline replicas
+    batch_size: int
+    precision: Precision
+    cluster: ClusterSpec
+    assignment: Optional[DeviceAssignment] = None
+    # filled in by the throughput evaluation
+    iteration_time: float = 0.0
+    throughput: float = 0.0
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+    @property
+    def per_microbatch_time(self) -> float:
+        """The DP objective: max stage forward + max stage backward."""
+        if not self.stages:
+            return 0.0
+        return max(s.time_fwd for s in self.stages) + max(
+            s.time_bwd for s in self.stages
+        )
+
+    @property
+    def devices_per_pipeline(self) -> int:
+        return sum(s.devices_per_pipeline for s in self.stages)
+
+    @property
+    def total_devices(self) -> int:
+        return self.devices_per_pipeline * self.replica_factor
+
+    def stage_replicas(self, stage: int) -> int:
+        """Total data-parallel replicas of one stage across the job."""
+        return self.stages[stage].devices_per_pipeline * self.replica_factor
+
+    def summary(self) -> str:
+        lines = [
+            f"PartitionPlan[{self.model_name}] stages={self.num_stages} "
+            f"microbatches={self.num_microbatches} R={self.replica_factor} "
+            f"BS={self.batch_size} devices={self.total_devices}",
+        ]
+        for s in self.stages:
+            lines.append(
+                f"  stage {s.index}: blocks({s.block_range[0]},{s.block_range[1]}] "
+                f"tasks={len(s.tasks)} devices={s.devices_per_pipeline} "
+                f"mb={s.microbatch_size} tf={s.time_fwd * 1e3:.2f}ms "
+                f"tb={s.time_bwd * 1e3:.2f}ms mem={s.profile.memory / 2**30:.2f}GiB"
+            )
+        if self.throughput:
+            lines.append(
+                f"  iteration={self.iteration_time * 1e3:.1f}ms "
+                f"throughput={self.throughput:.1f} samples/s"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,120 @@
+"""Algorithm 2 (``form_stage``): the outer search loop.
+
+Iterates over the number of compute nodes ``n`` (doubling from 1), derives
+the devices available to one pipeline ``D = D_node x n`` and the pipeline
+replica factor ``R = N / n``, then tries stage counts ``S`` in the range
+``(D_node x (n-1), D_node x n]`` and microbatch counts ``MB`` doubling
+from 1.  The first stage count that yields any feasible DP solution wins;
+among its microbatch variants the one with the best estimated iteration
+time is returned.
+
+Aligning ``D`` to whole nodes keeps each pipeline inside as few nodes as
+possible, which is why stage-to-stage transfers are costed at intra-node
+bandwidth (footnote 3 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.partitioner.stage_dp import DPContext, DPSolution, form_stage_dp
+
+
+@dataclass
+class SearchResult:
+    """Outcome of Algorithm 2."""
+
+    solution: DPSolution
+    num_pipeline_nodes: int   # n: nodes spanned by one pipeline
+    devices_per_pipeline: int  # D
+    replica_factor: int        # R
+    candidates_tried: int
+    dp_calls: int
+
+    @property
+    def num_stages(self) -> int:
+        return self.solution.num_stages
+
+
+def form_stage(
+    ctx: DPContext,
+    num_nodes: int,
+    devices_per_node: int,
+    batch_size: int,
+    max_microbatches: Optional[int] = None,
+    search_all_stage_counts: bool = True,
+) -> Optional[SearchResult]:
+    """Algorithm 2: search over (n, S, MB) for the best feasible plan.
+
+    Args:
+        ctx: DP context over the block list (fixes the model + profiler).
+        num_nodes: total compute nodes N.
+        devices_per_node: devices per node (D_node).
+        batch_size: global batch size BS.
+        max_microbatches: optional cap on MB (None: up to BS / R).
+        search_all_stage_counts: the pseudocode returns at the FIRST stage
+            count with any feasible solution; with this flag (default) all
+            stage counts of the current node level compete and the best
+            estimated iteration time wins.  The strict reading can return
+            a pipeline several stages shorter than optimal (see DESIGN.md,
+            deviation D2); both modes are tested.
+
+    Returns:
+        A :class:`SearchResult`, or ``None`` if no configuration fits.
+    """
+    if batch_size != ctx.batch_size:
+        raise ValueError("batch size mismatch with DPContext")
+    n = 1
+    dp_calls = 0
+    tried = 0
+    while n <= num_nodes:
+        if num_nodes % n:
+            raise ValueError(
+                f"node count {num_nodes} must be divisible by pipeline span {n}"
+            )
+        D = devices_per_node * n
+        R = num_nodes // n
+        s_lo = devices_per_node * (n - 1) + 1
+        s_hi = devices_per_node * n
+        level_solutions: List[DPSolution] = []
+        for S in range(s_lo, s_hi + 1):
+            solutions: List[DPSolution] = []
+            MB = 1
+            mb_cap = batch_size // R
+            if max_microbatches is not None:
+                mb_cap = min(mb_cap, max_microbatches)
+            while MB <= mb_cap:
+                dp_calls += 1
+                sol = form_stage_dp(ctx, S, D, batch_size, R, MB)
+                if sol is not None:
+                    solutions.append(sol)
+                    tried += 1
+                MB *= 2
+            if solutions and not search_all_stage_counts:
+                best = min(
+                    solutions, key=lambda s: s.estimated_iteration_time()
+                )
+                return SearchResult(
+                    solution=best,
+                    num_pipeline_nodes=n,
+                    devices_per_pipeline=D,
+                    replica_factor=R,
+                    candidates_tried=tried,
+                    dp_calls=dp_calls,
+                )
+            level_solutions.extend(solutions)
+        if level_solutions:
+            best = min(
+                level_solutions, key=lambda s: s.estimated_iteration_time()
+            )
+            return SearchResult(
+                solution=best,
+                num_pipeline_nodes=n,
+                devices_per_pipeline=D,
+                replica_factor=R,
+                candidates_tried=tried,
+                dp_calls=dp_calls,
+            )
+        n *= 2
+    return None

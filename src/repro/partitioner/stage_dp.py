@@ -1,0 +1,473 @@
+"""Stage-level partitioning: Algorithm 1 (``form_stage_dp``).
+
+The DP searches, for a fixed number of stages ``S``, total devices ``D``,
+replica factor ``R`` and microbatch count ``MB``, over
+
+* stage boundaries ``b_0 = 0 < b_1 < ... < b_S = |B|`` in the
+  topologically-sorted block list, and
+* cumulative device counts ``d_0 = 0 < d_1 < ... < d_S = D`` (stage ``i``
+  runs on ``d_i - d_{i-1}`` devices, i.e. that many intra-stage replicas),
+
+minimizing ``V = max_i t_f(stage_i) + max_i t_b(stage_i)`` where each
+stage is profiled at per-replica microbatch ``BS / R / MB / (d_i -
+d_{i-1})``, subject to the device-memory bound, with the paper's
+``d_min`` pruning rule.
+
+Deviation noted from the pseudocode: we initialize ``V[0, b, d] = 0`` only
+at ``(b, d) = (0, 0)`` (the pseudocode's blanket ``V[0, b, d] = 0`` would
+let solutions silently skip a prefix of blocks / devices, contradicting
+the recurrence for ``E_S`` in the text).
+
+All candidate-stage profiles for one DP call are precomputed into dense
+``(lo, hi, replicas)`` tensors so the inner double loop over ``(b', d')``
+is a vectorized NumPy reduction (see the hpc guide: vectorize the hot
+loop, profile before optimizing -- the pure-Python variant of this DP is
+kept in ``reference_form_stage_dp`` and property-tested for equivalence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.ir import TaskGraph
+from repro.partitioner.blocks import Block
+from repro.profiler.profiler import GraphProfiler
+
+INFEASIBLE = None
+
+
+@dataclass(frozen=True)
+class StageProfile:
+    """Profile of one candidate stage (blocks ``(lo, hi]``, ``r`` replicas)."""
+
+    time_fwd: float
+    time_bwd: float
+    memory: float
+    microbatch_size: int
+    in_bytes: float
+    out_bytes: float
+    param_count: int
+
+
+@dataclass
+class DPSolution:
+    """Result of one ``form_stage_dp`` call."""
+
+    boundaries: List[int]        # b_1 .. b_S (b_S = |B|)
+    device_counts: List[int]     # d_i - d_{i-1} per stage (within a pipeline)
+    num_microbatches: int
+    num_stages: int
+    replica_factor: int
+    objective: float             # V[S, |B|, D]
+    max_tf: float
+    max_tb: float
+    stage_profiles: List[StageProfile]
+
+    def estimated_iteration_time(self) -> float:
+        """Synchronous-pipeline iteration estimate used to rank solutions
+        (event-driven simulation of the flush schedule over the profiled
+        per-stage times)."""
+        from repro.pipeline.simulator import simulate_sync_pipeline
+
+        tf = [p.time_fwd for p in self.stage_profiles]
+        tb = [p.time_bwd for p in self.stage_profiles]
+        return simulate_sync_pipeline(tf, tb, self.num_microbatches)
+
+
+class DPContext:
+    """Precomputed range profiles over one fixed block list.
+
+    Shared across every ``form_stage_dp`` call of an Algorithm-2 search so
+    block-range aggregates (task times, activation sizes, boundary bytes,
+    unique parameter counts) are computed once.
+    """
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        blocks: Sequence[Block],
+        profiler: GraphProfiler,
+        batch_size: int,
+    ) -> None:
+        self.graph = graph
+        self.blocks = list(blocks)
+        self.profiler = profiler
+        self.batch_size = batch_size
+        self.cluster = profiler.cluster
+        k = len(self.blocks)
+        self.k = k
+
+        self._block_idx = [
+            profiler.indices_of(b.tasks) for b in self.blocks
+        ]
+        # prefix over blocks of batch-1 saved-activation bytes
+        saved = np.array(
+            [float(profiler.saved_bytes[idx].sum()) for idx in self._block_idx]
+        )
+        self._saved_prefix = np.concatenate([[0.0], np.cumsum(saved)])
+
+        self._time_prefix: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        self._range_meta: Dict[Tuple[int, int], Tuple[int, float, float]] = {}
+        self._tensor_cache: Dict[
+            Tuple[int, int, int, bool],
+            Tuple[np.ndarray, np.ndarray, np.ndarray],
+        ] = {}
+        self.dp_calls = 0
+        self.states_evaluated = 0
+
+    # ------------------------------------------------------------------
+    def _time_prefix_at(self, bs: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Prefix sums over blocks of per-block (t_f, t_b) at batch bs."""
+        cached = self._time_prefix.get(bs)
+        if cached is not None:
+            return cached
+        tf_all, tb_all = self.profiler._times_at(bs)
+        tf = np.array([float(tf_all[idx].sum()) for idx in self._block_idx])
+        tb = np.array([float(tb_all[idx].sum()) for idx in self._block_idx])
+        result = (
+            np.concatenate([[0.0], np.cumsum(tf)]),
+            np.concatenate([[0.0], np.cumsum(tb)]),
+        )
+        self._time_prefix[bs] = result
+        return result
+
+    def range_meta(self, lo: int, hi: int) -> Tuple[int, float, float]:
+        """(unique params, in_bytes@bs1, out_bytes@bs1) of blocks (lo, hi]."""
+        key = (lo, hi)
+        cached = self._range_meta.get(key)
+        if cached is not None:
+            return cached
+        tasks: List[str] = []
+        for j in range(lo, hi):
+            tasks.extend(self.blocks[j].tasks)
+        idx = np.concatenate([self._block_idx[j] for j in range(lo, hi)])
+        params = self.profiler.unique_param_count(idx)
+        in_bytes, out_bytes = self.profiler.boundary_bytes(tasks, 1)
+        result = (params, in_bytes, out_bytes)
+        self._range_meta[key] = result
+        return result
+
+    def range_tasks(self, lo: int, hi: int) -> Tuple[str, ...]:
+        tasks: List[str] = []
+        seen = set()
+        for j in range(lo, hi):
+            for t in self.blocks[j].tasks:
+                if t not in seen:
+                    seen.add(t)
+                    tasks.append(t)
+        return tuple(tasks)
+
+    # ------------------------------------------------------------------
+    def stage_profile(
+        self, lo: int, hi: int, replicas: int, R: int, MB: int, checkpointing: bool
+    ) -> Optional[StageProfile]:
+        """Profile blocks ``(lo, hi]`` on ``replicas`` devices; ``None`` if
+        the per-replica microbatch collapses below one sample.
+
+        With a single stage (``checkpointing=False``), microbatches are
+        plain gradient accumulation: backward runs right after each
+        forward, so only ONE microbatch's activations are ever live.  In a
+        flush-synchronous pipeline every stage stashes all ``MB``
+        microbatch inputs."""
+        bs = self.batch_size // (R * MB * replicas)
+        if bs < 1:
+            return None
+        tf_prefix, tb_prefix = self._time_prefix_at(bs)
+        t_f = float(tf_prefix[hi] - tf_prefix[lo])
+        t_b = float(tb_prefix[hi] - tb_prefix[lo])
+        if checkpointing:
+            t_b += t_f
+        params, in1, out1 = self.range_meta(lo, hi)
+        in_bytes = in1 * bs
+        out_bytes = out1 * bs
+        # execution time includes sending outputs forward / input grads back
+        t_f += self.cluster.p2p_time(out_bytes) if out_bytes else 0.0
+        t_b += self.cluster.p2p_time(in_bytes) if in_bytes else 0.0
+        act_factor = self.profiler.precision.activation_bytes_factor
+        saved = float(
+            self._saved_prefix[hi] - self._saved_prefix[lo]
+        ) * bs * act_factor
+        memory = self.profiler.memory_model.total_bytes(
+            param_count=params,
+            saved_act_bytes_micro=saved,
+            boundary_in_bytes_micro=in_bytes,
+            microbatches_in_flight=MB if checkpointing else 1,
+            checkpointing=checkpointing,
+        )
+        return StageProfile(
+            time_fwd=t_f,
+            time_bwd=t_b,
+            memory=memory,
+            microbatch_size=bs,
+            in_bytes=in_bytes,
+            out_bytes=out_bytes,
+            param_count=params,
+        )
+
+    def profile_tensors(
+        self, D: int, R: int, MB: int, checkpointing: bool
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Dense (k+1, k+1, D+1) tensors of stage t_f / t_b / memory.
+
+        Entry ``[lo, hi, r]`` profiles blocks ``(lo, hi]`` on ``r``
+        devices; infeasible entries (bs < 1, empty range) hold +inf.
+        Cached across ``form_stage_dp`` calls (the tensors are identical
+        for every stage count S > 1 at the same D, R, MB).
+        """
+        cache_key = (D, R, MB, checkpointing)
+        cached = self._tensor_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        k = self.k
+        TF = np.full((k + 1, k + 1, D + 1), np.inf)
+        TB = np.full((k + 1, k + 1, D + 1), np.inf)
+        MEM = np.full((k + 1, k + 1, D + 1), np.inf)
+        for lo in range(k):
+            for hi in range(lo + 1, k + 1):
+                for r in range(1, D + 1):
+                    prof = self.stage_profile(lo, hi, r, R, MB, checkpointing)
+                    if prof is None:
+                        continue
+                    TF[lo, hi, r] = prof.time_fwd
+                    TB[lo, hi, r] = prof.time_bwd
+                    MEM[lo, hi, r] = prof.memory
+        result = (TF, TB, MEM)
+        self._tensor_cache[cache_key] = result
+        return result
+
+
+def form_stage_dp(
+    ctx: DPContext,
+    S: int,
+    D: int,
+    BS: int,
+    R: int,
+    MB: int,
+    dmin_pruning: bool = True,
+) -> Optional[DPSolution]:
+    """Algorithm 1: DP over stage boundaries and device allocations.
+
+    Args:
+        ctx: precomputed block-range profiles (carries ``BS``).
+        S: number of stages.
+        D: number of devices available to one pipeline.
+        BS: global batch size (must equal ``ctx.batch_size``).
+        R: replica factor (whole-pipeline copies).
+        MB: number of microbatches.
+        dmin_pruning: the paper's d_min search-space reduction; disabling
+            it is the ablation of DESIGN.md choice #1.
+
+    Returns:
+        The best :class:`DPSolution`, or ``None`` (INFEASIBLE).
+    """
+    if BS != ctx.batch_size:
+        raise ValueError("batch size mismatch with DPContext")
+    k = ctx.k
+    if S < 1 or S > k or S > D:
+        return INFEASIBLE
+    ctx.dp_calls += 1
+    checkpointing = S > 1
+    TF, TB, MEM = ctx.profile_tensors(D, R, MB, checkpointing)
+    M = ctx.cluster.device.usable_memory
+
+    INF = np.inf
+    V = np.full((S + 1, k + 1, D + 1), INF)
+    tf = np.zeros((S + 1, k + 1, D + 1))
+    tb = np.zeros((S + 1, k + 1, D + 1))
+    parent_b = np.full((S + 1, k + 1, D + 1), -1, dtype=np.int64)
+    parent_d = np.full((S + 1, k + 1, D + 1), -1, dtype=np.int64)
+    # deviation from the pseudocode's blanket V[0, b, d] = 0 (see module
+    # docstring): only the empty prefix is a valid 0-stage state.
+    V[0, 0, 0] = 0.0
+
+    for s in range(1, S + 1):
+        # d_min resets at each stage count: memory infeasibility is
+        # monotone in d and in b for FIXED s, but a deeper prefix (larger
+        # s) has smaller stages and may be feasible where a shallower one
+        # was not (deviation D1b in DESIGN.md; the pseudocode keeps d_min
+        # global, which can prune true optima)
+        d_min = 1
+        for b in range(s, k - (S - s) + 1):
+            for d in range(D - (S - s), max(d_min, s) - 1, -1):
+                bprimes = np.arange(s - 1, b)
+                dprimes = np.arange(s - 1, d)
+                if bprimes.size == 0 or dprimes.size == 0:
+                    continue
+                ctx.states_evaluated += 1
+                prevV = V[s - 1][np.ix_(bprimes, dprimes)]
+                prevTF = tf[s - 1][np.ix_(bprimes, dprimes)]
+                prevTB = tb[s - 1][np.ix_(bprimes, dprimes)]
+                r = d - dprimes  # replicas of the s-th stage, per column
+                stageTF = TF[bprimes[:, None], b, r[None, :]]
+                stageTB = TB[bprimes[:, None], b, r[None, :]]
+                stageM = MEM[bprimes[:, None], b, r[None, :]]
+                cand_tf = np.maximum(prevTF, stageTF)
+                cand_tb = np.maximum(prevTB, stageTB)
+                v = cand_tf + cand_tb
+                prev_ok = np.isfinite(prevV)
+                mem_fail = prev_ok & np.isfinite(stageTF) & (stageM > M)
+                bs_fail = prev_ok & ~np.isfinite(stageTF)
+                invalid = ~prev_ok | (stageM > M) | ~np.isfinite(stageTF)
+                v = np.where(invalid, INF, v)
+                flat = int(np.argmin(v))
+                best = v.flat[flat]
+                if best < V[s, b, d]:
+                    i, j = np.unravel_index(flat, v.shape)
+                    V[s, b, d] = best
+                    tf[s, b, d] = cand_tf[i, j]
+                    tb[s, b, d] = cand_tb[i, j]
+                    parent_b[s, b, d] = bprimes[i]
+                    parent_d[s, b, d] = dprimes[j]
+                if (
+                    dmin_pruning
+                    and not np.isfinite(V[s, b, d])
+                    and mem_fail.any()
+                    and not bs_fail.any()
+                ):
+                    # "No solution with d" due to MEMORY: fewer total
+                    # devices only raises per-device pressure, so prune
+                    # the remaining (descending) d range.  A microbatch-
+                    # collapse failure (bs < 1) is NOT monotone in d --
+                    # it occurs at HIGH replica counts -- so it must not
+                    # escalate d_min.
+                    d_min = d + 1
+                    break
+
+    if not np.isfinite(V[S, k, D]):
+        return INFEASIBLE
+
+    # reconstruct boundaries / device counts
+    boundaries: List[int] = []
+    device_counts: List[int] = []
+    b, d = k, D
+    for s in range(S, 0, -1):
+        pb, pd = int(parent_b[s, b, d]), int(parent_d[s, b, d])
+        boundaries.append(b)
+        device_counts.append(d - pd)
+        b, d = pb, pd
+    assert (b, d) == (0, 0), "DP backtrack did not land on the origin"
+    boundaries.reverse()
+    device_counts.reverse()
+
+    profiles: List[StageProfile] = []
+    lo = 0
+    for hi, devs in zip(boundaries, device_counts):
+        prof = ctx.stage_profile(lo, hi, devs, R, MB, checkpointing)
+        assert prof is not None
+        profiles.append(prof)
+        lo = hi
+
+    return DPSolution(
+        boundaries=boundaries,
+        device_counts=device_counts,
+        num_microbatches=MB,
+        num_stages=S,
+        replica_factor=R,
+        objective=float(V[S, k, D]),
+        max_tf=float(tf[S, k, D]),
+        max_tb=float(tb[S, k, D]),
+        stage_profiles=profiles,
+    )
+
+
+def reference_form_stage_dp(
+    ctx: DPContext,
+    S: int,
+    D: int,
+    BS: int,
+    R: int,
+    MB: int,
+) -> Optional[DPSolution]:
+    """Line-by-line transcription of Algorithm 1 with pure-Python loops.
+
+    Kept as the reference implementation; tests assert it produces the
+    same objective as the vectorized :func:`form_stage_dp` on randomized
+    small instances.
+    """
+    if BS != ctx.batch_size:
+        raise ValueError("batch size mismatch with DPContext")
+    k = ctx.k
+    if S < 1 or S > k or S > D:
+        return INFEASIBLE
+    checkpointing = S > 1
+    M = ctx.cluster.device.usable_memory
+    INF = float("inf")
+
+    V = {(0, 0, 0): 0.0}
+    tf: Dict[Tuple[int, int, int], float] = {(0, 0, 0): 0.0}
+    tb: Dict[Tuple[int, int, int], float] = {(0, 0, 0): 0.0}
+    parent: Dict[Tuple[int, int, int], Tuple[int, int]] = {}
+
+    for s in range(1, S + 1):
+        d_min = 1  # reset per stage count (see vectorized engine)
+        for b in range(s, k - (S - s) + 1):
+            for d in range(D - (S - s), max(d_min, s) - 1, -1):
+                saw_mem_fail = False
+                saw_bs_fail = False
+                for bp in range(s - 1, b):
+                    for dp in range(s - 1, d):
+                        prev = V.get((s - 1, bp, dp), INF)
+                        if prev == INF:
+                            continue  # previous stage infeasible
+                        prof = ctx.stage_profile(
+                            bp, b, d - dp, R, MB, checkpointing
+                        )
+                        if prof is None:
+                            saw_bs_fail = True
+                            continue  # microbatch collapsed below 1
+                        if prof.memory > M:
+                            saw_mem_fail = True
+                            continue  # does not fit device memory
+                        cand_tf = max(tf[(s - 1, bp, dp)], prof.time_fwd)
+                        cand_tb = max(tb[(s - 1, bp, dp)], prof.time_bwd)
+                        v = cand_tf + cand_tb
+                        if v < V.get((s, b, d), INF):
+                            V[(s, b, d)] = v
+                            tf[(s, b, d)] = cand_tf
+                            tb[(s, b, d)] = cand_tb
+                            parent[(s, b, d)] = (bp, dp)
+                if (
+                    V.get((s, b, d), INF) == INF
+                    and saw_mem_fail
+                    and not saw_bs_fail
+                ):
+                    # memory-driven dead end: monotone in d, prune
+                    d_min = d + 1
+                    break
+
+    if V.get((S, k, D), INF) == INF:
+        return INFEASIBLE
+
+    boundaries: List[int] = []
+    device_counts: List[int] = []
+    b, d = k, D
+    for s in range(S, 0, -1):
+        bp, dp = parent[(s, b, d)]
+        boundaries.append(b)
+        device_counts.append(d - dp)
+        b, d = bp, dp
+    boundaries.reverse()
+    device_counts.reverse()
+
+    profiles = []
+    lo = 0
+    for hi, devs in zip(boundaries, device_counts):
+        prof = ctx.stage_profile(lo, hi, devs, R, MB, checkpointing)
+        assert prof is not None
+        profiles.append(prof)
+        lo = hi
+
+    return DPSolution(
+        boundaries=boundaries,
+        device_counts=device_counts,
+        num_microbatches=MB,
+        num_stages=S,
+        replica_factor=R,
+        objective=V[(S, k, D)],
+        max_tf=tf[(S, k, D)],
+        max_tb=tb[(S, k, D)],
+        stage_profiles=profiles,
+    )

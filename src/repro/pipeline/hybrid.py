@@ -1,0 +1,78 @@
+"""Hybrid-parallel iteration timing: pipeline + data-parallel sync.
+
+Combines the pipeline simulator with the gradient-allreduce cost of each
+stage's replica group and a parameter-update estimate, producing the
+iteration time and samples/second throughput recorded in Figs. 4 and 5.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.pipeline.simulator import simulate_async_1f1b, simulate_sync_pipeline
+
+if TYPE_CHECKING:  # avoid a circular import with repro.partitioner
+    from repro.partitioner.plan import PartitionPlan
+
+#: bytes per parameter moved by the optimizer update (read p, g, m, v;
+#: write p, m, v -- Adam in FP32)
+_OPT_BYTES_PER_PARAM = 28.0
+
+
+def evaluate_plan(plan: "PartitionPlan", schedule: str = "sync") -> "PartitionPlan":
+    """Fill ``plan.iteration_time`` / ``plan.throughput`` in place.
+
+    The iteration consists of the pipeline makespan, the slowest stage's
+    gradient allreduce across its replica group (stage groups sync
+    concurrently on disjoint devices), and the slowest stage's local
+    optimizer step.
+
+    Args:
+        plan: a populated partition plan.
+        schedule: "sync" (RaNNC/GPipe flush) or "async_1f1b"
+            (PipeDream-2BW steady state).
+    """
+    tf = [s.time_fwd for s in plan.stages]
+    tb = [s.time_bwd for s in plan.stages]
+    if schedule == "sync":
+        pipe_time = simulate_sync_pipeline(tf, tb, plan.num_microbatches)
+    elif schedule == "sync_1f1b":
+        from repro.pipeline.one_f_one_b import simulate_sync_1f1b
+
+        pipe_time = simulate_sync_1f1b(tf, tb, plan.num_microbatches).makespan
+    elif schedule == "async_1f1b":
+        pipe_time = simulate_async_1f1b(tf, tb, plan.num_microbatches)
+    else:
+        raise ValueError(f"unknown schedule {schedule!r}")
+
+    cluster = plan.cluster
+    device = cluster.device
+    allreduce = 0.0
+    opt_step = 0.0
+    for stage in plan.stages:
+        n_ranks = stage.devices_per_pipeline * plan.replica_factor
+        grad_bytes = stage.profile.param_count * 4.0
+        # a replica group spans nodes whenever whole-pipeline replicas
+        # exist (they live on different nodes) or the intra-pipeline
+        # replicas straddle a node boundary
+        spans = plan.replica_factor > 1 or (
+            stage.devices_per_pipeline > cluster.devices_per_node
+        )
+        allreduce = max(
+            allreduce, cluster.allreduce_time(grad_bytes, n_ranks, spans)
+        )
+        opt_step = max(
+            opt_step,
+            stage.profile.param_count * _OPT_BYTES_PER_PARAM / device.mem_bandwidth,
+        )
+
+    plan.iteration_time = pipe_time + allreduce + opt_step
+    plan.throughput = plan.batch_size / plan.iteration_time
+    plan.extras.update(
+        {
+            "pipeline_time": pipe_time,
+            "allreduce_time": allreduce,
+            "optimizer_time": opt_step,
+        }
+    )
+    return plan

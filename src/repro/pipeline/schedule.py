@@ -1,0 +1,84 @@
+"""Synchronous pipeline schedule construction (the paper's Fig. 1).
+
+Produces the explicit (stage, time-slot) -> microbatch grid of a
+flush-synchronous pipeline: every microbatch flows forward through all
+stages, then backward in reverse order, with the classic (S - 1)-slot
+fill/drain bubbles.  Used to regenerate Fig. 1 and to cross-check the
+event-driven simulator on uniform stage times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class ScheduleEvent:
+    """One cell of the pipeline schedule grid."""
+
+    stage: int
+    microbatch: int
+    phase: str  # "F" or "B"
+    slot: int
+
+
+def sync_pipeline_schedule(num_stages: int, num_microbatches: int) -> List[ScheduleEvent]:
+    """Slot-level synchronous schedule (unit-time stages).
+
+    Forward: stage ``s`` runs microbatch ``m`` at slot ``s + m``.
+    Backward: begins after the last forward drains; stage ``s`` runs
+    microbatch ``m`` (in reverse order) at slot
+    ``F_end + (S - 1 - s) + (MB - 1 - m)`` counted per its wave.
+
+    Returns events sorted by slot then stage.
+    """
+    if num_stages < 1 or num_microbatches < 1:
+        raise ValueError("need >= 1 stage and >= 1 microbatch")
+    S, MB = num_stages, num_microbatches
+    events: List[ScheduleEvent] = []
+    for m in range(MB):
+        for s in range(S):
+            events.append(ScheduleEvent(stage=s, microbatch=m, phase="F", slot=s + m))
+    f_end = S + MB - 1
+    for j, m in enumerate(reversed(range(MB))):
+        for s in range(S):
+            slot = f_end + (S - 1 - s) + j
+            events.append(ScheduleEvent(stage=s, microbatch=m, phase="B", slot=slot))
+    events.sort(key=lambda e: (e.slot, e.stage))
+    return events
+
+
+def schedule_makespan_slots(num_stages: int, num_microbatches: int) -> int:
+    """Total slots of the synchronous schedule: 2 (MB + S - 1)."""
+    return 2 * (num_microbatches + num_stages - 1)
+
+
+def bubble_fraction(num_stages: int, num_microbatches: int) -> float:
+    """Idle fraction of the synchronous pipeline: (S-1)/(MB+S-1)."""
+    S, MB = num_stages, num_microbatches
+    return (S - 1) / (MB + S - 1)
+
+
+def render_schedule(
+    events: List[ScheduleEvent], num_stages: int
+) -> str:
+    """ASCII rendering of the schedule grid (one row per stage), e.g.::
+
+        stage0 | F0 F1 F2 F3 .  .  .  B3 B2 B1 B0
+        stage1 | .  F0 F1 F2 F3 .  B3 B2 B1 B0 .
+    """
+    max_slot = max(e.slot for e in events)
+    grid: List[List[Optional[str]]] = [
+        [None] * (max_slot + 1) for _ in range(num_stages)
+    ]
+    for e in events:
+        grid[e.stage][e.slot] = f"{e.phase}{e.microbatch}"
+    width = max(len(c) for row in grid for c in row if c) + 1
+    lines = []
+    for s in range(num_stages):
+        cells = [
+            (c or ".").ljust(width) for c in grid[s]
+        ]
+        lines.append(f"stage{s} | " + "".join(cells).rstrip())
+    return "\n".join(lines)

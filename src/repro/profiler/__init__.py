@@ -1,0 +1,24 @@
+"""Analytic profiler: the `profile(U, batch_size) -> (t_f, t_b, m)` oracle.
+
+RaNNC obtains computation times and memory usage by actually running
+forward/backward passes of candidate subcomponents on a GPU ("we actually
+run forward and backward passes of the subcomponents multiple times and
+monitor the profiles", Sec. III-B).  Without GPUs, this package supplies a
+deterministic analytic equivalent: a per-operator roofline time model on
+the simulated device, an explicit training-memory model (parameters,
+gradients, optimizer state, activations, checkpoint stashes), and the same
+memoization layer the paper relies on to keep the search tractable.
+"""
+
+from repro.profiler.cost_model import CostModel, TaskCost
+from repro.profiler.memory import MemoryModel, OptimizerKind
+from repro.profiler.profiler import GraphProfiler, ProfileResult
+
+__all__ = [
+    "CostModel",
+    "GraphProfiler",
+    "MemoryModel",
+    "OptimizerKind",
+    "ProfileResult",
+    "TaskCost",
+]

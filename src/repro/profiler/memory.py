@@ -1,0 +1,91 @@
+"""Training-memory model for a stage replica.
+
+The paper's feasibility test is ``m > M`` where ``m`` "is the sum of the
+peak memory usage monitored during forward/backward passes and the memory
+used for such an optimizer as Adam.  The latter was estimated from the
+sizes of parameters used in the subcomponents and the type of optimizer."
+(Sec. III-C).  This module reproduces that accounting analytically:
+
+* parameter storage (plus an FP16 copy under AMP),
+* gradient buffers,
+* optimizer state (Adam: two FP32 moments; SGD: one momentum buffer),
+* activation memory, in three schemes:
+  - ``none``: every intermediate of every in-flight microbatch is kept;
+  - ``checkpoint``: only each in-flight microbatch's *stage-input* tensors
+    are stashed, plus one microbatch's full activations transiently during
+    recompute-backward (RaNNC "automatically implements gradient
+    checkpointing when it partitions a model to more than one stage").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.hardware.device import Precision
+
+
+class OptimizerKind(enum.Enum):
+    """Optimizer whose state size enters the memory estimate."""
+
+    SGD = "sgd"           # no extra state
+    SGD_MOMENTUM = "sgd_momentum"  # 1x params
+    ADAM = "adam"         # 2x params (exp_avg + exp_avg_sq), FP32
+
+    @property
+    def state_floats_per_param(self) -> int:
+        return {"sgd": 0, "sgd_momentum": 1, "adam": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Computes per-device training memory for a stage replica."""
+
+    precision: Precision = Precision.FP32
+    optimizer: OptimizerKind = OptimizerKind.ADAM
+
+    def static_bytes(self, param_count: int) -> float:
+        """Parameters + gradients + optimizer state (batch-independent)."""
+        per_param = 4.0 + 4.0  # fp32 weights + fp32 grads
+        if self.precision is Precision.AMP:
+            per_param += 2.0  # fp16 working copy (Apex AMP O2)
+        per_param += 4.0 * self.optimizer.state_floats_per_param
+        return param_count * per_param
+
+    def activation_bytes(
+        self,
+        saved_act_bytes_micro: float,
+        boundary_in_bytes_micro: float,
+        microbatches_in_flight: int,
+        checkpointing: bool,
+    ) -> float:
+        """Activation memory at peak.
+
+        Args:
+            saved_act_bytes_micro: full backward-tape activation bytes of
+                ONE microbatch of this stage (already precision-scaled).
+            boundary_in_bytes_micro: stage-input bytes of one microbatch
+                (already precision-scaled).
+            microbatches_in_flight: microbatches resident at once
+                (synchronous pipeline: up to the number of microbatches).
+            checkpointing: whether activation checkpointing is on.
+        """
+        inflight = max(1, microbatches_in_flight)
+        if not checkpointing:
+            return saved_act_bytes_micro * inflight
+        return boundary_in_bytes_micro * inflight + saved_act_bytes_micro
+
+    def total_bytes(
+        self,
+        param_count: int,
+        saved_act_bytes_micro: float,
+        boundary_in_bytes_micro: float,
+        microbatches_in_flight: int,
+        checkpointing: bool,
+    ) -> float:
+        return self.static_bytes(param_count) + self.activation_bytes(
+            saved_act_bytes_micro,
+            boundary_in_bytes_micro,
+            microbatches_in_flight,
+            checkpointing,
+        )

@@ -1,0 +1,252 @@
+"""Graph profiler: vectorized per-task times + the Algorithm-1 oracle.
+
+``GraphProfiler`` plays the role of the paper's ``profile(U, batch)``
+procedure.  Per-task cost coefficients are extracted once into NumPy
+arrays (one slot per task, in the graph's topological insertion order) and
+every batch size seen gets a vectorized time table, so profiling any
+subcomponent is a fancy-indexed sum -- fast enough for the DP's thousands
+of candidate stages.  Results are memoized per ``(key, batch, ...)``
+exactly where RaNNC caches device profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.ir import TaskGraph, ValueKind
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.device import Precision
+from repro.profiler.cost_model import CostModel
+from repro.profiler.memory import MemoryModel, OptimizerKind
+
+
+@dataclass(frozen=True)
+class ProfileResult:
+    """Output of one ``profile`` call: the tuple (t_f, t_b, m) of
+    Algorithm 1, plus the boundary traffic used for communication costs."""
+
+    time_fwd: float
+    time_bwd: float
+    memory: float
+    param_count: int
+    in_bytes: float
+    out_bytes: float
+
+
+class GraphProfiler:
+    """Profiling oracle over one task graph on one cluster."""
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        cluster: ClusterSpec,
+        precision: Precision = Precision.FP32,
+        optimizer: OptimizerKind = OptimizerKind.ADAM,
+    ) -> None:
+        self.graph = graph
+        self.cluster = cluster
+        self.precision = precision
+        self.cost_model = CostModel(cluster.device, precision)
+        self.memory_model = MemoryModel(precision, optimizer)
+
+        names = list(graph.tasks)
+        self._index: Dict[str, int] = {t: i for i, t in enumerate(names)}
+        self._names = names
+        n = len(names)
+        self.fwd_flops = np.zeros(n)
+        self.bwd_flops = np.zeros(n)
+        self.act_bytes = np.zeros(n)
+        self.param_bytes = np.zeros(n)
+        self.saved_bytes = np.zeros(n)
+        self.param_count = np.zeros(n, dtype=np.int64)
+        self.is_matmul = np.zeros(n, dtype=bool)
+        self.is_free = np.zeros(n, dtype=bool)
+        for i, tname in enumerate(names):
+            cost = self.cost_model.task_cost(graph, graph.tasks[tname])
+            self.fwd_flops[i] = cost.fwd_flops
+            self.bwd_flops[i] = cost.bwd_flops
+            self.act_bytes[i] = cost.act_bytes
+            self.param_bytes[i] = cost.param_bytes
+            self.saved_bytes[i] = cost.saved_bytes
+            self.param_count[i] = cost.param_count
+            self.is_matmul[i] = cost.is_matmul
+            self.is_free[i] = cost.is_free
+
+        # param values consumed per task, for unique-parameter accounting
+        # (a tied/shared weight must be stored once per stage, not once per
+        # consuming task)
+        param_ids: Dict[str, int] = {}
+        self._task_param_ids: List[Tuple[int, ...]] = []
+        self._param_sizes: List[int] = []
+        for tname in names:
+            ids = []
+            for vname in graph.tasks[tname].inputs:
+                value = graph.values[vname]
+                if value.kind is ValueKind.PARAM:
+                    pid = param_ids.get(vname)
+                    if pid is None:
+                        pid = len(self._param_sizes)
+                        param_ids[vname] = pid
+                        self._param_sizes.append(value.numel(1))
+                    ids.append(pid)
+            self._task_param_ids.append(tuple(ids))
+        self._param_sizes_arr = np.asarray(self._param_sizes, dtype=np.int64)
+
+        self._time_tables: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        self._cache: Dict[Hashable, ProfileResult] = {}
+        self.profile_calls = 0
+        self.cache_hits = 0
+
+    # ------------------------------------------------------------------
+    # vectorized time tables
+    # ------------------------------------------------------------------
+    def _times_at(self, batch_size: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-task (t_f, t_b) arrays at one batch size (cached)."""
+        table = self._time_tables.get(batch_size)
+        if table is not None:
+            return table
+        device = self.cost_model.device
+        act_factor = self.precision.activation_bytes_factor
+        peak_mm = device.peak_flops(self.precision) * device.matmul_efficiency
+        peak_other = device.peak_flops_fp32 * device.matmul_efficiency
+        peak = np.where(self.is_matmul, peak_mm, peak_other)
+
+        compute_f = self.fwd_flops * batch_size / peak
+        traffic_f = (
+            self.act_bytes * batch_size * act_factor + self.param_bytes
+        ) / device.mem_bandwidth
+        tf = np.maximum(compute_f, traffic_f) + device.kernel_overhead
+        tf[self.is_free] = 0.0
+
+        compute_b = self.bwd_flops * batch_size / peak
+        traffic_b = (
+            2.0 * self.act_bytes * batch_size * act_factor + 2.0 * self.param_bytes
+        ) / device.mem_bandwidth
+        tb = np.maximum(compute_b, traffic_b) + device.kernel_overhead
+        tb[self.is_free] = 0.0
+
+        table = (tf, tb)
+        self._time_tables[batch_size] = table
+        return table
+
+    def indices_of(self, task_names: Iterable[str]) -> np.ndarray:
+        return np.fromiter(
+            (self._index[t] for t in task_names), dtype=np.int64
+        )
+
+    # ------------------------------------------------------------------
+    # the Algorithm-1 oracle
+    # ------------------------------------------------------------------
+    def profile(
+        self,
+        task_names: Sequence[str],
+        batch_size: int,
+        microbatches_in_flight: int = 1,
+        checkpointing: bool = False,
+        key: Optional[Hashable] = None,
+    ) -> ProfileResult:
+        """Profile a subcomponent: ``(t_f, t_b, m)`` plus boundary bytes.
+
+        Args:
+            task_names: tasks forming the subcomponent ``U``.
+            batch_size: per-replica microbatch size (the
+                ``BS/R/MB/(d-d')`` of Algorithm 1); clamped to >= 1.
+            microbatches_in_flight: how many microbatches' stashes are
+                resident simultaneously (the pipeline depth term).
+            checkpointing: activation checkpointing (adds one forward
+                recompute to ``t_b`` and shrinks the stash to the stage
+                boundary).
+            key: optional hashable identity of ``U`` for memoization.
+        """
+        batch_size = max(1, int(batch_size))
+        cache_key = None
+        if key is not None:
+            cache_key = (key, batch_size, microbatches_in_flight, checkpointing)
+            hit = self._cache.get(cache_key)
+            if hit is not None:
+                self.cache_hits += 1
+                return hit
+        self.profile_calls += 1
+
+        idx = self.indices_of(task_names)
+        tf_all, tb_all = self._times_at(batch_size)
+        t_f = float(tf_all[idx].sum())
+        t_b = float(tb_all[idx].sum())
+        if checkpointing:
+            t_b += t_f  # recompute the forward before the backward
+
+        act_factor = self.precision.activation_bytes_factor
+        saved = float(self.saved_bytes[idx].sum()) * batch_size * act_factor
+        params = self.unique_param_count(idx)
+
+        in_bytes, out_bytes = self.boundary_bytes(task_names, batch_size)
+        memory = self.memory_model.total_bytes(
+            param_count=params,
+            saved_act_bytes_micro=saved,
+            boundary_in_bytes_micro=in_bytes,
+            microbatches_in_flight=microbatches_in_flight,
+            checkpointing=checkpointing,
+        )
+        result = ProfileResult(
+            time_fwd=t_f,
+            time_bwd=t_b,
+            memory=memory,
+            param_count=params,
+            in_bytes=in_bytes,
+            out_bytes=out_bytes,
+        )
+        if cache_key is not None:
+            self._cache[cache_key] = result
+        return result
+
+    def unique_param_count(self, task_indices: np.ndarray) -> int:
+        """Number of distinct parameters consumed by a set of tasks
+        (shared/tied weights counted once)."""
+        seen: set = set()
+        for i in task_indices:
+            seen.update(self._task_param_ids[i])
+        if not seen:
+            return 0
+        return int(
+            self._param_sizes_arr[np.fromiter(seen, dtype=np.int64)].sum()
+        )
+
+    # ------------------------------------------------------------------
+    # communication helpers
+    # ------------------------------------------------------------------
+    def boundary_bytes(
+        self, task_names: Sequence[str], batch_size: int
+    ) -> Tuple[float, float]:
+        """Precision-scaled activation bytes crossing the boundary of U."""
+        in_values, out_values = self.graph.boundary_values(task_names)
+        factor = self.precision.activation_bytes_factor
+        in_bytes = 0.0
+        for vname in in_values:
+            value = self.graph.values[vname]
+            if value.kind in (ValueKind.PARAM, ValueKind.CONST):
+                continue
+            scale = factor if value.dtype.value.startswith("float") else 1.0
+            in_bytes += value.nbytes(batch_size) * scale
+        out_bytes = 0.0
+        for vname in out_values:
+            value = self.graph.values[vname]
+            scale = factor if value.dtype.value.startswith("float") else 1.0
+            out_bytes += value.nbytes(batch_size) * scale
+        return in_bytes, out_bytes
+
+    def comm_time(self, nbytes: float, same_node: bool = True) -> float:
+        """Stage-to-stage transfer time (footnote 3: intra-node bandwidth)."""
+        if nbytes <= 0:
+            return 0.0
+        return self.cluster.p2p_time(nbytes, same_node=same_node)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        return {
+            "profile_calls": self.profile_calls,
+            "cache_hits": self.cache_hits,
+            "cached_entries": len(self._cache),
+        }

@@ -1,0 +1,29 @@
+"""Executable NumPy semantics for the task-graph IR.
+
+The partitioner never needs to *run* a model, but the paper's validation
+experiment ("we confirmed that RaNNC and Megatron-LM reached almost the
+same loss value") does: this package provides a reference autograd engine
+that executes any IR graph forward and backward on NumPy arrays, a
+stage-partitioned executor with microbatching, gradient accumulation and
+activation checkpointing, and SGD/Adam optimizers -- so tests can assert
+*numerical equivalence* between whole-graph and partitioned training, the
+laptop-scale analogue of the paper's loss-validation run.
+"""
+
+from repro.runtime.executor import Executor, init_parameters
+from repro.runtime.optimizer import SGD, Adam, Optimizer
+from repro.runtime.partitioned import PartitionedExecutor
+from repro.runtime.data_parallel import DataParallelTrainer
+from repro.runtime.staleness import train_sync, train_with_staleness
+
+__all__ = [
+    "Adam",
+    "DataParallelTrainer",
+    "Executor",
+    "Optimizer",
+    "PartitionedExecutor",
+    "SGD",
+    "init_parameters",
+    "train_sync",
+    "train_with_staleness",
+]

@@ -1,0 +1,106 @@
+"""Training-state checkpointing for the NumPy runtime.
+
+Saves and restores parameters plus optimizer state as a single ``.npz``
+archive.  Because RaNNC-style partitioned training keeps ONE logical copy
+of every parameter (stages share the store), a checkpoint taken from a
+partitioned run restores into a whole-graph run and vice versa -- tested
+as part of the loss-validation suite.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.runtime.optimizer import SGD, Adam, Optimizer
+
+Array = np.ndarray
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def save_checkpoint(
+    path: PathLike,
+    params: Dict[str, Array],
+    optimizer: Optional[Optimizer] = None,
+    step: int = 0,
+    extra: Optional[Dict[str, float]] = None,
+) -> None:
+    """Write parameters (+ optimizer state) to ``path`` as .npz."""
+    arrays: Dict[str, Array] = {}
+    for name, value in params.items():
+        arrays[f"param/{name}"] = value
+    meta = {
+        "version": _FORMAT_VERSION,
+        "step": step,
+        "optimizer": None,
+        "extra": extra or {},
+    }
+    if optimizer is not None:
+        if isinstance(optimizer, Adam):
+            meta["optimizer"] = {
+                "kind": "adam", "lr": optimizer.lr,
+                "beta1": optimizer.beta1, "beta2": optimizer.beta2,
+                "eps": optimizer.eps, "t": optimizer._t,
+            }
+            for name, m in optimizer._m.items():
+                arrays[f"adam_m/{name}"] = m
+            for name, v in optimizer._v.items():
+                arrays[f"adam_v/{name}"] = v
+        elif isinstance(optimizer, SGD):
+            meta["optimizer"] = {
+                "kind": "sgd", "lr": optimizer.lr,
+                "momentum": optimizer.momentum,
+            }
+            for name, v in optimizer._velocity.items():
+                arrays[f"sgd_v/{name}"] = v
+        else:
+            raise TypeError(f"cannot checkpoint optimizer {type(optimizer)}")
+    arrays["__meta__"] = np.frombuffer(
+        json.dumps(meta).encode(), dtype=np.uint8
+    ).copy()
+    np.savez(str(path), **arrays)
+
+
+def load_checkpoint(
+    path: PathLike,
+) -> Tuple[Dict[str, Array], Optional[Optimizer], int]:
+    """Restore ``(params, optimizer, step)`` from a checkpoint file."""
+    with np.load(str(path)) as archive:
+        meta = json.loads(bytes(archive["__meta__"]).decode())
+        if meta.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint version {meta.get('version')!r}"
+            )
+        params: Dict[str, Array] = {}
+        adam_m: Dict[str, Array] = {}
+        adam_v: Dict[str, Array] = {}
+        sgd_v: Dict[str, Array] = {}
+        for key in archive.files:
+            if key.startswith("param/"):
+                params[key[len("param/"):]] = archive[key]
+            elif key.startswith("adam_m/"):
+                adam_m[key[len("adam_m/"):]] = archive[key]
+            elif key.startswith("adam_v/"):
+                adam_v[key[len("adam_v/"):]] = archive[key]
+            elif key.startswith("sgd_v/"):
+                sgd_v[key[len("sgd_v/"):]] = archive[key]
+
+    optimizer: Optional[Optimizer] = None
+    odoc = meta.get("optimizer")
+    if odoc is not None:
+        if odoc["kind"] == "adam":
+            optimizer = Adam(lr=odoc["lr"], beta1=odoc["beta1"],
+                             beta2=odoc["beta2"], eps=odoc["eps"])
+            optimizer._m = adam_m
+            optimizer._v = adam_v
+            optimizer._t = {k: int(v) for k, v in odoc["t"].items()}
+        elif odoc["kind"] == "sgd":
+            optimizer = SGD(lr=odoc["lr"], momentum=odoc["momentum"])
+            optimizer._velocity = sgd_v
+    return params, optimizer, int(meta["step"])

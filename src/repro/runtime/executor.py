@@ -1,0 +1,155 @@
+"""Whole-graph execution engine: forward pass + reverse-mode autograd.
+
+Executes a :class:`~repro.graph.ir.TaskGraph` on NumPy arrays in the
+graph's topological insertion order, then walks it backwards accumulating
+vector-Jacobian products into parameter (and optionally input) gradients.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.ir import DataType, TaskGraph, ValueKind
+from repro.runtime import tensor as kernels
+
+Array = np.ndarray
+
+
+def init_parameters(
+    graph: TaskGraph, seed: int = 0, dtype=np.float64, scale: float = 0.05
+) -> Dict[str, Array]:
+    """Deterministic Gaussian initialization for every param and const."""
+    rng = np.random.default_rng(seed)
+    params: Dict[str, Array] = {}
+    for value in graph.values.values():
+        if value.kind in (ValueKind.PARAM, ValueKind.CONST):
+            params[value.name] = (rng.standard_normal(value.shape) * scale).astype(
+                dtype
+            )
+    return params
+
+
+class Executor:
+    """Forward/backward execution of one task graph.
+
+    Args:
+        graph: the graph to execute (any subgraph works too).
+        params: parameter/const arrays keyed by value name; missing
+            entries are initialized deterministically from ``seed``.
+        train_dropout: if True, dropout uses a seeded mask (seed derived
+            from the task name so clones agree); default inference-mode.
+    """
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        params: Optional[Dict[str, Array]] = None,
+        seed: int = 0,
+        dtype=np.float64,
+        train_dropout: bool = False,
+    ) -> None:
+        self.graph = graph
+        self.dtype = dtype
+        self.train_dropout = train_dropout
+        self.params: Dict[str, Array] = dict(params) if params else {}
+        defaults = init_parameters(graph, seed=seed, dtype=dtype)
+        for name, arr in defaults.items():
+            self.params.setdefault(name, arr)
+        for task in graph.tasks.values():
+            if not kernels.has_kernel(task.op_type):
+                raise NotImplementedError(
+                    f"no runtime kernel for op {task.op_type!r}"
+                )
+
+    # ------------------------------------------------------------------
+    def _task_attrs(self, task) -> Dict[str, object]:
+        attrs = dict(task.attrs)
+        if task.op_type == "reshape":
+            attrs["_batched"] = self.graph.values[task.outputs[0]].batched
+        if task.op_type == "dropout" and self.train_dropout:
+            attrs["_train_seed"] = abs(hash(task.name)) % (2**31)
+        return attrs
+
+    def forward(self, inputs: Dict[str, Array]) -> Dict[str, Array]:
+        """Run every task; returns the full value environment."""
+        env: Dict[str, Array] = {}
+        for name, arr in inputs.items():
+            value = self.graph.values[name]
+            if value.dtype in (DataType.FLOAT32, DataType.FLOAT16):
+                arr = np.asarray(arr, dtype=self.dtype)
+            env[name] = np.asarray(arr)
+        for name, arr in self.params.items():
+            if name in self.graph.values:
+                env[name] = arr
+        for task in self.graph.tasks.values():
+            args = [env[v] for v in task.inputs]
+            attrs = self._task_attrs(task)
+            out = kernels.forward_kernel(task.op_type)(*args, attrs)
+            env[task.outputs[0]] = out
+        return env
+
+    def loss(self, inputs: Dict[str, Array]) -> float:
+        env = self.forward(inputs)
+        return float(env[self.graph.output_names[0]].ravel()[0])
+
+    def backward(
+        self,
+        env: Dict[str, Array],
+        output_grads: Optional[Dict[str, Array]] = None,
+        wrt_inputs: Iterable[str] = (),
+    ) -> Dict[str, Array]:
+        """Reverse-mode pass over the whole graph.
+
+        Args:
+            env: environment returned by :meth:`forward`.
+            output_grads: seed gradients; defaults to ones for every
+                declared graph output (the scalar-loss convention).
+            wrt_inputs: additional non-param value names whose gradients
+                should be returned (used by the partitioned executor to
+                propagate into the previous stage).
+
+        Returns:
+            gradient dict for every PARAM value and requested input.
+        """
+        grads: Dict[str, Array] = {}
+        if output_grads is None:
+            for oname in self.graph.output_names:
+                grads[oname] = np.ones_like(env[oname])
+        else:
+            for oname, g in output_grads.items():
+                grads[oname] = np.asarray(g, dtype=self.dtype)
+
+        for task in reversed(list(self.graph.tasks.values())):
+            gout = grads.get(task.outputs[0])
+            if gout is None:
+                continue
+            args = [env[v] for v in task.inputs]
+            attrs = self._task_attrs(task)
+            gin = kernels.vjp_kernel(task.op_type)(
+                gout, args, env[task.outputs[0]], attrs
+            )
+            for vname, g in zip(task.inputs, gin):
+                if g is None:
+                    continue
+                if vname in grads:
+                    grads[vname] = grads[vname] + g
+                else:
+                    grads[vname] = g
+
+        result: Dict[str, Array] = {}
+        for vname, value in self.graph.values.items():
+            if value.kind is ValueKind.PARAM and vname in grads:
+                result[vname] = grads[vname]
+        for vname in wrt_inputs:
+            if vname in grads:
+                result[vname] = grads[vname]
+        return result
+
+    def loss_and_grads(
+        self, inputs: Dict[str, Array]
+    ) -> Tuple[float, Dict[str, Array]]:
+        env = self.forward(inputs)
+        grads = self.backward(env)
+        return float(env[self.graph.output_names[0]].ravel()[0]), grads

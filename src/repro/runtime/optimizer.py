@@ -1,0 +1,101 @@
+"""Optimizers for the NumPy runtime (SGD, SGD+momentum, Adam).
+
+Adam matters beyond convergence demos: its two FP32 moment buffers are
+the optimizer-state term of the partitioner's memory estimate, and the
+loss-validation experiment trains with it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+Array = np.ndarray
+
+
+class Optimizer:
+    """Base class: subclasses implement :meth:`update_param`."""
+
+    def __init__(self, lr: float = 1e-3) -> None:
+        self.lr = lr
+        self.step_count = 0
+
+    def step(self, params: Dict[str, Array], grads: Dict[str, Array]) -> None:
+        """Apply one in-place update for every param with a gradient."""
+        self.step_count += 1
+        for name, grad in grads.items():
+            if name in params:
+                self.update_param(name, params[name], grad)
+
+    def update_param(self, name: str, param: Array, grad: Array) -> None:
+        raise NotImplementedError
+
+    def state_bytes(self) -> int:
+        """Actual optimizer-state footprint (cross-checked against the
+        analytic memory model in tests)."""
+        return 0
+
+
+class SGD(Optimizer):
+    """Plain or momentum SGD."""
+
+    def __init__(self, lr: float = 1e-2, momentum: float = 0.0) -> None:
+        super().__init__(lr)
+        self.momentum = momentum
+        self._velocity: Dict[str, Array] = {}
+
+    def update_param(self, name: str, param: Array, grad: Array) -> None:
+        if self.momentum:
+            v = self._velocity.get(name)
+            if v is None:
+                v = np.zeros_like(param)
+            v = self.momentum * v + grad
+            self._velocity[name] = v
+            param -= self.lr * v
+        else:
+            param -= self.lr * grad
+
+    def state_bytes(self) -> int:
+        return sum(v.nbytes for v in self._velocity.values())
+
+
+class Adam(Optimizer):
+    """Adam with bias correction (Kingma & Ba)."""
+
+    def __init__(
+        self,
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(lr)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: Dict[str, Array] = {}
+        self._v: Dict[str, Array] = {}
+        self._t: Dict[str, int] = {}
+
+    def update_param(self, name: str, param: Array, grad: Array) -> None:
+        m = self._m.get(name)
+        if m is None:
+            m = np.zeros_like(param)
+            self._v[name] = np.zeros_like(param)
+            self._t[name] = 0
+        v = self._v[name]
+        self._t[name] += 1
+        t = self._t[name]
+        m = self.beta1 * m + (1 - self.beta1) * grad
+        v = self.beta2 * v + (1 - self.beta2) * grad**2
+        self._m[name] = m
+        self._v[name] = v
+        mhat = m / (1 - self.beta1**t)
+        vhat = v / (1 - self.beta2**t)
+        param -= self.lr * mhat / (np.sqrt(vhat) + self.eps)
+
+    def state_bytes(self) -> int:
+        return sum(v.nbytes for v in self._m.values()) + sum(
+            v.nbytes for v in self._v.values()
+        )

@@ -1,0 +1,219 @@
+"""Stage-partitioned training execution (the runtime RaNNC generates).
+
+Runs a partitioned model exactly the way the synchronous pipeline would --
+microbatch splitting, per-stage forward with boundary-value handoff,
+activation checkpointing (stash only each stage's input, recompute at
+backward), gradient accumulation across microbatches, and gradient
+summation for parameters cloned into several stages (tied weights).
+
+Because every arithmetic step is identical to the whole-graph execution
+modulo associativity, losses and gradients must agree with
+:class:`~repro.runtime.executor.Executor` to floating-point accumulation
+error -- the property the loss-validation experiment asserts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.ir import TaskGraph, ValueKind
+from repro.runtime.executor import Executor, init_parameters
+
+Array = np.ndarray
+
+
+def split_microbatches(
+    inputs: Dict[str, Array], num_microbatches: int
+) -> List[Dict[str, Array]]:
+    """Split every input along axis 0 into equal microbatches."""
+    if num_microbatches < 1:
+        raise ValueError("need >= 1 microbatch")
+    micro: List[Dict[str, Array]] = [dict() for _ in range(num_microbatches)]
+    for name, arr in inputs.items():
+        if arr.shape[0] % num_microbatches:
+            raise ValueError(
+                f"batch dim {arr.shape[0]} of {name!r} not divisible by "
+                f"{num_microbatches} microbatches"
+            )
+        for i, chunk in enumerate(np.split(arr, num_microbatches, axis=0)):
+            micro[i][name] = chunk
+    return micro
+
+
+class PartitionedExecutor:
+    """Executes a model partitioned into pipeline stages.
+
+    Args:
+        graph: the full model graph.
+        stage_tasks: per-stage task-name sequences (e.g.
+            ``[s.tasks for s in plan.stages]``); must cover all tasks,
+            in pipeline order.
+        params: shared parameter store (stages referencing the same
+            parameter see the same array).
+        num_microbatches: microbatches per step (gradient accumulation).
+        checkpointing: stash only stage inputs, recompute on backward.
+    """
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        stage_tasks: Sequence[Sequence[str]],
+        params: Optional[Dict[str, Array]] = None,
+        num_microbatches: int = 1,
+        checkpointing: bool = True,
+        seed: int = 0,
+        dtype=np.float64,
+        train_dropout: bool = False,
+    ) -> None:
+        self.graph = graph
+        self.num_microbatches = num_microbatches
+        self.checkpointing = checkpointing
+        covered = set()
+        for tasks in stage_tasks:
+            covered.update(tasks)
+        missing = set(graph.tasks) - covered
+        if missing:
+            raise ValueError(f"stages do not cover tasks: {sorted(missing)[:5]}")
+
+        self.params: Dict[str, Array] = dict(params) if params else {}
+        defaults = init_parameters(graph, seed=seed, dtype=dtype)
+        for name, arr in defaults.items():
+            self.params.setdefault(name, arr)
+
+        self.stages: List[Executor] = []
+        self.stage_input_names: List[List[str]] = []
+        self.stage_output_names: List[List[str]] = []
+        for i, tasks in enumerate(stage_tasks):
+            sub = graph.extract_subgraph(list(tasks), name=f"{graph.name}.stage{i}")
+            stage_params = {
+                n: self.params[n]
+                for n in sub.values
+                if sub.values[n].kind in (ValueKind.PARAM, ValueKind.CONST)
+            }
+            self.stages.append(
+                Executor(
+                    sub,
+                    params=stage_params,
+                    dtype=dtype,
+                    train_dropout=train_dropout,
+                )
+            )
+            self.stage_input_names.append(
+                [v.name for v in sub.inputs]
+            )
+            self.stage_output_names.append(list(sub.output_names))
+        self.loss_name = graph.output_names[0]
+
+    @classmethod
+    def from_plan(
+        cls,
+        graph: TaskGraph,
+        plan,
+        params: Optional[Dict[str, Array]] = None,
+        seed: int = 0,
+        dtype=np.float64,
+    ) -> "PartitionedExecutor":
+        """Build an executor directly from an ``auto_partition`` plan,
+        adopting its stage boundaries, microbatch count and RaNNC's rule
+        of checkpointing whenever there is more than one stage."""
+        return cls(
+            graph,
+            [s.tasks for s in plan.stages],
+            params=params,
+            num_microbatches=plan.num_microbatches,
+            checkpointing=len(plan.stages) > 1,
+            seed=seed,
+            dtype=dtype,
+        )
+
+    # ------------------------------------------------------------------
+    def _forward_microbatch(
+        self, micro_inputs: Dict[str, Array]
+    ) -> Tuple[float, List[Dict[str, Array]], Dict[str, Array]]:
+        """Run one microbatch through all stages.
+
+        Returns (loss, per-stage stashes, boundary-value store).  With
+        checkpointing the stash holds only each stage's inputs; without,
+        it holds the full per-stage environments.
+        """
+        boundary: Dict[str, Array] = dict(micro_inputs)
+        stashes: List[Dict[str, Array]] = []
+        for i, stage in enumerate(self.stages):
+            feed = {
+                n: boundary[n]
+                for n in self.stage_input_names[i]
+                if n in boundary
+            }
+            env = stage.forward(feed)
+            for oname in self.stage_output_names[i]:
+                boundary[oname] = env[oname]
+            stashes.append(feed if self.checkpointing else env)
+        loss = float(boundary[self.loss_name].ravel()[0])
+        return loss, stashes, boundary
+
+    def _backward_microbatch(
+        self,
+        stashes: List[Dict[str, Array]],
+        grad_scale: float,
+        grads: Dict[str, Array],
+    ) -> None:
+        """Backward through stages in reverse, accumulating into grads."""
+        # gradient of every boundary value, filled from downstream stages
+        boundary_grads: Dict[str, Array] = {}
+        for i in reversed(range(len(self.stages))):
+            stage = self.stages[i]
+            if self.checkpointing:
+                env = stage.forward(stashes[i])  # recompute
+            else:
+                env = stashes[i]
+            out_grads: Dict[str, Array] = {}
+            for oname in self.stage_output_names[i]:
+                if oname == self.loss_name:
+                    out_grads[oname] = np.full_like(
+                        env[oname], grad_scale
+                    )
+                elif oname in boundary_grads:
+                    out_grads[oname] = boundary_grads[oname]
+            if not out_grads:
+                continue
+            wrt = [
+                n
+                for n in self.stage_input_names[i]
+                if stage.graph.values[n].kind is ValueKind.INPUT
+            ]
+            stage_grads = stage.backward(env, out_grads, wrt_inputs=wrt)
+            for name, g in stage_grads.items():
+                kind = stage.graph.values[name].kind
+                if kind is ValueKind.PARAM:
+                    if name in grads:
+                        grads[name] = grads[name] + g
+                    else:
+                        grads[name] = g
+                else:  # boundary activation: pass to the producing stage
+                    if name in boundary_grads:
+                        boundary_grads[name] = boundary_grads[name] + g
+                    else:
+                        boundary_grads[name] = g
+
+    # ------------------------------------------------------------------
+    def loss_and_grads(
+        self, inputs: Dict[str, Array]
+    ) -> Tuple[float, Dict[str, Array]]:
+        """One full training step's loss and accumulated gradients."""
+        micro = split_microbatches(inputs, self.num_microbatches)
+        grads: Dict[str, Array] = {}
+        total_loss = 0.0
+        scale = 1.0 / self.num_microbatches
+        for m in micro:
+            loss, stashes, _ = self._forward_microbatch(m)
+            total_loss += loss * scale
+            self._backward_microbatch(stashes, scale, grads)
+        return total_loss, grads
+
+    def loss(self, inputs: Dict[str, Array]) -> float:
+        micro = split_microbatches(inputs, self.num_microbatches)
+        return sum(
+            self._forward_microbatch(m)[0] for m in micro
+        ) / self.num_microbatches

@@ -1,0 +1,126 @@
+"""Parameter-staleness simulation: why RaNNC is synchronous.
+
+The paper rejects asynchronous pipeline parallelism because it "suffers
+from parameter staleness issues ... caused by computing a mini-batch using
+different versions of parameters across stages", which "often results in
+training that diverges or degrades the quality of learning results"
+(Sec. II-B).  This module makes that argument executable: it trains the
+same model on the same data stream
+
+* synchronously (gradients applied to the weights that produced them), and
+* with PipeDream-style staleness (gradients computed against weights
+  ``delay`` versions old, as in an async 1F1B pipeline where a microbatch's
+  forward ran before the last ``delay`` updates landed), optionally with
+  PipeDream's *weight stashing* mitigation (backward replays the exact
+  stale weights used by the forward -- consistent but still delayed).
+
+Everything is deterministic, so tests can assert the degradation ordering
+exactly.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.graph.ir import TaskGraph
+from repro.runtime.executor import Executor, init_parameters
+from repro.runtime.optimizer import Optimizer
+
+Array = np.ndarray
+BatchStream = Sequence[Dict[str, Array]]
+
+
+@dataclass
+class StalenessResult:
+    """Loss trajectory of one training run."""
+
+    losses: List[float]
+    delay: int
+    diverged: bool
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1]
+
+    def tail_mean(self, n: int = 5) -> float:
+        return float(np.mean(self.losses[-n:]))
+
+
+def train_sync(
+    graph: TaskGraph,
+    batches: BatchStream,
+    make_optimizer: Callable[[], Optimizer],
+    seed: int = 0,
+) -> StalenessResult:
+    """Reference: fully synchronous training (staleness 0)."""
+    return train_with_staleness(graph, batches, make_optimizer, delay=0,
+                                seed=seed)
+
+
+def train_with_staleness(
+    graph: TaskGraph,
+    batches: BatchStream,
+    make_optimizer: Callable[[], Optimizer],
+    delay: int,
+    weight_stashing: bool = True,
+    seed: int = 0,
+) -> StalenessResult:
+    """Train with gradients that lag the weights by ``delay`` versions.
+
+    At step ``t`` the gradient applied to the current weights was computed
+    from the weights of step ``t - delay`` (an async pipeline of depth
+    ``delay + 1`` in steady state).  ``weight_stashing=True`` models
+    PipeDream's mitigation: forward and backward of one microbatch use the
+    SAME stashed version; the only error left is applying the (consistent)
+    gradient to newer weights.
+
+    Returns the loss trajectory measured on the weights that each step's
+    forward actually used.
+    """
+    if delay < 0:
+        raise ValueError("delay must be >= 0")
+    params = init_parameters(graph, seed=seed)
+    executor = Executor(graph, params=params)
+    optimizer = make_optimizer()
+
+    # history of stashed weight versions (index 0 = current)
+    versions: List[Dict[str, Array]] = [
+        {k: v.copy() for k, v in params.items()} for _ in range(delay + 1)
+    ]
+    losses: List[float] = []
+    diverged = False
+    for batch in batches:
+        stale = versions[-1] if weight_stashing else params
+        # compute loss/grads against the stale version
+        executor.params = stale
+        loss, grads = executor.loss_and_grads(batch)
+        losses.append(loss)
+        if not np.isfinite(loss):
+            diverged = True
+            break
+        # apply the (stale) gradient to the CURRENT weights
+        executor.params = params
+        optimizer.step(params, grads)
+        # rotate stashes
+        versions.pop()
+        versions.insert(0, {k: v.copy() for k, v in params.items()})
+    return StalenessResult(losses=losses, delay=delay, diverged=diverged)
+
+
+def staleness_sweep(
+    graph: TaskGraph,
+    batches: BatchStream,
+    make_optimizer: Callable[[], Optimizer],
+    delays: Sequence[int] = (0, 1, 2, 4),
+    seed: int = 0,
+) -> List[StalenessResult]:
+    """Run the same workload at several staleness depths."""
+    return [
+        train_with_staleness(graph, batches, make_optimizer, delay=d,
+                             seed=seed)
+        for d in delays
+    ]

@@ -1,0 +1,537 @@
+"""NumPy kernels: forward functions and VJP (vector-Jacobian product)
+rules for every IR operator.
+
+Kernels receive runtime arrays (real batch sizes in axis 0 for batched
+values); canonical batch-1 shape attributes (``reshape``) are re-based on
+the actual leading extent.  Dropout defaults to inference behaviour
+(identity) so whole-graph vs. partitioned executions are bit-comparable;
+a seeded training mode is available through ``attrs['_train_seed']``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+Array = np.ndarray
+FwdFn = Callable[..., Array]
+# vjp(grad_out, inputs, output, attrs) -> per-input grads (None for
+# non-differentiable inputs such as integer indices)
+VjpFn = Callable[
+    [Array, Sequence[Array], Array, Dict[str, object]],
+    List[Optional[Array]],
+]
+
+_FORWARD: Dict[str, Callable] = {}
+_VJP: Dict[str, VjpFn] = {}
+
+
+def forward_kernel(op_type: str) -> Callable:
+    return _FORWARD[op_type]
+
+
+def vjp_kernel(op_type: str) -> VjpFn:
+    return _VJP[op_type]
+
+
+def has_kernel(op_type: str) -> bool:
+    return op_type in _FORWARD
+
+
+def _register(name: str, fwd: Callable, vjp: VjpFn) -> None:
+    _FORWARD[name] = fwd
+    _VJP[name] = vjp
+
+
+def _unbroadcast(grad: Array, shape: Tuple[int, ...]) -> Array:
+    """Sum ``grad`` down to ``shape`` (reverse of NumPy broadcasting)."""
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad
+
+
+# ---------------------------------------------------------------------------
+# linear algebra
+# ---------------------------------------------------------------------------
+
+def _matmul_fwd(a: Array, b: Array, attrs) -> Array:
+    return a @ b
+
+
+def _matmul_vjp(g, ins, out, attrs):
+    a, b = ins
+    if b.ndim == 2:
+        ga = g @ b.T
+        gb = a.reshape(-1, a.shape[-1]).T @ g.reshape(-1, g.shape[-1])
+    else:
+        ga = _unbroadcast(g @ np.swapaxes(b, -1, -2), a.shape)
+        gb = _unbroadcast(np.swapaxes(a, -1, -2) @ g, b.shape)
+    return [ga, gb]
+
+
+_register("matmul", _matmul_fwd, _matmul_vjp)
+
+
+def _linear_fwd(x: Array, w: Array, b: Array, attrs) -> Array:
+    return x @ w.T + b
+
+
+def _linear_vjp(g, ins, out, attrs):
+    x, w, b = ins
+    gx = g @ w
+    g2 = g.reshape(-1, g.shape[-1])
+    x2 = x.reshape(-1, x.shape[-1])
+    gw = g2.T @ x2
+    gb = g2.sum(axis=0)
+    return [gx, gw, gb]
+
+
+_register("linear", _linear_fwd, _linear_vjp)
+
+
+# ---------------------------------------------------------------------------
+# elementwise arithmetic
+# ---------------------------------------------------------------------------
+
+_register(
+    "add",
+    lambda a, b, attrs: a + b,
+    lambda g, ins, out, attrs: [
+        _unbroadcast(g, ins[0].shape),
+        _unbroadcast(g, ins[1].shape),
+    ],
+)
+_register(
+    "sub",
+    lambda a, b, attrs: a - b,
+    lambda g, ins, out, attrs: [
+        _unbroadcast(g, ins[0].shape),
+        _unbroadcast(-g, ins[1].shape),
+    ],
+)
+_register(
+    "mul",
+    lambda a, b, attrs: a * b,
+    lambda g, ins, out, attrs: [
+        _unbroadcast(g * ins[1], ins[0].shape),
+        _unbroadcast(g * ins[0], ins[1].shape),
+    ],
+)
+_register(
+    "div",
+    lambda a, b, attrs: a / b,
+    lambda g, ins, out, attrs: [
+        _unbroadcast(g / ins[1], ins[0].shape),
+        _unbroadcast(-g * ins[0] / ins[1] ** 2, ins[1].shape),
+    ],
+)
+_register("neg", lambda x, attrs: -x, lambda g, ins, out, attrs: [-g])
+_register("identity", lambda x, attrs: x, lambda g, ins, out, attrs: [g])
+_register(
+    "scale",
+    lambda x, attrs: x * float(attrs.get("factor", 1.0)),
+    lambda g, ins, out, attrs: [g * float(attrs.get("factor", 1.0))],
+)
+_register(
+    "relu",
+    lambda x, attrs: np.maximum(x, 0.0),
+    lambda g, ins, out, attrs: [g * (ins[0] > 0)],
+)
+_register(
+    "tanh",
+    lambda x, attrs: np.tanh(x),
+    lambda g, ins, out, attrs: [g * (1.0 - out**2)],
+)
+_register(
+    "sigmoid",
+    lambda x, attrs: 1.0 / (1.0 + np.exp(-x)),
+    lambda g, ins, out, attrs: [g * out * (1.0 - out)],
+)
+
+_GELU_C = np.sqrt(2.0 / np.pi)
+
+
+def _gelu_fwd(x: Array, attrs) -> Array:
+    return 0.5 * x * (1.0 + np.tanh(_GELU_C * (x + 0.044715 * x**3)))
+
+
+def _gelu_vjp(g, ins, out, attrs):
+    x = ins[0]
+    t = np.tanh(_GELU_C * (x + 0.044715 * x**3))
+    dt = (1.0 - t**2) * _GELU_C * (1.0 + 3 * 0.044715 * x**2)
+    return [g * (0.5 * (1.0 + t) + 0.5 * x * dt)]
+
+
+_register("gelu", _gelu_fwd, _gelu_vjp)
+
+
+def _dropout_fwd(x: Array, attrs) -> Array:
+    seed = attrs.get("_train_seed")
+    if seed is None:
+        return x  # inference behaviour: deterministic identity
+    p = float(attrs.get("p", 0.1))
+    rng = np.random.default_rng(int(seed))
+    mask = (rng.random(x.shape) >= p).astype(x.dtype) / (1.0 - p)
+    # the mask is re-derivable from the seed, so the VJP regenerates it
+    return x * mask
+
+
+def _dropout_vjp(g, ins, out, attrs):
+    seed = attrs.get("_train_seed")
+    if seed is None:
+        return [g]
+    p = float(attrs.get("p", 0.1))
+    rng = np.random.default_rng(int(seed))
+    mask = (rng.random(ins[0].shape) >= p).astype(g.dtype) / (1.0 - p)
+    return [g * mask]
+
+
+_register("dropout", _dropout_fwd, _dropout_vjp)
+
+
+def _softmax_fwd(x: Array, attrs) -> Array:
+    shifted = x - x.max(axis=-1, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=-1, keepdims=True)
+
+
+def _softmax_vjp(g, ins, out, attrs):
+    dot = (g * out).sum(axis=-1, keepdims=True)
+    return [out * (g - dot)]
+
+
+_register("softmax", _softmax_fwd, _softmax_vjp)
+
+_LN_EPS = 1e-5
+
+
+def _layernorm_fwd(x: Array, gamma: Array, beta: Array, attrs) -> Array:
+    mu = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    xhat = (x - mu) / np.sqrt(var + _LN_EPS)
+    return gamma * xhat + beta
+
+
+def _layernorm_vjp(g, ins, out, attrs):
+    x, gamma, beta = ins
+    h = x.shape[-1]
+    mu = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    inv = 1.0 / np.sqrt(var + _LN_EPS)
+    xhat = (x - mu) * inv
+    gxhat = g * gamma
+    gx = inv * (
+        gxhat
+        - gxhat.mean(axis=-1, keepdims=True)
+        - xhat * (gxhat * xhat).mean(axis=-1, keepdims=True)
+    )
+    axes = tuple(range(g.ndim - 1))
+    ggamma = (g * xhat).sum(axis=axes)
+    gbeta = g.sum(axis=axes)
+    return [gx, ggamma, gbeta]
+
+
+_register("layernorm", _layernorm_fwd, _layernorm_vjp)
+
+
+# ---------------------------------------------------------------------------
+# shape manipulation
+# ---------------------------------------------------------------------------
+
+def _transpose_fwd(x: Array, attrs) -> Array:
+    perm = attrs.get("perm") or tuple(reversed(range(x.ndim)))
+    return np.transpose(x, perm)
+
+
+def _transpose_vjp(g, ins, out, attrs):
+    perm = attrs.get("perm") or tuple(reversed(range(ins[0].ndim)))
+    inv = np.argsort(perm)
+    return [np.transpose(g, inv)]
+
+
+_register("transpose", _transpose_fwd, _transpose_vjp)
+
+
+def _runtime_target_shape(x: Array, attrs) -> Tuple[int, ...]:
+    """Re-base a canonical batch-1 reshape target on the actual batch."""
+    target = list(attrs["shape"])
+    batched = bool(attrs.get("_batched", True))
+    if batched and target and target[0] == 1:
+        target[0] = x.shape[0]
+    return tuple(target)
+
+
+def _reshape_fwd(x: Array, attrs) -> Array:
+    return x.reshape(_runtime_target_shape(x, attrs))
+
+
+def _reshape_vjp(g, ins, out, attrs):
+    return [g.reshape(ins[0].shape)]
+
+
+_register("reshape", _reshape_fwd, _reshape_vjp)
+_register(
+    "flatten",
+    lambda x, attrs: x.reshape(x.shape[0], -1),
+    lambda g, ins, out, attrs: [g.reshape(ins[0].shape)],
+)
+
+
+def _concat_fwd(*args) -> Array:
+    *arrays, attrs = args
+    axis = int(attrs.get("axis", -1))
+    return np.concatenate(arrays, axis=axis)
+
+
+def _concat_vjp(g, ins, out, attrs):
+    axis = int(attrs.get("axis", -1))
+    sizes = [a.shape[axis] for a in ins]
+    splits = np.cumsum(sizes)[:-1]
+    return list(np.split(g, splits, axis=axis))
+
+
+_register("concat", _concat_fwd, _concat_vjp)
+
+
+def _slice_rows_fwd(x: Array, attrs) -> Array:
+    start = int(attrs.get("start", 0))
+    stop = int(attrs.get("stop", start + 1))
+    return x[:, start:stop]
+
+
+def _slice_rows_vjp(g, ins, out, attrs):
+    start = int(attrs.get("start", 0))
+    stop = int(attrs.get("stop", start + 1))
+    gx = np.zeros_like(ins[0])
+    gx[:, start:stop] = g
+    return [gx]
+
+
+_register("slice_rows", _slice_rows_fwd, _slice_rows_vjp)
+
+
+# ---------------------------------------------------------------------------
+# embeddings / losses
+# ---------------------------------------------------------------------------
+
+def _embedding_fwd(ids: Array, weight: Array, attrs) -> Array:
+    return weight[ids.astype(np.int64)]
+
+
+def _embedding_vjp(g, ins, out, attrs):
+    ids, weight = ins
+    gw = np.zeros_like(weight)
+    np.add.at(gw, ids.astype(np.int64).ravel(), g.reshape(-1, g.shape[-1]))
+    return [None, gw]
+
+
+_register("embedding", _embedding_fwd, _embedding_vjp)
+
+
+def _cross_entropy_fwd(logits: Array, targets: Array, attrs) -> Array:
+    flat = logits.reshape(-1, logits.shape[-1])
+    t = targets.astype(np.int64).ravel()
+    shifted = flat - flat.max(axis=-1, keepdims=True)
+    logz = np.log(np.exp(shifted).sum(axis=-1))
+    nll = logz - shifted[np.arange(flat.shape[0]), t]
+    return np.array([nll.mean()], dtype=logits.dtype)
+
+
+def _cross_entropy_vjp(g, ins, out, attrs):
+    logits, targets = ins
+    flat = logits.reshape(-1, logits.shape[-1])
+    t = targets.astype(np.int64).ravel()
+    shifted = flat - flat.max(axis=-1, keepdims=True)
+    e = np.exp(shifted)
+    p = e / e.sum(axis=-1, keepdims=True)
+    p[np.arange(flat.shape[0]), t] -= 1.0
+    p /= flat.shape[0]
+    return [(float(g.ravel()[0]) * p).reshape(logits.shape), None]
+
+
+_register("cross_entropy", _cross_entropy_fwd, _cross_entropy_vjp)
+
+
+def _mse_fwd(a: Array, b: Array, attrs) -> Array:
+    return np.array([((a - b) ** 2).mean()], dtype=a.dtype)
+
+
+def _mse_vjp(g, ins, out, attrs):
+    a, b = ins
+    scale = 2.0 * float(g.ravel()[0]) / a.size
+    d = scale * (a - b)
+    return [d, -d]
+
+
+_register("mse_loss", _mse_fwd, _mse_vjp)
+
+_register(
+    "reduce_mean",
+    lambda x, attrs: (
+        np.array([x.mean()], dtype=x.dtype)
+        if attrs.get("axis") is None
+        else x.mean(axis=int(attrs["axis"]))
+    ),
+    lambda g, ins, out, attrs: [
+        (
+            np.full_like(ins[0], float(g.ravel()[0]) / ins[0].size)
+            if attrs.get("axis") is None
+            else np.repeat(
+                np.expand_dims(g / ins[0].shape[int(attrs["axis"])],
+                               int(attrs["axis"])),
+                ins[0].shape[int(attrs["axis"])],
+                axis=int(attrs["axis"]),
+            )
+        )
+    ],
+)
+
+
+# ---------------------------------------------------------------------------
+# convolutional ops (im2col-based)
+# ---------------------------------------------------------------------------
+
+def _im2col(x: Array, kh: int, kw: int, stride: int, pad: int):
+    n, c, h, w = x.shape
+    oh = (h + 2 * pad - kh) // stride + 1
+    ow = (w + 2 * pad - kw) // stride + 1
+    xp = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    cols = np.empty((n, c, kh, kw, oh, ow), dtype=x.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            cols[:, :, i, j] = xp[
+                :, :, i : i + stride * oh : stride, j : j + stride * ow : stride
+            ]
+    return cols.reshape(n, c * kh * kw, oh * ow), (oh, ow, xp.shape)
+
+
+def _col2im(cols: Array, x_shape, kh, kw, stride, pad):
+    n, c, h, w = x_shape
+    oh = (h + 2 * pad - kh) // stride + 1
+    ow = (w + 2 * pad - kw) // stride + 1
+    cols = cols.reshape(n, c, kh, kw, oh, ow)
+    xp = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            xp[
+                :, :, i : i + stride * oh : stride, j : j + stride * ow : stride
+            ] += cols[:, :, i, j]
+    if pad:
+        return xp[:, :, pad:-pad, pad:-pad]
+    return xp
+
+
+def _conv2d_fwd(x: Array, w: Array, attrs) -> Array:
+    stride = int(attrs.get("stride", 1))
+    pad = int(attrs.get("padding", 0))
+    o, c, kh, kw = w.shape
+    cols, (oh, ow, _) = _im2col(x, kh, kw, stride, pad)
+    out = np.einsum("ok,nkp->nop", w.reshape(o, -1), cols)
+    return out.reshape(x.shape[0], o, oh, ow)
+
+
+def _conv2d_vjp(g, ins, out, attrs):
+    x, w = ins
+    stride = int(attrs.get("stride", 1))
+    pad = int(attrs.get("padding", 0))
+    o, c, kh, kw = w.shape
+    cols, (oh, ow, _) = _im2col(x, kh, kw, stride, pad)
+    g2 = g.reshape(x.shape[0], o, -1)
+    gw = np.einsum("nop,nkp->ok", g2, cols).reshape(w.shape)
+    gcols = np.einsum("ok,nop->nkp", w.reshape(o, -1), g2)
+    gx = _col2im(gcols, x.shape, kh, kw, stride, pad)
+    return [gx, gw]
+
+
+_register("conv2d", _conv2d_fwd, _conv2d_vjp)
+
+_BN_EPS = 1e-5
+
+
+def _batchnorm2d_fwd(x: Array, gamma: Array, beta: Array, attrs) -> Array:
+    mu = x.mean(axis=(0, 2, 3), keepdims=True)
+    var = x.var(axis=(0, 2, 3), keepdims=True)
+    xhat = (x - mu) / np.sqrt(var + _BN_EPS)
+    return gamma[None, :, None, None] * xhat + beta[None, :, None, None]
+
+
+def _batchnorm2d_vjp(g, ins, out, attrs):
+    x, gamma, beta = ins
+    axes = (0, 2, 3)
+    m = x.shape[0] * x.shape[2] * x.shape[3]
+    mu = x.mean(axis=axes, keepdims=True)
+    var = x.var(axis=axes, keepdims=True)
+    inv = 1.0 / np.sqrt(var + _BN_EPS)
+    xhat = (x - mu) * inv
+    gxhat = g * gamma[None, :, None, None]
+    gx = inv * (
+        gxhat
+        - gxhat.mean(axis=axes, keepdims=True)
+        - xhat * (gxhat * xhat).mean(axis=axes, keepdims=True)
+    )
+    ggamma = (g * xhat).sum(axis=axes)
+    gbeta = g.sum(axis=axes)
+    return [gx, ggamma, gbeta]
+
+
+_register("batchnorm2d", _batchnorm2d_fwd, _batchnorm2d_vjp)
+
+
+def _maxpool_cols(x: Array, k: int, stride: int, pad: int):
+    """im2col with -inf padding so padded cells never win the max."""
+    n, c, h, w = x.shape
+    xp = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)),
+                constant_values=-np.inf)
+    oh = (h + 2 * pad - k) // stride + 1
+    ow = (w + 2 * pad - k) // stride + 1
+    cols = np.empty((n, c, k, k, oh, ow), dtype=x.dtype)
+    for i in range(k):
+        for j in range(k):
+            cols[:, :, i, j] = xp[
+                :, :, i : i + stride * oh : stride, j : j + stride * ow : stride
+            ]
+    return cols.reshape(n, c, k * k, oh * ow), oh, ow
+
+
+def _maxpool2d_fwd(x: Array, attrs) -> Array:
+    k = int(attrs.get("kernel", 2))
+    stride = int(attrs.get("stride", k))
+    pad = int(attrs.get("padding", 0))
+    cols, oh, ow = _maxpool_cols(x, k, stride, pad)
+    return cols.max(axis=2).reshape(x.shape[0], x.shape[1], oh, ow)
+
+
+def _maxpool2d_vjp(g, ins, out, attrs):
+    x = ins[0]
+    k = int(attrs.get("kernel", 2))
+    stride = int(attrs.get("stride", k))
+    pad = int(attrs.get("padding", 0))
+    n, c, h, w = x.shape
+    flat, oh, ow = _maxpool_cols(x, k, stride, pad)
+    winners = flat.argmax(axis=2)
+    gcols = np.zeros_like(flat)
+    np.put_along_axis(
+        gcols, winners[:, :, None, :], g.reshape(n, c, 1, oh * ow), axis=2
+    )
+    gx = _col2im(
+        gcols.reshape(n, c * k * k, oh * ow), x.shape, k, k, stride, pad
+    )
+    return [gx]
+
+
+_register("maxpool2d", _maxpool2d_fwd, _maxpool2d_vjp)
+
+_register(
+    "global_avgpool",
+    lambda x, attrs: x.mean(axis=(2, 3)),
+    lambda g, ins, out, attrs: [
+        np.broadcast_to(
+            g[:, :, None, None] / (ins[0].shape[2] * ins[0].shape[3]),
+            ins[0].shape,
+        ).copy()
+    ],
+)

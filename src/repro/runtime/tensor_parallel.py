@@ -1,0 +1,175 @@
+"""Numerical simulation of Megatron-style tensor parallelism.
+
+The Megatron baseline in :mod:`repro.baselines.megatron` is a cost/memory
+policy; this module supplies the *semantic* half of the comparison: a
+rank-by-rank NumPy simulation of Megatron's two primitive layers,
+
+* **column-parallel linear** -- the weight is split along its output
+  dimension; each rank holds a shard ``A_i`` and computes ``X @ A_i^T``;
+  the shards' outputs concatenate (``f``/all-gather boundary);
+* **row-parallel linear** -- the weight is split along its input
+  dimension; each rank computes a partial product that is summed by an
+  all-reduce (``g`` boundary);
+
+and of Megatron's MLP block ``Y = RowParallel(gelu(ColumnParallel(X)))``
+where the nonlinearity is applied independently per shard (the trick that
+makes the block need only ONE allreduce per direction).  Tests assert the
+simulated multi-rank computation -- forward, backward, and weight-shard
+gradients -- is exactly equivalent to the dense single-device computation,
+i.e. tensor partitioning is staleness-free and exact (Table I row).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+Array = np.ndarray
+
+
+def split_columns(w: Array, world: int) -> List[Array]:
+    """Split a (out, in) weight along OUT (Megatron column parallelism)."""
+    if w.shape[0] % world:
+        raise ValueError(f"out dim {w.shape[0]} not divisible by {world}")
+    return list(np.split(w, world, axis=0))
+
+
+def split_rows(w: Array, world: int) -> List[Array]:
+    """Split a (out, in) weight along IN (Megatron row parallelism)."""
+    if w.shape[1] % world:
+        raise ValueError(f"in dim {w.shape[1]} not divisible by {world}")
+    return list(np.split(w, world, axis=1))
+
+
+@dataclass
+class ShardResult:
+    """Output of a simulated multi-rank forward/backward."""
+
+    output: Array
+    grad_input: Array
+    weight_grads: List[Array]
+
+    def gathered_weight_grad(self, axis: int) -> Array:
+        return np.concatenate(self.weight_grads, axis=axis)
+
+
+def column_parallel_linear(
+    x: Array, w_shards: List[Array], grad_out: Array
+) -> ShardResult:
+    """Forward + backward of a column-parallel linear over all ranks.
+
+    Forward: rank i computes ``x @ w_i^T``; outputs concatenate on the
+    feature axis.  Backward: each rank gets its slice of ``grad_out``;
+    input gradients all-reduce (sum) across ranks.
+    """
+    world = len(w_shards)
+    outs = [x @ w.T for w in w_shards]
+    output = np.concatenate(outs, axis=-1)
+    gslices = np.split(grad_out, world, axis=-1)
+    grad_input = np.zeros_like(x)
+    weight_grads = []
+    for w, g in zip(w_shards, gslices):
+        grad_input += g @ w  # the backward allreduce
+        weight_grads.append(
+            g.reshape(-1, g.shape[-1]).T @ x.reshape(-1, x.shape[-1])
+        )
+    return ShardResult(output, grad_input, weight_grads)
+
+
+def row_parallel_linear(
+    x_shards: List[Array], w_shards: List[Array], grad_out: Array
+) -> ShardResult:
+    """Forward + backward of a row-parallel linear over all ranks.
+
+    Forward: rank i computes ``x_i @ w_i^T``; partial outputs all-reduce
+    (sum).  Backward: every rank receives the full ``grad_out``; input
+    grads stay sharded (returned concatenated for comparison).
+    """
+    outs = [x @ w.T for x, w in zip(x_shards, w_shards)]
+    output = np.sum(outs, axis=0)  # the forward allreduce
+    grad_inputs = []
+    weight_grads = []
+    for x, w in zip(x_shards, w_shards):
+        grad_inputs.append(grad_out @ w)
+        weight_grads.append(
+            grad_out.reshape(-1, grad_out.shape[-1]).T
+            @ x.reshape(-1, x.shape[-1])
+        )
+    return ShardResult(
+        np.asarray(output), np.concatenate(grad_inputs, axis=-1), weight_grads
+    )
+
+
+def _gelu(x: Array) -> Array:
+    c = np.sqrt(2.0 / np.pi)
+    return 0.5 * x * (1.0 + np.tanh(c * (x + 0.044715 * x**3)))
+
+
+def _gelu_grad(x: Array) -> Array:
+    c = np.sqrt(2.0 / np.pi)
+    t = np.tanh(c * (x + 0.044715 * x**3))
+    dt = (1.0 - t**2) * c * (1.0 + 3 * 0.044715 * x**2)
+    return 0.5 * (1.0 + t) + 0.5 * x * dt
+
+
+def megatron_mlp_dense(x: Array, a: Array, b: Array) -> Array:
+    """Reference single-device MLP: ``gelu(x @ A^T) @ B^T``."""
+    return _gelu(x @ a.T) @ b.T
+
+
+def megatron_mlp_parallel(
+    x: Array, a: Array, b: Array, world: int, grad_out: Array
+) -> Tuple[Array, Array, Array, Array]:
+    """Simulate the t-way Megatron MLP block end to end.
+
+    ``A`` is column-split, ``B`` row-split; gelu applies per shard with no
+    communication.  Returns (output, grad_x, grad_A, grad_B) assembled
+    from the per-rank pieces.
+    """
+    a_shards = split_columns(a, world)
+    b_shards = split_rows(b, world)
+
+    # forward, keeping intermediates sharded
+    h_shards = [x @ ai.T for ai in a_shards]           # (.., ffn/world) each
+    z_shards = [_gelu(h) for h in h_shards]
+    partial = [z @ bi.T for z, bi in zip(z_shards, b_shards)]
+    output = np.sum(partial, axis=0)                   # g: forward allreduce
+
+    # backward
+    grad_b_shards = []
+    grad_z_shards = []
+    for z, bi in zip(z_shards, b_shards):
+        grad_b_shards.append(
+            grad_out.reshape(-1, grad_out.shape[-1]).T
+            @ z.reshape(-1, z.shape[-1])
+        )
+        grad_z_shards.append(grad_out @ bi)
+    grad_a_shards = []
+    grad_x = np.zeros_like(x)
+    for h, gz, ai in zip(h_shards, grad_z_shards, a_shards):
+        gh = gz * _gelu_grad(h)
+        grad_a_shards.append(
+            gh.reshape(-1, gh.shape[-1]).T @ x.reshape(-1, x.shape[-1])
+        )
+        grad_x += gh @ ai                              # f: backward allreduce
+
+    grad_a = np.concatenate(grad_a_shards, axis=0)
+    grad_b = np.concatenate(grad_b_shards, axis=1)
+    return np.asarray(output), grad_x, grad_a, grad_b
+
+
+def megatron_mlp_dense_grads(
+    x: Array, a: Array, b: Array, grad_out: Array
+) -> Tuple[Array, Array, Array, Array]:
+    """Reference gradients of the dense MLP (for equivalence tests)."""
+    h = x @ a.T
+    z = _gelu(h)
+    output = z @ b.T
+    grad_b = grad_out.reshape(-1, grad_out.shape[-1]).T @ z.reshape(-1, z.shape[-1])
+    grad_z = grad_out @ b
+    grad_h = grad_z * _gelu_grad(h)
+    grad_a = grad_h.reshape(-1, grad_h.shape[-1]).T @ x.reshape(-1, x.shape[-1])
+    grad_x = grad_h @ a
+    return output, grad_x, grad_a, grad_b

@@ -1,0 +1,86 @@
+"""Shared fixtures: small graphs, clusters and profilers used across the
+test suite."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.hardware import paper_cluster, tiny_cluster
+from repro.models import (
+    BertConfig,
+    ResNetConfig,
+    build_bert,
+    build_diamond,
+    build_fig2_example,
+    build_mlp,
+    build_resnet,
+)
+from repro.profiler import GraphProfiler
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def mlp_graph():
+    return build_mlp((16, 32, 32, 8))
+
+
+@pytest.fixture
+def diamond_graph():
+    return build_diamond(width=16)
+
+
+@pytest.fixture
+def fig2_graph():
+    return build_fig2_example(dim=8)
+
+
+@pytest.fixture
+def tiny_bert_config():
+    return BertConfig(
+        hidden_size=32, num_layers=2, num_heads=4, seq_len=16, vocab_size=101
+    )
+
+
+@pytest.fixture
+def tiny_bert(tiny_bert_config):
+    return build_bert(tiny_bert_config)
+
+
+@pytest.fixture
+def tiny_resnet():
+    return build_resnet(
+        ResNetConfig(depth=50, width_factor=1, image_size=32, num_classes=10)
+    )
+
+
+@pytest.fixture
+def cluster():
+    return paper_cluster()
+
+
+@pytest.fixture
+def small_cluster():
+    return tiny_cluster(num_nodes=1, devices_per_node=4,
+                        memory_bytes=2 * 1024**3)
+
+
+@pytest.fixture
+def bert_profiler(tiny_bert, cluster):
+    return GraphProfiler(tiny_bert, cluster)
+
+
+def chain_graph(n_layers: int = 6, width: int = 8):
+    """A configurable linear chain used by property tests."""
+    b = GraphBuilder(f"chain{n_layers}")
+    x = b.input("x", (1, width))
+    h = x
+    for i in range(n_layers):
+        h = b.linear(h, width, name=f"fc{i}")
+        h = b.op("relu", [h], name=f"act{i}")
+    y = b.input("y", (1, width))
+    loss = b.op("mse_loss", [h, y], name="loss")
+    return b.finish([loss])

@@ -1,0 +1,63 @@
+"""Tests for the ASCII chart rendering."""
+
+import pytest
+
+from repro.experiments.charts import bar_chart, series_chart
+from repro.experiments.runner import SweepRow
+
+
+@pytest.fixture
+def rows():
+    return [
+        SweepRow("m1", "rannc", 0.3, True, 100.0),
+        SweepRow("m1", "gpipe", 0.3, True, 50.0),
+        SweepRow("m1", "dp", 0.3, False),
+        SweepRow("m2", "rannc", 1.0, True, 10.0),
+        SweepRow("m2", "gpipe", 1.0, True, 9.0),
+        SweepRow("m2", "dp", 1.0, False),
+    ]
+
+
+class TestBarChart:
+    def test_contains_everything(self, rows):
+        text = bar_chart(rows, "Fig. X")
+        assert "Fig. X" in text
+        assert "m1" in text and "m2" in text
+        assert "OOM" in text
+        assert "100.0" in text
+
+    def test_bars_proportional(self, rows):
+        text = bar_chart(rows, width=40)
+        bar_lengths = [l.count("#") for l in text.splitlines() if "|" in l]
+        assert max(bar_lengths) == 40  # the best bar fills the width
+        # gpipe m1 (50.0) gets half the best bar
+        gpipe_m1 = next(
+            l for l in text.splitlines() if l.strip().startswith("gpipe")
+        )
+        assert gpipe_m1.count("#") == 20
+
+    def test_every_feasible_bar_nonempty(self, rows):
+        text = bar_chart(rows, width=30)
+        for line in text.splitlines():
+            if "|" in line and "OOM" not in line:
+                assert "#" in line
+
+    def test_framework_filter(self, rows):
+        text = bar_chart(rows, frameworks=["rannc"])
+        assert "gpipe" not in text
+
+
+class TestSeriesChart:
+    def test_basic(self):
+        text = series_chart([0.75, 0.5, 0.25], ["MB=1", "MB=2", "MB=4"],
+                            "bubble")
+        assert "bubble" in text and "MB=4" in text
+        assert text.splitlines()[1].count("#") > text.splitlines()[3].count("#")
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            series_chart([1.0], ["a", "b"])
+
+    def test_zero_values(self):
+        text = series_chart([0.0, 0.0], ["a", "b"])
+        assert "a" in text

@@ -1,0 +1,69 @@
+"""Unit tests for the extension experiment harnesses (reduced configs;
+the full sweeps live in benchmarks/)."""
+
+import pytest
+
+from repro.experiments.gpt_extension import run_gpt_extension
+from repro.experiments.sensitivity import (
+    format_sensitivity,
+    run_bandwidth_sensitivity,
+    run_memory_sensitivity,
+)
+from repro.experiments.staleness_demo import format_staleness, run_staleness_demo
+
+
+class TestGPTExtension:
+    def test_small_family(self):
+        rows = run_gpt_extension(
+            family=[("tiny", 128, 2, 4)], batch_size=32, seq_len=64,
+        )
+        assert {r.framework for r in rows} == {"data_parallel", "rannc"}
+        rannc = [r for r in rows if r.framework == "rannc"][0]
+        assert rannc.feasible and rannc.throughput > 0
+
+
+class TestSensitivity:
+    def test_memory_sweep_small(self):
+        rows = run_memory_sensitivity(
+            memory_gib=(16, 64), hidden_size=512, num_layers=12,
+            batch_size=64,
+        )
+        assert len(rows) == 2
+        assert all(r.feasible for r in rows)
+        text = format_sensitivity(rows, "sweep")
+        assert "sweep" in text and "GiB" in text
+
+    def test_infeasible_rendered(self):
+        rows = run_memory_sensitivity(
+            memory_gib=(0.05,), hidden_size=1024, num_layers=24,
+            batch_size=256,
+        )
+        assert not rows[0].feasible
+        assert "INFEASIBLE" in format_sensitivity(rows)
+
+    def test_bandwidth_sweep_small(self):
+        rows = run_bandwidth_sensitivity(
+            bandwidths_gbps=(25,), hidden_size=512, num_layers=12,
+            batch_size=64,
+        )
+        assert rows[0].feasible
+
+
+class TestStalenessDemo:
+    def test_small_run(self):
+        rows = run_staleness_demo(
+            learning_rates=(0.1,), delays=(0, 2), steps=10,
+        )
+        assert len(rows) == 1
+        tails = rows[0].tail_by_delay()
+        assert set(tails) == {0, 2}
+        assert "delay=0" in format_staleness(rows)
+
+    def test_sync_never_worse(self):
+        # the full default horizon: the monotone-degradation law needs
+        # enough steps for staleness effects to accumulate
+        rows = run_staleness_demo(
+            learning_rates=(0.3,), delays=(0, 4), steps=40,
+        )
+        tails = rows[0].tail_by_delay()
+        assert tails[0] <= tails[4] + 1e-9

@@ -1,0 +1,146 @@
+"""Tests for the tracing builder, structural validation and JSON
+round-tripping."""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.ir import DataType, TaskNode, ValueKind, ValueNode
+from repro.graph.serialize import graph_from_json, graph_to_json
+from repro.graph.validate import GraphValidationError, validate_graph
+
+
+class TestBuilder:
+    def test_shapes_inferred(self):
+        b = GraphBuilder("t")
+        x = b.input("x", (1, 8))
+        h = b.linear(x, 16, name="fc")
+        assert h.shape == (1, 16)
+        assert b.graph.values["fc.weight"].shape == (16, 8)
+
+    def test_param_not_batched(self):
+        b = GraphBuilder("t")
+        w = b.param("w", (4, 4))
+        assert not w.batched
+        assert b.graph.values["w"].kind is ValueKind.PARAM
+
+    def test_batched_propagation(self):
+        b = GraphBuilder("t")
+        w = b.param("w", (4, 4))
+        wt = b.op("transpose", [w])
+        assert not wt.batched  # constant chain stays unbatched
+        x = b.input("x", (1, 4))
+        h = b.op("matmul", [x, wt])
+        assert h.batched
+
+    def test_dtype_propagation(self):
+        b = GraphBuilder("t")
+        ids = b.input("ids", (1, 4), DataType.INT64)
+        w = b.param("emb", (10, 8))
+        out = b.op("embedding", [ids, w])
+        assert out.dtype is DataType.FLOAT32
+
+    def test_arity_checked(self):
+        b = GraphBuilder("t")
+        x = b.input("x", (1, 4))
+        with pytest.raises(ValueError, match="expects 2 inputs"):
+            b.op("matmul", [x])
+
+    def test_fresh_names_unique(self):
+        b = GraphBuilder("t")
+        x = b.input("x", (1, 4))
+        a = b.op("relu", [x])
+        c = b.op("relu", [a])
+        assert len({t for t in b.graph.tasks}) == 2
+
+    def test_layernorm_helper(self):
+        b = GraphBuilder("t")
+        x = b.input("x", (1, 4, 8))
+        h = b.layernorm(x, name="ln")
+        assert h.shape == (1, 4, 8)
+        assert b.graph.values["ln.gamma"].shape == (8,)
+
+    def test_conv_helpers(self):
+        b = GraphBuilder("t")
+        x = b.input("x", (1, 3, 8, 8))
+        h = b.conv2d(x, 4, kernel=3, padding=1, name="c")
+        h = b.batchnorm2d(h, name="bn")
+        assert h.shape == (1, 4, 8, 8)
+
+    def test_finish_marks_outputs(self):
+        b = GraphBuilder("t")
+        x = b.input("x", (1, 4))
+        h = b.op("relu", [x])
+        g = b.finish([h])
+        assert g.output_names == [h.name]
+
+
+class TestValidate:
+    def test_valid_models_pass(self, mlp_graph, diamond_graph, fig2_graph,
+                               tiny_bert, tiny_resnet):
+        for g in (mlp_graph, diamond_graph, fig2_graph, tiny_bert, tiny_resnet):
+            validate_graph(g)
+
+    def test_missing_output_rejected(self):
+        b = GraphBuilder("t")
+        x = b.input("x", (1, 4))
+        b.op("relu", [x])
+        with pytest.raises(GraphValidationError, match="no outputs"):
+            validate_graph(b.graph)
+
+    def test_batched_param_rejected(self, mlp_graph):
+        mlp_graph.values["fc0.weight"].batched = True
+        with pytest.raises(GraphValidationError, match="is batched"):
+            validate_graph(mlp_graph)
+
+    def test_corrupted_shape_rejected(self, mlp_graph):
+        mlp_graph.values["fc0.out"].shape = (1, 999)
+        with pytest.raises(GraphValidationError, match="inferred"):
+            validate_graph(mlp_graph)
+
+    def test_unknown_op_rejected(self, mlp_graph):
+        mlp_graph.tasks["act0"].op_type = "mystery"
+        with pytest.raises(GraphValidationError, match="unknown op"):
+            validate_graph(mlp_graph)
+
+    def test_non_topological_order_rejected(self):
+        # hand-build a graph whose insertion order breaks topology
+        from repro.graph.ir import TaskGraph
+
+        g = TaskGraph("bad")
+        g.add_value(ValueNode("x", (1, 4), kind=ValueKind.INPUT))
+        g.add_value(ValueNode("a", (1, 4)))
+        g.add_value(ValueNode("c", (1, 4)))
+        g.add_task(TaskNode("second", "relu", ["a"], ["c"]))
+        g.add_task(TaskNode("first", "relu", ["x"], ["a"]))
+        g.mark_output("c")
+        with pytest.raises(GraphValidationError, match="topological"):
+            validate_graph(g)
+
+
+class TestSerialize:
+    def test_roundtrip_small(self, mlp_graph):
+        g2 = graph_from_json(graph_to_json(mlp_graph))
+        validate_graph(g2)
+        assert list(g2.tasks) == list(mlp_graph.tasks)
+        assert g2.output_names == mlp_graph.output_names
+        for name, v in mlp_graph.values.items():
+            v2 = g2.values[name]
+            assert (v2.shape, v2.dtype, v2.kind, v2.batched) == (
+                v.shape, v.dtype, v.kind, v.batched
+            )
+
+    def test_roundtrip_bert(self, tiny_bert):
+        g2 = graph_from_json(graph_to_json(tiny_bert))
+        validate_graph(g2)
+        assert g2.num_parameters() == tiny_bert.num_parameters()
+        assert json_stable(tiny_bert)
+
+    def test_attrs_preserved(self, tiny_resnet):
+        g2 = graph_from_json(graph_to_json(tiny_resnet))
+        assert g2.tasks["stem.conv"].attrs == {"stride": 2, "padding": 3}
+
+
+def json_stable(graph) -> bool:
+    a = graph_to_json(graph)
+    b = graph_to_json(graph_from_json(a))
+    return a == b

@@ -1,0 +1,157 @@
+"""Unit tests for the task-graph IR core."""
+
+import pytest
+
+from repro.graph.ir import (
+    DataType,
+    TaskGraph,
+    TaskNode,
+    ValueKind,
+    ValueNode,
+    human_size,
+)
+
+
+def _simple_graph():
+    g = TaskGraph("g")
+    g.add_value(ValueNode("x", (1, 4), kind=ValueKind.INPUT))
+    g.add_value(ValueNode("w", (4, 4), kind=ValueKind.PARAM, batched=False))
+    g.add_value(ValueNode("h", (1, 4)))
+    g.add_task(TaskNode("mm", "matmul", ["x", "w"], ["h"]))
+    g.mark_output("h")
+    return g
+
+
+class TestValueNode:
+    def test_numel_batched(self):
+        v = ValueNode("v", (1, 8, 4), batched=True)
+        assert v.numel(1) == 32
+        assert v.numel(5) == 160
+
+    def test_numel_unbatched(self):
+        v = ValueNode("w", (8, 4), batched=False)
+        assert v.numel(5) == 32
+
+    def test_nbytes_dtype(self):
+        v = ValueNode("v", (2, 2), dtype=DataType.FLOAT16)
+        assert v.nbytes(1) == 8
+        v64 = ValueNode("i", (2, 2), dtype=DataType.INT64)
+        assert v64.nbytes(1) == 32
+
+    def test_is_leaf(self):
+        g = _simple_graph()
+        assert g.values["x"].is_leaf()
+        assert g.values["w"].is_leaf()
+        assert not g.values["h"].is_leaf()
+
+
+class TestDataType:
+    @pytest.mark.parametrize(
+        "dtype,size",
+        [
+            (DataType.FLOAT32, 4),
+            (DataType.FLOAT16, 2),
+            (DataType.INT64, 8),
+            (DataType.BOOL, 1),
+        ],
+    )
+    def test_itemsize(self, dtype, size):
+        assert dtype.itemsize == size
+
+
+class TestTaskGraph:
+    def test_duplicate_value_rejected(self):
+        g = TaskGraph()
+        g.add_value(ValueNode("x", (1,)))
+        with pytest.raises(ValueError, match="duplicate value"):
+            g.add_value(ValueNode("x", (1,)))
+
+    def test_duplicate_task_rejected(self):
+        g = _simple_graph()
+        with pytest.raises(ValueError, match="duplicate task"):
+            g.add_task(TaskNode("mm", "matmul", ["x", "w"], ["h"]))
+
+    def test_unknown_input_rejected(self):
+        g = TaskGraph()
+        g.add_value(ValueNode("out", (1,)))
+        with pytest.raises(ValueError, match="unknown value"):
+            g.add_task(TaskNode("t", "relu", ["nope"], ["out"]))
+
+    def test_two_producers_rejected(self):
+        g = _simple_graph()
+        g.add_value(ValueNode("x2", (1, 4), kind=ValueKind.INPUT))
+        with pytest.raises(ValueError, match="two producers"):
+            g.add_task(TaskNode("mm2", "matmul", ["x2", "w"], ["h"]))
+
+    def test_consumers_tracked(self):
+        g = _simple_graph()
+        assert g.values["x"].consumers == ["mm"]
+        assert [t.name for t in g.consumers_of("x")] == ["mm"]
+        assert g.producer_of("h").name == "mm"
+        assert g.producer_of("x") is None
+
+    def test_inputs_outputs(self):
+        g = _simple_graph()
+        assert [v.name for v in g.inputs] == ["x"]
+        assert [v.name for v in g.outputs] == ["h"]
+        assert g.values["h"].kind is ValueKind.OUTPUT
+
+    def test_num_parameters(self):
+        g = _simple_graph()
+        assert g.num_parameters() == 16
+        assert g.parameter_bytes() == 64
+
+    def test_iter_edges(self, mlp_graph):
+        edges = list(mlp_graph.iter_edges())
+        assert ("fc0", "act0") in edges
+        assert all(a in mlp_graph.tasks and b in mlp_graph.tasks for a, b in edges)
+
+    def test_len_and_repr(self, mlp_graph):
+        assert len(mlp_graph) == len(mlp_graph.tasks)
+        assert "TaskGraph" in repr(mlp_graph)
+
+
+class TestBoundary:
+    def test_whole_graph_boundary(self, mlp_graph):
+        in_values, out_values = mlp_graph.boundary_values(list(mlp_graph.tasks))
+        in_names = set(in_values)
+        assert "x" in in_names and "y" in in_names
+        assert out_values == ["loss.out"]
+
+    def test_prefix_boundary(self, mlp_graph):
+        in_values, out_values = mlp_graph.boundary_values(["fc0", "act0"])
+        assert "x" in in_values
+        assert out_values == ["act0.out"]
+
+    def test_cut_bytes_excludes_params(self, mlp_graph):
+        in_bytes, out_bytes = mlp_graph.cut_bytes(["fc0"], batch_size=2)
+        # input x is (1,16) fp32 batched: 2*16*4 bytes; weights excluded
+        assert in_bytes == 2 * 16 * 4
+        assert out_bytes == 2 * 32 * 4
+
+
+class TestExtractSubgraph:
+    def test_extract_prefix(self, mlp_graph):
+        sub = mlp_graph.extract_subgraph(["fc0", "act0"])
+        assert set(sub.tasks) == {"fc0", "act0"}
+        assert "x" in sub.input_names
+        assert sub.output_names == ["act0.out"]
+        # params keep their kind
+        assert sub.values["fc0.weight"].kind is ValueKind.PARAM
+
+    def test_extract_suffix_inputs_are_activations_turned_inputs(self, mlp_graph):
+        tasks = [t for t in mlp_graph.tasks if t not in ("fc0", "act0")]
+        sub = mlp_graph.extract_subgraph(tasks)
+        assert sub.values["act0.out"].kind is ValueKind.INPUT
+
+    def test_extract_preserves_shapes(self, mlp_graph):
+        sub = mlp_graph.extract_subgraph(list(mlp_graph.tasks))
+        for name, v in sub.values.items():
+            assert v.shape == mlp_graph.values[name].shape
+
+
+def test_human_size():
+    assert human_size(0) == "0 B"
+    assert human_size(512) == "512.00 B"
+    assert human_size(2048) == "2.00 KiB"
+    assert human_size(3 * 1024**3) == "3.00 GiB"

@@ -1,0 +1,190 @@
+"""Unit tests for the operator registry: shape inference + FLOP formulas."""
+
+import pytest
+
+from repro.graph.ops import OpSpec, registry
+
+
+def infer(op, shapes, attrs=None):
+    return registry.infer_shapes(op, shapes, attrs or {})
+
+
+class TestMatmul:
+    def test_2d(self):
+        assert infer("matmul", [(3, 4), (4, 5)]) == [(3, 5)]
+
+    def test_batched_lhs(self):
+        assert infer("matmul", [(1, 8, 4), (4, 5)]) == [(1, 8, 5)]
+
+    def test_batched_both(self):
+        assert infer("matmul", [(2, 16, 8, 4), (2, 16, 4, 8)]) == [(2, 16, 8, 8)]
+
+    def test_broadcast_leading(self):
+        assert infer("matmul", [(1, 16, 8, 4), (1, 1, 4, 8)]) == [(1, 16, 8, 8)]
+
+    def test_inner_mismatch(self):
+        with pytest.raises(ValueError, match="inner-dim"):
+            infer("matmul", [(3, 4), (5, 6)])
+
+    def test_flops(self):
+        spec = registry.get("matmul")
+        assert spec.flops([(3, 4), (4, 5)], [(3, 5)], {}) == 2 * 3 * 4 * 5
+
+
+class TestLinear:
+    def test_shapes(self):
+        assert infer("linear", [(1, 8, 16), (32, 16), (32,)]) == [(1, 8, 32)]
+
+    def test_bias_mismatch(self):
+        with pytest.raises(ValueError, match="bias"):
+            infer("linear", [(1, 16), (32, 16), (16,)])
+
+    def test_flops(self):
+        spec = registry.get("linear")
+        assert spec.flops([(1, 16), (32, 16), (32,)], [(1, 32)], {}) == 2 * 32 * 16
+
+
+class TestElementwise:
+    def test_add_broadcast(self):
+        assert infer("add", [(1, 8, 16), (16,)]) == [(1, 8, 16)]
+        assert infer("add", [(1, 8, 16), (8, 16)]) == [(1, 8, 16)]
+
+    def test_add_incompatible(self):
+        with pytest.raises(ValueError, match="broadcast"):
+            infer("add", [(1, 8), (1, 7)])
+
+    @pytest.mark.parametrize("op", ["relu", "gelu", "tanh", "sigmoid", "dropout", "softmax", "neg", "identity", "scale"])
+    def test_unary_preserves_shape(self, op):
+        assert infer(op, [(2, 3, 4)]) == [(2, 3, 4)]
+
+    def test_elementwise_flag(self):
+        assert registry.get("relu").elementwise
+        assert not registry.get("matmul").elementwise
+
+
+class TestShapeOps:
+    def test_transpose_default(self):
+        assert infer("transpose", [(3, 4, 5)]) == [(5, 4, 3)]
+
+    def test_transpose_perm(self):
+        assert infer("transpose", [(1, 8, 4, 2)], {"perm": (0, 2, 1, 3)}) == [
+            (1, 4, 8, 2)
+        ]
+
+    def test_transpose_bad_perm(self):
+        with pytest.raises(ValueError, match="perm"):
+            infer("transpose", [(3, 4)], {"perm": (0, 0)})
+
+    def test_reshape(self):
+        assert infer("reshape", [(1, 8, 16)], {"shape": (1, 8, 4, 4)}) == [
+            (1, 8, 4, 4)
+        ]
+
+    def test_reshape_infer_dim(self):
+        assert infer("reshape", [(1, 8, 16)], {"shape": (1, -1)}) == [(1, 128)]
+
+    def test_reshape_numel_mismatch(self):
+        with pytest.raises(ValueError, match="numel"):
+            infer("reshape", [(1, 8)], {"shape": (1, 9)})
+
+    def test_flatten(self):
+        assert infer("flatten", [(2, 3, 4, 5)]) == [(2, 60)]
+
+    def test_concat(self):
+        assert infer("concat", [(1, 4), (1, 6)], {"axis": 1}) == [(1, 10)]
+
+    def test_concat_mismatch(self):
+        with pytest.raises(ValueError):
+            infer("concat", [(1, 4), (2, 6)], {"axis": 1})
+
+    def test_slice_rows(self):
+        assert infer("slice_rows", [(1, 16, 8)], {"start": 0, "stop": 1}) == [
+            (1, 1, 8)
+        ]
+        with pytest.raises(ValueError):
+            infer("slice_rows", [(1, 4)], {"start": 3, "stop": 9})
+
+
+class TestEmbeddingAndLoss:
+    def test_embedding(self):
+        assert infer("embedding", [(1, 16), (100, 32)]) == [(1, 16, 32)]
+
+    def test_cross_entropy(self):
+        assert infer("cross_entropy", [(1, 16, 100), (1, 16)]) == [(1,)]
+        with pytest.raises(ValueError):
+            infer("cross_entropy", [(1, 16, 100), (1, 15)])
+
+    def test_mse(self):
+        assert infer("mse_loss", [(4, 8), (4, 8)]) == [(1,)]
+
+
+class TestConvOps:
+    def test_conv2d_basic(self):
+        assert infer(
+            "conv2d", [(1, 3, 32, 32), (8, 3, 3, 3)], {"stride": 1, "padding": 1}
+        ) == [(1, 8, 32, 32)]
+
+    def test_conv2d_stride(self):
+        assert infer(
+            "conv2d", [(1, 3, 224, 224), (64, 3, 7, 7)], {"stride": 2, "padding": 3}
+        ) == [(1, 64, 112, 112)]
+
+    def test_conv2d_channel_mismatch(self):
+        with pytest.raises(ValueError, match="channels"):
+            infer("conv2d", [(1, 3, 8, 8), (8, 4, 3, 3)])
+
+    def test_conv2d_collapse(self):
+        with pytest.raises(ValueError, match="collapsed"):
+            infer("conv2d", [(1, 3, 2, 2), (8, 3, 5, 5)])
+
+    def test_conv_flops(self):
+        spec = registry.get("conv2d")
+        ins = [(1, 3, 8, 8), (4, 3, 3, 3)]
+        outs = infer("conv2d", ins, {"stride": 1, "padding": 1})
+        assert spec.flops(ins, outs, {"stride": 1, "padding": 1}) == (
+            2 * 1 * 4 * 8 * 8 * 3 * 3 * 3
+        )
+
+    def test_batchnorm(self):
+        assert infer("batchnorm2d", [(1, 8, 4, 4), (8,), (8,)]) == [(1, 8, 4, 4)]
+
+    def test_maxpool(self):
+        assert infer(
+            "maxpool2d", [(1, 8, 32, 32)], {"kernel": 3, "stride": 2, "padding": 1}
+        ) == [(1, 8, 16, 16)]
+
+    def test_global_avgpool(self):
+        assert infer("global_avgpool", [(1, 8, 7, 7)]) == [(1, 8)]
+
+
+class TestRegistry:
+    def test_unknown_op(self):
+        with pytest.raises(KeyError, match="unknown op"):
+            registry.get("not_an_op")
+
+    def test_contains(self):
+        assert "matmul" in registry
+        assert "frobnicate" not in registry
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register(
+                OpSpec(name="matmul", infer=lambda i, a: [i[0]], flops=lambda i, o, a: 0)
+            )
+
+    def test_names_sorted(self):
+        names = registry.names()
+        assert names == sorted(names)
+        assert len(names) >= 25
+
+    def test_backward_flops_factor(self, mlp_graph):
+        fc0 = mlp_graph.tasks["fc0"]
+        fwd = registry.flops(fc0, mlp_graph, 4)
+        bwd = registry.backward_flops(fc0, mlp_graph, 4)
+        assert bwd == 2.0 * fwd
+
+    def test_batched_flop_scaling(self, mlp_graph):
+        fc0 = mlp_graph.tasks["fc0"]
+        assert registry.flops(fc0, mlp_graph, 8) == 8 * registry.flops(
+            fc0, mlp_graph, 1
+        )

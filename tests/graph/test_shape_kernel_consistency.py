@@ -1,0 +1,128 @@
+"""Consistency property: for every operator, the registry's static shape
+inference must match the shape the runtime kernel actually produces.
+
+This is the contract that keeps the profiler (which reasons statically)
+and the executor (which computes) describing the same computation; a
+mismatch would silently corrupt both memory estimates and training.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.ops import registry
+from repro.runtime import tensor as kernels
+
+RNG = np.random.default_rng(11)
+
+
+def _check(op, arrays, attrs=None):
+    attrs = dict(attrs or {})
+    inferred = registry.infer_shapes(op, [a.shape for a in arrays], attrs)
+    out = kernels.forward_kernel(op)(*arrays, attrs)
+    assert out.shape == tuple(inferred[0]), (
+        f"{op}: inferred {inferred[0]} but kernel produced {out.shape}"
+    )
+
+
+small = st.integers(min_value=1, max_value=6)
+
+
+class TestStaticVsRuntime:
+    @settings(max_examples=20, deadline=None)
+    @given(m=small, k=small, n=small)
+    def test_matmul(self, m, k, n):
+        _check("matmul", [RNG.standard_normal((m, k)),
+                          RNG.standard_normal((k, n))])
+
+    @settings(max_examples=15, deadline=None)
+    @given(b=small, s=small, din=small, dout=small)
+    def test_linear(self, b, s, din, dout):
+        _check("linear", [
+            RNG.standard_normal((b, s, din)),
+            RNG.standard_normal((dout, din)),
+            RNG.standard_normal((dout,)),
+        ])
+
+    @settings(max_examples=15, deadline=None)
+    @given(b=small, h=small)
+    def test_elementwise_broadcast(self, b, h):
+        _check("add", [RNG.standard_normal((b, 3, h)),
+                       RNG.standard_normal((h,))])
+        _check("mul", [RNG.standard_normal((b, 1, h)),
+                       RNG.standard_normal((1, 3, 1))])
+
+    @pytest.mark.parametrize(
+        "op", ["relu", "gelu", "tanh", "sigmoid", "softmax", "dropout",
+               "identity", "neg"],
+    )
+    def test_unary(self, op):
+        _check(op, [RNG.standard_normal((2, 3, 4))])
+
+    def test_layernorm(self):
+        _check("layernorm", [RNG.standard_normal((2, 5, 8)),
+                             RNG.standard_normal((8,)),
+                             RNG.standard_normal((8,))])
+
+    @settings(max_examples=10, deadline=None)
+    @given(a=small, b=small, c=small)
+    def test_transpose(self, a, b, c):
+        x = RNG.standard_normal((a, b, c))
+        for perm in [(0, 1, 2), (2, 1, 0), (1, 0, 2), (0, 2, 1)]:
+            _check("transpose", [x], {"perm": perm})
+
+    def test_reshape(self):
+        x = RNG.standard_normal((2, 3, 4))
+        _check("reshape", [x], {"shape": (2, 12), "_batched": False})
+        _check("reshape", [x], {"shape": (2, 2, 6), "_batched": False})
+
+    def test_flatten_concat_slice(self):
+        _check("flatten", [RNG.standard_normal((2, 3, 4, 5))])
+        _check("concat", [RNG.standard_normal((2, 3)),
+                          RNG.standard_normal((2, 5))], {"axis": 1})
+        _check("slice_rows", [RNG.standard_normal((2, 6, 3))],
+               {"start": 1, "stop": 4})
+
+    @settings(max_examples=10, deadline=None)
+    @given(b=small, s=small)
+    def test_embedding(self, b, s):
+        ids = RNG.integers(0, 7, (b, s))
+        _check("embedding", [ids, RNG.standard_normal((7, 4))])
+
+    def test_losses(self):
+        logits = RNG.standard_normal((3, 5))
+        targets = RNG.integers(0, 5, (3,))
+        _check("cross_entropy", [logits, targets])
+        _check("mse_loss", [RNG.standard_normal((3, 4)),
+                            RNG.standard_normal((3, 4))])
+        _check("reduce_mean", [RNG.standard_normal((3, 4))])
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        cin=st.integers(min_value=1, max_value=4),
+        cout=st.integers(min_value=1, max_value=4),
+        size=st.integers(min_value=5, max_value=10),
+        stride=st.integers(min_value=1, max_value=2),
+        pad=st.integers(min_value=0, max_value=1),
+    )
+    def test_conv2d(self, cin, cout, size, stride, pad):
+        kernel = 3
+        if size + 2 * pad < kernel:
+            return
+        _check(
+            "conv2d",
+            [RNG.standard_normal((2, cin, size, size)),
+             RNG.standard_normal((cout, cin, kernel, kernel))],
+            {"stride": stride, "padding": pad},
+        )
+
+    def test_pooling_and_norm(self):
+        x = RNG.standard_normal((2, 3, 8, 8))
+        _check("batchnorm2d", [x, RNG.standard_normal(3),
+                               RNG.standard_normal(3)])
+        _check("maxpool2d", [x], {"kernel": 3, "stride": 2, "padding": 1})
+        _check("global_avgpool", [x])
+
+    def test_scale(self):
+        _check("scale", [RNG.standard_normal((3, 3))], {"factor": 0.5})

@@ -1,0 +1,102 @@
+"""Tests for device/cluster specs and communication cost formulas."""
+
+import pytest
+
+from repro.hardware import (
+    ClusterSpec,
+    DeviceSpec,
+    Precision,
+    V100,
+    paper_cluster,
+    single_node,
+    tiny_cluster,
+)
+
+
+class TestDeviceSpec:
+    def test_v100_constants(self):
+        assert V100.memory_bytes == 32 * 1024**3
+        assert V100.peak_flops_fp32 == pytest.approx(15.7e12)
+        assert V100.peak_flops_fp16 == pytest.approx(125e12)
+
+    def test_precision_peaks(self):
+        assert V100.peak_flops(Precision.FP32) < V100.peak_flops(Precision.AMP)
+
+    def test_usable_memory_reserve(self):
+        assert V100.usable_memory < V100.memory_bytes
+        assert V100.usable_memory == pytest.approx(
+            V100.memory_bytes * (1 - V100.memory_reserve_fraction)
+        )
+
+    def test_matmul_time_scales(self):
+        t1 = V100.matmul_time(1e12, Precision.FP32)
+        t2 = V100.matmul_time(2e12, Precision.FP32)
+        assert t2 == pytest.approx(2 * t1)
+        assert V100.matmul_time(1e12, Precision.AMP) < t1
+
+
+class TestPrecision:
+    def test_activation_factor(self):
+        assert Precision.FP32.activation_bytes_factor == 1.0
+        assert Precision.AMP.activation_bytes_factor == 0.5
+
+
+class TestClusterSpec:
+    def test_paper_cluster_layout(self):
+        cl = paper_cluster()
+        assert cl.num_nodes == 4
+        assert cl.devices_per_node == 8
+        assert cl.total_devices == 32
+        assert cl.intra_node_bandwidth == 25.0e9
+        assert cl.inter_node_bandwidth == 12.5e9  # 100 Gb/s
+
+    def test_single_node(self):
+        assert single_node().total_devices == 8
+
+    def test_node_of(self):
+        cl = paper_cluster()
+        assert cl.node_of(0) == 0
+        assert cl.node_of(7) == 0
+        assert cl.node_of(8) == 1
+        assert cl.node_of(31) == 3
+        with pytest.raises(ValueError):
+            cl.node_of(32)
+
+    def test_invalid_cluster(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(0, 8, V100, 1e9, 1e9)
+
+    def test_p2p_time(self):
+        cl = paper_cluster()
+        fast = cl.p2p_time(1e9, same_node=True)
+        slow = cl.p2p_time(1e9, same_node=False)
+        assert slow > fast
+        assert fast == pytest.approx(cl.comm_latency + 1e9 / 25e9)
+
+    def test_allreduce_single_rank_free(self):
+        cl = paper_cluster()
+        assert cl.allreduce_time(1e9, 1) == 0.0
+
+    def test_allreduce_ring_formula(self):
+        cl = paper_cluster()
+        t = cl.allreduce_time(1e9, 4, spans_nodes=False)
+        expected = cl.comm_latency * 6 + (2 * 3 / 4) * 1e9 / 25e9
+        assert t == pytest.approx(expected)
+
+    def test_allreduce_monotone_in_size(self):
+        cl = paper_cluster()
+        assert cl.allreduce_time(2e9, 8) > cl.allreduce_time(1e9, 8)
+
+    def test_allreduce_internode_slower(self):
+        cl = paper_cluster()
+        assert cl.allreduce_time(1e9, 8, True) > cl.allreduce_time(1e9, 8, False)
+
+    def test_scaled(self):
+        cl = paper_cluster().scaled(2)
+        assert cl.num_nodes == 2
+        assert cl.devices_per_node == 8
+        assert cl.device is V100
+
+    def test_tiny_cluster_memory(self):
+        cl = tiny_cluster(memory_bytes=1024**3)
+        assert cl.device.memory_bytes == 1024**3

@@ -1,0 +1,181 @@
+"""Tests for the model zoo: structure, parameter counts, paper configs."""
+
+import pytest
+
+from repro.graph.validate import validate_graph
+from repro.models import (
+    BertConfig,
+    GPTConfig,
+    ResNetConfig,
+    build_bert,
+    build_diamond,
+    build_fig2_example,
+    build_gpt,
+    build_mlp,
+    build_resnet,
+)
+from repro.models.configs import FIG4_HIDDEN_SIZES, FIG4_NUM_LAYERS, FIG5_RESNETS
+from repro.models.mlp import build_shared_constant
+
+
+class TestBertConfig:
+    def test_defaults_are_bert_large(self):
+        cfg = BertConfig()
+        assert cfg.hidden_size == 1024 and cfg.num_layers == 24
+        assert cfg.ffn_size == 4096
+        assert cfg.head_dim == 64
+
+    def test_head_dim_divisibility(self):
+        with pytest.raises(ValueError):
+            BertConfig(hidden_size=100, num_heads=16).head_dim
+
+    def test_paper_grid(self):
+        assert FIG4_HIDDEN_SIZES == [1024, 1536, 2048]
+        assert FIG4_NUM_LAYERS == [24, 48, 96, 144, 192, 256]
+
+
+class TestBert:
+    def test_bert_large_param_count(self):
+        cfg = BertConfig()
+        g = build_bert(cfg)
+        # the paper quotes 340M for BERT-Large
+        assert abs(g.num_parameters() - 340e6) / 340e6 < 0.02
+        assert g.num_parameters() == cfg.approx_params()
+
+    def test_largest_paper_model(self):
+        cfg = BertConfig(hidden_size=2048, num_layers=256)
+        # 12.9B parameters claimed; closed form only (tracing is slower)
+        assert abs(cfg.approx_params() - 12.9e9) / 12.9e9 < 0.01
+
+    def test_structure(self, tiny_bert, tiny_bert_config):
+        validate_graph(tiny_bert)
+        cfg = tiny_bert_config
+        # one attention block and one FFN per layer
+        for layer in range(cfg.num_layers):
+            assert f"layer{layer}.attn.softmax" in tiny_bert.tasks
+            assert f"layer{layer}.ffn.gelu" in tiny_bert.tasks
+        assert "mlm.decoder" in tiny_bert.tasks
+        assert "nsp.loss" in tiny_bert.tasks
+
+    def test_tied_decoder_is_constant_transpose(self, tiny_bert):
+        t = tiny_bert.tasks["mlm.decoder_weight_t"]
+        assert t.op_type == "transpose"
+        assert t.inputs == ["embeddings.word"]
+        # its output is consumed by the vocabulary matmul
+        assert "mlm.decoder" in tiny_bert.values[t.outputs[0]].consumers
+
+    def test_untied_decoder(self):
+        cfg = BertConfig(
+            hidden_size=32, num_layers=1, num_heads=4, seq_len=8,
+            vocab_size=50, tie_word_embeddings=False,
+        )
+        g = build_bert(cfg)
+        assert "mlm.decoder_weight_t" not in g.tasks
+        assert "mlm.decoder.weight_t" in g.values
+
+    def test_no_nsp(self):
+        cfg = BertConfig(
+            hidden_size=32, num_layers=1, num_heads=4, seq_len=8,
+            vocab_size=50, include_nsp=False,
+        )
+        g = build_bert(cfg)
+        assert g.output_names == ["mlm.loss.out"]
+        assert "nsp.pooler" not in g.tasks
+        assert g.num_parameters() == cfg.approx_params()
+
+    def test_flops_scale_with_layers(self):
+        small = build_bert(
+            BertConfig(hidden_size=32, num_layers=2, num_heads=4, seq_len=8,
+                       vocab_size=50)
+        )
+        big = build_bert(
+            BertConfig(hidden_size=32, num_layers=4, num_heads=4, seq_len=8,
+                       vocab_size=50)
+        )
+        assert big.total_flops(1) > 1.5 * small.total_flops(1)
+
+
+class TestResNet:
+    def test_paper_sizes(self):
+        # ResNet152x8 has 3.7B params in the paper
+        g = build_resnet(ResNetConfig(depth=152, width_factor=8))
+        assert abs(g.num_parameters() - 3.7e9) / 3.7e9 < 0.02
+
+    def test_depth_block_counts(self):
+        assert ResNetConfig(depth=50).stage_blocks == (3, 4, 6, 3)
+        assert ResNetConfig(depth=101).stage_blocks == (3, 4, 23, 3)
+        assert ResNetConfig(depth=152).stage_blocks == (3, 8, 36, 3)
+        with pytest.raises(ValueError):
+            ResNetConfig(depth=34).stage_blocks
+
+    def test_structure(self, tiny_resnet):
+        validate_graph(tiny_resnet)
+        assert "stem.conv" in tiny_resnet.tasks
+        assert "head.loss" in tiny_resnet.tasks
+        # downsample shortcut on every stage's first block
+        for stage in range(4):
+            assert f"stage{stage}.block0.downsample" in tiny_resnet.tasks
+        # no downsample inside later blocks
+        assert "stage0.block1.downsample" not in tiny_resnet.tasks
+
+    def test_task_count_matches_depth(self):
+        g50 = build_resnet(ResNetConfig(depth=50, width_factor=1, image_size=64))
+        g101 = build_resnet(ResNetConfig(depth=101, width_factor=1, image_size=64))
+        assert len(g101.tasks) > len(g50.tasks)
+
+    def test_width_factor_squares_params(self):
+        g1 = build_resnet(ResNetConfig(depth=50, width_factor=1))
+        g2 = build_resnet(ResNetConfig(depth=50, width_factor=2))
+        ratio = g2.num_parameters() / g1.num_parameters()
+        assert 3.3 < ratio < 4.0  # conv params scale ~wf^2
+
+    def test_fig5_configs(self):
+        assert [c.name for c in FIG5_RESNETS] == [
+            "resnet50x8", "resnet101x8", "resnet152x8",
+        ]
+
+
+class TestGPT:
+    def test_gpt2_small_params(self):
+        g = build_gpt(GPTConfig())
+        # GPT-2 small is ~124M params (wte+wpe+12 layers)
+        assert abs(g.num_parameters() - 124e6) / 124e6 < 0.05
+
+    def test_structure(self):
+        g = build_gpt(GPTConfig(hidden_size=32, num_layers=2, num_heads=4,
+                                seq_len=8, vocab_size=50))
+        validate_graph(g)
+        assert "lm_head.weight_t" in g.tasks  # tied output projection
+        assert g.tasks["layer0.ln1"].op_type == "layernorm"  # pre-LN
+
+
+class TestToyModels:
+    def test_mlp_widths(self):
+        g = build_mlp((4, 8, 2))
+        validate_graph(g)
+        assert g.values["fc0.weight"].shape == (8, 4)
+        assert g.values["fc1.weight"].shape == (2, 8)
+
+    def test_mlp_rejects_short_widths(self):
+        with pytest.raises(ValueError):
+            build_mlp((4,))
+
+    def test_diamond_branches(self, diamond_graph):
+        validate_graph(diamond_graph)
+        merge = diamond_graph.tasks["merge"]
+        assert len(merge.inputs) == 2
+
+    def test_fig2_constant_tasks(self, fig2_graph):
+        validate_graph(fig2_graph)
+        # the two weight transposes take only params as inputs
+        for t in ("transpose_w1", "transpose_w3"):
+            task = fig2_graph.tasks[t]
+            assert all(
+                fig2_graph.values[v].producer is None for v in task.inputs
+            )
+
+    def test_shared_constant_two_consumers(self):
+        g = build_shared_constant()
+        validate_graph(g)
+        out = g.tasks["transpose_w"].outputs[0]
+        assert len(g.values[out].consumers) == 2

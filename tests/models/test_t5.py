@@ -1,0 +1,124 @@
+"""Tests for the T5 encoder-decoder model and its partitioning/execution.
+
+The encoder output fans out to every decoder layer's cross-attention, so
+these tests double as coverage for non-chain DAG handling end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.validate import validate_graph
+from repro.hardware import paper_cluster, tiny_cluster
+from repro.models import T5Config, build_t5, t5_11b
+from repro.partitioner import auto_partition
+from repro.partitioner.atomic import atomic_partition, check_atomic_invariants
+from repro.runtime import Executor, PartitionedExecutor, init_parameters
+
+
+@pytest.fixture(scope="module")
+def tiny_t5_config():
+    return T5Config(
+        hidden_size=32, num_encoder_layers=2, num_decoder_layers=2,
+        num_heads=4, enc_seq_len=12, dec_seq_len=8, vocab_size=89,
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_t5(tiny_t5_config):
+    return build_t5(tiny_t5_config)
+
+
+def t5_batch(rng, cfg, n=2):
+    return {
+        "input_ids": rng.integers(0, cfg.vocab_size, (n, cfg.enc_seq_len)),
+        "decoder_input_ids": rng.integers(0, cfg.vocab_size, (n, cfg.dec_seq_len)),
+        "encoder_mask": np.zeros((n, 1, 1, cfg.enc_seq_len)),
+        "causal_mask": np.broadcast_to(
+            np.triu(np.full((cfg.dec_seq_len, cfg.dec_seq_len), -1e9), k=1),
+            (n, 1, cfg.dec_seq_len, cfg.dec_seq_len),
+        ).copy(),
+        "cross_mask": np.zeros((n, 1, 1, cfg.enc_seq_len)),
+        "labels": rng.integers(0, cfg.vocab_size, (n, cfg.dec_seq_len)),
+    }
+
+
+class TestStructure:
+    def test_valid(self, tiny_t5):
+        validate_graph(tiny_t5)
+
+    def test_cross_attention_fanout(self, tiny_t5, tiny_t5_config):
+        """The encoder's final LN feeds every decoder layer (K and V)."""
+        memory = tiny_t5.values["encoder.final_ln.out"]
+        consumers = set(memory.consumers)
+        for i in range(tiny_t5_config.num_decoder_layers):
+            assert f"decoder.layer{i}.cross_attn.k" in consumers
+            assert f"decoder.layer{i}.cross_attn.v" in consumers
+
+    def test_shared_embedding_three_consumers(self, tiny_t5):
+        shared = tiny_t5.values["shared.embedding"]
+        assert set(shared.consumers) == {
+            "encoder.embed", "decoder.embed", "lm_head.weight_t",
+        }
+
+    def test_11b_scale(self):
+        cfg = t5_11b()
+        # closed-form-ish check via the traced small model scaled up is
+        # too slow; just assert the config matches T5-XXL's shape
+        assert cfg.hidden_size == 4096
+        assert cfg.num_encoder_layers == cfg.num_decoder_layers == 24
+
+    def test_atomic_invariants(self, tiny_t5):
+        comps = atomic_partition(tiny_t5)
+        check_atomic_invariants(tiny_t5, comps)
+
+
+class TestPartitioning:
+    def test_auto_partition(self, tiny_t5):
+        plan = auto_partition(tiny_t5, paper_cluster(), 64)
+        assert plan.throughput > 0
+        covered = set()
+        for s in plan.stages:
+            covered |= set(s.tasks)
+        assert covered == set(tiny_t5.tasks)
+
+    def test_multistage_partition_on_tight_memory(self, tiny_t5_config):
+        cfg = T5Config(
+            hidden_size=64, num_encoder_layers=4, num_decoder_layers=4,
+            num_heads=4, enc_seq_len=32, dec_seq_len=16, vocab_size=512,
+        )
+        g = build_t5(cfg)
+        cluster = tiny_cluster(num_nodes=1, devices_per_node=4,
+                               memory_bytes=6 * 1024**2)
+        plan = auto_partition(g, cluster, 16)
+        assert plan.num_stages >= 2  # forced to split encoder/decoder
+
+
+class TestExecution:
+    def test_forward_backward(self, tiny_t5, tiny_t5_config, rng):
+        ex = Executor(tiny_t5)
+        loss, grads = ex.loss_and_grads(t5_batch(rng, tiny_t5_config))
+        assert np.isfinite(loss)
+        assert "shared.embedding" in grads
+
+    def test_partitioned_equivalence_across_cross_attention(
+        self, tiny_t5, tiny_t5_config, rng
+    ):
+        """Cut the pipeline INSIDE the decoder so the encoder memory and
+        the shared embedding both cross the boundary."""
+        params = init_parameters(tiny_t5, seed=9)
+        whole = Executor(tiny_t5, params={k: v.copy() for k, v in params.items()})
+        tasks = list(tiny_t5.tasks)
+        cut = next(
+            i for i, t in enumerate(tasks) if t.startswith("decoder.layer1.")
+        )
+        part = PartitionedExecutor(
+            tiny_t5, [tasks[:cut], tasks[cut:]],
+            params={k: v.copy() for k, v in params.items()},
+            num_microbatches=2, checkpointing=True,
+        )
+        batch = t5_batch(rng, tiny_t5_config, n=4)
+        lw, gw = whole.loss_and_grads(batch)
+        lp, gp = part.loss_and_grads(batch)
+        assert lw == pytest.approx(lp, abs=1e-12)
+        for k in gw:
+            assert np.abs(gw[k] - gp[k]).max() < 1e-10

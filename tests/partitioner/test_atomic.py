@@ -1,0 +1,129 @@
+"""Tests for atomic-level partitioning (Sec. III-A)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import BertConfig, build_bert, build_diamond, build_mlp
+from repro.models.mlp import build_fig2_example, build_shared_constant
+from repro.partitioner.atomic import (
+    atomic_partition,
+    check_atomic_invariants,
+    classify_tasks,
+)
+
+
+class TestClassify:
+    def test_fig2_classification(self, fig2_graph):
+        nc = classify_tasks(fig2_graph)
+        assert not nc["transpose_w1"] and not nc["transpose_w3"]
+        assert nc["matmul_1"] and nc["add_1"] and nc["matmul_2"] and nc["loss"]
+
+    def test_all_nonconstant_in_mlp(self, mlp_graph):
+        nc = classify_tasks(mlp_graph)
+        assert all(nc.values())
+
+    def test_bert_constants_are_decoder_transpose(self, tiny_bert):
+        nc = classify_tasks(tiny_bert)
+        constants = [t for t, flag in nc.items() if not flag]
+        assert constants == ["mlm.decoder_weight_t"]
+
+
+class TestFig2Example:
+    """The paper's running example: components C1..C3 of Fig. 2(b)."""
+
+    def test_components(self, fig2_graph):
+        comps = atomic_partition(fig2_graph)
+        by_nc = {c.non_constant_task: set(c.tasks) for c in comps}
+        # transposes folded into the consuming matmuls (C2, C3)
+        assert by_nc["matmul_1"] == {"transpose_w1", "matmul_1"}
+        assert by_nc["matmul_2"] == {"transpose_w3", "matmul_2"}
+        # the add is its own component (C1)
+        assert by_nc["add_1"] == {"add_1"}
+
+    def test_invariants(self, fig2_graph):
+        comps = atomic_partition(fig2_graph)
+        check_atomic_invariants(fig2_graph, comps)
+
+
+class TestCloning:
+    def test_shared_constant_cloned(self):
+        g = build_shared_constant()
+        comps = atomic_partition(g)
+        check_atomic_invariants(g, comps)
+        owners = [c for c in comps if "transpose_w" in c.tasks]
+        assert len(owners) == 2
+        assert {o.non_constant_task for o in owners} == {"matmul_a", "matmul_b"}
+
+    def test_bert_tied_decoder_not_cloned(self, tiny_bert):
+        # single consumer: the transpose lands in exactly one component
+        comps = atomic_partition(tiny_bert)
+        owners = [c for c in comps if "mlm.decoder_weight_t" in c.tasks]
+        assert len(owners) == 1
+        assert owners[0].non_constant_task == "mlm.decoder"
+
+
+class TestInvariants:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: build_mlp((8, 16, 4)),
+            lambda: build_diamond(8),
+            lambda: build_fig2_example(4),
+            lambda: build_shared_constant(4),
+            lambda: build_bert(
+                BertConfig(hidden_size=32, num_layers=2, num_heads=4,
+                           seq_len=8, vocab_size=64)
+            ),
+        ],
+    )
+    def test_invariants_hold(self, factory):
+        g = factory()
+        comps = atomic_partition(g)
+        check_atomic_invariants(g, comps)
+
+    def test_one_component_per_nonconstant(self, tiny_bert):
+        comps = atomic_partition(tiny_bert)
+        nc = classify_tasks(tiny_bert)
+        assert len(comps) == sum(nc.values())
+
+    def test_components_topologically_indexed(self, tiny_bert):
+        comps = atomic_partition(tiny_bert)
+        order = {t: i for i, t in enumerate(tiny_bert.tasks)}
+        positions = [order[c.non_constant_task] for c in comps]
+        assert positions == sorted(positions)
+
+    def test_bert_component_count_scales_with_layers(self):
+        c2 = atomic_partition(
+            build_bert(BertConfig(hidden_size=32, num_layers=2, num_heads=4,
+                                  seq_len=8, vocab_size=64))
+        )
+        c4 = atomic_partition(
+            build_bert(BertConfig(hidden_size=32, num_layers=4, num_heads=4,
+                                  seq_len=8, vocab_size=64))
+        )
+        assert len(c4) > len(c2)
+
+    def test_errors_without_nonconstant(self):
+        from repro.graph.builder import GraphBuilder
+
+        b = GraphBuilder("const_only")
+        w = b.param("w", (4, 4))
+        wt = b.op("transpose", [w])
+        b.input("x", (1, 4))
+        g = b.graph
+        g.mark_output(wt.name)
+        with pytest.raises(ValueError, match="no non-constant"):
+            atomic_partition(g)
+
+
+@settings(max_examples=20, deadline=None)
+@given(layers=st.integers(min_value=1, max_value=5))
+def test_mlp_components_equal_tasks(layers):
+    """Property: in a graph with no constant tasks, every component is a
+    singleton and components == tasks."""
+    widths = tuple([8] * (layers + 1))
+    g = build_mlp(widths)
+    comps = atomic_partition(g)
+    assert len(comps) == len(g.tasks)
+    assert all(len(c) == 1 for c in comps)

@@ -1,0 +1,103 @@
+"""Tests for the deployment cache (plan JSON round-trip) and plan-driven
+runtime execution (PartitionedExecutor.from_plan)."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import paper_cluster, tiny_cluster
+from repro.models import BertConfig, build_bert, build_mlp
+from repro.partitioner import auto_partition
+from repro.partitioner.deployment import (
+    DeploymentMismatchError,
+    graph_fingerprint,
+    plan_from_json,
+    plan_to_json,
+)
+from repro.runtime import Executor, PartitionedExecutor, init_parameters
+
+
+@pytest.fixture(scope="module")
+def bert_setup():
+    cfg = BertConfig(hidden_size=32, num_layers=2, num_heads=4, seq_len=16,
+                     vocab_size=101)
+    graph = build_bert(cfg)
+    cluster = paper_cluster()
+    plan = auto_partition(graph, cluster, 64)
+    return cfg, graph, cluster, plan
+
+
+class TestFingerprint:
+    def test_stable(self, mlp_graph):
+        assert graph_fingerprint(mlp_graph) == graph_fingerprint(mlp_graph)
+
+    def test_sensitive_to_content(self):
+        a = graph_fingerprint(build_mlp((8, 16, 4)))
+        b = graph_fingerprint(build_mlp((8, 17, 4)))
+        assert a != b
+
+
+class TestRoundTrip:
+    def test_plan_preserved(self, bert_setup):
+        _, graph, cluster, plan = bert_setup
+        text = plan_to_json(plan, graph)
+        restored = plan_from_json(text, graph, cluster)
+        assert restored.num_stages == plan.num_stages
+        assert restored.num_microbatches == plan.num_microbatches
+        assert restored.replica_factor == plan.replica_factor
+        assert restored.batch_size == plan.batch_size
+        for a, b in zip(restored.stages, plan.stages):
+            assert a.tasks == b.tasks
+            assert a.devices_per_pipeline == b.devices_per_pipeline
+            assert a.profile.time_fwd == pytest.approx(b.profile.time_fwd)
+        # throughput re-evaluated identically
+        assert restored.throughput == pytest.approx(plan.throughput)
+
+    def test_wrong_graph_rejected(self, bert_setup):
+        _, graph, cluster, plan = bert_setup
+        text = plan_to_json(plan, graph)
+        other = build_mlp((8, 16, 4))
+        with pytest.raises(DeploymentMismatchError, match="different model"):
+            plan_from_json(text, other, cluster)
+
+    def test_wrong_cluster_rejected(self, bert_setup):
+        _, graph, cluster, plan = bert_setup
+        text = plan_to_json(plan, graph)
+        with pytest.raises(DeploymentMismatchError, match="cluster"):
+            plan_from_json(text, graph, tiny_cluster())
+
+    def test_corrupt_version_rejected(self, bert_setup):
+        _, graph, cluster, plan = bert_setup
+        text = plan_to_json(plan, graph).replace('"version": 1', '"version": 9')
+        with pytest.raises(DeploymentMismatchError, match="version"):
+            plan_from_json(text, graph, cluster)
+
+
+class TestFromPlan:
+    def test_plan_execution_matches_whole_graph(self, bert_setup, rng):
+        """End-to-end: the REAL partitioner's plan, executed by the REAL
+        runtime, equals whole-graph execution."""
+        cfg, graph, cluster, plan = bert_setup
+        params = init_parameters(graph, seed=11)
+        whole = Executor(graph, params={k: v.copy() for k, v in params.items()})
+        pe = PartitionedExecutor.from_plan(
+            graph, plan, params={k: v.copy() for k, v in params.items()}
+        )
+        n = plan.num_microbatches * 2
+        batch = {
+            "input_ids": rng.integers(0, cfg.vocab_size, (n, cfg.seq_len)),
+            "token_type_ids": rng.integers(0, 2, (n, cfg.seq_len)),
+            "attention_mask": np.zeros((n, 1, 1, cfg.seq_len)),
+            "mlm_labels": rng.integers(0, cfg.vocab_size, (n, cfg.seq_len)),
+            "nsp_labels": rng.integers(0, 2, (n,)),
+        }
+        lw, gw = whole.loss_and_grads(batch)
+        lp, gp = pe.loss_and_grads(batch)
+        assert lw == pytest.approx(lp, abs=1e-10)
+        for k in gw:
+            assert np.abs(gw[k] - gp[k]).max() < 1e-9
+
+    def test_from_plan_respects_microbatches(self, bert_setup):
+        _, graph, _, plan = bert_setup
+        pe = PartitionedExecutor.from_plan(graph, plan)
+        assert pe.num_microbatches == plan.num_microbatches
+        assert pe.checkpointing == (plan.num_stages > 1)

@@ -1,0 +1,174 @@
+"""Tests for Algorithm 2 (form_stage), device allocation, plans and the
+auto_partition public API."""
+
+import pytest
+
+from repro.hardware import Precision, paper_cluster, tiny_cluster
+from repro.models import BertConfig, build_bert, build_mlp, build_resnet
+from repro.models.configs import ResNetConfig
+from repro.partitioner import PartitioningError, auto_partition
+from repro.partitioner.allocation import allocate_devices
+from repro.partitioner.atomic import atomic_partition
+from repro.partitioner.blocks import block_partition
+from repro.partitioner.search import form_stage
+from repro.partitioner.stage_dp import DPContext
+from repro.profiler import GraphProfiler
+
+
+def make_ctx(graph, cluster, batch_size, k=8):
+    profiler = GraphProfiler(graph, cluster)
+    blocks = block_partition(graph, atomic_partition(graph), profiler,
+                             num_blocks=k)
+    return DPContext(graph, blocks, profiler, batch_size)
+
+
+class TestFormStage:
+    def test_small_model_single_node(self):
+        cluster = tiny_cluster(num_nodes=2, devices_per_node=2,
+                               memory_bytes=1024**3)
+        g = build_mlp((32, 64, 64, 16))
+        ctx = make_ctx(g, cluster, 16)
+        result = form_stage(ctx, 2, 2, 16)
+        assert result is not None
+        # tiny model: one pipeline per node, replicated across nodes
+        assert result.num_pipeline_nodes == 1
+        assert result.replica_factor == 2
+        assert sum(result.solution.device_counts) == 2
+
+    def test_escalates_nodes_when_memory_tight(self):
+        # model too big for one node's devices but fits across two
+        cluster = tiny_cluster(num_nodes=2, devices_per_node=2,
+                               memory_bytes=36 * 1024**2)
+        g = build_mlp((256, 1024, 1024, 1024, 1024, 256))
+        ctx = make_ctx(g, cluster, 8)
+        result = form_stage(ctx, 2, 2, 8)
+        assert result is not None
+        assert result.num_pipeline_nodes == 2
+        assert result.replica_factor == 1
+        assert result.solution.num_stages >= 3
+
+    def test_infeasible_returns_none(self):
+        cluster = tiny_cluster(num_nodes=1, devices_per_node=2,
+                               memory_bytes=1024**2)
+        g = build_mlp((256, 1024, 1024, 256))
+        ctx = make_ctx(g, cluster, 8)
+        assert form_stage(ctx, 1, 2, 8) is None
+
+    def test_strict_pseudocode_mode(self):
+        cluster = tiny_cluster(num_nodes=1, devices_per_node=4,
+                               memory_bytes=1024**3)
+        g = build_mlp((32, 64, 64, 64, 16))
+        ctx = make_ctx(g, cluster, 16)
+        strict = form_stage(ctx, 1, 4, 16, search_all_stage_counts=False)
+        full = form_stage(ctx, 1, 4, 16, search_all_stage_counts=True)
+        assert strict is not None and full is not None
+        # strict returns the first feasible S: never more stages than full
+        assert strict.num_stages <= full.num_stages
+        # the full search is at least as good
+        assert (
+            full.solution.estimated_iteration_time()
+            <= strict.solution.estimated_iteration_time() + 1e-12
+        )
+
+    def test_max_microbatches_cap(self):
+        cluster = tiny_cluster(num_nodes=1, devices_per_node=2,
+                               memory_bytes=1024**3)
+        g = build_mlp((32, 64, 16))
+        ctx = make_ctx(g, cluster, 64, k=4)
+        result = form_stage(ctx, 1, 2, 64, max_microbatches=2)
+        assert result is not None
+        assert result.solution.num_microbatches <= 2
+
+    def test_batch_mismatch(self):
+        cluster = tiny_cluster()
+        g = build_mlp((8, 8))
+        ctx = make_ctx(g, cluster, 8, k=2)
+        with pytest.raises(ValueError, match="batch size"):
+            form_stage(ctx, 1, 4, 16)
+
+
+class TestAllocation:
+    def test_contiguous_assignment(self):
+        cluster = paper_cluster()
+        assignment = allocate_devices(cluster, [2, 3, 3], 4)
+        assert assignment.devices_of(0, 0) == (0, 1)
+        assert assignment.devices_of(0, 1) == (2, 3, 4)
+        assert assignment.devices_of(1, 0) == (8, 9)
+        assert assignment.total_devices_used() == 32
+
+    def test_coverage_enforced(self):
+        cluster = paper_cluster()
+        with pytest.raises(ValueError, match="allocation covers"):
+            allocate_devices(cluster, [2, 2], 4)  # 16 != 32
+
+    def test_stage_spans_nodes(self):
+        cluster = paper_cluster()
+        assignment = allocate_devices(cluster, [6, 6, 4], 2)
+        assert not assignment.stage_spans_nodes(0, 0)  # ranks 0-5
+        assert assignment.stage_spans_nodes(0, 1)  # ranks 6-11 cross node 0/1
+
+    def test_crossing_is_internode(self):
+        cluster = paper_cluster()
+        assignment = allocate_devices(cluster, [8, 8], 2)
+        # stage0 ends at rank 7 (node 0), stage1 starts at rank 8 (node 1)
+        assert assignment.crossing_is_internode(0, 0)
+        assert not assignment.crossing_is_internode(0, 1)  # last stage
+
+
+class TestAutoPartition:
+    def test_plan_structure(self, tiny_bert, cluster):
+        plan = auto_partition(tiny_bert, cluster, 64)
+        assert plan.total_devices == cluster.total_devices
+        assert plan.throughput > 0
+        assert plan.iteration_time > 0
+        covered = set()
+        for s in plan.stages:
+            covered |= set(s.tasks)
+        assert covered == set(tiny_bert.tasks)
+        assert plan.assignment is not None
+        assert plan.per_microbatch_time > 0
+        assert "pipeline_time" in plan.extras
+
+    def test_summary_renders(self, tiny_bert, cluster):
+        plan = auto_partition(tiny_bert, cluster, 64)
+        text = plan.summary()
+        assert "PartitionPlan" in text and "stage 0" in text
+
+    def test_small_model_becomes_data_parallel(self, cluster):
+        g = build_mlp((64, 128, 64, 10))
+        plan = auto_partition(g, cluster, 64)
+        assert plan.num_stages == 1  # degenerates to DP + accumulation
+
+    def test_infeasible_raises(self):
+        cluster = tiny_cluster(num_nodes=1, devices_per_node=2,
+                               memory_bytes=1024**2)
+        g = build_mlp((256, 1024, 1024, 256))
+        with pytest.raises(PartitioningError):
+            auto_partition(g, cluster, 8)
+
+    def test_bad_batch_size(self, tiny_bert, cluster):
+        with pytest.raises(ValueError):
+            auto_partition(tiny_bert, cluster, 0)
+
+    def test_validation_catches_corrupt_graph(self, mlp_graph, cluster):
+        mlp_graph.tasks["act0"].op_type = "mystery"
+        with pytest.raises(Exception, match="unknown op"):
+            auto_partition(mlp_graph, cluster, 8)
+
+    def test_amp_plan(self, tiny_bert, cluster):
+        fp32 = auto_partition(tiny_bert, cluster, 64, precision=Precision.FP32)
+        amp = auto_partition(tiny_bert, cluster, 64, precision=Precision.AMP)
+        assert amp.throughput > fp32.throughput
+
+    def test_resnet_partition(self, cluster):
+        g = build_resnet(ResNetConfig(depth=50, width_factor=1, image_size=64))
+        plan = auto_partition(g, cluster, 64)
+        assert plan.throughput > 0
+
+    def test_stage_devices_sum_to_pipeline(self, tiny_bert, cluster):
+        plan = auto_partition(tiny_bert, cluster, 64)
+        assert plan.devices_per_pipeline * plan.replica_factor == 32
+        for i in range(plan.num_stages):
+            assert plan.stage_replicas(i) == (
+                plan.stages[i].devices_per_pipeline * plan.replica_factor
+            )

@@ -1,0 +1,200 @@
+"""Tests for Algorithm 1 (form_stage_dp): correctness, optimality on
+brute-forceable instances, pruning, and engine equivalence."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import paper_cluster, tiny_cluster
+from repro.models import BertConfig, build_bert, build_mlp
+from repro.partitioner.atomic import atomic_partition
+from repro.partitioner.blocks import block_partition
+from repro.partitioner.stage_dp import (
+    DPContext,
+    form_stage_dp,
+    reference_form_stage_dp,
+)
+from repro.profiler import GraphProfiler
+
+
+def make_ctx(graph=None, k=6, batch_size=32, cluster=None):
+    graph = graph or build_mlp((32, 64, 64, 64, 64, 16))
+    cluster = cluster or tiny_cluster(num_nodes=1, devices_per_node=4,
+                                      memory_bytes=4 * 1024**3)
+    profiler = GraphProfiler(graph, cluster)
+    blocks = block_partition(graph, atomic_partition(graph), profiler,
+                             num_blocks=k)
+    return DPContext(graph, blocks, profiler, batch_size), cluster
+
+
+class TestStageProfile:
+    def test_microbatch_collapse_infeasible(self):
+        ctx, _ = make_ctx(batch_size=4)
+        # bs = 4/(1*4*2) < 1
+        assert ctx.stage_profile(0, 1, 2, 1, 4, True) is None
+
+    def test_comm_included(self):
+        ctx, cluster = make_ctx()
+        prof = ctx.stage_profile(0, 1, 1, 1, 1, False)
+        # stage output must be sent: fwd time includes a p2p latency
+        assert prof.time_fwd > cluster.comm_latency
+
+    def test_checkpoint_recompute(self):
+        ctx, _ = make_ctx()
+        plain = ctx.stage_profile(0, 2, 1, 1, 1, False)
+        ckpt = ctx.stage_profile(0, 2, 1, 1, 1, True)
+        assert ckpt.time_bwd > plain.time_bwd
+
+    def test_range_meta_cached(self):
+        ctx, _ = make_ctx()
+        a = ctx.range_meta(0, 3)
+        b = ctx.range_meta(0, 3)
+        assert a is b
+
+    def test_range_tasks_dedup(self, tiny_bert, cluster):
+        profiler = GraphProfiler(tiny_bert, cluster)
+        blocks = block_partition(
+            tiny_bert, atomic_partition(tiny_bert), profiler, num_blocks=4
+        )
+        ctx = DPContext(tiny_bert, blocks, profiler, 8)
+        tasks = ctx.range_tasks(0, 4)
+        assert len(tasks) == len(set(tasks))
+        assert set(tasks) == set(tiny_bert.tasks)
+
+
+class TestFormStageDP:
+    def test_single_stage(self):
+        ctx, _ = make_ctx()
+        sol = form_stage_dp(ctx, 1, 4, 32, 1, 1)
+        assert sol is not None
+        assert sol.boundaries == [ctx.k]
+        assert sol.device_counts == [4]
+
+    def test_full_coverage_and_devices(self):
+        ctx, _ = make_ctx()
+        for S in (2, 3, 4):
+            sol = form_stage_dp(ctx, S, 4, 32, 1, 2)
+            if sol is None:
+                continue
+            assert sol.boundaries[-1] == ctx.k
+            assert len(sol.boundaries) == S
+            assert sum(sol.device_counts) == 4
+            assert all(d >= 1 for d in sol.device_counts)
+            assert sorted(sol.boundaries) == sol.boundaries
+
+    def test_infeasible_when_stages_exceed_blocks(self):
+        ctx, _ = make_ctx(k=3)
+        assert form_stage_dp(ctx, 5, 4, 32, 1, 1) is None
+
+    def test_infeasible_when_stages_exceed_devices(self):
+        ctx, _ = make_ctx()
+        assert form_stage_dp(ctx, 5, 4, 32, 1, 1) is None
+
+    def test_memory_infeasibility(self):
+        cluster = tiny_cluster(num_nodes=1, devices_per_node=2,
+                               memory_bytes=2 * 1024**2)  # 2 MiB
+        g = build_mlp((256, 512, 512, 256))
+        profiler = GraphProfiler(g, cluster)
+        blocks = block_partition(g, atomic_partition(g), profiler, num_blocks=4)
+        ctx = DPContext(g, blocks, profiler, 8)
+        assert form_stage_dp(ctx, 1, 2, 8, 1, 1) is None
+
+    def test_batch_mismatch_raises(self):
+        ctx, _ = make_ctx(batch_size=32)
+        with pytest.raises(ValueError, match="batch size"):
+            form_stage_dp(ctx, 1, 4, 64, 1, 1)
+
+    def test_objective_is_max_tf_plus_max_tb(self):
+        ctx, _ = make_ctx()
+        sol = form_stage_dp(ctx, 2, 4, 32, 1, 2)
+        assert sol is not None
+        tf = max(p.time_fwd for p in sol.stage_profiles)
+        tb = max(p.time_bwd for p in sol.stage_profiles)
+        assert sol.objective == pytest.approx(tf + tb)
+        assert sol.max_tf == pytest.approx(tf)
+        assert sol.max_tb == pytest.approx(tb)
+
+    def test_optimal_vs_bruteforce(self):
+        """Exhaustive check on a small instance: the DP objective equals
+        the best over all boundary/device assignments."""
+        ctx, _ = make_ctx(k=5, batch_size=16)
+        S, D, MB = 2, 3, 1
+        sol = form_stage_dp(ctx, S, D, 16, 1, MB)
+        assert sol is not None
+
+        best = float("inf")
+        for b1 in range(1, ctx.k):
+            for d1 in range(1, D):
+                profs = [
+                    ctx.stage_profile(0, b1, d1, 1, MB, True),
+                    ctx.stage_profile(b1, ctx.k, D - d1, 1, MB, True),
+                ]
+                if any(p is None for p in profs):
+                    continue
+                M = ctx.cluster.device.usable_memory
+                if any(p.memory > M for p in profs):
+                    continue
+                v = max(p.time_fwd for p in profs) + max(
+                    p.time_bwd for p in profs
+                )
+                best = min(best, v)
+        assert sol.objective == pytest.approx(best)
+
+    def test_dmin_pruning_preserves_solution(self):
+        ctx1, _ = make_ctx()
+        ctx2, _ = make_ctx()
+        a = form_stage_dp(ctx1, 3, 4, 32, 1, 2, dmin_pruning=True)
+        b = form_stage_dp(ctx2, 3, 4, 32, 1, 2, dmin_pruning=False)
+        assert (a is None) == (b is None)
+        if a is not None:
+            assert a.objective == pytest.approx(b.objective)
+
+    def test_estimated_iteration_time_positive(self):
+        ctx, _ = make_ctx()
+        sol = form_stage_dp(ctx, 2, 4, 32, 1, 2)
+        assert sol.estimated_iteration_time() > 0
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("S,D,MB", [(1, 4, 1), (2, 4, 2), (3, 4, 1),
+                                        (2, 3, 4), (4, 4, 1)])
+    def test_matches_reference(self, S, D, MB):
+        ctx, _ = make_ctx()
+        fast = form_stage_dp(ctx, S, D, 32, 1, MB)
+        ref = reference_form_stage_dp(ctx, S, D, 32, 1, MB)
+        assert (fast is None) == (ref is None)
+        if fast is not None:
+            assert fast.objective == pytest.approx(ref.objective)
+            assert fast.boundaries == ref.boundaries
+            assert fast.device_counts == ref.device_counts
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        S=st.integers(min_value=1, max_value=4),
+        D=st.integers(min_value=1, max_value=4),
+        MB=st.sampled_from([1, 2, 4]),
+        R=st.sampled_from([1, 2]),
+    )
+    def test_matches_reference_property(self, S, D, MB, R):
+        ctx, _ = make_ctx(batch_size=32)
+        fast = form_stage_dp(ctx, S, D, 32, R, MB)
+        ref = reference_form_stage_dp(ctx, S, D, 32, R, MB)
+        assert (fast is None) == (ref is None)
+        if fast is not None:
+            assert fast.objective == pytest.approx(ref.objective)
+
+
+class TestOnBert:
+    def test_bert_multistage(self, tiny_bert, cluster):
+        profiler = GraphProfiler(tiny_bert, cluster)
+        blocks = block_partition(
+            tiny_bert, atomic_partition(tiny_bert), profiler, num_blocks=8
+        )
+        ctx = DPContext(tiny_bert, blocks, profiler, 32)
+        sol = form_stage_dp(ctx, 4, 8, 32, 4, 2)
+        assert sol is not None
+        assert len(sol.boundaries) == 4
+        assert sum(sol.device_counts) == 8

@@ -1,0 +1,85 @@
+"""Tests for the synchronous 1F1B (PipeDream-Flush) schedule."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pipeline.one_f_one_b import (
+    compare_schedules,
+    gpipe_peak_inflight,
+    simulate_sync_1f1b,
+)
+from repro.pipeline.simulator import simulate_sync_pipeline
+
+
+class TestOneFOneB:
+    def test_uniform_matches_gpipe_makespan(self):
+        result = simulate_sync_1f1b([1.0] * 4, [2.0] * 4, 8)
+        assert result.makespan == pytest.approx(
+            simulate_sync_pipeline([1.0] * 4, [2.0] * 4, 8)
+        )
+
+    def test_stash_bound_is_min_depth(self):
+        """1F1B's whole point: stage s stashes at most min(S - s, MB)."""
+        result = simulate_sync_1f1b([1.0] * 4, [2.0] * 4, 8)
+        assert result.peak_inflight == [4, 3, 2, 1]
+
+    def test_stash_bounded_by_mb(self):
+        result = simulate_sync_1f1b([1.0] * 6, [1.0] * 6, 2)
+        assert all(p <= 2 for p in result.peak_inflight)
+
+    def test_single_stage(self):
+        result = simulate_sync_1f1b([1.0], [2.0], 4)
+        assert result.makespan == pytest.approx(12.0)
+        assert result.peak_inflight == [1]
+
+    def test_memory_ratio(self):
+        result = simulate_sync_1f1b([1.0] * 4, [1.0] * 4, 16)
+        assert result.memory_ratio_vs_gpipe(16) == pytest.approx(4 / 16)
+
+    def test_gpipe_reference(self):
+        assert gpipe_peak_inflight(3, 8) == [8, 8, 8]
+
+    def test_compare_schedules(self):
+        g, o, gs, os_ = compare_schedules([1.0, 1.0], [2.0, 2.0], 4)
+        assert g == pytest.approx(o)
+        assert max(os_) < max(gs)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            simulate_sync_1f1b([], [], 1)
+        with pytest.raises(ValueError):
+            simulate_sync_1f1b([1.0], [1.0], 0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    times=st.lists(
+        st.tuples(
+            st.floats(min_value=0.05, max_value=3.0),
+            st.floats(min_value=0.05, max_value=3.0),
+        ),
+        min_size=1, max_size=5,
+    ),
+    mb=st.integers(min_value=1, max_value=10),
+)
+def test_1f1b_properties(times, mb):
+    """Properties for arbitrary stage times:
+
+    * every microbatch completes (finite makespan);
+    * the stash bound min(S - s, MB) holds on every stage;
+    * 1F1B is never slower than 5% over GPipe (it reorders the same work
+      with the same dependency structure; small rounding slack).
+    """
+    tf = [a for a, _ in times]
+    tb = [b for _, b in times]
+    S = len(tf)
+    result = simulate_sync_1f1b(tf, tb, mb)
+    gpipe = simulate_sync_pipeline(tf, tb, mb)
+    assert result.makespan < float("inf")
+    for s, peak in enumerate(result.peak_inflight):
+        assert peak <= min(S - s, mb)
+    assert result.makespan <= gpipe * 1.05 + 1e-9
+    # lower bound: the busiest stage's total work
+    work = mb * max(f + b for f, b in zip(tf, tb))
+    assert result.makespan >= work - 1e-9

@@ -1,0 +1,98 @@
+"""Tests for the timeline/Gantt module and its agreement with the scalar
+pipeline simulator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pipeline.simulator import simulate_sync_pipeline
+from repro.pipeline.timeline import (
+    Timeline,
+    build_sync_timeline,
+    plan_timeline,
+    render_gantt,
+)
+
+
+class TestBuildTimeline:
+    def test_interval_count(self):
+        tl = build_sync_timeline([1.0, 1.0], [2.0, 2.0], 3)
+        assert len(tl.intervals) == 2 * 2 * 3
+
+    def test_validate_passes(self):
+        tl = build_sync_timeline([1.0, 0.5, 2.0], [2.0, 1.0, 3.0], 4)
+        tl.validate()
+
+    def test_makespan_matches_simulator(self):
+        tf, tb = [1.0, 3.0, 0.5], [2.0, 4.0, 1.0]
+        tl = build_sync_timeline(tf, tb, 5)
+        assert tl.makespan == pytest.approx(
+            simulate_sync_pipeline(tf, tb, 5)
+        )
+
+    def test_busy_time(self):
+        tl = build_sync_timeline([1.0, 1.0], [2.0, 2.0], 4)
+        # each stage runs 4 forwards (1.0) + 4 backwards (2.0)
+        assert tl.stage_busy_time(0) == pytest.approx(12.0)
+        assert 0 < tl.stage_utilization(0) <= 1.0
+
+    def test_bubble_decreases_with_microbatches(self):
+        tf, tb = [1.0] * 4, [2.0] * 4
+        b2 = build_sync_timeline(tf, tb, 2).bubble_fraction()
+        b16 = build_sync_timeline(tf, tb, 16).bubble_fraction()
+        assert b16 < b2
+
+    def test_single_stage_no_bubble(self):
+        tl = build_sync_timeline([1.0], [2.0], 4)
+        assert tl.bubble_fraction() == pytest.approx(0.0)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            build_sync_timeline([], [], 1)
+        with pytest.raises(ValueError):
+            build_sync_timeline([1.0], [1.0], 0)
+
+
+class TestRender:
+    def test_render_contains_stages_and_stats(self):
+        tl = build_sync_timeline([1.0, 1.0], [1.0, 1.0], 4)
+        text = render_gantt(tl, width=40)
+        assert "stage0" in text and "stage1" in text
+        assert "makespan" in text and "bubble" in text
+
+    def test_render_width(self):
+        tl = build_sync_timeline([1.0], [1.0], 2)
+        line = render_gantt(tl, width=30).splitlines()[0]
+        assert line.count("|") == 2
+
+
+class TestPlanTimeline:
+    def test_from_real_plan(self, tiny_bert, cluster):
+        from repro.partitioner import auto_partition
+
+        plan = auto_partition(tiny_bert, cluster, 64)
+        tl = plan_timeline(plan)
+        tl.validate()
+        assert tl.num_stages == plan.num_stages
+        assert tl.makespan == pytest.approx(plan.extras["pipeline_time"])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    times=st.lists(
+        st.tuples(
+            st.floats(min_value=0.01, max_value=3.0),
+            st.floats(min_value=0.01, max_value=3.0),
+        ),
+        min_size=1, max_size=5,
+    ),
+    mb=st.integers(min_value=1, max_value=10),
+)
+def test_timeline_simulator_agreement_property(times, mb):
+    """Property: interval replay and scalar simulator agree exactly, and
+    the timeline is structurally valid, for arbitrary stage times."""
+    tf = [a for a, _ in times]
+    tb = [b for _, b in times]
+    tl = build_sync_timeline(tf, tb, mb)
+    tl.validate()
+    assert tl.makespan == pytest.approx(simulate_sync_pipeline(tf, tb, mb))

@@ -1,0 +1,104 @@
+"""Tests for the per-op cost model (roofline times, cost coefficients)."""
+
+import pytest
+
+from repro.hardware import Precision, V100, paper_cluster
+from repro.profiler.cost_model import FREE_OPS, MATMUL_OPS, CostModel
+
+
+@pytest.fixture
+def model():
+    return CostModel(V100, Precision.FP32)
+
+
+class TestTaskCost:
+    def test_matmul_classified(self, model, mlp_graph):
+        cost = model.task_cost(mlp_graph, mlp_graph.tasks["fc0"])
+        assert cost.is_matmul
+        assert cost.fwd_flops > 0
+        assert cost.bwd_flops == 2 * cost.fwd_flops
+        assert cost.param_count == 16 * 32 + 32
+
+    def test_elementwise_not_matmul(self, model, mlp_graph):
+        cost = model.task_cost(mlp_graph, mlp_graph.tasks["act0"])
+        assert not cost.is_matmul
+        assert cost.param_count == 0
+
+    def test_free_ops_cost_nothing(self, model, tiny_bert):
+        task = tiny_bert.tasks["layer0.attn.q_split"]  # reshape
+        cost = model.task_cost(tiny_bert, task)
+        assert cost.is_free
+        assert model.fwd_time(cost, 8) == 0.0
+        assert model.bwd_time(cost, 8) == 0.0
+        assert cost.saved_bytes == 0.0
+
+    def test_act_vs_param_bytes(self, model, mlp_graph):
+        cost = model.task_cost(mlp_graph, mlp_graph.tasks["fc0"])
+        # x (1,16) in + out (1,32): batched activations
+        assert cost.act_bytes == (16 + 32) * 4
+        # W (32,16) + b (32,): parameters
+        assert cost.param_bytes == (32 * 16 + 32) * 4
+
+    def test_op_sets_disjoint(self):
+        assert not (MATMUL_OPS & FREE_OPS)
+
+
+class TestRooflineTimes:
+    def test_large_matmul_compute_bound(self, model):
+        from repro.models import build_mlp
+
+        g = build_mlp((1024, 1024, 1024))
+        cost = model.task_cost(g, g.tasks["fc0"])
+        t = model.fwd_time(cost, 64)
+        compute = cost.fwd_flops * 64 / (
+            V100.peak_flops_fp32 * V100.matmul_efficiency
+        )
+        assert t == pytest.approx(compute + V100.kernel_overhead)
+
+    def test_small_op_bandwidth_bound(self, model, mlp_graph):
+        cost = model.task_cost(mlp_graph, mlp_graph.tasks["act0"])
+        t = model.fwd_time(cost, 1)
+        traffic = cost.act_bytes / V100.mem_bandwidth
+        assert t == pytest.approx(traffic + V100.kernel_overhead)
+
+    def test_time_monotone_in_batch(self, model, mlp_graph):
+        cost = model.task_cost(mlp_graph, mlp_graph.tasks["fc0"])
+        times = [model.fwd_time(cost, b) for b in (1, 2, 8, 64)]
+        assert times == sorted(times)
+
+    def test_bwd_heavier_than_fwd(self, model, mlp_graph):
+        cost = model.task_cost(mlp_graph, mlp_graph.tasks["fc0"])
+        assert model.bwd_time(cost, 8) > model.fwd_time(cost, 8)
+
+    def test_amp_speeds_up_matmul(self, mlp_graph):
+        fp32 = CostModel(V100, Precision.FP32)
+        amp = CostModel(V100, Precision.AMP)
+        cost32 = fp32.task_cost(mlp_graph, mlp_graph.tasks["fc0"])
+        costamp = amp.task_cost(mlp_graph, mlp_graph.tasks["fc0"])
+        assert amp.fwd_time(costamp, 4096) < fp32.fwd_time(cost32, 4096)
+
+    def test_amp_halves_activation_traffic(self):
+        fp32 = CostModel(V100, Precision.FP32)
+        amp = CostModel(V100, Precision.AMP)
+        assert amp._traffic_time(1e9, 0) == pytest.approx(
+            0.5 * fp32._traffic_time(1e9, 0)
+        )
+
+    def test_activation_nbytes(self, model):
+        assert model.activation_nbytes(100.0, 4) == 400.0
+        amp = CostModel(V100, Precision.AMP)
+        assert amp.activation_nbytes(100.0, 4) == 200.0
+
+
+class TestWholeBertSanity:
+    def test_bert_large_fwd_time_realistic(self, cluster):
+        """BERT-Large batch-8 FP32 forward on a V100 is a few hundred ms
+        in reality; the analytic model must land in that decade."""
+        from repro.models import BertConfig, build_bert
+        from repro.profiler import GraphProfiler
+
+        g = build_bert(BertConfig())
+        p = GraphProfiler(g, cluster)
+        r = p.profile(list(g.tasks), 8)
+        assert 0.1 < r.time_fwd < 2.0
+        assert 1.5 < r.time_bwd / r.time_fwd < 3.0

@@ -1,0 +1,95 @@
+"""Calibration tests: the analytic cost model must order subcomponents the
+way real (NumPy) execution does."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.hardware import paper_cluster
+from repro.models import build_mlp
+from repro.profiler import GraphProfiler
+from repro.profiler.measure import (
+    MeasuredProfile,
+    measure_subgraph,
+    rank_correlation,
+)
+
+
+def staircase_graph():
+    """Layers of sharply increasing cost (widths 16 -> 256)."""
+    b = GraphBuilder("staircase")
+    x = b.input("x", (1, 16))
+    h = x
+    for i, width in enumerate((16, 32, 64, 128, 256)):
+        h = b.linear(h, width, name=f"fc{i}")
+        h = b.op("gelu", [h], name=f"act{i}")
+    y = b.input("y", (1, 256))
+    loss = b.op("mse_loss", [h, y], name="loss")
+    return b.finish([loss])
+
+
+class TestMeasure:
+    def test_returns_positive_times(self):
+        g = build_mlp((16, 32, 8))
+        prof = measure_subgraph(g, list(g.tasks), batch_size=4)
+        assert prof.time_fwd > 0 and prof.time_bwd > 0
+        assert prof.param_bytes > 0 and prof.activation_bytes > 0
+
+    def test_subgraph_measurement(self):
+        g = build_mlp((16, 32, 8))
+        prof = measure_subgraph(g, ["fc0", "act0"], batch_size=2)
+        whole = measure_subgraph(g, list(g.tasks), batch_size=2)
+        assert prof.param_bytes < whole.param_bytes
+
+    def test_int_inputs_synthesized(self, tiny_bert):
+        # embeddings take int64 ids: synthesis must stay in range
+        prof = measure_subgraph(
+            tiny_bert, ["embeddings.word_lookup"], batch_size=2
+        )
+        assert prof.time_fwd > 0
+
+
+class TestRankCorrelation:
+    def test_perfect(self):
+        assert rank_correlation([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_inverted(self):
+        assert rank_correlation([1, 2, 3], [30, 20, 10]) == pytest.approx(-1.0)
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ValueError):
+            rank_correlation([1], [1])
+
+    def test_constant_sequences(self):
+        assert rank_correlation([1.0, 1.0], [2.0, 2.0]) == 1.0
+
+
+class TestCalibration:
+    def test_analytic_ranks_like_measured(self):
+        """The partitioner only needs the analytic oracle to ORDER
+        candidate subcomponents like real execution; check Spearman
+        correlation on a staircase of increasingly heavy layers."""
+        g = staircase_graph()
+        profiler = GraphProfiler(g, paper_cluster())
+        analytic, measured = [], []
+        prefixes = []
+        tasks = list(g.tasks)
+        for end in range(2, len(tasks) + 1, 2):
+            prefixes.append(tasks[:end])
+        for prefix in prefixes:
+            analytic.append(profiler.profile(prefix, 64).time_fwd)
+            measured.append(
+                measure_subgraph(g, prefix, batch_size=64, repeats=3).time_fwd
+            )
+        rho = rank_correlation(analytic, measured)
+        assert rho > 0.8, (analytic, measured)
+
+    def test_bwd_heavier_in_both_models(self):
+        g = staircase_graph()
+        profiler = GraphProfiler(g, paper_cluster())
+        a = profiler.profile(list(g.tasks), 256)
+        m = measure_subgraph(g, list(g.tasks), batch_size=256, repeats=5)
+        assert a.time_bwd > a.time_fwd
+        # wall-clock timing of small kernels is noisy: require the
+        # backward to be at least comparable, not strictly heavier
+        assert m.time_bwd > 0.7 * m.time_fwd

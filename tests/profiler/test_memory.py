@@ -1,0 +1,82 @@
+"""Tests for the training-memory model, cross-checked against the actual
+NumPy runtime's allocations."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import Precision
+from repro.profiler.memory import MemoryModel, OptimizerKind
+
+
+class TestStaticBytes:
+    def test_adam_fp32(self):
+        m = MemoryModel(Precision.FP32, OptimizerKind.ADAM)
+        # weights 4 + grads 4 + two moments 8 = 16 B/param
+        assert m.static_bytes(1000) == 16_000
+
+    def test_sgd(self):
+        m = MemoryModel(Precision.FP32, OptimizerKind.SGD)
+        assert m.static_bytes(1000) == 8_000
+
+    def test_sgd_momentum(self):
+        m = MemoryModel(Precision.FP32, OptimizerKind.SGD_MOMENTUM)
+        assert m.static_bytes(1000) == 12_000
+
+    def test_amp_adds_half_copy(self):
+        m = MemoryModel(Precision.AMP, OptimizerKind.ADAM)
+        assert m.static_bytes(1000) == 18_000
+
+    def test_matches_runtime_adam_state(self):
+        """The analytic 'two FP32 moments' term equals what Adam actually
+        allocates."""
+        from repro.models import build_mlp
+        from repro.runtime import Adam, Executor
+
+        g = build_mlp((8, 16, 4))
+        ex = Executor(g, dtype=np.float32)
+        opt = Adam()
+        loss, grads = ex.loss_and_grads(
+            {"x": np.ones((2, 8), np.float32), "y": np.zeros((2, 4), np.float32)}
+        )
+        opt.step(ex.params, grads)
+        expected = 2 * 4 * g.num_parameters()
+        assert opt.state_bytes() == expected
+
+
+class TestActivationBytes:
+    def test_no_checkpoint_scales_with_inflight(self):
+        m = MemoryModel()
+        one = m.activation_bytes(100.0, 10.0, 1, checkpointing=False)
+        four = m.activation_bytes(100.0, 10.0, 4, checkpointing=False)
+        assert four == 4 * one == 400.0
+
+    def test_checkpoint_stashes_boundary_only(self):
+        m = MemoryModel()
+        mem = m.activation_bytes(100.0, 10.0, 4, checkpointing=True)
+        assert mem == 4 * 10.0 + 100.0
+
+    def test_checkpoint_beats_full_for_deep_stages(self):
+        m = MemoryModel()
+        # many microbatches in flight: checkpointing must win when the
+        # boundary is small relative to the full tape
+        full = m.activation_bytes(1000.0, 10.0, 8, checkpointing=False)
+        ckpt = m.activation_bytes(1000.0, 10.0, 8, checkpointing=True)
+        assert ckpt < full
+
+    def test_inflight_floor(self):
+        m = MemoryModel()
+        assert m.activation_bytes(100.0, 10.0, 0, False) == 100.0
+
+
+class TestTotalBytes:
+    def test_sum_of_terms(self):
+        m = MemoryModel(Precision.FP32, OptimizerKind.ADAM)
+        total = m.total_bytes(100, 50.0, 5.0, 2, True)
+        assert total == m.static_bytes(100) + m.activation_bytes(50.0, 5.0, 2, True)
+
+    @pytest.mark.parametrize("opt", list(OptimizerKind))
+    def test_monotone_in_params(self, opt):
+        m = MemoryModel(optimizer=opt)
+        assert m.total_bytes(200, 0, 0, 1, False) >= m.total_bytes(
+            100, 0, 0, 1, False
+        )

@@ -1,0 +1,137 @@
+"""Tests for training-state checkpointing, including the cross-topology
+restore property (partitioned -> whole-graph and back)."""
+
+import numpy as np
+import pytest
+
+from repro.models import build_mlp
+from repro.runtime import Adam, Executor, PartitionedExecutor, SGD, init_parameters
+from repro.runtime.checkpoint import load_checkpoint, save_checkpoint
+
+
+@pytest.fixture
+def trained(tmp_path, rng):
+    g = build_mlp((8, 16, 4))
+    ex = Executor(g, seed=1)
+    opt = Adam(lr=1e-2)
+    batch = {"x": rng.standard_normal((4, 8)),
+             "y": rng.standard_normal((4, 4))}
+    for _ in range(3):
+        loss, grads = ex.loss_and_grads(batch)
+        opt.step(ex.params, grads)
+    return g, ex, opt, batch, tmp_path / "ckpt.npz"
+
+
+class TestRoundTrip:
+    def test_params_restored_exactly(self, trained):
+        g, ex, opt, batch, path = trained
+        save_checkpoint(path, ex.params, opt, step=3)
+        params, opt2, step = load_checkpoint(path)
+        assert step == 3
+        assert set(params) == set(ex.params)
+        for k in params:
+            assert np.array_equal(params[k], ex.params[k])
+
+    def test_adam_state_restored(self, trained):
+        g, ex, opt, batch, path = trained
+        save_checkpoint(path, ex.params, opt)
+        _, opt2, _ = load_checkpoint(path)
+        assert isinstance(opt2, Adam)
+        assert opt2.lr == opt.lr
+        assert set(opt2._m) == set(opt._m)
+        for k in opt._m:
+            assert np.array_equal(opt2._m[k], opt._m[k])
+            assert np.array_equal(opt2._v[k], opt._v[k])
+        assert opt2._t == opt._t
+
+    def test_training_continues_identically(self, trained, rng):
+        """Resume-from-checkpoint is bit-identical to uninterrupted
+        training -- the property real checkpointing must satisfy."""
+        g, ex, opt, batch, path = trained
+        save_checkpoint(path, ex.params, opt, step=3)
+
+        # continue the original run for two steps
+        for _ in range(2):
+            loss_orig, grads = ex.loss_and_grads(batch)
+            opt.step(ex.params, grads)
+
+        # resume from checkpoint and do the same
+        params, opt2, _ = load_checkpoint(path)
+        ex2 = Executor(g, params=params)
+        for _ in range(2):
+            loss_resumed, grads = ex2.loss_and_grads(batch)
+            opt2.step(ex2.params, grads)
+
+        assert loss_orig == pytest.approx(loss_resumed, abs=0)
+        for k in ex.params:
+            assert np.array_equal(ex.params[k], ex2.params[k])
+
+    def test_sgd_checkpoint(self, tmp_path, rng):
+        g = build_mlp((4, 8, 2))
+        ex = Executor(g, seed=0)
+        opt = SGD(lr=0.1, momentum=0.9)
+        batch = {"x": rng.standard_normal((2, 4)),
+                 "y": rng.standard_normal((2, 2))}
+        loss, grads = ex.loss_and_grads(batch)
+        opt.step(ex.params, grads)
+        path = tmp_path / "sgd.npz"
+        save_checkpoint(path, ex.params, opt)
+        _, opt2, _ = load_checkpoint(path)
+        assert isinstance(opt2, SGD)
+        assert set(opt2._velocity) == set(opt._velocity)
+
+    def test_no_optimizer(self, tmp_path):
+        g = build_mlp((4, 8, 2))
+        params = init_parameters(g)
+        path = tmp_path / "p.npz"
+        save_checkpoint(path, params)
+        restored, opt, step = load_checkpoint(path)
+        assert opt is None and step == 0
+        assert set(restored) == set(params)
+
+    def test_version_guard(self, tmp_path):
+        g = build_mlp((4, 8, 2))
+        path = tmp_path / "v.npz"
+        save_checkpoint(path, init_parameters(g))
+        # corrupt the version
+        import json
+
+        with np.load(str(path)) as archive:
+            arrays = {k: archive[k] for k in archive.files}
+        meta = json.loads(bytes(arrays["__meta__"]).decode())
+        meta["version"] = 99
+        arrays["__meta__"] = np.frombuffer(
+            json.dumps(meta).encode(), dtype=np.uint8
+        ).copy()
+        np.savez(str(path), **arrays)
+        with pytest.raises(ValueError, match="version"):
+            load_checkpoint(path)
+
+
+class TestCrossTopology:
+    def test_partitioned_checkpoint_restores_whole(self, tmp_path, rng):
+        """A checkpoint from partitioned training resumes whole-graph
+        training on the identical trajectory."""
+        g = build_mlp((8, 16, 16, 4))
+        params0 = init_parameters(g, seed=5)
+        tasks = list(g.tasks)
+        cut = len(tasks) // 2
+        part = PartitionedExecutor(
+            g, [tasks[:cut], tasks[cut:]],
+            params={k: v.copy() for k, v in params0.items()},
+            num_microbatches=2, checkpointing=True,
+        )
+        opt = Adam(lr=1e-2)
+        batch = {"x": rng.standard_normal((4, 8)),
+                 "y": rng.standard_normal((4, 4))}
+        for _ in range(2):
+            loss, grads = part.loss_and_grads(batch)
+            opt.step(part.params, grads)
+        path = tmp_path / "cross.npz"
+        save_checkpoint(path, part.params, opt, step=2)
+
+        params, opt2, _ = load_checkpoint(path)
+        whole = Executor(g, params=params)
+        loss_w, grads_w = whole.loss_and_grads(batch)
+        loss_p, grads_p = part.loss_and_grads(batch)
+        assert loss_w == pytest.approx(loss_p, abs=1e-12)

@@ -1,0 +1,211 @@
+"""Tests for the whole-graph executor: forward semantics, autograd over
+real model graphs, and end-to-end training behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    BertConfig,
+    GPTConfig,
+    ResNetConfig,
+    build_bert,
+    build_gpt,
+    build_mlp,
+    build_resnet,
+)
+from repro.runtime import SGD, Adam, Executor, init_parameters
+
+
+def mlp_batch(rng, n=4, din=16, dout=8):
+    return {"x": rng.standard_normal((n, din)),
+            "y": rng.standard_normal((n, dout))}
+
+
+class TestForward:
+    def test_env_contains_all_values(self, mlp_graph, rng):
+        ex = Executor(mlp_graph)
+        env = ex.forward(mlp_batch(rng))
+        for task in mlp_graph.tasks.values():
+            assert task.outputs[0] in env
+
+    def test_loss_scalar(self, mlp_graph, rng):
+        ex = Executor(mlp_graph)
+        assert isinstance(ex.loss(mlp_batch(rng)), float)
+
+    def test_deterministic(self, mlp_graph, rng):
+        ex = Executor(mlp_graph, seed=7)
+        batch = mlp_batch(rng)
+        assert ex.loss(batch) == ex.loss(batch)
+
+    def test_seed_changes_params(self, mlp_graph, rng):
+        batch = mlp_batch(rng)
+        l1 = Executor(mlp_graph, seed=1).loss(batch)
+        l2 = Executor(mlp_graph, seed=2).loss(batch)
+        assert l1 != l2
+
+    def test_missing_kernel_rejected(self, mlp_graph):
+        mlp_graph.tasks["act0"].op_type = "layernorm"  # wrong arity binding
+        mlp_graph.tasks["act0"].op_type = "relu"  # restore
+        ex = Executor(mlp_graph)  # builds fine with known ops
+        assert ex is not None
+
+
+class TestBackward:
+    def test_gradcheck_full_mlp(self, rng):
+        g = build_mlp((6, 10, 4), activation="tanh")
+        ex = Executor(g, seed=3)
+        batch = {"x": rng.standard_normal((3, 6)),
+                 "y": rng.standard_normal((3, 4))}
+        _, grads = ex.loss_and_grads(batch)
+        eps = 1e-6
+        for pname in ("fc0.weight", "fc0.bias", "fc1.weight"):
+            p = ex.params[pname]
+            num = np.zeros_like(p)
+            it = np.nditer(p, flags=["multi_index"])
+            for _ in it:
+                idx = it.multi_index
+                orig = p[idx]
+                p[idx] = orig + eps
+                lp = ex.loss(batch)
+                p[idx] = orig - eps
+                lm = ex.loss(batch)
+                p[idx] = orig
+                num[idx] = (lp - lm) / (2 * eps)
+            assert np.abs(num - grads[pname]).max() < 1e-7
+
+    def test_all_params_receive_grads(self, tiny_bert, rng):
+        ex = Executor(tiny_bert)
+        batch = {
+            "input_ids": rng.integers(0, 101, (2, 16)),
+            "token_type_ids": rng.integers(0, 2, (2, 16)),
+            "attention_mask": np.zeros((2, 1, 1, 16)),
+            "mlm_labels": rng.integers(0, 101, (2, 16)),
+            "nsp_labels": rng.integers(0, 2, (2,)),
+        }
+        _, grads = ex.loss_and_grads(batch)
+        params = {v.name for v in tiny_bert.params()}
+        assert set(grads) == params
+
+    def test_tied_embedding_grad_has_two_paths(self, tiny_bert, rng):
+        """The word embedding is used by the lookup AND the MLM decoder;
+        its gradient must include the decoder path (dense, so nearly all
+        rows non-zero even if only a few ids were looked up)."""
+        ex = Executor(tiny_bert)
+        batch = {
+            "input_ids": np.zeros((1, 16), np.int64),  # only id 0 looked up
+            "token_type_ids": np.zeros((1, 16), np.int64),
+            "attention_mask": np.zeros((1, 1, 1, 16)),
+            "mlm_labels": rng.integers(0, 101, (1, 16)),
+            "nsp_labels": np.zeros((1,), np.int64),
+        }
+        _, grads = ex.loss_and_grads(batch)
+        g = grads["embeddings.word"]
+        nonzero_rows = (np.abs(g).sum(axis=1) > 0).sum()
+        assert nonzero_rows > 10  # decoder path touches every vocab row
+
+    def test_wrt_inputs(self, mlp_graph, rng):
+        ex = Executor(mlp_graph)
+        batch = mlp_batch(rng)
+        env = ex.forward(batch)
+        grads = ex.backward(env, wrt_inputs=["x"])
+        assert "x" in grads
+        assert grads["x"].shape == batch["x"].shape
+
+    def test_resnet_backward_runs(self, tiny_resnet, rng):
+        ex = Executor(tiny_resnet, dtype=np.float64)
+        batch = {"images": rng.standard_normal((2, 3, 32, 32)),
+                 "labels": rng.integers(0, 10, (2,))}
+        loss, grads = ex.loss_and_grads(batch)
+        assert np.isfinite(loss)
+        assert all(np.isfinite(g).all() for g in grads.values())
+
+    def test_gpt_backward_runs(self, rng):
+        g = build_gpt(GPTConfig(hidden_size=32, num_layers=2, num_heads=4,
+                                seq_len=8, vocab_size=50))
+        ex = Executor(g)
+        mask = np.triu(np.full((8, 8), -1e9), k=1)[None, None]
+        batch = {
+            "input_ids": rng.integers(0, 50, (2, 8)),
+            "causal_mask": np.broadcast_to(mask, (2, 1, 8, 8)).copy(),
+            "labels": rng.integers(0, 50, (2, 8)),
+        }
+        loss, grads = ex.loss_and_grads(batch)
+        assert np.isfinite(loss) and len(grads) == len(g.params())
+
+
+class TestTraining:
+    def test_sgd_descends(self, rng):
+        g = build_mlp((8, 16, 4))
+        ex = Executor(g, seed=0)
+        opt = SGD(lr=0.2, momentum=0.9)
+        batch = {"x": rng.standard_normal((16, 8)),
+                 "y": rng.standard_normal((16, 4))}
+        losses = []
+        for _ in range(60):
+            loss, grads = ex.loss_and_grads(batch)
+            opt.step(ex.params, grads)
+            losses.append(loss)
+        assert losses[-1] < 0.5 * losses[0]
+
+    def test_adam_descends(self, rng):
+        g = build_mlp((8, 16, 4))
+        ex = Executor(g, seed=0)
+        opt = Adam(lr=0.01)
+        batch = {"x": rng.standard_normal((16, 8)),
+                 "y": rng.standard_normal((16, 4))}
+        losses = [0.0] * 0
+        for _ in range(30):
+            loss, grads = ex.loss_and_grads(batch)
+            opt.step(ex.params, grads)
+            losses.append(loss)
+        assert losses[-1] < 0.5 * losses[0]
+
+    def test_momentum_state(self):
+        opt = SGD(lr=0.1, momentum=0.9)
+        params = {"w": np.ones(4)}
+        opt.step(params, {"w": np.ones(4)})
+        assert opt.state_bytes() == 4 * 8  # float64 velocity
+        opt2 = SGD(lr=0.1)
+        opt2.step({"w": np.ones(4)}, {"w": np.ones(4)})
+        assert opt2.state_bytes() == 0
+
+    def test_adam_bias_correction_first_step(self):
+        opt = Adam(lr=0.1)
+        params = {"w": np.zeros(1)}
+        opt.step(params, {"w": np.array([1.0])})
+        # with bias correction the first step is ~ -lr
+        assert params["w"][0] == pytest.approx(-0.1, rel=1e-6)
+
+    def test_bert_training_step_reduces_loss(self, tiny_bert, rng):
+        ex = Executor(tiny_bert)
+        opt = Adam(lr=5e-3)
+        batch = {
+            "input_ids": rng.integers(0, 101, (4, 16)),
+            "token_type_ids": rng.integers(0, 2, (4, 16)),
+            "attention_mask": np.zeros((4, 1, 1, 16)),
+            "mlm_labels": rng.integers(0, 101, (4, 16)),
+            "nsp_labels": rng.integers(0, 2, (4,)),
+        }
+        first = None
+        last = None
+        for _ in range(8):
+            loss, grads = ex.loss_and_grads(batch)
+            opt.step(ex.params, grads)
+            first = first if first is not None else loss
+            last = loss
+        assert last < first
+
+
+class TestInitParameters:
+    def test_covers_params_and_consts(self, tiny_bert):
+        params = init_parameters(tiny_bert)
+        expected = {
+            v.name for v in tiny_bert.values.values()
+            if v.kind.value in ("param", "const")
+        }
+        assert set(params) == expected
+
+    def test_deterministic(self, mlp_graph):
+        a = init_parameters(mlp_graph, seed=5)
+        b = init_parameters(mlp_graph, seed=5)
+        assert all(np.array_equal(a[k], b[k]) for k in a)

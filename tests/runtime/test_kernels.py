@@ -1,0 +1,202 @@
+"""Gradient checks for every runtime kernel against numerical
+differentiation (the ground truth for the whole autograd engine)."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import tensor as kernels
+
+RNG = np.random.default_rng(42)
+EPS = 1e-6
+TOL = 1e-6
+
+
+def numerical_grad(fwd, args, attrs, arg_idx, out_grad):
+    """Central-difference gradient of sum(out * out_grad) w.r.t. one arg."""
+    x = args[arg_idx]
+    grad = np.zeros_like(x)
+    flat = x.ravel()
+    gflat = grad.ravel()
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + EPS
+        plus = float((fwd(*args, attrs) * out_grad).sum())
+        flat[i] = orig - EPS
+        minus = float((fwd(*args, attrs) * out_grad).sum())
+        flat[i] = orig
+        gflat[i] = (plus - minus) / (2 * EPS)
+    return grad
+
+
+def check_op(op, args, attrs=None, skip_inputs=()):
+    attrs = attrs or {}
+    fwd = kernels.forward_kernel(op)
+    vjp = kernels.vjp_kernel(op)
+    out = fwd(*args, attrs)
+    out_grad = RNG.standard_normal(out.shape)
+    analytic = vjp(out_grad, args, out, attrs)
+    for i, g in enumerate(analytic):
+        if i in skip_inputs:
+            assert g is None or g is not None  # integer inputs may be None
+            continue
+        assert g is not None, f"{op}: missing grad for input {i}"
+        num = numerical_grad(fwd, args, attrs, i, out_grad)
+        err = np.abs(g - num).max()
+        assert err < TOL, f"{op}: grad {i} error {err}"
+
+
+def randn(*shape):
+    return RNG.standard_normal(shape)
+
+
+class TestLinearAlgebraGrads:
+    def test_matmul_2d(self):
+        check_op("matmul", [randn(3, 4), randn(4, 5)])
+
+    def test_matmul_batched(self):
+        check_op("matmul", [randn(2, 3, 4, 5), randn(2, 3, 5, 4)])
+
+    def test_matmul_broadcast(self):
+        check_op("matmul", [randn(2, 2, 3, 4), randn(1, 1, 4, 3)])
+
+    def test_matmul_3d_by_2d(self):
+        check_op("matmul", [randn(2, 3, 4), randn(4, 5)])
+
+    def test_linear(self):
+        check_op("linear", [randn(2, 6), randn(4, 6), randn(4)])
+
+    def test_linear_3d(self):
+        check_op("linear", [randn(2, 3, 6), randn(4, 6), randn(4)])
+
+
+class TestElementwiseGrads:
+    @pytest.mark.parametrize("op", ["add", "sub", "mul", "div"])
+    def test_binary(self, op):
+        a, b = randn(3, 4), randn(3, 4) + 3.0  # keep div away from 0
+        check_op(op, [a, b])
+
+    @pytest.mark.parametrize("op", ["add", "mul"])
+    def test_binary_broadcast(self, op):
+        check_op(op, [randn(2, 3, 4), randn(4)])
+
+    @pytest.mark.parametrize("op", ["relu", "tanh", "sigmoid", "gelu", "neg",
+                                    "identity", "softmax"])
+    def test_unary(self, op):
+        x = randn(3, 5) + 0.1  # avoid relu kink at exactly 0
+        check_op(op, [x])
+
+    def test_scale(self):
+        check_op("scale", [randn(3, 4)], {"factor": 0.25})
+
+    def test_dropout_inference_is_identity(self):
+        x = randn(4, 4)
+        out = kernels.forward_kernel("dropout")(x, {})
+        assert np.array_equal(out, x)
+
+    def test_dropout_train_mask_consistent(self):
+        x = randn(64, 64)
+        attrs = {"p": 0.5, "_train_seed": 7}
+        out = kernels.forward_kernel("dropout")(x, attrs)
+        g = kernels.vjp_kernel("dropout")(np.ones_like(x), [x], out, attrs)[0]
+        # the VJP regenerates the same mask: zeros align
+        assert np.array_equal(out == 0, g == 0)
+        kept = out != 0
+        assert np.allclose(out[kept], x[kept] * 2.0)
+
+
+class TestNormGrads:
+    def test_layernorm(self):
+        check_op("layernorm", [randn(2, 3, 8), randn(8), randn(8)])
+
+    def test_batchnorm2d(self):
+        check_op("batchnorm2d", [randn(2, 3, 4, 4), randn(3), randn(3)])
+
+
+class TestShapeGrads:
+    def test_transpose(self):
+        check_op("transpose", [randn(2, 3, 4)], {"perm": (2, 0, 1)})
+
+    def test_reshape(self):
+        check_op("reshape", [randn(2, 3, 4)], {"shape": (2, 12), "_batched": False})
+
+    def test_reshape_batched_rebase(self):
+        # canonical (1, 6) target with real batch 3
+        x = randn(3, 2, 3)
+        out = kernels.forward_kernel("reshape")(x, {"shape": (1, 6), "_batched": True})
+        assert out.shape == (3, 6)
+
+    def test_flatten(self):
+        check_op("flatten", [randn(2, 3, 4)])
+
+    def test_concat(self):
+        check_op("concat", [randn(2, 3), randn(2, 5)], {"axis": 1})
+
+    def test_slice_rows(self):
+        check_op("slice_rows", [randn(2, 6, 3)], {"start": 1, "stop": 3})
+
+
+class TestEmbeddingLossGrads:
+    def test_embedding(self):
+        ids = RNG.integers(0, 10, (2, 5))
+        w = randn(10, 4)
+        check_op("embedding", [ids, w], skip_inputs=(0,))
+
+    def test_embedding_repeated_ids_accumulate(self):
+        ids = np.array([[1, 1, 1]])
+        w = randn(5, 2)
+        out = kernels.forward_kernel("embedding")(ids, w, {})
+        g = kernels.vjp_kernel("embedding")(
+            np.ones_like(out), [ids, w], out, {}
+        )[1]
+        assert np.allclose(g[1], 3.0)
+
+    def test_cross_entropy(self):
+        logits = randn(4, 7)
+        targets = RNG.integers(0, 7, (4,))
+        check_op("cross_entropy", [logits, targets], skip_inputs=(1,))
+
+    def test_cross_entropy_3d(self):
+        logits = randn(2, 3, 7)
+        targets = RNG.integers(0, 7, (2, 3))
+        check_op("cross_entropy", [logits, targets], skip_inputs=(1,))
+
+    def test_mse(self):
+        check_op("mse_loss", [randn(3, 4), randn(3, 4)])
+
+    def test_reduce_mean(self):
+        check_op("reduce_mean", [randn(3, 4)])
+
+
+class TestConvGrads:
+    def test_conv2d(self):
+        check_op("conv2d", [randn(2, 3, 6, 6), randn(4, 3, 3, 3)],
+                 {"stride": 1, "padding": 1})
+
+    def test_conv2d_stride2(self):
+        check_op("conv2d", [randn(1, 2, 8, 8), randn(3, 2, 3, 3)],
+                 {"stride": 2, "padding": 1})
+
+    def test_maxpool(self):
+        # avoid ties in max by spreading values
+        x = np.arange(2 * 2 * 6 * 6, dtype=float).reshape(2, 2, 6, 6)
+        x += RNG.standard_normal(x.shape) * 0.01
+        check_op("maxpool2d", [x], {"kernel": 2, "stride": 2})
+
+    def test_maxpool_padded(self):
+        x = randn(1, 2, 5, 5)
+        out = kernels.forward_kernel("maxpool2d")(
+            x, {"kernel": 3, "stride": 2, "padding": 1}
+        )
+        assert out.shape == (1, 2, 3, 3)
+        assert np.isfinite(out).all()
+
+    def test_global_avgpool(self):
+        check_op("global_avgpool", [randn(2, 3, 4, 4)])
+
+
+def test_has_kernel_covers_registry():
+    """Every registered IR op must have an executable kernel."""
+    from repro.graph.ops import registry
+
+    missing = [name for name in registry.names() if not kernels.has_kernel(name)]
+    assert not missing, f"ops without kernels: {missing}"

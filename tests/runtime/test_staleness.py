@@ -1,0 +1,87 @@
+"""Tests for the parameter-staleness simulator."""
+
+import numpy as np
+import pytest
+
+from repro.models import build_mlp
+from repro.runtime.optimizer import SGD
+from repro.runtime.staleness import (
+    staleness_sweep,
+    train_sync,
+    train_with_staleness,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(3)
+    graph = build_mlp((8, 16, 4))
+    batches = [
+        {"x": rng.standard_normal((4, 8)), "y": rng.standard_normal((4, 4))}
+        for _ in range(20)
+    ]
+    return graph, batches
+
+
+class TestStaleness:
+    def test_delay_zero_equals_sync(self, workload):
+        graph, batches = workload
+        a = train_sync(graph, batches, lambda: SGD(lr=0.1))
+        b = train_with_staleness(graph, batches, lambda: SGD(lr=0.1), delay=0)
+        assert a.losses == b.losses
+
+    def test_deterministic(self, workload):
+        graph, batches = workload
+        a = train_with_staleness(graph, batches, lambda: SGD(lr=0.1), delay=2)
+        b = train_with_staleness(graph, batches, lambda: SGD(lr=0.1), delay=2)
+        assert a.losses == b.losses
+
+    def test_stale_differs_from_sync(self, workload):
+        graph, batches = workload
+        sync = train_sync(graph, batches, lambda: SGD(lr=0.1))
+        stale = train_with_staleness(
+            graph, batches, lambda: SGD(lr=0.1), delay=2
+        )
+        assert sync.losses[0] == stale.losses[0]  # same init
+        assert sync.losses[-1] != stale.losses[-1]
+
+    def test_small_lr_converges_despite_staleness(self, workload):
+        graph, batches = workload
+        stale = train_with_staleness(
+            graph, batches, lambda: SGD(lr=0.02), delay=4
+        )
+        assert not stale.diverged
+        assert stale.final_loss < stale.losses[0]
+
+    def test_weight_stashing_changes_dynamics(self, workload):
+        graph, batches = workload
+        with_stash = train_with_staleness(
+            graph, batches, lambda: SGD(lr=0.2, momentum=0.9), delay=2,
+            weight_stashing=True,
+        )
+        without = train_with_staleness(
+            graph, batches, lambda: SGD(lr=0.2, momentum=0.9), delay=2,
+            weight_stashing=False,
+        )
+        assert with_stash.losses != without.losses
+
+    def test_negative_delay_rejected(self, workload):
+        graph, batches = workload
+        with pytest.raises(ValueError):
+            train_with_staleness(graph, batches, lambda: SGD(), delay=-1)
+
+    def test_sweep_shapes(self, workload):
+        graph, batches = workload
+        results = staleness_sweep(
+            graph, batches, lambda: SGD(lr=0.1), delays=(0, 1, 3)
+        )
+        assert [r.delay for r in results] == [0, 1, 3]
+        assert all(len(r.losses) <= len(batches) for r in results)
+
+    def test_divergence_detected(self, workload):
+        graph, batches = workload
+        wild = train_with_staleness(
+            graph, batches, lambda: SGD(lr=50.0, momentum=0.99), delay=4
+        )
+        # either diverged-flagged or exploded in value
+        assert wild.diverged or wild.final_loss > 1e3

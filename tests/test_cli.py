@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "RaNNC" in out and "Megatron-LM" in out
+
+    def test_schedule(self, capsys):
+        assert main(["schedule", "--stages", "2", "--microbatches", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "stage0" in out and "F2" in out and "B0" in out
+
+    def test_partition_bert(self, capsys, tmp_path):
+        dep = tmp_path / "dep.json"
+        rc = main([
+            "partition", "--model", "bert", "--hidden", "1024",
+            "--layers", "24", "--nodes", "1", "--batch-size", "64",
+            "--save", str(dep),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "PartitionPlan" in out
+        doc = json.loads(dep.read_text())
+        assert doc["version"] == 1
+        assert doc["batch_size"] == 64
+
+    def test_partition_resnet(self, capsys):
+        rc = main([
+            "partition", "--model", "resnet", "--depth", "50",
+            "--width-factor", "1", "--nodes", "1", "--batch-size", "32",
+        ])
+        assert rc == 0
+        assert "resnet50x1" in capsys.readouterr().out
+
+    def test_partition_infeasible(self, capsys):
+        # a 12.9B model on one node at huge batch without AMP... still
+        # feasible in 32GB x8; instead use batch smaller than devices to
+        # force an infeasible configuration? batch 1 on 8 devices works
+        # (S=8, MB=1). Use batch < stages requirement: batch=1 works too.
+        # Infeasibility needs tiny memory, not reachable via CLI flags;
+        # so just check a feasible run returns 0.
+        rc = main([
+            "partition", "--model", "gpt", "--hidden", "768",
+            "--layers", "2", "--nodes", "1", "--batch-size", "8",
+        ])
+        assert rc == 0
+
+    def test_loss_validation(self, capsys):
+        assert main(["loss-validation", "--steps", "2"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_ablation_fast(self, capsys):
+        assert main(["ablation", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "%" in out or "DNF" in out

@@ -1,0 +1,153 @@
+"""Tests for the PyTorch-style nn frontend."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.graph.ir import DataType
+from repro.graph.validate import validate_graph
+from repro.hardware import tiny_cluster
+from repro.partitioner import auto_partition
+from repro.runtime import Executor
+
+
+class MLP(nn.Module):
+    def __init__(self, din=16, dh=32, dout=4):
+        super().__init__()
+        self.fc1 = nn.Linear(din, dh)
+        self.act = nn.ReLU()
+        self.fc2 = nn.Linear(dh, dout)
+
+    def forward(self, x):
+        return self.fc2(self.act(self.fc1(x)))
+
+
+class TestTrace:
+    def test_basic_trace(self):
+        g = nn.trace(
+            MLP(), {"x": nn.Input((1, 16))},
+            loss="cross_entropy",
+            targets=nn.Input((1,), dtype=DataType.INT64),
+        )
+        validate_graph(g)
+        assert "fc1.weight" in g.values
+        assert g.values["fc1.weight"].shape == (32, 16)
+        assert "fc2.bias" in g.values
+        assert g.output_names == ["loss.out"]
+
+    def test_trace_without_loss(self):
+        g = nn.trace(MLP(), {"x": nn.Input((1, 16))}, loss=None)
+        validate_graph(g)
+        assert g.outputs[0].shape == (1, 4)
+
+    def test_loss_requires_targets(self):
+        with pytest.raises(ValueError, match="targets"):
+            nn.trace(MLP(), {"x": nn.Input((1, 16))}, loss="mse_loss")
+
+    def test_call_outside_trace_rejected(self):
+        with pytest.raises(RuntimeError, match="trace"):
+            MLP()(None)
+
+    def test_nested_scopes(self):
+        class Outer(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.block = MLP()
+                self.head = nn.Linear(4, 2)
+
+            def forward(self, x):
+                return self.head(self.block(x))
+
+        g = nn.trace(Outer(), {"x": nn.Input((1, 16))}, loss=None)
+        assert "block.fc1.weight" in g.values
+        assert "head.weight" in g.values
+
+    def test_sequential(self):
+        model = nn.Sequential(
+            nn.Linear(8, 16), nn.GELU(), nn.Dropout(0.1), nn.Linear(16, 4),
+        )
+        g = nn.trace(model, {"x": nn.Input((1, 8))}, loss=None)
+        validate_graph(g)
+        assert "layers.0.weight" in g.values
+        assert "layers.3.weight" in g.values
+
+    def test_conv_stack(self):
+        class ConvNet(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.conv = nn.Conv2d(3, 8, 3, stride=1, padding=1)
+                self.bn = nn.BatchNorm2d(8)
+                self.act = nn.ReLU()
+                self.pool = nn.MaxPool2d(2)
+                self.flat = nn.Flatten()
+                self.fc = nn.Linear(8 * 8 * 8, 10)
+
+            def forward(self, x):
+                return self.fc(self.flat(self.pool(self.act(self.bn(self.conv(x))))))
+
+        g = nn.trace(
+            ConvNet(), {"x": nn.Input((1, 3, 16, 16))},
+            loss="cross_entropy", targets=nn.Input((1,), dtype=DataType.INT64),
+        )
+        validate_graph(g)
+        assert g.values["conv.weight"].shape == (8, 3, 3, 3)
+
+    def test_functional_helpers(self):
+        class Residual(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.fc = nn.Linear(8, 8)
+                self.ln = nn.LayerNorm(8)
+
+            def forward(self, x):
+                return self.ln(nn.add(x, self.fc(x)))
+
+        g = nn.trace(Residual(), {"x": nn.Input((1, 8))}, loss=None)
+        validate_graph(g)
+        assert any(t.op_type == "add" for t in g.tasks.values())
+
+    def test_embedding(self):
+        class Embedder(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.emb = nn.Embedding(100, 16)
+                self.fc = nn.Linear(16, 4)
+
+            def forward(self, ids):
+                return self.fc(self.emb(ids))
+
+        g = nn.trace(
+            Embedder(), {"ids": nn.Input((1, 6), dtype=DataType.INT64)},
+            loss=None,
+        )
+        assert g.values["emb.weight"].shape == (100, 16)
+
+
+class TestEndToEnd:
+    def test_traced_model_is_partitionable(self):
+        g = nn.trace(
+            nn.Sequential(*[
+                layer
+                for i in range(4)
+                for layer in (nn.Linear(64, 64), nn.ReLU())
+            ]),
+            {"x": nn.Input((1, 64))},
+            loss="mse_loss", targets=nn.Input((1, 64)),
+        )
+        cluster = tiny_cluster(num_nodes=1, devices_per_node=2,
+                               memory_bytes=1024**3)
+        plan = auto_partition(g, cluster, batch_size=16)
+        assert plan.throughput > 0
+
+    def test_traced_model_is_executable(self, rng):
+        g = nn.trace(
+            MLP(), {"x": nn.Input((1, 16))},
+            loss="cross_entropy",
+            targets=nn.Input((1,), dtype=DataType.INT64),
+        )
+        ex = Executor(g)
+        batch = {"x": rng.standard_normal((4, 16)),
+                 "targets": rng.integers(0, 4, (4,))}
+        loss, grads = ex.loss_and_grads(batch)
+        assert np.isfinite(loss)
+        assert "fc1.weight" in grads
