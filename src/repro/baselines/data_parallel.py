@@ -10,13 +10,37 @@ behaviour.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Dict, Optional
 
 from repro.baselines.base import FrameworkResult
 from repro.graph.ir import TaskGraph
 from repro.hardware.cluster import ClusterSpec
 from repro.hardware.device import Precision
+from repro.planner import (
+    FRAMEWORK_RESULT,
+    PlannerConfig,
+    PlannerPass,
+    PlanningContext,
+    run_framework_pipeline,
+)
 from repro.profiler.profiler import GraphProfiler
+
+
+class DataParallelPass(PlannerPass):
+    """Planner pass sizing pure DP (accumulation steps, feasibility)."""
+
+    name = "data_parallel_search"
+    produces = (FRAMEWORK_RESULT,)
+
+    def run(self, ctx: PlanningContext) -> Dict[str, Any]:
+        result = _search_data_parallel(
+            ctx.graph,
+            ctx.cluster,
+            ctx.config.batch_size,
+            ctx.ensure_profiler(),
+        )
+        ctx.put(FRAMEWORK_RESULT, result)
+        return {"feasible": result.feasible}
 
 
 def run_data_parallel(
@@ -27,8 +51,23 @@ def run_data_parallel(
     profiler: Optional[GraphProfiler] = None,
 ) -> FrameworkResult:
     """Evaluate pure DP: feasibility, accumulation steps, throughput."""
-    if profiler is None:
-        profiler = GraphProfiler(graph, cluster, precision)
+    return run_framework_pipeline(
+        graph,
+        cluster,
+        PlannerConfig(
+            batch_size=batch_size, precision=precision, validate=False
+        ),
+        [DataParallelPass()],
+        profiler=profiler,
+    )
+
+
+def _search_data_parallel(
+    graph: TaskGraph,
+    cluster: ClusterSpec,
+    batch_size: int,
+    profiler: GraphProfiler,
+) -> FrameworkResult:
     world = cluster.total_devices
     if batch_size % world:
         return FrameworkResult(

@@ -16,13 +16,20 @@ granularity (greedy prefix balancing over whole residual blocks).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines.base import FrameworkResult
 from repro.graph.ir import TaskGraph
 from repro.hardware.cluster import ClusterSpec
 from repro.hardware.device import Precision
 from repro.pipeline.simulator import simulate_sync_pipeline
+from repro.planner import (
+    FRAMEWORK_RESULT,
+    PlannerConfig,
+    PlannerPass,
+    PlanningContext,
+    run_framework_pipeline,
+)
 from repro.profiler.profiler import GraphProfiler
 
 
@@ -134,6 +141,51 @@ def _evaluate_pipeline(
     return pipe + allreduce + opt, pipe, max_mem
 
 
+class GpipeHybridPass(PlannerPass):
+    """Planner pass running the GPipe-Hybrid (stages, MB) sweep."""
+
+    name = "gpipe_hybrid_search"
+    produces = (FRAMEWORK_RESULT,)
+
+    def __init__(self, stage_counts: Sequence[int] = (2, 4, 8, 16)) -> None:
+        self.stage_counts = tuple(stage_counts)
+
+    def run(self, ctx: PlanningContext) -> Dict[str, Any]:
+        result = _search_gpipe_hybrid(
+            ctx.graph,
+            ctx.cluster,
+            ctx.config.batch_size,
+            ctx.config.precision,
+            self.stage_counts,
+            ctx.ensure_profiler(),
+        )
+        ctx.put(FRAMEWORK_RESULT, result)
+        return {"feasible": result.feasible}
+
+
+class GpipeModelPass(PlannerPass):
+    """Planner pass running the torchgpipe single-node split."""
+
+    name = "gpipe_model_search"
+    produces = (FRAMEWORK_RESULT,)
+
+    def __init__(self, num_stages: int = 8, num_microbatches: int = 64) -> None:
+        self.num_stages = num_stages
+        self.num_microbatches = num_microbatches
+
+    def run(self, ctx: PlanningContext) -> Dict[str, Any]:
+        result = _search_gpipe_model(
+            ctx.graph,
+            ctx.cluster,
+            ctx.config.batch_size,
+            self.num_stages,
+            self.num_microbatches,
+            ctx.ensure_profiler(),
+        )
+        ctx.put(FRAMEWORK_RESULT, result)
+        return {"feasible": result.feasible}
+
+
 def run_gpipe_hybrid(
     graph: TaskGraph,
     cluster: ClusterSpec,
@@ -143,14 +195,31 @@ def run_gpipe_hybrid(
     profiler: Optional[GraphProfiler] = None,
 ) -> FrameworkResult:
     """GPipe with hybrid parallelism on a Transformer graph."""
+    return run_framework_pipeline(
+        graph,
+        cluster,
+        PlannerConfig(
+            batch_size=batch_size, precision=precision, validate=False
+        ),
+        [GpipeHybridPass(stage_counts)],
+        profiler=profiler,
+    )
+
+
+def _search_gpipe_hybrid(
+    graph: TaskGraph,
+    cluster: ClusterSpec,
+    batch_size: int,
+    precision: Precision,
+    stage_counts: Sequence[int],
+    profiler: GraphProfiler,
+) -> FrameworkResult:
     units = layer_units(graph)
     if _transformer_layer_count(units) == 0:
         return FrameworkResult(
             "gpipe_hybrid", False,
             reason="implementation is specialized to BERT-style models",
         )
-    if profiler is None:
-        profiler = GraphProfiler(graph, cluster, precision)
     world = cluster.total_devices
     best: Optional[FrameworkResult] = None
     for S in stage_counts:
@@ -203,13 +272,30 @@ def run_gpipe_model(
     profiler: Optional[GraphProfiler] = None,
 ) -> FrameworkResult:
     """torchgpipe-style model parallelism on one node (Fig. 5 baseline)."""
+    return run_framework_pipeline(
+        graph,
+        cluster,
+        PlannerConfig(
+            batch_size=batch_size, precision=precision, validate=False
+        ),
+        [GpipeModelPass(num_stages, num_microbatches)],
+        profiler=profiler,
+    )
+
+
+def _search_gpipe_model(
+    graph: TaskGraph,
+    cluster: ClusterSpec,
+    batch_size: int,
+    num_stages: int,
+    num_microbatches: int,
+    profiler: GraphProfiler,
+) -> FrameworkResult:
     if cluster.num_nodes != 1:
         return FrameworkResult(
             "gpipe_model", False,
             reason="GPipe-Model can use only GPUs on a single node",
         )
-    if profiler is None:
-        profiler = GraphProfiler(graph, cluster, precision)
     num_stages = min(num_stages, cluster.devices_per_node)
     units = layer_units(graph)
     stages = _balanced_unit_stages(profiler, units, num_stages)

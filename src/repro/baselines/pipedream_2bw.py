@@ -20,11 +20,10 @@ the authors -- we sweep S over {2, 4, 8, 16} and keep the best.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
 from repro.baselines.base import FrameworkResult
 from repro.baselines.gpipe import (
-    _evaluate_pipeline,
     _transformer_layer_count,
     _uniform_layer_stages,
     layer_units,
@@ -33,7 +32,35 @@ from repro.graph.ir import TaskGraph
 from repro.hardware.cluster import ClusterSpec
 from repro.hardware.device import Precision
 from repro.pipeline.simulator import simulate_async_1f1b
+from repro.planner import (
+    FRAMEWORK_RESULT,
+    PlannerConfig,
+    PlannerPass,
+    PlanningContext,
+    run_framework_pipeline,
+)
 from repro.profiler.profiler import GraphProfiler
+
+
+class PipeDream2BWPass(PlannerPass):
+    """Planner pass running the PipeDream-2BW (stages, MB) sweep."""
+
+    name = "pipedream_2bw_search"
+    produces = (FRAMEWORK_RESULT,)
+
+    def __init__(self, stage_counts: Sequence[int] = (2, 4, 8, 16)) -> None:
+        self.stage_counts = tuple(stage_counts)
+
+    def run(self, ctx: PlanningContext) -> Dict[str, Any]:
+        result = _search_pipedream_2bw(
+            ctx.graph,
+            ctx.cluster,
+            ctx.config.batch_size,
+            self.stage_counts,
+            ctx.ensure_profiler(),
+        )
+        ctx.put(FRAMEWORK_RESULT, result)
+        return {"feasible": result.feasible}
 
 
 def run_pipedream_2bw(
@@ -45,14 +72,30 @@ def run_pipedream_2bw(
     profiler: Optional[GraphProfiler] = None,
 ) -> FrameworkResult:
     """Evaluate PipeDream-2BW on a Transformer graph."""
+    return run_framework_pipeline(
+        graph,
+        cluster,
+        PlannerConfig(
+            batch_size=batch_size, precision=precision, validate=False
+        ),
+        [PipeDream2BWPass(stage_counts)],
+        profiler=profiler,
+    )
+
+
+def _search_pipedream_2bw(
+    graph: TaskGraph,
+    cluster: ClusterSpec,
+    batch_size: int,
+    stage_counts: Sequence[int],
+    profiler: GraphProfiler,
+) -> FrameworkResult:
     units = layer_units(graph)
     if _transformer_layer_count(units) == 0:
         return FrameworkResult(
             "pipedream_2bw", False,
             reason="available implementation is specialized to BERT",
         )
-    if profiler is None:
-        profiler = GraphProfiler(graph, cluster, precision)
     world = cluster.total_devices
     M = cluster.device.usable_memory
     best: Optional[FrameworkResult] = None

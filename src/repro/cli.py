@@ -4,6 +4,7 @@ Examples::
 
     python -m repro partition --model bert --hidden 1536 --layers 96 \
         --nodes 4 --batch-size 256
+    python -m repro plan --model bert --explain --cache-dir ~/.cache/repro
     python -m repro fig4 --fast
     python -m repro fig5
     python -m repro table1
@@ -39,16 +40,112 @@ def _add_partition(sub: argparse._SubParsersAction) -> None:
                    help="write the deployment JSON to this path")
 
 
-def _cmd_partition(args: argparse.Namespace) -> int:
+def _add_plan(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "plan",
+        help="run the pass-based planning pipeline on one model",
+    )
+    p.add_argument("--model", choices=("bert", "resnet", "gpt"), default="bert")
+    p.add_argument("--hidden", type=int, default=1024, help="BERT/GPT hidden size")
+    p.add_argument("--layers", type=int, default=24, help="BERT/GPT layer count")
+    p.add_argument("--depth", type=int, default=50, help="ResNet depth")
+    p.add_argument("--width-factor", type=int, default=8, help="ResNet width factor")
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--batch-size", type=int, default=256)
+    p.add_argument("--amp", action="store_true", help="mixed precision")
+    p.add_argument("--blocks", type=int, default=32, help="block count k")
+    p.add_argument("--cache-dir", type=str, default=None,
+                   help="deployment cache directory (reruns load the plan)")
+    p.add_argument("--explain", action="store_true",
+                   help="print per-pass timings and profiler statistics")
+    p.add_argument("--save", type=str, default=None,
+                   help="write the deployment JSON to this path")
+
+
+def _build_graph(args: argparse.Namespace):
     if args.model == "bert":
-        graph = build_bert(BertConfig(hidden_size=args.hidden,
-                                      num_layers=args.layers))
-    elif args.model == "gpt":
-        graph = build_gpt(GPTConfig(hidden_size=args.hidden,
-                                    num_layers=args.layers))
+        return build_bert(BertConfig(hidden_size=args.hidden,
+                                     num_layers=args.layers))
+    if args.model == "gpt":
+        return build_gpt(GPTConfig(hidden_size=args.hidden,
+                                   num_layers=args.layers))
+    return build_resnet(ResNetConfig(depth=args.depth,
+                                     width_factor=args.width_factor))
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.planner import (
+        PlannerConfig,
+        PlanningContext,
+        plan_graph,
+    )
+
+    graph = _build_graph(args)
+    cluster = paper_cluster(num_nodes=args.nodes)
+    precision = Precision.AMP if args.amp else Precision.FP32
+    config = PlannerConfig(
+        batch_size=args.batch_size,
+        precision=precision,
+        num_blocks=args.blocks,
+        cache_dir=args.cache_dir,
+    )
+    ctx = PlanningContext(graph, cluster, config)
+    print(f"{graph}  on {cluster.total_devices} devices, "
+          f"BS={args.batch_size}, {precision.value}")
+    try:
+        plan = plan_graph(graph, cluster, config, context=ctx)
+    except PartitioningError as exc:
+        print(f"INFEASIBLE: {exc}")
+        if args.explain:
+            print(_render_events(ctx))
+        return 1
+    print(plan.summary())
+    if plan.diagnostics.cache_hit:
+        print("  (plan restored from the deployment cache)")
+    if args.explain:
+        print(_render_events(ctx))
+    if args.save:
+        from repro.partitioner.deployment import plan_to_json
+
+        with open(args.save, "w") as fh:
+            fh.write(plan_to_json(plan, graph))
+        print(f"deployment written to {args.save}")
+    return 0
+
+
+def _render_events(ctx) -> str:
+    """Two-column per-pass report plus profiler memo statistics."""
+    lines = ["", "pass".ljust(20) + "status".ljust(10) + "time".rjust(10) +
+             "  detail"]
+    lines.append("-" * 72)
+    for event in ctx.events:
+        keys = ("reason", "hit", "dp_calls", "candidates_tried",
+                "num_components", "num_blocks", "num_stages", "throughput")
+        detail = ", ".join(
+            f"{k}={event.detail[k]}" for k in keys if k in event.detail
+        )
+        lines.append(
+            event.name.ljust(20)
+            + event.status.ljust(10)
+            + f"{event.wall_time * 1e3:8.1f}ms"
+            + (f"  {detail}" if detail else "")
+        )
+    lines.append("-" * 72)
+    lines.append("total".ljust(30) + f"{ctx.events.total_time() * 1e3:8.1f}ms")
+    if ctx.profiler is not None:
+        stats = ctx.profiler.stats()
+        lines.append(
+            f"profiler memo hit rate: {stats['memo_hit_rate']:.1%} "
+            f"({int(stats['cache_hits'] + stats['table_hits'])} hits / "
+            f"{int(stats['profile_calls'] + stats['cache_hits'] + stats['table_calls'])} lookups)"
+        )
     else:
-        graph = build_resnet(ResNetConfig(depth=args.depth,
-                                          width_factor=args.width_factor))
+        lines.append("profiler memo hit rate: n/a (profiler never built)")
+    return "\n".join(lines)
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    graph = _build_graph(args)
     cluster = paper_cluster(num_nodes=args.nodes)
     precision = Precision.AMP if args.amp else Precision.FP32
     print(f"{graph}  on {cluster.total_devices} devices, BS={args.batch_size}, "
@@ -148,6 +245,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
 
     _add_partition(sub)
+    _add_plan(sub)
     p4 = sub.add_parser("fig4", help="regenerate the Fig. 4 BERT sweep")
     p4.add_argument("--fast", action="store_true")
     p4.add_argument("--amp", action="store_true")
@@ -168,6 +266,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     handler = {
         "partition": _cmd_partition,
+        "plan": _cmd_plan,
         "fig4": _cmd_fig4,
         "fig5": _cmd_fig5,
         "table1": _cmd_table1,

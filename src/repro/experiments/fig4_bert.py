@@ -17,11 +17,12 @@ from repro.baselines import (
     run_megatron,
     run_pipedream_2bw,
 )
-from repro.experiments.runner import SweepRow
+from repro.experiments.runner import SweepRow, plan_with_events, rannc_sweep_row
 from repro.hardware import ClusterSpec, Precision, paper_cluster
 from repro.models import BertConfig, build_bert
 from repro.models.configs import FIG4_HIDDEN_SIZES, FIG4_NUM_LAYERS
-from repro.partitioner import PartitioningError, auto_partition
+from repro.partitioner import PartitioningError
+from repro.planner import PlannerConfig
 from repro.profiler import GraphProfiler
 
 #: the full grid of the paper (18 models x 2 precisions)
@@ -76,23 +77,15 @@ def run_fig4(
                 continue
             if framework == "rannc":
                 try:
-                    plan = auto_partition(
-                        graph, cluster, batch_size,
-                        precision=precision, profiler=profiler,
+                    plan, _events = plan_with_events(
+                        graph,
+                        cluster,
+                        PlannerConfig(
+                            batch_size=batch_size, precision=precision
+                        ),
+                        profiler=profiler,
                     )
-                    rows.append(
-                        SweepRow(
-                            name, framework, params_b, True, plan.throughput,
-                            detail={
-                                "stages": plan.num_stages,
-                                "microbatches": plan.num_microbatches,
-                                "replica_factor": plan.replica_factor,
-                                "device_counts": [
-                                    s.devices_per_pipeline for s in plan.stages
-                                ],
-                            },
-                        )
-                    )
+                    rows.append(rannc_sweep_row(name, plan, params_b))
                 except PartitioningError as exc:
                     rows.append(
                         SweepRow(

@@ -8,13 +8,14 @@ single node").
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.baselines import run_data_parallel, run_gpipe_model
-from repro.experiments.runner import SweepRow
-from repro.hardware import ClusterSpec, Precision, paper_cluster, single_node
+from repro.experiments.runner import SweepRow, plan_with_events, rannc_sweep_row
+from repro.hardware import Precision, paper_cluster, single_node
 from repro.models import ResNetConfig, build_resnet
-from repro.partitioner import PartitioningError, auto_partition
+from repro.partitioner import PartitioningError
+from repro.planner import PlannerConfig
 from repro.profiler import GraphProfiler
 
 FIG5_DEPTHS = (50, 101, 152)
@@ -68,20 +69,15 @@ def run_fig5(
                     )
                 )
             try:
-                plan = auto_partition(
-                    graph, cluster, batch_size,
-                    precision=precision, profiler=profiler,
+                plan, _events = plan_with_events(
+                    graph,
+                    cluster,
+                    PlannerConfig(
+                        batch_size=batch_size, precision=precision
+                    ),
+                    profiler=profiler,
                 )
-                rows.append(
-                    SweepRow(
-                        name, "rannc", params_b, True, plan.throughput,
-                        detail={
-                            "stages": plan.num_stages,
-                            "microbatches": plan.num_microbatches,
-                            "replica_factor": plan.replica_factor,
-                        },
-                    )
-                )
+                rows.append(rannc_sweep_row(name, plan, params_b))
             except PartitioningError as exc:
                 rows.append(
                     SweepRow(

@@ -1,9 +1,21 @@
-"""Shared sweep-result record and table formatting."""
+"""Shared sweep-result record, table formatting, and planner-event
+aggregation across a sweep's partitioning runs."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.graph.ir import TaskGraph
+from repro.hardware.cluster import ClusterSpec
+from repro.partitioner.plan import PartitionPlan
+from repro.planner import (
+    EventLog,
+    PlannerConfig,
+    PlanningContext,
+    plan_graph,
+)
+from repro.profiler.profiler import GraphProfiler
 
 
 @dataclass
@@ -21,6 +33,73 @@ class SweepRow:
     def cell(self) -> str:
         """Table-cell rendering: throughput or OOM."""
         return f"{self.throughput:.1f}" if self.feasible else "OOM"
+
+
+def plan_with_events(
+    graph: TaskGraph,
+    cluster: ClusterSpec,
+    config: PlannerConfig,
+    profiler: Optional[GraphProfiler] = None,
+) -> Tuple[PartitionPlan, EventLog]:
+    """Plan one workload through the pass pipeline, returning the event
+    log alongside the plan so sweeps can aggregate planner overhead.
+
+    Raises :class:`repro.planner.PartitioningError` when infeasible, like
+    ``auto_partition``.
+    """
+    ctx = PlanningContext(graph, cluster, config, profiler)
+    plan = plan_graph(graph, cluster, config, context=ctx)
+    return plan, ctx.events
+
+
+def rannc_sweep_row(
+    workload: str,
+    plan: PartitionPlan,
+    params_billion: float,
+) -> SweepRow:
+    """The standard "rannc" row of a sweep, with planner diagnostics."""
+    return SweepRow(
+        workload,
+        "rannc",
+        params_billion,
+        True,
+        plan.throughput,
+        detail={
+            "stages": plan.num_stages,
+            "microbatches": plan.num_microbatches,
+            "replica_factor": plan.replica_factor,
+            "device_counts": [s.devices_per_pipeline for s in plan.stages],
+            "dp_calls": plan.diagnostics.dp_calls,
+            "pass_timings": dict(plan.diagnostics.pass_timings),
+        },
+    )
+
+
+def aggregate_pass_timings(rows: Sequence[SweepRow]) -> Dict[str, float]:
+    """Total per-pass planning time across every row that recorded one
+    (i.e. how the sweep's planning overhead splits across passes)."""
+    totals: Dict[str, float] = {}
+    for row in rows:
+        timings = row.detail.get("pass_timings")
+        if not isinstance(timings, dict):
+            continue
+        for name, seconds in timings.items():
+            totals[name] = totals.get(name, 0.0) + float(seconds)
+    return totals
+
+
+def format_pass_timings(totals: Dict[str, float]) -> str:
+    """Render the aggregate as a small two-column table."""
+    if not totals:
+        return "(no planner timings recorded)"
+    width = max(len(n) for n in totals) + 2
+    lines = ["planner pass".ljust(width) + "total".rjust(10)]
+    lines.append("-" * (width + 10))
+    for name, seconds in sorted(
+        totals.items(), key=lambda kv: kv[1], reverse=True
+    ):
+        lines.append(name.ljust(width) + f"{seconds * 1e3:8.1f}ms")
+    return "\n".join(lines)
 
 
 def format_rows(

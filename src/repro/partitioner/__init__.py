@@ -12,7 +12,9 @@
 * :mod:`repro.partitioner.search` -- Algorithm 2: the outer loop over node
   counts, stage counts and microbatch counts.
 * :mod:`repro.partitioner.api` -- ``auto_partition``: the one-call entry
-  point gluing all phases together.
+  point, a thin wrapper over the pass pipeline of :mod:`repro.planner`
+  (which also folds in the deployment cache of
+  :mod:`repro.partitioner.deployment`).
 """
 
 from repro.partitioner.atomic import AtomicComponent, atomic_partition
@@ -20,6 +22,7 @@ from repro.partitioner.blocks import Block, BlockPartitioner, block_partition
 from repro.partitioner.plan import (
     DeviceAssignment,
     PartitionPlan,
+    PlanDiagnostics,
     StageSpec,
 )
 from repro.partitioner.stage_dp import DPContext, DPSolution, form_stage_dp
@@ -34,6 +37,7 @@ __all__ = [
     "DPSolution",
     "DeviceAssignment",
     "PartitionPlan",
+    "PlanDiagnostics",
     "SearchResult",
     "StageSpec",
     "atomic_partition",

@@ -1,33 +1,33 @@
 """One-call public API: ``auto_partition``.
 
-Runs the full RaNNC flow on an unannotated model graph: validate ->
-atomic-level partitioning -> block-level partitioning -> Algorithm-2
-search -> device allocation -> throughput evaluation.
+A thin wrapper over the pass-based planning engine
+(:mod:`repro.planner`): it assembles the default pass list — validate ->
+cache load -> atomic-level partitioning -> block-level coarsening ->
+Algorithm-2 stage search -> device allocation -> throughput evaluation ->
+cache store — and returns the finished plan.  Callers that need the
+event log or a custom pipeline use :func:`repro.planner.plan_graph`
+directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from pathlib import Path
+from typing import Optional, Union
 
 from repro.graph.ir import TaskGraph
-from repro.graph.validate import validate_graph
 from repro.hardware.cluster import ClusterSpec
 from repro.hardware.device import Precision
-from repro.partitioner.allocation import allocate_devices
-from repro.partitioner.atomic import atomic_partition
-from repro.partitioner.blocks import block_partition
-from repro.partitioner.plan import PartitionPlan, StageSpec
-from repro.partitioner.search import form_stage
-from repro.partitioner.stage_dp import DPContext
-from repro.pipeline.hybrid import evaluate_plan
+from repro.partitioner.plan import PartitionPlan
+from repro.planner import (
+    PartitioningError,
+    PlannerConfig,
+    PlanningContext,
+    plan_graph,
+)
 from repro.profiler.memory import OptimizerKind
-from repro.profiler.profiler import GraphProfiler, ProfileResult
+from repro.profiler.profiler import GraphProfiler
 
-
-class PartitioningError(RuntimeError):
-    """Raised when no feasible partition exists (the model cannot be
-    trained on the given cluster at the given batch size)."""
+__all__ = ["PartitioningError", "auto_partition"]
 
 
 def auto_partition(
@@ -41,6 +41,8 @@ def auto_partition(
     max_microbatches: Optional[int] = None,
     validate: bool = True,
     profiler: Optional[GraphProfiler] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
+    context: Optional[PlanningContext] = None,
 ) -> PartitionPlan:
     """Automatically partition ``graph`` for hybrid parallelism.
 
@@ -58,6 +60,11 @@ def auto_partition(
         max_microbatches: optional cap on the microbatch search.
         validate: structurally validate the graph first.
         profiler: reuse an existing profiler (e.g. across experiments).
+        cache_dir: directory of cached deployments; a repeated call with
+            identical graph / cluster / planner config loads the plan
+            from disk instead of re-running the stage search.
+        context: supply a :class:`PlanningContext` to inspect the
+            per-pass event log and artifacts after the call.
 
     Returns:
         A fully evaluated :class:`PartitionPlan`.
@@ -65,73 +72,20 @@ def auto_partition(
     Raises:
         PartitioningError: if no feasible partition exists.
     """
-    if validate:
-        validate_graph(graph)
-    if batch_size < 1:
-        raise ValueError("batch size must be >= 1")
-    if profiler is None:
-        profiler = GraphProfiler(graph, cluster, precision, optimizer)
-
-    components = atomic_partition(graph)
-    blocks = block_partition(
-        graph,
-        components,
-        profiler,
-        num_blocks=num_blocks,
-        uncoarsen=uncoarsen,
-    )
-    ctx = DPContext(graph, blocks, profiler, batch_size)
-    result = form_stage(
-        ctx,
-        num_nodes=cluster.num_nodes,
-        devices_per_node=cluster.devices_per_node,
-        batch_size=batch_size,
-        max_microbatches=max_microbatches,
-    )
-    if result is None:
-        raise PartitioningError(
-            f"no feasible partition for {graph.name!r} on "
-            f"{cluster.total_devices} devices at batch size {batch_size}"
-        )
-
-    sol = result.solution
-    stages = []
-    lo = 0
-    for i, (hi, devs) in enumerate(zip(sol.boundaries, sol.device_counts)):
-        prof = sol.stage_profiles[i]
-        stages.append(
-            StageSpec(
-                index=i,
-                block_range=(lo, hi),
-                tasks=ctx.range_tasks(lo, hi),
-                devices_per_pipeline=devs,
-                microbatch_size=prof.microbatch_size,
-                profile=ProfileResult(
-                    time_fwd=prof.time_fwd,
-                    time_bwd=prof.time_bwd,
-                    memory=prof.memory,
-                    param_count=prof.param_count,
-                    in_bytes=prof.in_bytes,
-                    out_bytes=prof.out_bytes,
-                ),
-            )
-        )
-        lo = hi
-
-    assignment = allocate_devices(
-        cluster, sol.device_counts, result.replica_factor
-    )
-    plan = PartitionPlan(
-        model_name=graph.name,
-        stages=stages,
-        num_microbatches=sol.num_microbatches,
-        replica_factor=result.replica_factor,
+    config = PlannerConfig(
         batch_size=batch_size,
         precision=precision,
-        cluster=cluster,
-        assignment=assignment,
+        num_blocks=num_blocks,
+        optimizer=optimizer,
+        uncoarsen=uncoarsen,
+        max_microbatches=max_microbatches,
+        validate=validate,
+        cache_dir=cache_dir,
     )
-    plan.extras["dp_calls"] = float(result.dp_calls)
-    plan.extras["num_blocks"] = float(len(blocks))
-    plan.extras["num_atomic_components"] = float(len(components))
-    return evaluate_plan(plan, schedule="sync")
+    if context is None:
+        context = PlanningContext(graph, cluster, config, profiler)
+    else:
+        context.config = config
+        if profiler is not None:
+            context.profiler = profiler
+    return plan_graph(graph, cluster, config, context=context)

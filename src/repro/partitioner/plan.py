@@ -77,6 +77,50 @@ class DeviceAssignment:
 
 
 @dataclass
+class PlanDiagnostics:
+    """Typed search/evaluation diagnostics attached to every plan.
+
+    Replaces the old stringly-keyed ``extras`` dict: the planner passes
+    fill in the fields they own, and :meth:`as_dict` provides a flat
+    float-valued view for JSON serialization and table rendering.
+    """
+
+    # search statistics (StageSearchPass)
+    dp_calls: int = 0
+    candidates_tried: int = 0
+    num_blocks: int = 0
+    num_atomic_components: int = 0
+    # throughput breakdown (EvaluatePass / evaluate_plan)
+    pipeline_time: float = 0.0
+    allreduce_time: float = 0.0
+    optimizer_time: float = 0.0
+    # planner instrumentation
+    cache_hit: bool = False
+    profiler_memo_hit_rate: float = 0.0
+    pass_timings: Dict[str, float] = field(default_factory=dict)
+    # escape hatch for experiment-specific annotations
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat float view (per-pass timings keyed ``pass_time.<name>``)."""
+        doc: Dict[str, float] = {
+            "dp_calls": float(self.dp_calls),
+            "candidates_tried": float(self.candidates_tried),
+            "num_blocks": float(self.num_blocks),
+            "num_atomic_components": float(self.num_atomic_components),
+            "pipeline_time": self.pipeline_time,
+            "allreduce_time": self.allreduce_time,
+            "optimizer_time": self.optimizer_time,
+            "cache_hit": float(self.cache_hit),
+            "profiler_memo_hit_rate": self.profiler_memo_hit_rate,
+        }
+        for name, seconds in self.pass_timings.items():
+            doc[f"pass_time.{name}"] = seconds
+        doc.update(self.extra)
+        return doc
+
+
+@dataclass
 class PartitionPlan:
     """The complete result of automatic partitioning for one model."""
 
@@ -91,7 +135,13 @@ class PartitionPlan:
     # filled in by the throughput evaluation
     iteration_time: float = 0.0
     throughput: float = 0.0
-    extras: Dict[str, float] = field(default_factory=dict)
+    diagnostics: PlanDiagnostics = field(default_factory=PlanDiagnostics)
+
+    @property
+    def extras(self) -> Dict[str, float]:
+        """Flat dict view of :attr:`diagnostics` (kept for callers that
+        predate :class:`PlanDiagnostics`)."""
+        return self.diagnostics.as_dict()
 
     @property
     def num_stages(self) -> int:

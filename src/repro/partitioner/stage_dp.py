@@ -34,7 +34,7 @@ import numpy as np
 
 from repro.graph.ir import TaskGraph
 from repro.partitioner.blocks import Block
-from repro.profiler.profiler import GraphProfiler
+from repro.profiler.profiler import GraphProfiler, ProfileResult
 
 INFEASIBLE = None
 
@@ -50,6 +50,18 @@ class StageProfile:
     in_bytes: float
     out_bytes: float
     param_count: int
+
+    def to_profile_result(self) -> ProfileResult:
+        """The stage profile as a :class:`ProfileResult` (the plan-level
+        type); keeps the two dataclasses from drifting apart."""
+        return ProfileResult(
+            time_fwd=self.time_fwd,
+            time_bwd=self.time_bwd,
+            memory=self.memory,
+            param_count=self.param_count,
+            in_bytes=self.in_bytes,
+            out_bytes=self.out_bytes,
+        )
 
 
 @dataclass

@@ -68,11 +68,7 @@ def evaluate_plan(plan: "PartitionPlan", schedule: str = "sync") -> "PartitionPl
 
     plan.iteration_time = pipe_time + allreduce + opt_step
     plan.throughput = plan.batch_size / plan.iteration_time
-    plan.extras.update(
-        {
-            "pipeline_time": pipe_time,
-            "allreduce_time": allreduce,
-            "optimizer_time": opt_step,
-        }
-    )
+    plan.diagnostics.pipeline_time = pipe_time
+    plan.diagnostics.allreduce_time = allreduce
+    plan.diagnostics.optimizer_time = opt_step
     return plan

@@ -1,0 +1,146 @@
+"""Pass-based planning engine.
+
+The paper's three-phase flow (atomic partitioning, block coarsening, the
+Algorithm-1/2 stage search) is expressed as discrete
+:class:`~repro.planner.manager.PlannerPass` objects threaded through a
+shared :class:`~repro.planner.context.PlanningContext` by a
+:class:`~repro.planner.manager.PassManager`.  ``auto_partition`` is a
+thin wrapper over :func:`default_passes`; baselines and experiments
+assemble their own pipelines from the same building blocks, and every
+run yields a structured per-pass event log (``repro plan --explain``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.graph.ir import TaskGraph
+from repro.hardware.cluster import ClusterSpec
+from repro.partitioner.plan import PartitionPlan
+from repro.planner.cache import CachePass, cache_path
+from repro.planner.context import (
+    BLOCKS,
+    COMPONENTS,
+    DP_CONTEXT,
+    EVALUATED,
+    FRAMEWORK_RESULT,
+    PLAN,
+    SEARCH_RESULT,
+    VALIDATED,
+    PlannerConfig,
+    PlanningContext,
+)
+from repro.planner.events import EventLog, PassEvent
+from repro.planner.manager import (
+    PartitioningError,
+    PassError,
+    PassManager,
+    PlannerPass,
+)
+from repro.planner.passes import (
+    AllocatePass,
+    AtomicPartitionPass,
+    CoarsenPass,
+    EvaluatePass,
+    StageSearchPass,
+    ValidatePass,
+)
+from repro.profiler.profiler import GraphProfiler
+
+
+def default_passes() -> List[PlannerPass]:
+    """The standard ``auto_partition`` pipeline.
+
+    ``validate`` always runs (it is cheap and guards the cache path too);
+    ``cache_load`` short-circuits every later compute pass on a hit; the
+    compute passes mirror the paper's phases; ``cache_store`` persists a
+    freshly computed plan.  Both cache passes self-skip when no cache
+    directory is configured.
+    """
+    return [
+        ValidatePass(),
+        CachePass("load"),
+        AtomicPartitionPass(),
+        CoarsenPass(),
+        StageSearchPass(),
+        AllocatePass(),
+        EvaluatePass(),
+        CachePass("store"),
+    ]
+
+
+def plan_graph(
+    graph: TaskGraph,
+    cluster: ClusterSpec,
+    config: PlannerConfig,
+    profiler: Optional[GraphProfiler] = None,
+    passes: Optional[List[PlannerPass]] = None,
+    context: Optional[PlanningContext] = None,
+) -> PartitionPlan:
+    """Run a planning pipeline and return the finished plan.
+
+    Pass ``context`` to keep a handle on the artifacts and event log
+    (e.g. for ``--explain`` rendering); otherwise one is created.
+    """
+    ctx = context or PlanningContext(graph, cluster, config, profiler)
+    PassManager(passes if passes is not None else default_passes()).run(ctx)
+    plan = ctx.get(EVALUATED) or ctx.get(PLAN)
+    if plan is None:
+        raise PassError(
+            "pipeline",
+            "no pass produced a plan artifact "
+            f"(artifacts: {sorted(ctx.artifacts)})",
+        )
+    return plan
+
+
+def run_framework_pipeline(
+    graph: TaskGraph,
+    cluster: ClusterSpec,
+    config: PlannerConfig,
+    passes: List[PlannerPass],
+    profiler: Optional[GraphProfiler] = None,
+    context: Optional[PlanningContext] = None,
+):
+    """Run a baseline-framework pipeline and return its result artifact.
+
+    Baselines (GPipe, PipeDream-2BW, Megatron-LM, data parallelism)
+    share this entry point: each contributes a search pass producing the
+    ``FRAMEWORK_RESULT`` artifact, and gets the same context, event log
+    and profiler handling as ``auto_partition``.
+    """
+    ctx = context or PlanningContext(graph, cluster, config, profiler)
+    PassManager(passes).run(ctx)
+    return ctx.require(FRAMEWORK_RESULT)
+
+
+__all__ = [
+    "AllocatePass",
+    "AtomicPartitionPass",
+    "BLOCKS",
+    "COMPONENTS",
+    "CachePass",
+    "CoarsenPass",
+    "DP_CONTEXT",
+    "EVALUATED",
+    "EvaluatePass",
+    "EventLog",
+    "FRAMEWORK_RESULT",
+    "GraphProfiler",
+    "PLAN",
+    "PartitioningError",
+    "PassError",
+    "PassEvent",
+    "PassManager",
+    "PlannerConfig",
+    "PlannerPass",
+    "PlanningContext",
+    "SEARCH_RESULT",
+    "StageSearchPass",
+    "VALIDATED",
+    "ValidatePass",
+    "cache_path",
+    "default_passes",
+    "plan_graph",
+    "run_framework_pipeline",
+]

@@ -1,0 +1,83 @@
+"""First-class deployment caching for the planning pipeline.
+
+RaNNC persists its partitioning results ("deployments") so relaunching a
+job skips the search; :class:`CachePass` folds that into the pass
+pipeline.  A ``load``-mode instance runs before the compute passes and,
+on a hit, restores the plan so every search pass is skipped; a
+``store``-mode instance runs after evaluation and writes the fresh plan
+back.  Entries are keyed on graph fingerprint + cluster shape + the
+plan-determining planner config (see ``PlanningContext.cache_key``), so
+mutating any of the three re-plans instead of serving a stale deployment.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.partitioner.deployment import (
+    DeploymentMismatchError,
+    plan_from_json,
+    plan_to_json,
+)
+from repro.planner.context import EVALUATED, PLAN, PlanningContext
+from repro.planner.manager import PlannerPass
+
+
+def cache_path(ctx: PlanningContext) -> Optional[Path]:
+    """Deployment file for this context, or ``None`` if caching is off."""
+    if ctx.config.cache_dir is None:
+        return None
+    safe_model = "".join(
+        c if c.isalnum() or c in "-_." else "_" for c in ctx.graph.name
+    )
+    return Path(ctx.config.cache_dir) / f"{safe_model}-{ctx.cache_key()}.json"
+
+
+class CachePass(PlannerPass):
+    """Load (``mode="load"``) or store (``mode="store"``) a deployment."""
+
+    requires = ()
+    produces = ()
+
+    def __init__(self, mode: str = "load") -> None:
+        if mode not in ("load", "store"):
+            raise ValueError(f"CachePass mode must be load|store, got {mode!r}")
+        self.mode = mode
+        self.name = f"cache_{mode}"
+
+    def should_skip(self, ctx: PlanningContext) -> Optional[str]:
+        if ctx.config.cache_dir is None:
+            return "no cache directory configured"
+        if self.mode == "store" and ctx.get("cache_hit"):
+            return "plan came from the cache"
+        return None
+
+    def run(self, ctx: PlanningContext) -> Optional[Dict[str, Any]]:
+        path = cache_path(ctx)
+        assert path is not None  # should_skip gates the None case
+        if self.mode == "load":
+            return self._load(ctx, path)
+        return self._store(ctx, path)
+
+    def _load(self, ctx: PlanningContext, path: Path) -> Dict[str, Any]:
+        if not path.exists():
+            return {"hit": False, "path": str(path)}
+        try:
+            plan = plan_from_json(path.read_text(), ctx.graph, ctx.cluster)
+        except (DeploymentMismatchError, ValueError, KeyError) as exc:
+            # a stale or corrupt entry is a miss, not a failure
+            return {"hit": False, "path": str(path), "reason": str(exc)}
+        plan.diagnostics.cache_hit = True
+        ctx.put(PLAN, plan)
+        ctx.put(EVALUATED, plan)
+        ctx.put("cache_hit", True)
+        return {"hit": True, "path": str(path)}
+
+    def _store(self, ctx: PlanningContext, path: Path) -> Dict[str, Any]:
+        plan = ctx.get(EVALUATED) or ctx.get(PLAN)
+        if plan is None:
+            return {"stored": False, "reason": "no plan to store"}
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(plan_to_json(plan, ctx.graph))
+        return {"stored": True, "path": str(path)}

@@ -1,0 +1,139 @@
+"""Planner configuration and the context threaded through every pass."""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.graph.ir import TaskGraph
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.device import Precision
+from repro.planner.events import EventLog
+from repro.profiler.memory import OptimizerKind
+from repro.profiler.profiler import GraphProfiler
+
+#: canonical artifact names produced by the built-in passes
+VALIDATED = "validated"
+COMPONENTS = "components"
+BLOCKS = "blocks"
+DP_CONTEXT = "dp_context"
+SEARCH_RESULT = "search_result"
+PLAN = "plan"
+EVALUATED = "evaluated"
+FRAMEWORK_RESULT = "framework_result"
+
+
+@dataclass(frozen=True)
+class PlannerConfig:
+    """Everything the planning pipeline needs besides graph + cluster.
+
+    The fields mirror the historical ``auto_partition`` keyword
+    arguments; :meth:`fingerprint` hashes the plan-determining subset so
+    the deployment cache can key on it (``validate`` and ``cache_dir``
+    change how the pipeline runs, not what plan it produces, and are
+    excluded).
+    """
+
+    batch_size: int
+    precision: Precision = Precision.FP32
+    num_blocks: int = 32
+    optimizer: OptimizerKind = OptimizerKind.ADAM
+    uncoarsen: bool = True
+    max_microbatches: Optional[int] = None
+    validate: bool = True
+    schedule: str = "sync"
+    cache_dir: Optional[Union[str, Path]] = None
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the plan-determining fields."""
+        doc = {
+            "batch_size": self.batch_size,
+            "precision": self.precision.value,
+            "num_blocks": self.num_blocks,
+            "optimizer": self.optimizer.value,
+            "uncoarsen": self.uncoarsen,
+            "max_microbatches": self.max_microbatches,
+            "schedule": self.schedule,
+        }
+        blob = json.dumps(doc, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()[:16]
+
+
+class PlanningContext:
+    """Mutable state shared by the passes of one planning run.
+
+    Holds the immutable inputs (graph, cluster, config), the lazily
+    constructed profiler, the artifact store passes read from and write
+    to, and the structured event log the :class:`~repro.planner.manager.
+    PassManager` appends to.
+    """
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        cluster: ClusterSpec,
+        config: PlannerConfig,
+        profiler: Optional[GraphProfiler] = None,
+    ) -> None:
+        self.graph = graph
+        self.cluster = cluster
+        self.config = config
+        self.profiler = profiler
+        self.artifacts: Dict[str, Any] = {}
+        self.events = EventLog()
+
+    # ------------------------------------------------------------------
+    # artifact store
+    # ------------------------------------------------------------------
+    def has(self, name: str) -> bool:
+        return name in self.artifacts
+
+    def get(self, name: str, default: Any = None) -> Any:
+        return self.artifacts.get(name, default)
+
+    def require(self, name: str) -> Any:
+        """Fetch an artifact an earlier pass must have produced."""
+        try:
+            return self.artifacts[name]
+        except KeyError:
+            raise KeyError(
+                f"artifact {name!r} has not been produced "
+                f"(available: {sorted(self.artifacts)})"
+            ) from None
+
+    def put(self, name: str, value: Any) -> Any:
+        self.artifacts[name] = value
+        return value
+
+    # ------------------------------------------------------------------
+    def ensure_profiler(self) -> GraphProfiler:
+        """The run's profiler, constructing the default one on demand."""
+        if self.profiler is None:
+            self.profiler = GraphProfiler(
+                self.graph,
+                self.cluster,
+                self.config.precision,
+                self.config.optimizer,
+            )
+        return self.profiler
+
+    def cache_key(self) -> str:
+        """Deployment-cache key: graph content + cluster shape + the
+        plan-determining planner configuration."""
+        from repro.partitioner.deployment import graph_fingerprint
+
+        blob = json.dumps(
+            {
+                "graph": graph_fingerprint(self.graph),
+                "cluster": [
+                    self.cluster.num_nodes,
+                    self.cluster.devices_per_node,
+                ],
+                "config": self.config.fingerprint(),
+            },
+            sort_keys=True,
+        ).encode()
+        return hashlib.sha256(blob).hexdigest()[:20]

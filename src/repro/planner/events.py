@@ -1,0 +1,77 @@
+"""Structured planner events: one record per executed (or skipped) pass.
+
+The event log is the planner's observability surface: the CLI renders it
+(``repro plan --explain``), experiments aggregate it across sweeps, and
+tests assert on it (e.g. "the cached run never entered the stage search").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+#: event status values
+OK = "ok"
+SKIPPED = "skipped"
+FAILED = "failed"
+
+
+@dataclass
+class PassEvent:
+    """Outcome of one pass execution."""
+
+    name: str
+    status: str  # "ok" | "skipped" | "failed"
+    wall_time: float = 0.0
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "status": self.status,
+            "wall_time": self.wall_time,
+            "detail": dict(self.detail),
+        }
+
+
+class EventLog:
+    """Append-only log of :class:`PassEvent` records."""
+
+    def __init__(self) -> None:
+        self.events: List[PassEvent] = []
+
+    def record(
+        self,
+        name: str,
+        status: str,
+        wall_time: float = 0.0,
+        detail: Optional[Dict[str, Any]] = None,
+    ) -> PassEvent:
+        event = PassEvent(name, status, wall_time, dict(detail or {}))
+        self.events.append(event)
+        return event
+
+    def find(self, name: str) -> Optional[PassEvent]:
+        """The most recent event of pass ``name``, if any."""
+        for event in reversed(self.events):
+            if event.name == name:
+                return event
+        return None
+
+    def total_time(self) -> float:
+        return sum(e.wall_time for e in self.events)
+
+    def timings(self) -> Dict[str, float]:
+        """Per-pass wall time of every non-skipped pass."""
+        return {
+            e.name: e.wall_time for e in self.events if e.status != SKIPPED
+        }
+
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        return [e.as_dict() for e in self.events]
+
+    def __iter__(self) -> Iterator[PassEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)

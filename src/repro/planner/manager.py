@@ -1,0 +1,124 @@
+"""The pass abstraction and the manager that runs a pipeline of passes.
+
+Every pass declares the artifacts it ``requires`` and ``produces``; the
+manager checks both around each pass, so a mis-assembled pipeline fails
+with "pass X requires artifact Y" instead of an attribute error three
+layers deep, and a crashing pass is reported by name with the artifacts
+that existed at the time.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.planner.context import EVALUATED, PLAN, PlanningContext
+from repro.planner.events import FAILED, OK, SKIPPED
+
+
+class PartitioningError(RuntimeError):
+    """Raised when no feasible partition exists (the model cannot be
+    trained on the given cluster at the given batch size)."""
+
+
+class PassError(RuntimeError):
+    """A planner pass failed or the pipeline is mis-assembled."""
+
+    def __init__(self, pass_name: str, message: str) -> None:
+        super().__init__(f"planner pass {pass_name!r}: {message}")
+        self.pass_name = pass_name
+
+
+class PlannerPass:
+    """Base class of all planner passes.
+
+    Subclasses set :attr:`name`, :attr:`requires` and :attr:`produces`
+    and implement :meth:`run`, returning an optional detail dict that is
+    attached to the pass's event.  Passes whose work is superseded by a
+    cache-restored plan set :attr:`skip_when_planned` so the manager can
+    short-circuit them.
+    """
+
+    name: str = "pass"
+    requires: Tuple[str, ...] = ()
+    produces: Tuple[str, ...] = ()
+    #: skip this pass when a finished plan is already in the context
+    skip_when_planned: bool = False
+
+    def should_skip(self, ctx: PlanningContext) -> Optional[str]:
+        """A human-readable skip reason, or ``None`` to run the pass."""
+        if self.produces and all(ctx.has(a) for a in self.produces):
+            return "artifacts already present"
+        if self.skip_when_planned and ctx.get("cache_hit"):
+            return "plan loaded from cache"
+        return None
+
+    def run(self, ctx: PlanningContext) -> Optional[Dict[str, Any]]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class PassManager:
+    """Runs a pass list over one context, enforcing artifact invariants
+    and recording a timed event per pass."""
+
+    def __init__(self, passes: Sequence[PlannerPass]) -> None:
+        self.passes: List[PlannerPass] = list(passes)
+        names = [p.name for p in self.passes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate pass names in pipeline: {names}")
+
+    def run(self, ctx: PlanningContext) -> PlanningContext:
+        """Execute all passes in order; returns the (mutated) context."""
+        for p in self.passes:
+            reason = p.should_skip(ctx)
+            if reason is not None:
+                ctx.events.record(p.name, SKIPPED, 0.0, {"reason": reason})
+                continue
+            for artifact in p.requires:
+                if not ctx.has(artifact):
+                    raise PassError(
+                        p.name,
+                        f"requires artifact {artifact!r}, but none of the "
+                        f"earlier passes produced it (pipeline: "
+                        f"{[q.name for q in self.passes]}, available: "
+                        f"{sorted(ctx.artifacts)})",
+                    )
+            start = time.perf_counter()
+            try:
+                detail = p.run(ctx) or {}
+            except Exception as exc:
+                ctx.events.record(
+                    p.name,
+                    FAILED,
+                    time.perf_counter() - start,
+                    {"error": str(exc)},
+                )
+                if isinstance(exc, (PartitioningError, ValueError, KeyError)):
+                    raise  # domain errors keep their type for callers
+                raise PassError(p.name, str(exc)) from exc
+            elapsed = time.perf_counter() - start
+            for artifact in p.produces:
+                if not ctx.has(artifact):
+                    raise PassError(
+                        p.name,
+                        f"declared artifact {artifact!r} but did not "
+                        f"produce it",
+                    )
+            ctx.events.record(p.name, OK, elapsed, detail)
+        self._stamp_diagnostics(ctx)
+        return ctx
+
+    @staticmethod
+    def _stamp_diagnostics(ctx: PlanningContext) -> None:
+        """Copy the event log's timings onto the final plan (if any)."""
+        plan = ctx.get(EVALUATED) or ctx.get(PLAN)
+        if plan is None:
+            return
+        plan.diagnostics.pass_timings.update(ctx.events.timings())
+        if ctx.profiler is not None:
+            plan.diagnostics.profiler_memo_hit_rate = (
+                ctx.profiler.memo_hit_rate
+            )

@@ -1,0 +1,203 @@
+"""The built-in planner passes: one per phase of the paper's flow.
+
+Mapping to the paper:
+
+* :class:`ValidatePass` -- structural sanity of the traced graph.
+* :class:`AtomicPartitionPass` -- atomic-level partitioning (Sec. III-A).
+* :class:`CoarsenPass` -- block-level partitioning (Sec. III-B).
+* :class:`StageSearchPass` -- Algorithm 2 over Algorithm 1 (Sec. III-C).
+* :class:`AllocatePass` -- device-rank assignment for the winning DP
+  solution.
+* :class:`EvaluatePass` -- hybrid-parallel throughput estimate.
+
+The cache passes live in :mod:`repro.planner.cache`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.graph.validate import validate_graph
+from repro.partitioner.allocation import allocate_devices
+from repro.partitioner.atomic import atomic_partition
+from repro.partitioner.blocks import block_partition
+from repro.partitioner.plan import PartitionPlan, StageSpec
+from repro.partitioner.search import form_stage
+from repro.partitioner.stage_dp import DPContext
+from repro.pipeline.hybrid import evaluate_plan
+from repro.planner.context import (
+    BLOCKS,
+    COMPONENTS,
+    DP_CONTEXT,
+    EVALUATED,
+    PLAN,
+    SEARCH_RESULT,
+    VALIDATED,
+    PlanningContext,
+)
+from repro.planner.manager import PartitioningError, PlannerPass
+
+
+class ValidatePass(PlannerPass):
+    """Check the inputs before any expensive phase runs."""
+
+    name = "validate"
+    produces = (VALIDATED,)
+
+    def run(self, ctx: PlanningContext) -> Optional[Dict[str, Any]]:
+        if ctx.config.batch_size < 1:
+            raise ValueError("batch size must be >= 1")
+        if ctx.config.validate:
+            validate_graph(ctx.graph)
+        ctx.put(VALIDATED, True)
+        return {
+            "tasks": len(ctx.graph.tasks),
+            "structural_check": ctx.config.validate,
+        }
+
+
+class AtomicPartitionPass(PlannerPass):
+    """Sec. III-A: finest-grained subcomponents (constant-task cloning)."""
+
+    name = "atomic_partition"
+    produces = (COMPONENTS,)
+    skip_when_planned = True
+
+    def run(self, ctx: PlanningContext) -> Optional[Dict[str, Any]]:
+        components = ctx.put(COMPONENTS, atomic_partition(ctx.graph))
+        return {"num_components": len(components)}
+
+
+class CoarsenPass(PlannerPass):
+    """Sec. III-B: multilevel coarsening to ``k`` balanced blocks."""
+
+    name = "coarsen"
+    requires = (COMPONENTS,)
+    produces = (BLOCKS,)
+    skip_when_planned = True
+
+    def run(self, ctx: PlanningContext) -> Optional[Dict[str, Any]]:
+        blocks = ctx.put(
+            BLOCKS,
+            block_partition(
+                ctx.graph,
+                ctx.require(COMPONENTS),
+                ctx.ensure_profiler(),
+                num_blocks=ctx.config.num_blocks,
+                uncoarsen=ctx.config.uncoarsen,
+            ),
+        )
+        return {"num_blocks": len(blocks)}
+
+
+class StageSearchPass(PlannerPass):
+    """Sec. III-C: Algorithm 2's (n, S, MB) search over Algorithm 1."""
+
+    name = "stage_search"
+    requires = (BLOCKS,)
+    produces = (SEARCH_RESULT, DP_CONTEXT)
+    skip_when_planned = True
+
+    def run(self, ctx: PlanningContext) -> Optional[Dict[str, Any]]:
+        profiler = ctx.ensure_profiler()
+        memo_before = profiler.memo_hit_rate
+        dp_ctx = ctx.put(
+            DP_CONTEXT,
+            DPContext(
+                ctx.graph,
+                ctx.require(BLOCKS),
+                profiler,
+                ctx.config.batch_size,
+            ),
+        )
+        result = form_stage(
+            dp_ctx,
+            num_nodes=ctx.cluster.num_nodes,
+            devices_per_node=ctx.cluster.devices_per_node,
+            batch_size=ctx.config.batch_size,
+            max_microbatches=ctx.config.max_microbatches,
+        )
+        if result is None:
+            raise PartitioningError(
+                f"no feasible partition for {ctx.graph.name!r} on "
+                f"{ctx.cluster.total_devices} devices at batch size "
+                f"{ctx.config.batch_size}"
+            )
+        ctx.put(SEARCH_RESULT, result)
+        return {
+            "dp_calls": result.dp_calls,
+            "candidates_tried": result.candidates_tried,
+            "num_stages": result.num_stages,
+            "replica_factor": result.replica_factor,
+            "devices_per_pipeline": result.devices_per_pipeline,
+            "memo_hit_rate": profiler.memo_hit_rate - memo_before,
+        }
+
+
+class AllocatePass(PlannerPass):
+    """Turn the winning DP solution into a device-assigned plan."""
+
+    name = "allocate"
+    requires = (SEARCH_RESULT, DP_CONTEXT)
+    produces = (PLAN,)
+    skip_when_planned = True
+
+    def run(self, ctx: PlanningContext) -> Optional[Dict[str, Any]]:
+        result = ctx.require(SEARCH_RESULT)
+        dp_ctx = ctx.require(DP_CONTEXT)
+        sol = result.solution
+        stages = []
+        lo = 0
+        for i, (hi, devs) in enumerate(
+            zip(sol.boundaries, sol.device_counts)
+        ):
+            prof = sol.stage_profiles[i]
+            stages.append(
+                StageSpec(
+                    index=i,
+                    block_range=(lo, hi),
+                    tasks=dp_ctx.range_tasks(lo, hi),
+                    devices_per_pipeline=devs,
+                    microbatch_size=prof.microbatch_size,
+                    profile=prof.to_profile_result(),
+                )
+            )
+            lo = hi
+        assignment = allocate_devices(
+            ctx.cluster, sol.device_counts, result.replica_factor
+        )
+        plan = PartitionPlan(
+            model_name=ctx.graph.name,
+            stages=stages,
+            num_microbatches=sol.num_microbatches,
+            replica_factor=result.replica_factor,
+            batch_size=ctx.config.batch_size,
+            precision=ctx.config.precision,
+            cluster=ctx.cluster,
+            assignment=assignment,
+        )
+        diag = plan.diagnostics
+        diag.dp_calls = result.dp_calls
+        diag.candidates_tried = result.candidates_tried
+        diag.num_blocks = len(ctx.get(BLOCKS, ()))
+        diag.num_atomic_components = len(ctx.get(COMPONENTS, ()))
+        ctx.put(PLAN, plan)
+        return {"num_stages": plan.num_stages}
+
+
+class EvaluatePass(PlannerPass):
+    """Fill iteration time / throughput via the pipeline simulator."""
+
+    name = "evaluate"
+    requires = (PLAN,)
+    produces = (EVALUATED,)
+    skip_when_planned = True
+
+    def run(self, ctx: PlanningContext) -> Optional[Dict[str, Any]]:
+        plan = evaluate_plan(ctx.require(PLAN), schedule=ctx.config.schedule)
+        ctx.put(EVALUATED, plan)
+        return {
+            "schedule": ctx.config.schedule,
+            "iteration_time": plan.iteration_time,
+            "throughput": plan.throughput,
+        }

@@ -99,14 +99,18 @@ class GraphProfiler:
         self._cache: Dict[Hashable, ProfileResult] = {}
         self.profile_calls = 0
         self.cache_hits = 0
+        self.table_calls = 0
+        self.table_hits = 0
 
     # ------------------------------------------------------------------
     # vectorized time tables
     # ------------------------------------------------------------------
     def _times_at(self, batch_size: int) -> Tuple[np.ndarray, np.ndarray]:
         """Per-task (t_f, t_b) arrays at one batch size (cached)."""
+        self.table_calls += 1
         table = self._time_tables.get(batch_size)
         if table is not None:
+            self.table_hits += 1
             return table
         device = self.cost_model.device
         act_factor = self.precision.activation_bytes_factor
@@ -244,9 +248,20 @@ class GraphProfiler:
         return self.cluster.p2p_time(nbytes, same_node=same_node)
 
     # ------------------------------------------------------------------
-    def stats(self) -> Dict[str, int]:
+    @property
+    def memo_hit_rate(self) -> float:
+        """Fraction of profiling lookups (subcomponent memo + per-batch
+        time tables) answered from a cache."""
+        hits = self.cache_hits + self.table_hits
+        total = self.profile_calls + self.cache_hits + self.table_calls
+        return hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
         return {
             "profile_calls": self.profile_calls,
             "cache_hits": self.cache_hits,
             "cached_entries": len(self._cache),
+            "table_calls": self.table_calls,
+            "table_hits": self.table_hits,
+            "memo_hit_rate": self.memo_hit_rate,
         }

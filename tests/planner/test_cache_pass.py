@@ -1,0 +1,121 @@
+"""Deployment-cache round trip through the planner's ``CachePass``:
+hits return an identical plan with zero DP work; any change to the
+graph, the cluster, or the planner config invalidates the key."""
+
+import pytest
+
+from repro.hardware import paper_cluster
+from repro.models import BertConfig, build_bert
+from repro.partitioner import auto_partition
+from repro.planner import PlannerConfig, PlanningContext, cache_path
+
+
+def plan_with_ctx(graph, cluster, batch_size, cache_dir, **kwargs):
+    ctx = PlanningContext(
+        graph, cluster,
+        PlannerConfig(batch_size=batch_size, cache_dir=cache_dir, **kwargs),
+    )
+    plan = auto_partition(
+        graph, cluster, batch_size, cache_dir=cache_dir, context=ctx,
+        **kwargs,
+    )
+    return plan, ctx
+
+
+@pytest.fixture
+def cache_dir(tmp_path):
+    return tmp_path / "deployments"
+
+
+class TestCacheHit:
+    def test_second_call_loads_identical_plan(self, tiny_bert, cache_dir):
+        cluster = paper_cluster()
+        cold, cold_ctx = plan_with_ctx(tiny_bert, cluster, 64, cache_dir)
+        assert cold_ctx.events.find("cache_load").detail["hit"] is False
+        assert cold_ctx.events.find("cache_store").detail["stored"] is True
+        assert not cold.diagnostics.cache_hit
+
+        warm, warm_ctx = plan_with_ctx(tiny_bert, cluster, 64, cache_dir)
+        assert warm_ctx.events.find("cache_load").detail["hit"] is True
+        assert warm.diagnostics.cache_hit
+        # plan identity: boundaries, devices, microbatches, replicas
+        assert [s.block_range for s in warm.stages] == [
+            s.block_range for s in cold.stages
+        ]
+        assert [s.devices_per_pipeline for s in warm.stages] == [
+            s.devices_per_pipeline for s in cold.stages
+        ]
+        assert [s.tasks for s in warm.stages] == [s.tasks for s in cold.stages]
+        assert warm.num_microbatches == cold.num_microbatches
+        assert warm.replica_factor == cold.replica_factor
+        assert warm.throughput == pytest.approx(cold.throughput)
+
+    def test_cached_run_performs_zero_dp_calls(
+        self, tiny_bert, cache_dir, monkeypatch
+    ):
+        cluster = paper_cluster()
+        plan_with_ctx(tiny_bert, cluster, 64, cache_dir)
+
+        def _forbidden(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("form_stage_dp called on a cache hit")
+
+        import repro.partitioner.search as search_mod
+
+        monkeypatch.setattr(search_mod, "form_stage_dp", _forbidden)
+        warm, ctx = plan_with_ctx(tiny_bert, cluster, 64, cache_dir)
+        assert warm.diagnostics.dp_calls == 0
+        assert ctx.events.find("stage_search").status == "skipped"
+        assert "pass_time.stage_search" not in warm.extras
+
+    def test_stale_entry_treated_as_miss(self, tiny_bert, cache_dir):
+        cluster = paper_cluster()
+        _, ctx = plan_with_ctx(tiny_bert, cluster, 64, cache_dir)
+        path = cache_path(ctx)
+        path.write_text(path.read_text().replace('"version": 1', '"version": 9'))
+        warm, warm_ctx = plan_with_ctx(tiny_bert, cluster, 64, cache_dir)
+        load = warm_ctx.events.find("cache_load")
+        assert load.detail["hit"] is False
+        assert "version" in load.detail["reason"]
+        assert not warm.diagnostics.cache_hit
+
+
+class TestCacheInvalidation:
+    def test_mutated_graph_replans(self, tiny_bert, cache_dir):
+        cluster = paper_cluster()
+        _, ctx1 = plan_with_ctx(tiny_bert, cluster, 64, cache_dir)
+        other = build_bert(
+            BertConfig(hidden_size=32, num_layers=3, num_heads=4,
+                       seq_len=16, vocab_size=101)
+        )
+        _, ctx2 = plan_with_ctx(other, cluster, 64, cache_dir)
+        assert cache_path(ctx1) != cache_path(ctx2)
+        assert ctx2.events.find("cache_load").detail["hit"] is False
+        assert ctx2.events.find("stage_search").status == "ok"
+
+    def test_changed_cluster_replans(self, tiny_bert, cache_dir):
+        _, ctx1 = plan_with_ctx(tiny_bert, paper_cluster(), 64, cache_dir)
+        _, ctx2 = plan_with_ctx(
+            tiny_bert, paper_cluster(num_nodes=2), 64, cache_dir
+        )
+        assert cache_path(ctx1) != cache_path(ctx2)
+        assert ctx2.events.find("cache_load").detail["hit"] is False
+        assert ctx2.events.find("stage_search").status == "ok"
+
+    def test_changed_planner_config_replans(self, tiny_bert, cache_dir):
+        cluster = paper_cluster()
+        _, ctx1 = plan_with_ctx(tiny_bert, cluster, 64, cache_dir)
+        _, ctx2 = plan_with_ctx(
+            tiny_bert, cluster, 64, cache_dir, num_blocks=16
+        )
+        assert cache_path(ctx1) != cache_path(ctx2)
+        assert ctx2.events.find("cache_load").detail["hit"] is False
+        assert ctx2.events.find("stage_search").status == "ok"
+
+    def test_no_cache_dir_disables_both_passes(self, tiny_bert):
+        cluster = paper_cluster()
+        ctx = PlanningContext(
+            tiny_bert, cluster, PlannerConfig(batch_size=64)
+        )
+        auto_partition(tiny_bert, cluster, 64, context=ctx)
+        assert ctx.events.find("cache_load").status == "skipped"
+        assert ctx.events.find("cache_store").status == "skipped"

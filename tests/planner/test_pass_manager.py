@@ -1,0 +1,174 @@
+"""Tests for the pass manager: artifact invariants, event log, skip
+logic, error reporting, and the default ``auto_partition`` pipeline."""
+
+import pytest
+
+from repro.hardware import paper_cluster
+from repro.partitioner import PartitioningError, auto_partition
+from repro.planner import (
+    AllocatePass,
+    AtomicPartitionPass,
+    CoarsenPass,
+    PassError,
+    PassManager,
+    PlannerConfig,
+    PlannerPass,
+    PlanningContext,
+    StageSearchPass,
+    ValidatePass,
+    default_passes,
+    plan_graph,
+)
+
+
+def make_ctx(graph, cluster, **config_kwargs):
+    config_kwargs.setdefault("batch_size", 64)
+    return PlanningContext(graph, cluster, PlannerConfig(**config_kwargs))
+
+
+class TestPassManager:
+    def test_duplicate_pass_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            PassManager([ValidatePass(), ValidatePass()])
+
+    def test_missing_requirement_names_pass_and_artifact(self, tiny_bert):
+        ctx = make_ctx(tiny_bert, paper_cluster())
+        manager = PassManager([ValidatePass(), CoarsenPass()])
+        with pytest.raises(PassError, match="'coarsen'.*'components'"):
+            manager.run(ctx)
+
+    def test_undelivered_artifact_reported(self, tiny_bert):
+        class LazyPass(PlannerPass):
+            name = "lazy"
+            produces = ("never_made",)
+
+            def run(self, ctx):
+                return {}
+
+        ctx = make_ctx(tiny_bert, paper_cluster())
+        with pytest.raises(PassError, match="'lazy'.*'never_made'"):
+            PassManager([LazyPass()]).run(ctx)
+
+    def test_crashing_pass_wrapped_with_name(self, tiny_bert):
+        class BoomPass(PlannerPass):
+            name = "boom"
+
+            def run(self, ctx):
+                raise RuntimeError("kaput")
+
+        ctx = make_ctx(tiny_bert, paper_cluster())
+        with pytest.raises(PassError, match="'boom'.*kaput"):
+            PassManager([BoomPass()]).run(ctx)
+        event = ctx.events.find("boom")
+        assert event.status == "failed"
+        assert "kaput" in event.detail["error"]
+
+    def test_domain_errors_keep_their_type(self, tiny_bert):
+        ctx = make_ctx(tiny_bert, paper_cluster(), batch_size=0)
+        with pytest.raises(ValueError, match="batch size"):
+            PassManager([ValidatePass()]).run(ctx)
+        assert ctx.events.find("validate").status == "failed"
+
+    def test_event_per_pass_with_timings(self, tiny_bert):
+        ctx = make_ctx(tiny_bert, paper_cluster())
+        plan_graph(tiny_bert, paper_cluster(), ctx.config, context=ctx)
+        names = [e.name for e in ctx.events]
+        assert names == [
+            "validate", "cache_load", "atomic_partition", "coarsen",
+            "stage_search", "allocate", "evaluate", "cache_store",
+        ]
+        ran = {e.name for e in ctx.events if e.status == "ok"}
+        # no cache dir: both cache passes self-skip, the rest run
+        assert ran == {
+            "validate", "atomic_partition", "coarsen", "stage_search",
+            "allocate", "evaluate",
+        }
+        search = ctx.events.find("stage_search")
+        assert search.wall_time > 0
+        assert search.detail["dp_calls"] > 0
+
+
+class TestDefaultPipeline:
+    def test_default_passes_cover_all_phases(self):
+        names = [p.name for p in default_passes()]
+        assert names == [
+            "validate", "cache_load", "atomic_partition", "coarsen",
+            "stage_search", "allocate", "evaluate", "cache_store",
+        ]
+
+    def test_plan_has_pass_timings(self, tiny_bert, cluster):
+        plan = auto_partition(tiny_bert, cluster, 64)
+        timings = plan.diagnostics.pass_timings
+        assert "stage_search" in timings and timings["stage_search"] > 0
+        assert "coarsen" in timings
+        # skipped passes (cache without a directory) record no timing
+        assert "cache_load" not in timings
+        assert plan.extras["pass_time.stage_search"] == pytest.approx(
+            timings["stage_search"]
+        )
+
+    def test_plan_records_memo_hit_rate(self, tiny_bert, cluster):
+        plan = auto_partition(tiny_bert, cluster, 64)
+        assert 0.0 < plan.diagnostics.profiler_memo_hit_rate < 1.0
+
+    def test_infeasible_raises_partitioning_error(self):
+        from repro.hardware import tiny_cluster
+        from repro.models import build_mlp
+
+        starved = tiny_cluster(num_nodes=1, devices_per_node=2,
+                               memory_bytes=1024**2)
+        g = build_mlp((256, 1024, 1024, 256))
+        ctx = make_ctx(g, starved, batch_size=8)
+        with pytest.raises(PartitioningError, match="no feasible"):
+            plan_graph(g, starved, ctx.config, context=ctx)
+        assert ctx.events.find("stage_search").status == "failed"
+
+    def test_custom_pipeline_without_evaluate(self, tiny_bert, cluster):
+        """Baselines-style assembly: the same building blocks compose
+        into a shorter pipeline that stops at allocation."""
+        config = PlannerConfig(batch_size=64)
+        ctx = PlanningContext(tiny_bert, cluster, config)
+        plan = plan_graph(
+            tiny_bert,
+            cluster,
+            config,
+            passes=[
+                ValidatePass(),
+                AtomicPartitionPass(),
+                CoarsenPass(),
+                StageSearchPass(),
+                AllocatePass(),
+            ],
+            context=ctx,
+        )
+        assert plan.num_stages >= 1
+        assert plan.iteration_time == 0.0  # never evaluated
+        full = auto_partition(tiny_bert, cluster, 64)
+        assert [s.block_range for s in plan.stages] == [
+            s.block_range for s in full.stages
+        ]
+
+    def test_evaluate_pass_matches_legacy_evaluate(self, tiny_bert, cluster):
+        config = PlannerConfig(batch_size=64)
+        plan = plan_graph(tiny_bert, cluster, config)
+        assert plan.throughput > 0
+        assert plan.diagnostics.pipeline_time > 0
+        assert plan.extras["pipeline_time"] == pytest.approx(
+            plan.diagnostics.pipeline_time
+        )
+
+
+class TestBaselinePipelines:
+    def test_baselines_share_planner_context(self, tiny_bert, cluster):
+        from repro.baselines import DataParallelPass
+        from repro.planner import FRAMEWORK_RESULT, run_framework_pipeline
+
+        ctx = make_ctx(tiny_bert, cluster, validate=False)
+        result = run_framework_pipeline(
+            tiny_bert, cluster, ctx.config, [DataParallelPass()], context=ctx
+        )
+        assert result.framework == "data_parallel"
+        assert ctx.artifacts[FRAMEWORK_RESULT] is result
+        event = ctx.events.find("data_parallel_search")
+        assert event.status == "ok"
+        assert event.detail["feasible"] == result.feasible

@@ -53,6 +53,33 @@ class TestCLI:
         ])
         assert rc == 0
 
+    def test_plan_explain(self, capsys):
+        rc = main([
+            "plan", "--model", "bert", "--hidden", "64", "--layers", "4",
+            "--nodes", "1", "--batch-size", "32", "--explain",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "PartitionPlan" in out
+        assert "stage_search" in out and "coarsen" in out
+        assert "ms" in out
+        assert "profiler memo hit rate" in out
+
+    def test_plan_cache_roundtrip(self, capsys, tmp_path):
+        args = [
+            "plan", "--model", "bert", "--hidden", "64", "--layers", "4",
+            "--nodes", "1", "--batch-size", "32", "--explain",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "hit=False" in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "hit=True" in second
+        assert "restored from the deployment cache" in second
+        assert "skipped" in second
+
     def test_loss_validation(self, capsys):
         assert main(["loss-validation", "--steps", "2"]) == 0
         assert "OK" in capsys.readouterr().out
