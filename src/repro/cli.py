@@ -120,6 +120,7 @@ def _render_events(ctx) -> str:
     lines.append("-" * 72)
     for event in ctx.events:
         keys = ("reason", "hit", "dp_calls", "candidates_tried",
+                "states_evaluated", "parallel_search", "memo_hit_rate",
                 "num_components", "num_blocks", "num_stages", "throughput")
         detail = ", ".join(
             f"{k}={event.detail[k]}" for k in keys if k in event.detail

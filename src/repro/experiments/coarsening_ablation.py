@@ -66,6 +66,32 @@ class SummedAtomicContext(DPContext):
             ])]
         )
 
+    def _profile_planes(self, bs, MB, checkpointing):
+        """Whole-plane form of the summed estimate below, so
+        ``profile_tensors`` can use the vectorized builder; term order
+        mirrors ``stage_profile`` exactly for bit-identical entries."""
+        tf_prefix, tb_prefix = self._time_prefix_at(bs)
+        tf_plane = tf_prefix[None, :] - tf_prefix[:, None]
+        tb_plane = tb_prefix[None, :] - tb_prefix[:, None]
+        if checkpointing:
+            tb_plane = tb_plane + tf_plane
+        in_b = (self._in1_prefix[None, :] - self._in1_prefix[:, None]) * bs
+        out_b = (self._out1_prefix[None, :] - self._out1_prefix[:, None]) * bs
+        idx = np.arange(self.k + 1)
+        n_atoms = idx[None, :] - idx[:, None]
+        lat = self.cluster.comm_latency
+        bw = self.cluster.intra_node_bandwidth
+        tf_plane = tf_plane + (n_atoms * lat + out_b / bw)
+        tb_plane = tb_plane + (n_atoms * lat + in_b / bw)
+        act_factor = self.profiler.precision.activation_bytes_factor
+        saved = (
+            self._saved_prefix[None, :] - self._saved_prefix[:, None]
+        ) * bs * act_factor
+        mem_plane = (
+            self._static_prefix[None, :] - self._static_prefix[:, None]
+        ) + saved + in_b
+        return tf_plane, tb_plane, mem_plane
+
     def stage_profile(
         self, lo: int, hi: int, replicas: int, R: int, MB: int,
         checkpointing: bool,

@@ -88,6 +88,7 @@ class PlanDiagnostics:
     # search statistics (StageSearchPass)
     dp_calls: int = 0
     candidates_tried: int = 0
+    states_evaluated: int = 0
     num_blocks: int = 0
     num_atomic_components: int = 0
     # throughput breakdown (EvaluatePass / evaluate_plan)
@@ -97,6 +98,7 @@ class PlanDiagnostics:
     # planner instrumentation
     cache_hit: bool = False
     profiler_memo_hit_rate: float = 0.0
+    profiler_stats: Dict[str, float] = field(default_factory=dict)
     pass_timings: Dict[str, float] = field(default_factory=dict)
     # escape hatch for experiment-specific annotations
     extra: Dict[str, float] = field(default_factory=dict)
@@ -106,6 +108,7 @@ class PlanDiagnostics:
         doc: Dict[str, float] = {
             "dp_calls": float(self.dp_calls),
             "candidates_tried": float(self.candidates_tried),
+            "states_evaluated": float(self.states_evaluated),
             "num_blocks": float(self.num_blocks),
             "num_atomic_components": float(self.num_atomic_components),
             "pipeline_time": self.pipeline_time,
@@ -114,6 +117,8 @@ class PlanDiagnostics:
             "cache_hit": float(self.cache_hit),
             "profiler_memo_hit_rate": self.profiler_memo_hit_rate,
         }
+        for name, value in self.profiler_stats.items():
+            doc[f"profiler.{name}"] = float(value)
         for name, seconds in self.pass_timings.items():
             doc[f"pass_time.{name}"] = seconds
         doc.update(self.extra)

@@ -1,12 +1,20 @@
 """Algorithm 2 (``form_stage``): the outer search loop.
 
-Iterates over the number of compute nodes ``n`` (doubling from 1), derives
-the devices available to one pipeline ``D = D_node x n`` and the pipeline
-replica factor ``R = N / n``, then tries stage counts ``S`` in the range
-``(D_node x (n-1), D_node x n]`` and microbatch counts ``MB`` doubling
-from 1.  The first stage count that yields any feasible DP solution wins;
-among its microbatch variants the one with the best estimated iteration
-time is returned.
+Iterates over the number of compute nodes ``n`` (doubling from 1, skipping
+spans that do not divide the node count), derives the devices available to
+one pipeline ``D = D_node x n`` and the pipeline replica factor ``R = N /
+n``, then tries stage counts ``S`` in the range ``(D_node x (n-1), D_node
+x n]`` and microbatch counts ``MB`` doubling from 1.  The first stage
+count that yields any feasible DP solution wins; among its microbatch
+variants the one with the best estimated iteration time is returned.
+
+The ``(S, MB)`` candidates of one node level are independent DP problems
+over a shared :class:`DPContext`, so they can run on a thread pool
+(``parallel=True``): the context's caches and counters are lock-guarded,
+NumPy releases the GIL inside the DP reductions, and the winner is always
+selected from the results in the serial sweep's candidate order, so the
+returned plan and the ``dp_calls`` / ``candidates_tried`` statistics are
+identical to a sequential search.
 
 Aligning ``D`` to whole nodes keeps each pipeline inside as few nodes as
 possible, which is why stage-to-stage transfers are costed at intra-node
@@ -15,8 +23,10 @@ bandwidth (footnote 3 of the paper).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.partitioner.stage_dp import DPContext, DPSolution, form_stage_dp
 
@@ -37,6 +47,34 @@ class SearchResult:
         return self.solution.num_stages
 
 
+def _solve_candidates(
+    ctx: DPContext,
+    pairs: List[Tuple[int, int]],
+    D: int,
+    batch_size: int,
+    R: int,
+    parallel: bool,
+    max_workers: Optional[int],
+) -> Dict[Tuple[int, int], Optional[DPSolution]]:
+    """Run ``form_stage_dp`` for every ``(S, MB)`` candidate pair.
+
+    Returns results keyed by pair so the caller ranks them in candidate
+    order regardless of thread completion order.
+    """
+    if not parallel or len(pairs) <= 1:
+        return {
+            (S, MB): form_stage_dp(ctx, S, D, batch_size, R, MB)
+            for S, MB in pairs
+        }
+    workers = max_workers or min(len(pairs), os.cpu_count() or 1)
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        futures = {
+            (S, MB): pool.submit(form_stage_dp, ctx, S, D, batch_size, R, MB)
+            for S, MB in pairs
+        }
+        return {pair: fut.result() for pair, fut in futures.items()}
+
+
 def form_stage(
     ctx: DPContext,
     num_nodes: int,
@@ -44,6 +82,8 @@ def form_stage(
     batch_size: int,
     max_microbatches: Optional[int] = None,
     search_all_stage_counts: bool = True,
+    parallel: bool = True,
+    max_workers: Optional[int] = None,
 ) -> Optional[SearchResult]:
     """Algorithm 2: search over (n, S, MB) for the best feasible plan.
 
@@ -59,6 +99,11 @@ def form_stage(
             estimated iteration time wins.  The strict reading can return
             a pipeline several stages shorter than optimal (see DESIGN.md,
             deviation D2); both modes are tested.
+        parallel: evaluate the independent ``(S, MB)`` DP candidates of a
+            level on a thread pool (deterministic: same plan and counters
+            as the serial sweep).
+        max_workers: thread-pool size (default: CPU count, capped at the
+            candidate count).
 
     Returns:
         A :class:`SearchResult`, or ``None`` if no configuration fits.
@@ -70,43 +115,55 @@ def form_stage(
     tried = 0
     while n <= num_nodes:
         if num_nodes % n:
-            raise ValueError(
-                f"node count {num_nodes} must be divisible by pipeline span {n}"
-            )
+            # a span that does not divide the node count (e.g. n=2 on 3
+            # nodes) has no integral replica factor; skip the level and
+            # keep doubling rather than aborting the search
+            n *= 2
+            continue
         D = devices_per_node * n
         R = num_nodes // n
         s_lo = devices_per_node * (n - 1) + 1
         s_hi = devices_per_node * n
-        level_solutions: List[DPSolution] = []
-        for S in range(s_lo, s_hi + 1):
-            solutions: List[DPSolution] = []
-            MB = 1
-            mb_cap = batch_size // R
-            if max_microbatches is not None:
-                mb_cap = min(mb_cap, max_microbatches)
-            while MB <= mb_cap:
-                dp_calls += 1
-                sol = form_stage_dp(ctx, S, D, batch_size, R, MB)
-                if sol is not None:
-                    solutions.append(sol)
-                    tried += 1
-                MB *= 2
-            if solutions and not search_all_stage_counts:
-                best = min(
-                    solutions, key=lambda s: s.estimated_iteration_time()
-                )
-                return SearchResult(
-                    solution=best,
-                    num_pipeline_nodes=n,
-                    devices_per_pipeline=D,
-                    replica_factor=R,
-                    candidates_tried=tried,
-                    dp_calls=dp_calls,
-                )
-            level_solutions.extend(solutions)
-        if level_solutions:
+        mb_cap = batch_size // R
+        if max_microbatches is not None:
+            mb_cap = min(mb_cap, max_microbatches)
+        microbatch_counts: List[int] = []
+        MB = 1
+        while MB <= mb_cap:
+            microbatch_counts.append(MB)
+            MB *= 2
+
+        def run_level(pairs: List[Tuple[int, int]]) -> List[DPSolution]:
+            results = _solve_candidates(
+                ctx, pairs, D, batch_size, R, parallel, max_workers
+            )
+            return [
+                results[pair] for pair in pairs if results[pair] is not None
+            ]
+
+        if search_all_stage_counts:
+            pairs = [
+                (S, MB)
+                for S in range(s_lo, s_hi + 1)
+                for MB in microbatch_counts
+            ]
+            solutions = run_level(pairs)
+            dp_calls += len(pairs)
+            tried += len(solutions)
+        else:
+            # strict pseudocode: stop at the FIRST feasible stage count,
+            # so stage counts stay sequential (only MB fans out)
+            solutions = []
+            for S in range(s_lo, s_hi + 1):
+                pairs = [(S, MB) for MB in microbatch_counts]
+                solutions = run_level(pairs)
+                dp_calls += len(pairs)
+                tried += len(solutions)
+                if solutions:
+                    break
+        if solutions:
             best = min(
-                level_solutions, key=lambda s: s.estimated_iteration_time()
+                solutions, key=lambda s: s.estimated_iteration_time()
             )
             return SearchResult(
                 solution=best,

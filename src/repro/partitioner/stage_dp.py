@@ -19,24 +19,42 @@ let solutions silently skip a prefix of blocks / devices, contradicting
 the recurrence for ``E_S`` in the text).
 
 All candidate-stage profiles for one DP call are precomputed into dense
-``(lo, hi, replicas)`` tensors so the inner double loop over ``(b', d')``
-is a vectorized NumPy reduction (see the hpc guide: vectorize the hot
-loop, profile before optimizing -- the pure-Python variant of this DP is
-kept in ``reference_form_stage_dp`` and property-tested for equivalence).
+``(lo, hi, replicas)`` tensors.  The tensors are built without any
+per-entry Python work: a stage profile depends on the replica count only
+through the per-replica microbatch ``bs = BS // (R * MB * r)``, so one
+``(k+1, k+1)`` plane of broadcast prefix-sum differences per distinct
+``bs`` covers the whole replica axis.  Range boundary bytes come from an
+incremental per-``lo`` sweep (extend ``hi`` one block at a time) and
+unique-parameter sizes from a 2-D difference-array rectangle sum, both
+exactly reproducing the per-entry results -- the per-entry builder is
+kept as ``profile_tensors_reference`` and property-tested against the
+vectorized one.  The DP reduction itself is likewise evaluated for a
+whole ``(b, d)`` grid per stage count, with the ``d_min`` pruning rule
+replayed over the precomputed failure masks so the visited-state count
+and all write decisions match the cell-by-cell loop bit for bit.  The
+pure-Python transcription stays in ``reference_form_stage_dp`` as the
+oracle.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import threading
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.graph.ir import TaskGraph
+from repro.graph.ir import TaskGraph, ValueKind
 from repro.partitioner.blocks import Block
 from repro.profiler.profiler import GraphProfiler, ProfileResult
 
 INFEASIBLE = None
+
+#: (k+1)^2 * (D+1)^2 ceiling for the all-(b, d) DP evaluation; above it
+#: (e.g. the no-coarsening ablation's atomic-level contexts, k in the
+#: hundreds) the per-(s, b) row engine is used instead, which never
+#: materializes the 4-D candidate tensor.
+FULL_TENSOR_MAX_CELLS = 2_000_000
 
 
 @dataclass(frozen=True)
@@ -77,16 +95,24 @@ class DPSolution:
     max_tf: float
     max_tb: float
     stage_profiles: List[StageProfile]
+    _iteration_time: Optional[float] = field(
+        default=None, repr=False, compare=False
+    )
 
     def estimated_iteration_time(self) -> float:
         """Synchronous-pipeline iteration estimate used to rank solutions
         (event-driven simulation of the flush schedule over the profiled
-        per-stage times)."""
-        from repro.pipeline.simulator import simulate_sync_pipeline
+        per-stage times).  Memoized: ``form_stage`` calls this once per
+        ``min()`` comparison, and the inputs are frozen at construction."""
+        if self._iteration_time is None:
+            from repro.pipeline.simulator import simulate_sync_pipeline
 
-        tf = [p.time_fwd for p in self.stage_profiles]
-        tb = [p.time_bwd for p in self.stage_profiles]
-        return simulate_sync_pipeline(tf, tb, self.num_microbatches)
+            tf = [p.time_fwd for p in self.stage_profiles]
+            tb = [p.time_bwd for p in self.stage_profiles]
+            self._iteration_time = simulate_sync_pipeline(
+                tf, tb, self.num_microbatches
+            )
+        return self._iteration_time
 
 
 class DPContext:
@@ -94,7 +120,11 @@ class DPContext:
 
     Shared across every ``form_stage_dp`` call of an Algorithm-2 search so
     block-range aggregates (task times, activation sizes, boundary bytes,
-    unique parameter counts) are computed once.
+    unique parameter counts) are computed once.  All mutable caches and
+    counters are guarded by an RLock: the Algorithm-2 sweep may issue DP
+    calls from a thread pool, and both the cached tensors and the
+    ``dp_calls`` / ``states_evaluated`` statistics must come out identical
+    to a serial sweep.
     """
 
     def __init__(
@@ -121,30 +151,187 @@ class DPContext:
         )
         self._saved_prefix = np.concatenate([[0.0], np.cumsum(saved)])
 
+        self._lock = threading.RLock()
         self._time_prefix: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
         self._range_meta: Dict[Tuple[int, int], Tuple[int, float, float]] = {}
+        self._range_mats: Optional[
+            Tuple[np.ndarray, np.ndarray, np.ndarray]
+        ] = None
         self._tensor_cache: Dict[
             Tuple[int, int, int, bool],
             Tuple[np.ndarray, np.ndarray, np.ndarray],
+        ] = {}
+        self._dp_tensor_cache: Dict[
+            Tuple[int, int, int, bool],
+            Tuple[np.ndarray, ...],
         ] = {}
         self.dp_calls = 0
         self.states_evaluated = 0
 
     # ------------------------------------------------------------------
+    def _count_dp_call(self) -> None:
+        with self._lock:
+            self.dp_calls += 1
+
+    def _count_states(self, n: int) -> None:
+        with self._lock:
+            self.states_evaluated += n
+
+    # ------------------------------------------------------------------
     def _time_prefix_at(self, bs: int) -> Tuple[np.ndarray, np.ndarray]:
         """Prefix sums over blocks of per-block (t_f, t_b) at batch bs."""
-        cached = self._time_prefix.get(bs)
-        if cached is not None:
-            return cached
-        tf_all, tb_all = self.profiler._times_at(bs)
-        tf = np.array([float(tf_all[idx].sum()) for idx in self._block_idx])
-        tb = np.array([float(tb_all[idx].sum()) for idx in self._block_idx])
-        result = (
-            np.concatenate([[0.0], np.cumsum(tf)]),
-            np.concatenate([[0.0], np.cumsum(tb)]),
-        )
-        self._time_prefix[bs] = result
-        return result
+        with self._lock:
+            cached = self._time_prefix.get(bs)
+            if cached is not None:
+                return cached
+            tf_all, tb_all = self.profiler._times_at(bs)
+            tf = np.array([float(tf_all[idx].sum()) for idx in self._block_idx])
+            tb = np.array([float(tb_all[idx].sum()) for idx in self._block_idx])
+            result = (
+                np.concatenate([[0.0], np.cumsum(tf)]),
+                np.concatenate([[0.0], np.cumsum(tb)]),
+            )
+            self._time_prefix[bs] = result
+            return result
+
+    # ------------------------------------------------------------------
+    def _range_matrices(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(IN1, OUT1, PARAMS)`` dense ``(k+1, k+1)`` range matrices.
+
+        ``IN1[lo, hi]`` / ``OUT1[lo, hi]`` are the precision-scaled
+        boundary bytes of blocks ``(lo, hi]`` at batch size 1, and
+        ``PARAMS[lo, hi]`` the unique-parameter size of the range.  Both
+        byte matrices are built by extending ``hi`` one block at a time
+        (instead of re-walking ``graph.boundary_values`` per range) with
+        the running sums accumulated in exactly the discovery order the
+        per-range walk uses, so every entry is bit-identical to
+        ``_range_meta_reference``.  PARAMS uses a 2-D difference array:
+        a parameter occurring in block ``j`` with previous occurrence in
+        block ``q`` contributes its size to every range with
+        ``q < lo <= j < hi``, a rectangle, and the double cumulative sum
+        of the per-occurrence corner updates yields all ranges at once.
+        """
+        with self._lock:
+            if self._range_mats is not None:
+                return self._range_mats
+            k = self.k
+            graph = self.graph
+            profiler = self.profiler
+            values = graph.values
+            factor = profiler.precision.activation_bytes_factor
+            is_output = set(graph.output_names)
+
+            task_block: Dict[str, int] = {}
+            for j, blk in enumerate(self.blocks):
+                for t in blk.tasks:
+                    task_block[t] = j
+
+            # unique-parameter sizes via the rectangle difference array
+            sizes = profiler._param_sizes_arr
+            diff = np.zeros((k + 2, k + 2), dtype=np.int64)
+            last_occ: Dict[int, int] = {}
+            for j, blk in enumerate(self.blocks):
+                seen_here: set = set()
+                for t in blk.tasks:
+                    for pid in profiler._task_param_ids[profiler._index[t]]:
+                        if pid in seen_here:
+                            continue
+                        seen_here.add(pid)
+                        q = last_occ.get(pid, -1)
+                        sz = int(sizes[pid])
+                        diff[q + 1, j + 1] += sz
+                        diff[j + 1, j + 1] -= sz
+                        diff[q + 1, k + 1] -= sz
+                        diff[j + 1, k + 1] += sz
+                        last_occ[pid] = j
+            PARAMS = diff.cumsum(axis=0).cumsum(axis=1)[: k + 1, : k + 1]
+
+            def scaled_bytes1(vname: str) -> float:
+                value = values[vname]
+                scale = (
+                    factor if value.dtype.value.startswith("float") else 1.0
+                )
+                return value.nbytes(1) * scale
+
+            # per-block event lists, in task order, reused by every lo
+            block_inputs: List[List[Tuple[str, int, float]]] = []
+            block_outputs: List[List[Tuple[str, float, int, bool]]] = []
+            for j, blk in enumerate(self.blocks):
+                inp: List[Tuple[str, int, float]] = []
+                outp: List[Tuple[str, float, int, bool]] = []
+                for t in blk.tasks:
+                    task = graph.tasks[t]
+                    for vname in task.inputs:
+                        value = values[vname]
+                        producer = value.producer
+                        pb = task_block[producer] if producer else -1
+                        if value.kind in (ValueKind.PARAM, ValueKind.CONST):
+                            nbytes1 = 0.0  # listed at the cut, never summed
+                        else:
+                            nbytes1 = scaled_bytes1(vname)
+                        inp.append((vname, pb, nbytes1))
+                    for vname in task.outputs:
+                        ext0 = sum(
+                            1 for c in values[vname].consumers
+                            if task_block[c] > j
+                        )
+                        outp.append(
+                            (vname, scaled_bytes1(vname), ext0,
+                             vname in is_output)
+                        )
+                block_inputs.append(inp)
+                block_outputs.append(outp)
+            # values each block absorbs from earlier blocks of the range
+            consumed: List[List[Tuple[str, int]]] = [[] for _ in range(k)]
+            for vname, value in values.items():
+                if value.producer is None:
+                    continue
+                pb = task_block[value.producer]
+                per: Dict[int, int] = {}
+                for c in value.consumers:
+                    jb = task_block[c]
+                    if jb > pb:
+                        per[jb] = per.get(jb, 0) + 1
+                for jb, cnt in per.items():
+                    consumed[jb].append((vname, cnt))
+
+            IN1 = np.zeros((k + 1, k + 1))
+            OUT1 = np.zeros((k + 1, k + 1))
+            for lo in range(k):
+                seen_in: set = set()
+                in_run = 0.0
+                out_map: Dict[str, float] = {}
+                rem: Dict[str, int] = {}
+                for j in range(lo, k):
+                    for vname, pb, nbytes1 in block_inputs[j]:
+                        if pb < lo and vname not in seen_in:
+                            seen_in.add(vname)
+                            in_run += nbytes1
+                    if j > lo:
+                        for vname, cnt in consumed[j]:
+                            r = rem.get(vname)
+                            if r is None:
+                                continue  # produced before lo
+                            r -= cnt
+                            rem[vname] = r
+                            if (
+                                r == 0
+                                and vname in out_map
+                                and vname not in is_output
+                            ):
+                                del out_map[vname]
+                    for vname, nbytes1, ext0, is_out in block_outputs[j]:
+                        if ext0 > 0 or is_out:
+                            out_map[vname] = nbytes1
+                        rem[vname] = ext0
+                    total_out = 0.0
+                    for nbytes1 in out_map.values():
+                        total_out += nbytes1
+                    IN1[lo, j + 1] = in_run
+                    OUT1[lo, j + 1] = total_out
+
+            self._range_mats = (IN1, OUT1, PARAMS)
+            return self._range_mats
 
     def range_meta(self, lo: int, hi: int) -> Tuple[int, float, float]:
         """(unique params, in_bytes@bs1, out_bytes@bs1) of blocks (lo, hi]."""
@@ -152,15 +339,21 @@ class DPContext:
         cached = self._range_meta.get(key)
         if cached is not None:
             return cached
+        IN1, OUT1, PARAMS = self._range_matrices()
+        result = (int(PARAMS[lo, hi]), float(IN1[lo, hi]), float(OUT1[lo, hi]))
+        self._range_meta[key] = result
+        return result
+
+    def _range_meta_reference(self, lo: int, hi: int) -> Tuple[int, float, float]:
+        """Per-range recomputation of :meth:`range_meta` (the pre-sweep
+        implementation); kept as the oracle for the matrix builder."""
         tasks: List[str] = []
         for j in range(lo, hi):
             tasks.extend(self.blocks[j].tasks)
         idx = np.concatenate([self._block_idx[j] for j in range(lo, hi)])
         params = self.profiler.unique_param_count(idx)
         in_bytes, out_bytes = self.profiler.boundary_bytes(tasks, 1)
-        result = (params, in_bytes, out_bytes)
-        self._range_meta[key] = result
-        return result
+        return (params, in_bytes, out_bytes)
 
     def range_tasks(self, lo: int, hi: int) -> Tuple[str, ...]:
         tasks: List[str] = []
@@ -219,6 +412,44 @@ class DPContext:
             param_count=params,
         )
 
+    # ------------------------------------------------------------------
+    def _profile_planes(
+        self, bs: int, MB: int, checkpointing: bool
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(k+1, k+1)`` t_f / t_b / memory planes at one per-replica
+        microbatch size: the whole-plane form of :meth:`stage_profile`.
+
+        Operation order mirrors ``stage_profile`` exactly (prefix
+        difference, checkpointing recompute, then the p2p latency term
+        ``comm_latency + bytes / intra_node_bandwidth`` of
+        ``ClusterSpec.p2p_time`` gated on non-zero traffic) so each entry
+        is the identical float64 arithmetic, just elementwise.
+        """
+        IN1, OUT1, PARAMS = self._range_matrices()
+        tf_prefix, tb_prefix = self._time_prefix_at(bs)
+        tf_plane = tf_prefix[None, :] - tf_prefix[:, None]
+        tb_plane = tb_prefix[None, :] - tb_prefix[:, None]
+        if checkpointing:
+            tb_plane = tb_plane + tf_plane
+        in_b = IN1 * bs
+        out_b = OUT1 * bs
+        lat = self.cluster.comm_latency
+        bw = self.cluster.intra_node_bandwidth
+        tf_plane = tf_plane + np.where(out_b != 0.0, lat + out_b / bw, 0.0)
+        tb_plane = tb_plane + np.where(in_b != 0.0, lat + in_b / bw, 0.0)
+        act_factor = self.profiler.precision.activation_bytes_factor
+        saved = (
+            self._saved_prefix[None, :] - self._saved_prefix[:, None]
+        ) * bs * act_factor
+        mem_plane = self.profiler.memory_model.total_bytes(
+            param_count=PARAMS,
+            saved_act_bytes_micro=saved,
+            boundary_in_bytes_micro=in_b,
+            microbatches_in_flight=MB if checkpointing else 1,
+            checkpointing=checkpointing,
+        )
+        return tf_plane, tb_plane, mem_plane
+
     def profile_tensors(
         self, D: int, R: int, MB: int, checkpointing: bool
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -228,11 +459,82 @@ class DPContext:
         devices; infeasible entries (bs < 1, empty range) hold +inf.
         Cached across ``form_stage_dp`` calls (the tensors are identical
         for every stage count S > 1 at the same D, R, MB).
+
+        A profile depends on ``r`` only through ``bs = BS // (R*MB*r)``,
+        so one :meth:`_profile_planes` call per distinct ``bs`` fills the
+        whole replica axis.  Subclasses that override ``stage_profile``
+        without providing a matching ``_profile_planes`` fall back to the
+        per-entry builder so their profile semantics are preserved.
         """
         cache_key = (D, R, MB, checkpointing)
-        cached = self._tensor_cache.get(cache_key)
-        if cached is not None:
-            return cached
+        with self._lock:
+            cached = self._tensor_cache.get(cache_key)
+            if cached is not None:
+                return cached
+            vectorized = (
+                type(self).stage_profile is DPContext.stage_profile
+                or type(self)._profile_planes is not DPContext._profile_planes
+            )
+            if vectorized:
+                result = self._profile_tensors_vectorized(
+                    D, R, MB, checkpointing
+                )
+            else:
+                result = self.profile_tensors_reference(D, R, MB, checkpointing)
+            self._tensor_cache[cache_key] = result
+            return result
+
+    def _profile_tensors_vectorized(
+        self, D: int, R: int, MB: int, checkpointing: bool
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        k = self.k
+        TF = np.full((k + 1, k + 1, D + 1), np.inf)
+        TB = np.full((k + 1, k + 1, D + 1), np.inf)
+        MEM = np.full((k + 1, k + 1, D + 1), np.inf)
+        by_bs: Dict[int, List[int]] = {}
+        for r in range(1, D + 1):
+            bs = self.batch_size // (R * MB * r)
+            if bs < 1:
+                continue  # microbatch collapsed: stays +inf
+            by_bs.setdefault(bs, []).append(r)
+        empty_range = ~np.triu(np.ones((k + 1, k + 1), dtype=bool), 1)
+        for bs, replica_counts in by_bs.items():
+            tf_plane, tb_plane, mem_plane = self._profile_planes(
+                bs, MB, checkpointing
+            )
+            tf_plane = np.where(empty_range, np.inf, tf_plane)
+            tb_plane = np.where(empty_range, np.inf, tb_plane)
+            mem_plane = np.where(empty_range, np.inf, mem_plane)
+            for r in replica_counts:
+                TF[:, :, r] = tf_plane
+                TB[:, :, r] = tb_plane
+                MEM[:, :, r] = mem_plane
+        return TF, TB, MEM
+
+    def _dp_tensors(
+        self, D: int, R: int, MB: int, checkpointing: bool
+    ) -> Tuple[np.ndarray, ...]:
+        """Profile tensors plus the DP's derived masks (finite stage /
+        memory over budget), cached so repeated ``form_stage_dp`` calls
+        with the same parameters skip recomputing them."""
+        key = (D, R, MB, checkpointing)
+        with self._lock:
+            cached = self._dp_tensor_cache.get(key)
+            if cached is not None:
+                return cached
+            TF, TB, MEM = self.profile_tensors(D, R, MB, checkpointing)
+            FIN = np.isfinite(TF)
+            OVER = MEM > self.cluster.device.usable_memory
+            result = (TF, TB, MEM, FIN, OVER)
+            self._dp_tensor_cache[key] = result
+            return result
+
+    def profile_tensors_reference(
+        self, D: int, R: int, MB: int, checkpointing: bool
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-entry O(k^2 * D) tensor builder: one ``stage_profile`` call
+        per ``(lo, hi, r)``.  The oracle for the plane-based builder, and
+        the fallback for contexts with a custom ``stage_profile``."""
         k = self.k
         TF = np.full((k + 1, k + 1, D + 1), np.inf)
         TB = np.full((k + 1, k + 1, D + 1), np.inf)
@@ -246,9 +548,7 @@ class DPContext:
                     TF[lo, hi, r] = prof.time_fwd
                     TB[lo, hi, r] = prof.time_bwd
                     MEM[lo, hi, r] = prof.memory
-        result = (TF, TB, MEM)
-        self._tensor_cache[cache_key] = result
-        return result
+        return TF, TB, MEM
 
 
 def form_stage_dp(
@@ -274,16 +574,37 @@ def form_stage_dp(
 
     Returns:
         The best :class:`DPSolution`, or ``None`` (INFEASIBLE).
+
+    The transition for every ``(b, d)`` cell of one stage count is
+    evaluated as a tensor reduction.  When the 4-D candidate space
+    ``(b', b, d', d)`` fits under :data:`FULL_TENSOR_MAX_CELLS`, the
+    engine loops over the few feasible ``d'`` columns and reduces a
+    ``(b', b, r)`` slab per column -- each slab is a pure *slice* of the
+    cached profile tensors (``r = d - d'`` increases along the ``d``
+    axis), so no gather is materialized; a running lexicographic
+    ``(value, b', d')`` minimum reproduces the per-cell flat argmin
+    tie-break exactly.  Otherwise a per-``b`` row engine reduces
+    ``(b', d', d)`` slabs.  Both paths then *replay* the original cell
+    ordering (b ascending, d descending) over the precomputed memory/bs
+    failure masks to apply the ``d_min`` rule, so visited-state counts,
+    pruning decisions and tie-breaks (first minimum in ``(b', d')``
+    row-major order) are identical to the per-cell loop.
     """
     if BS != ctx.batch_size:
         raise ValueError("batch size mismatch with DPContext")
     k = ctx.k
     if S < 1 or S > k or S > D:
         return INFEASIBLE
-    ctx.dp_calls += 1
+    ctx._count_dp_call()
     checkpointing = S > 1
-    TF, TB, MEM = ctx.profile_tensors(D, R, MB, checkpointing)
     M = ctx.cluster.device.usable_memory
+    full = (k + 1) * (k + 1) * (D + 1) * (D + 1) <= FULL_TENSOR_MAX_CELLS
+    if full:
+        TF, TB, MEM, FIN, OVER = ctx._dp_tensors(D, R, MB, checkpointing)
+        # b' < b (a stage must contain at least one block)
+        LT = np.triu(np.ones((k + 1, k + 1), dtype=bool), 1)
+    else:
+        TF, TB, MEM = ctx.profile_tensors(D, R, MB, checkpointing)
 
     INF = np.inf
     V = np.full((S + 1, k + 1, D + 1), INF)
@@ -295,6 +616,8 @@ def form_stage_dp(
     # docstring): only the empty prefix is a valid 0-stage state.
     V[0, 0, 0] = 0.0
 
+    states = 0
+
     for s in range(1, S + 1):
         # d_min resets at each stage count: memory infeasibility is
         # monotone in d and in b for FIXED s, but a deeper prefix (larger
@@ -302,42 +625,131 @@ def form_stage_dp(
         # was not (deviation D1b in DESIGN.md; the pseudocode keeps d_min
         # global, which can prune true optima)
         d_min = 1
-        for b in range(s, k - (S - s) + 1):
-            for d in range(D - (S - s), max(d_min, s) - 1, -1):
-                bprimes = np.arange(s - 1, b)
-                dprimes = np.arange(s - 1, d)
-                if bprimes.size == 0 or dprimes.size == 0:
+        b_hi = k - (S - s)
+        d_hi = D - (S - s)
+        prev_ok = np.isfinite(V[s - 1])  # (b', d')
+        best = np.full((k + 1, D + 1), INF)
+        best_tf = np.zeros((k + 1, D + 1))
+        best_tb = np.zeros((k + 1, D + 1))
+        best_bp = np.full((k + 1, D + 1), -1, dtype=np.int64)
+        best_dp = np.full((k + 1, D + 1), -1, dtype=np.int64)
+        memf = np.zeros((k + 1, D + 1), dtype=bool)
+        bsf = np.zeros((k + 1, D + 1), dtype=bool)
+        keep = np.zeros((k + 1, D + 1), dtype=bool)
+
+        if full:
+            # one (b', b, r) slab per feasible d' column: for fixed d',
+            # the replica count r = d - d' increases 1:1 along the d
+            # axis, so the slab is a slice TF[..., 1:nd+1] of the cached
+            # tensors.  A running lexicographic (value, b', d') minimum
+            # across columns equals the flat (b', d') row-major argmin.
+            ptf = tf[s - 1]
+            ptb = tb[s - 1]
+            col_ok = prev_ok.any(axis=0)
+            # finite prev states at stage s-1 only exist for b' in
+            # [s-1, b_hi-1] and d' in [s-1, d_hi-1], so the slab can be
+            # restricted to those rows (views, no copies)
+            bsl = slice(s, b_hi + 1)
+            psl = slice(s - 1, b_hi)
+            lt = LT[psl, bsl]
+            for dp in range(s - 1, d_hi):
+                if not col_ok[dp]:
                     continue
-                ctx.states_evaluated += 1
-                prevV = V[s - 1][np.ix_(bprimes, dprimes)]
-                prevTF = tf[s - 1][np.ix_(bprimes, dprimes)]
-                prevTB = tb[s - 1][np.ix_(bprimes, dprimes)]
-                r = d - dprimes  # replicas of the s-th stage, per column
-                stageTF = TF[bprimes[:, None], b, r[None, :]]
-                stageTB = TB[bprimes[:, None], b, r[None, :]]
-                stageM = MEM[bprimes[:, None], b, r[None, :]]
-                cand_tf = np.maximum(prevTF, stageTF)
-                cand_tb = np.maximum(prevTB, stageTB)
-                v = cand_tf + cand_tb
-                prev_ok = np.isfinite(prevV)
-                mem_fail = prev_ok & np.isfinite(stageTF) & (stageM > M)
-                bs_fail = prev_ok & ~np.isfinite(stageTF)
-                invalid = ~prev_ok | (stageM > M) | ~np.isfinite(stageTF)
-                v = np.where(invalid, INF, v)
-                flat = int(np.argmin(v))
-                best = v.flat[flat]
-                if best < V[s, b, d]:
-                    i, j = np.unravel_index(flat, v.shape)
-                    V[s, b, d] = best
-                    tf[s, b, d] = cand_tf[i, j]
-                    tb[s, b, d] = cand_tb[i, j]
-                    parent_b[s, b, d] = bprimes[i]
-                    parent_d[s, b, d] = dprimes[j]
+                nd = d_hi - dp
+                rsl = slice(1, nd + 1)
+                ds_ = slice(dp + 1, d_hi + 1)
+                pok = prev_ok[psl, dp]
+                valid2 = pok[:, None] & lt  # (b', b)
+                fin = FIN[psl, bsl, rsl]
+                over = OVER[psl, bsl, rsl]
+                vf = valid2[:, :, None] & fin
+                if over.any():
+                    ok = vf & ~over
+                    memf[bsl, ds_] |= (vf & over).any(axis=0)
+                else:
+                    ok = vf
+                if not fin.all():
+                    bsf[bsl, ds_] |= (valid2[:, :, None] & ~fin).any(axis=0)
+                if not ok.any():
+                    continue
+                cand_tf = np.maximum(
+                    ptf[psl, dp][:, None, None], TF[psl, bsl, rsl]
+                )
+                cand_tb = np.maximum(
+                    ptb[psl, dp][:, None, None], TB[psl, bsl, rsl]
+                )
+                v = np.where(ok, cand_tf + cand_tb, INF)
+                bp_idx = np.argmin(v, axis=0)  # (b, r): smallest b' wins
+                vmin = np.take_along_axis(v, bp_idx[None], axis=0)[0]
+                bpg = bp_idx + (s - 1)
+                cur = best[bsl, ds_]
+                cur_bp = best_bp[bsl, ds_]
+                # strict improvement, or an equal value from a smaller
+                # b' (equal (value, b') keeps the earlier -- smaller --
+                # d'): the (b', d') row-major first-minimum tie-break
+                upd = (vmin < cur) | ((vmin == cur) & (bpg < cur_bp))
+                if upd.any():
+                    ctf = np.take_along_axis(cand_tf, bp_idx[None], axis=0)[0]
+                    ctb = np.take_along_axis(cand_tb, bp_idx[None], axis=0)[0]
+                    best[bsl, ds_] = np.where(upd, vmin, cur)
+                    best_tf[bsl, ds_] = np.where(upd, ctf, best_tf[bsl, ds_])
+                    best_tb[bsl, ds_] = np.where(upd, ctb, best_tb[bsl, ds_])
+                    best_bp[bsl, ds_] = np.where(upd, bpg, cur_bp)
+                    best_dp[bsl, ds_] = np.where(upd, dp, best_dp[bsl, ds_])
+        else:
+            dprimes = np.arange(s - 1, max(d_hi, s - 1))
+            ds = np.arange(s, d_hi + 1)
+            if dprimes.size and ds.size:
+                rmat = ds[None, :] - dprimes[:, None]  # (d', d)
+                r_idx = np.clip(rmat, 0, D)
+                valid_dp = rmat >= 1
+                prev_ok_sl = prev_ok[:, s - 1:d_hi]
+                tf_sl = tf[s - 1][:, s - 1:d_hi]
+                tb_sl = tb[s - 1][:, s - 1:d_hi]
+                for b in range(s, b_hi + 1):
+                    stage_tf = TF[s - 1:b, b, :][:, r_idx]  # (b', d', d)
+                    stage_tb = TB[s - 1:b, b, :][:, r_idx]
+                    stage_m = MEM[s - 1:b, b, :][:, r_idx]
+                    cand_tf = np.maximum(tf_sl[s - 1:b, :, None], stage_tf)
+                    cand_tb = np.maximum(tb_sl[s - 1:b, :, None], stage_tb)
+                    v = cand_tf + cand_tb
+                    fin = np.isfinite(stage_tf)
+                    over = stage_m > M
+                    pok = prev_ok_sl[s - 1:b, :, None] & valid_dp[None, :, :]
+                    v = np.where(pok & fin & ~over, v, INF)
+                    nbp, ndp, nd = v.shape
+                    v2 = v.reshape(nbp * ndp, nd)
+                    flat = np.argmin(v2, axis=0)
+                    cols = np.arange(nd)
+                    ii, jj = np.unravel_index(flat, (nbp, ndp))
+                    best[b, s:d_hi + 1] = v2[flat, cols]
+                    best_tf[b, s:d_hi + 1] = cand_tf[ii, jj, cols]
+                    best_tb[b, s:d_hi + 1] = cand_tb[ii, jj, cols]
+                    best_bp[b, s:d_hi + 1] = ii + (s - 1)
+                    best_dp[b, s:d_hi + 1] = jj + (s - 1)
+                    memf[b, s:d_hi + 1] = (pok & fin & over).any(axis=(0, 1))
+                    bsf[b, s:d_hi + 1] = (pok & ~fin).any(axis=(0, 1))
+
+        # replay the (b asc, d desc) cell order over the failure masks to
+        # apply d_min pruning with the exact per-cell semantics
+        fin_rows = np.isfinite(best).tolist()
+        memf_rows = memf.tolist()
+        bsf_rows = bsf.tolist()
+        for b in range(s, b_hi + 1):
+            d_lo = max(d_min, s)
+            if d_lo > d_hi:
+                continue
+            row_fin = fin_rows[b]
+            row_memf = memf_rows[b]
+            row_bsf = bsf_rows[b]
+            stop = d_lo
+            for d in range(d_hi, d_lo - 1, -1):
+                states += 1
                 if (
                     dmin_pruning
-                    and not np.isfinite(V[s, b, d])
-                    and mem_fail.any()
-                    and not bs_fail.any()
+                    and not row_fin[d]
+                    and row_memf[d]
+                    and not row_bsf[d]
                 ):
                     # "No solution with d" due to MEMORY: fewer total
                     # devices only raises per-device pressure, so prune
@@ -345,9 +757,19 @@ def form_stage_dp(
                     # collapse failure (bs < 1) is NOT monotone in d --
                     # it occurs at HIGH replica counts -- so it must not
                     # escalate d_min.
+                    stop = d
                     d_min = d + 1
                     break
+            keep[b, stop:d_hi + 1] = True
 
+        written = keep & np.isfinite(best)
+        V[s] = np.where(written, best, INF)
+        tf[s] = np.where(written, best_tf, 0.0)
+        tb[s] = np.where(written, best_tb, 0.0)
+        parent_b[s] = np.where(written, best_bp, -1)
+        parent_d[s] = np.where(written, best_dp, -1)
+
+    ctx._count_states(states)
     if not np.isfinite(V[S, k, D]):
         return INFEASIBLE
 

@@ -32,9 +32,10 @@ class PlannerConfig:
 
     The fields mirror the historical ``auto_partition`` keyword
     arguments; :meth:`fingerprint` hashes the plan-determining subset so
-    the deployment cache can key on it (``validate`` and ``cache_dir``
-    change how the pipeline runs, not what plan it produces, and are
-    excluded).
+    the deployment cache can key on it (``validate``, ``cache_dir``,
+    ``parallel_search`` and ``search_workers`` change how the pipeline
+    runs, not what plan it produces, and are excluded -- the parallel
+    Algorithm-2 sweep is deterministic by construction).
     """
 
     batch_size: int
@@ -46,6 +47,8 @@ class PlannerConfig:
     validate: bool = True
     schedule: str = "sync"
     cache_dir: Optional[Union[str, Path]] = None
+    parallel_search: bool = True
+    search_workers: Optional[int] = None
 
     def fingerprint(self) -> str:
         """Stable content hash of the plan-determining fields."""

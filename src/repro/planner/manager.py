@@ -119,6 +119,8 @@ class PassManager:
             return
         plan.diagnostics.pass_timings.update(ctx.events.timings())
         if ctx.profiler is not None:
-            plan.diagnostics.profiler_memo_hit_rate = (
-                ctx.profiler.memo_hit_rate
-            )
+            stats = ctx.profiler.stats()
+            plan.diagnostics.profiler_memo_hit_rate = stats["memo_hit_rate"]
+            plan.diagnostics.profiler_stats = {
+                k: float(v) for k, v in stats.items()
+            }

@@ -116,6 +116,8 @@ class StageSearchPass(PlannerPass):
             devices_per_node=ctx.cluster.devices_per_node,
             batch_size=ctx.config.batch_size,
             max_microbatches=ctx.config.max_microbatches,
+            parallel=ctx.config.parallel_search,
+            max_workers=ctx.config.search_workers,
         )
         if result is None:
             raise PartitioningError(
@@ -127,9 +129,11 @@ class StageSearchPass(PlannerPass):
         return {
             "dp_calls": result.dp_calls,
             "candidates_tried": result.candidates_tried,
+            "states_evaluated": dp_ctx.states_evaluated,
             "num_stages": result.num_stages,
             "replica_factor": result.replica_factor,
             "devices_per_pipeline": result.devices_per_pipeline,
+            "parallel_search": ctx.config.parallel_search,
             "memo_hit_rate": profiler.memo_hit_rate - memo_before,
         }
 
@@ -179,6 +183,7 @@ class AllocatePass(PlannerPass):
         diag = plan.diagnostics
         diag.dp_calls = result.dp_calls
         diag.candidates_tried = result.candidates_tried
+        diag.states_evaluated = dp_ctx.states_evaluated
         diag.num_blocks = len(ctx.get(BLOCKS, ()))
         diag.num_atomic_components = len(ctx.get(COMPONENTS, ()))
         ctx.put(PLAN, plan)

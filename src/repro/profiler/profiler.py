@@ -11,6 +11,7 @@ exactly where RaNNC caches device profiles.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
@@ -95,6 +96,9 @@ class GraphProfiler:
             self._task_param_ids.append(tuple(ids))
         self._param_sizes_arr = np.asarray(self._param_sizes, dtype=np.int64)
 
+        # the parallel Algorithm-2 sweep profiles from worker threads;
+        # the lock keeps the memo tables and hit counters deterministic
+        self._lock = threading.RLock()
         self._time_tables: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
         self._cache: Dict[Hashable, ProfileResult] = {}
         self.profile_calls = 0
@@ -107,11 +111,15 @@ class GraphProfiler:
     # ------------------------------------------------------------------
     def _times_at(self, batch_size: int) -> Tuple[np.ndarray, np.ndarray]:
         """Per-task (t_f, t_b) arrays at one batch size (cached)."""
-        self.table_calls += 1
-        table = self._time_tables.get(batch_size)
-        if table is not None:
-            self.table_hits += 1
-            return table
+        with self._lock:
+            self.table_calls += 1
+            table = self._time_tables.get(batch_size)
+            if table is not None:
+                self.table_hits += 1
+                return table
+            return self._build_time_table(batch_size)
+
+    def _build_time_table(self, batch_size: int) -> Tuple[np.ndarray, np.ndarray]:
         device = self.cost_model.device
         act_factor = self.precision.activation_bytes_factor
         peak_mm = device.peak_flops(self.precision) * device.matmul_efficiency
@@ -167,13 +175,16 @@ class GraphProfiler:
         """
         batch_size = max(1, int(batch_size))
         cache_key = None
-        if key is not None:
-            cache_key = (key, batch_size, microbatches_in_flight, checkpointing)
-            hit = self._cache.get(cache_key)
-            if hit is not None:
-                self.cache_hits += 1
-                return hit
-        self.profile_calls += 1
+        with self._lock:
+            if key is not None:
+                cache_key = (
+                    key, batch_size, microbatches_in_flight, checkpointing
+                )
+                hit = self._cache.get(cache_key)
+                if hit is not None:
+                    self.cache_hits += 1
+                    return hit
+            self.profile_calls += 1
 
         idx = self.indices_of(task_names)
         tf_all, tb_all = self._times_at(batch_size)
@@ -203,7 +214,8 @@ class GraphProfiler:
             out_bytes=out_bytes,
         )
         if cache_key is not None:
-            self._cache[cache_key] = result
+            with self._lock:
+                self._cache[cache_key] = result
         return result
 
     def unique_param_count(self, task_indices: np.ndarray) -> int:

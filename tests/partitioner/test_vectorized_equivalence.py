@@ -1,0 +1,260 @@
+"""Property tests for the vectorized candidate-stage builders and the
+vectorized Algorithm-1 engines against their per-entry / pure-Python
+oracles.
+
+The vectorized paths must be *exactly* equal (not approximately): the
+plane builders reproduce the per-entry float64 arithmetic operation by
+operation, and both DP engines replay the reference cell ordering for
+``d_min`` pruning, so every comparison below uses strict equality.
+"""
+
+import dataclasses
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.partitioner.stage_dp as stage_dp_mod
+from repro.hardware import tiny_cluster
+from repro.models import build_mlp
+from repro.partitioner.atomic import atomic_partition
+from repro.partitioner.blocks import Block, block_partition
+from repro.partitioner.search import form_stage
+from repro.partitioner.stage_dp import (
+    DPContext,
+    form_stage_dp,
+    reference_form_stage_dp,
+)
+from repro.profiler import GraphProfiler
+
+
+def make_ctx(k=6, batch_size=32, num_nodes=1, devices_per_node=4,
+             memory_bytes=4 * 1024**3):
+    graph = build_mlp((32, 64, 64, 64, 64, 16))
+    cluster = tiny_cluster(num_nodes=num_nodes,
+                           devices_per_node=devices_per_node,
+                           memory_bytes=memory_bytes)
+    profiler = GraphProfiler(graph, cluster)
+    blocks = block_partition(graph, atomic_partition(graph), profiler,
+                             num_blocks=k)
+    return DPContext(graph, blocks, profiler, batch_size)
+
+
+def solution_key(sol):
+    """Every observable field of a DPSolution, ready for == comparison.
+
+    Profiles are compared as field tuples: two runs build distinct
+    StageProfile instances and dataclass ``__eq__`` requires identical
+    classes, while the engines must agree on the *values*.
+    """
+    if sol is None:
+        return None
+    return (
+        sol.boundaries,
+        sol.device_counts,
+        sol.num_microbatches,
+        sol.num_stages,
+        sol.replica_factor,
+        sol.objective,
+        sol.max_tf,
+        sol.max_tb,
+        [dataclasses.astuple(p)[:7] for p in sol.stage_profiles],
+    )
+
+
+class TestRangeMatrices:
+    def test_all_ranges_match_reference(self):
+        ctx = make_ctx()
+        for lo in range(ctx.k):
+            for hi in range(lo + 1, ctx.k + 1):
+                assert ctx.range_meta(lo, hi) == \
+                    ctx._range_meta_reference(lo, hi), (lo, hi)
+
+    def test_all_ranges_match_reference_bert(self, tiny_bert, cluster):
+        profiler = GraphProfiler(tiny_bert, cluster)
+        blocks = block_partition(
+            tiny_bert, atomic_partition(tiny_bert), profiler, num_blocks=8
+        )
+        ctx = DPContext(tiny_bert, blocks, profiler, 32)
+        for lo in range(ctx.k):
+            for hi in range(lo + 1, ctx.k + 1):
+                assert ctx.range_meta(lo, hi) == \
+                    ctx._range_meta_reference(lo, hi), (lo, hi)
+
+
+class TestProfileTensors:
+    @pytest.mark.parametrize(
+        "D,R,MB,ckpt",
+        [(4, 1, 1, False), (4, 1, 2, True), (3, 2, 4, True), (4, 2, 8, True),
+         (2, 1, 16, True)],
+    )
+    def test_vectorized_matches_per_entry(self, D, R, MB, ckpt):
+        ctx = make_ctx()
+        fast = ctx._profile_tensors_vectorized(D, R, MB, ckpt)
+        slow = ctx.profile_tensors_reference(D, R, MB, ckpt)
+        for a, b in zip(fast, slow):
+            assert np.array_equal(a, b)  # bit-exact, inf pattern included
+
+    def test_dispatch_uses_vectorized_builder(self):
+        ctx = make_ctx()
+        TF, TB, MEM = ctx.profile_tensors(4, 1, 2, True)
+        ref = ctx.profile_tensors_reference(4, 1, 2, True)
+        assert np.array_equal(TF, ref[0])
+        assert np.array_equal(TB, ref[1])
+        assert np.array_equal(MEM, ref[2])
+
+    def test_tensor_and_mask_caches_reused(self):
+        ctx = make_ctx()
+        a = ctx.profile_tensors(4, 1, 2, True)
+        b = ctx.profile_tensors(4, 1, 2, True)
+        assert all(x is y for x, y in zip(a, b))
+        m1 = ctx._dp_tensors(4, 1, 2, True)
+        m2 = ctx._dp_tensors(4, 1, 2, True)
+        assert all(x is y for x, y in zip(m1, m2))
+
+    def test_overridden_stage_profile_falls_back(self):
+        class Doubled(DPContext):
+            def stage_profile(self, lo, hi, replicas, R, MB, checkpointing):
+                prof = super().stage_profile(
+                    lo, hi, replicas, R, MB, checkpointing
+                )
+                if prof is None:
+                    return None
+                return dataclasses.replace(prof, time_fwd=prof.time_fwd * 2)
+
+        base = make_ctx()
+        ctx = Doubled(base.graph, base.blocks, base.profiler, base.batch_size)
+        TF, _, _ = ctx.profile_tensors(4, 1, 1, False)
+        ref = ctx.profile_tensors_reference(4, 1, 1, False)
+        assert np.array_equal(TF, ref[0])  # the subclass's doubled times
+
+
+class TestDPEngineEquivalence:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        S=st.integers(min_value=1, max_value=4),
+        D=st.integers(min_value=1, max_value=4),
+        MB=st.sampled_from([1, 2, 4, 8]),
+        R=st.sampled_from([1, 2]),
+    )
+    def test_full_engine_matches_reference(self, S, D, MB, R):
+        ctx = make_ctx()
+        fast = form_stage_dp(ctx, S, D, 32, R, MB)
+        ref = reference_form_stage_dp(ctx, S, D, 32, R, MB)
+        assert solution_key(fast) == solution_key(ref)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        S=st.integers(min_value=1, max_value=4),
+        MB=st.sampled_from([1, 2, 4]),
+        mem_mib=st.sampled_from([8, 16, 32, 64]),
+    )
+    def test_tight_memory_matches_reference(self, S, MB, mem_mib):
+        """Memory-tight instances exercise the d_min replay: memory dead
+        ends must prune exactly like the reference's per-cell loop."""
+        ctx = make_ctx(memory_bytes=mem_mib * 1024**2)
+        fast = form_stage_dp(ctx, S, 4, 32, 1, MB)
+        ref = reference_form_stage_dp(ctx, S, 4, 32, 1, MB)
+        assert solution_key(fast) == solution_key(ref)
+
+    def test_row_engine_matches_full_engine(self, monkeypatch):
+        """Forcing the per-(s, b) row engine (as used at atomic scale)
+        must not change any field of any solution."""
+        expected = {}
+        ctx = make_ctx()
+        for S, MB in itertools.product((1, 2, 3, 4), (1, 2, 4)):
+            expected[(S, MB)] = solution_key(
+                form_stage_dp(ctx, S, 4, 32, 1, MB)
+            )
+        full_states = ctx.states_evaluated
+
+        monkeypatch.setattr(stage_dp_mod, "FULL_TENSOR_MAX_CELLS", 0)
+        ctx2 = make_ctx()
+        for (S, MB), want in expected.items():
+            got = solution_key(form_stage_dp(ctx2, S, 4, 32, 1, MB))
+            assert got == want, (S, MB)
+        assert ctx2.states_evaluated == full_states
+
+    def test_dmin_pruning_reduces_states(self):
+        """With tight memory the pruning must visit strictly fewer states
+        and still return the same objective."""
+        pruned = make_ctx(memory_bytes=48 * 1024**2)
+        unpruned = make_ctx(memory_bytes=48 * 1024**2)
+        a = form_stage_dp(pruned, 2, 4, 32, 1, 2, dmin_pruning=True)
+        b = form_stage_dp(unpruned, 2, 4, 32, 1, 2, dmin_pruning=False)
+        assert (a is None) == (b is None)
+        if a is not None:
+            assert a.objective == b.objective
+        assert pruned.states_evaluated <= unpruned.states_evaluated
+
+
+class TestAlgorithm2:
+    def test_parallel_search_is_deterministic(self):
+        serial = make_ctx(num_nodes=2, batch_size=32)
+        threaded = make_ctx(num_nodes=2, batch_size=32)
+        a = form_stage(serial, 2, 4, 32, parallel=False)
+        b = form_stage(threaded, 2, 4, 32, parallel=True, max_workers=4)
+        assert (a is None) == (b is None)
+        assert solution_key(a.solution) == solution_key(b.solution)
+        assert a.num_pipeline_nodes == b.num_pipeline_nodes
+        assert a.devices_per_pipeline == b.devices_per_pipeline
+        assert a.replica_factor == b.replica_factor
+        assert a.candidates_tried == b.candidates_tried
+        assert a.dp_calls == b.dp_calls
+        assert serial.dp_calls == threaded.dp_calls
+        assert serial.states_evaluated == threaded.states_evaluated
+
+    @pytest.mark.parametrize("search_all", [True, False])
+    def test_non_divisor_node_count_is_skipped(self, search_all):
+        """3 nodes at n=2 used to raise ValueError mid-search; the level
+        must be skipped and the search continue."""
+        ctx = make_ctx(num_nodes=3, batch_size=48)
+        result = form_stage(
+            ctx, 3, 4, 48, search_all_stage_counts=search_all
+        )
+        assert result is not None
+        assert result.num_pipeline_nodes == 1
+        assert result.replica_factor == 3
+
+    def test_estimated_iteration_time_memoized(self, monkeypatch):
+        ctx = make_ctx()
+        sol = form_stage_dp(ctx, 2, 4, 32, 1, 2)
+        assert sol is not None
+
+        import repro.pipeline.simulator as sim_mod
+
+        calls = {"n": 0}
+        original = sim_mod.simulate_sync_pipeline
+
+        def counting(*args, **kwargs):
+            calls["n"] += 1
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(sim_mod, "simulate_sync_pipeline", counting)
+        first = sol.estimated_iteration_time()
+        second = sol.estimated_iteration_time()
+        assert first == second > 0
+        assert calls["n"] == 1
+
+
+class TestSummedAtomicContext:
+    def test_vectorized_planes_match_per_entry(self, tiny_bert, cluster):
+        """The ablation context overrides stage_profile AND supplies a
+        matching plane builder; both must agree entry for entry."""
+        from repro.experiments.coarsening_ablation import SummedAtomicContext
+
+        profiler = GraphProfiler(tiny_bert, cluster)
+        comps = atomic_partition(tiny_bert)
+        atom_blocks = [
+            Block(index=i, atomic_indices=(i,), tasks=c.tasks)
+            for i, c in enumerate(comps)
+        ]
+        ctx = SummedAtomicContext(tiny_bert, atom_blocks, profiler, 32)
+        for D, R, MB, ckpt in [(4, 1, 2, True), (2, 2, 1, False),
+                               (4, 2, 4, True)]:
+            fast = ctx.profile_tensors(D, R, MB, ckpt)
+            slow = ctx.profile_tensors_reference(D, R, MB, ckpt)
+            for a, b in zip(fast, slow):
+                assert np.array_equal(a, b)
