@@ -5,6 +5,7 @@ Examples::
     python -m repro partition --model bert --hidden 1536 --layers 96 \
         --nodes 4 --batch-size 256
     python -m repro plan --model bert --explain --cache-dir ~/.cache/repro
+    python -m repro trace --model bert-base --cluster v100x8 --out trace.json
     python -m repro fig4 --fast
     python -m repro fig5
     python -m repro table1
@@ -23,6 +24,12 @@ from repro.hardware import Precision, paper_cluster
 from repro.models import BertConfig, GPTConfig, ResNetConfig
 from repro.models import build_bert, build_gpt, build_resnet
 from repro.partitioner import PartitioningError, auto_partition
+
+#: named model presets accepted wherever --model takes a value
+MODEL_PRESETS = ("bert", "resnet", "gpt", "bert-base", "bert-large")
+
+#: --cluster shorthand -> number of 8-V100 nodes
+CLUSTER_PRESETS = {"v100x8": 1, "v100x16": 2, "v100x32": 4}
 
 
 def _add_partition(sub: argparse._SubParsersAction) -> None:
@@ -62,7 +69,84 @@ def _add_plan(sub: argparse._SubParsersAction) -> None:
                    help="write the deployment JSON to this path")
 
 
+def _add_trace(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "trace",
+        help="plan a model with tracing on and export a Perfetto "
+             "trace.json (planner spans + DP counters + one track per "
+             "pipeline stage)",
+    )
+    p.add_argument("--model", choices=MODEL_PRESETS, default="bert-base",
+                   help="model family, or a named preset (bert-base, "
+                        "bert-large)")
+    p.add_argument("--hidden", type=int, default=1024, help="BERT/GPT hidden size")
+    p.add_argument("--layers", type=int, default=24, help="BERT/GPT layer count")
+    p.add_argument("--depth", type=int, default=50, help="ResNet depth")
+    p.add_argument("--width-factor", type=int, default=8, help="ResNet width factor")
+    p.add_argument("--cluster", choices=sorted(CLUSTER_PRESETS),
+                   default="v100x32",
+                   help="testbed preset (number of 8-V100 nodes)")
+    p.add_argument("--batch-size", type=int, default=256)
+    p.add_argument("--amp", action="store_true", help="mixed precision")
+    p.add_argument("--blocks", type=int, default=32, help="block count k")
+    p.add_argument("--out", type=str, default="trace.json",
+                   help="Chrome-trace output path (load in "
+                        "https://ui.perfetto.dev)")
+    p.add_argument("--jsonl", type=str, default=None,
+                   help="also write the raw spans + metrics as JSON-lines")
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import write_chrome_trace, write_jsonl
+    from repro.pipeline.timeline import plan_timeline
+    from repro.planner import PlannerConfig, PlanningContext, plan_graph
+
+    graph = _build_graph(args)
+    cluster = paper_cluster(num_nodes=CLUSTER_PRESETS[args.cluster])
+    precision = Precision.AMP if args.amp else Precision.FP32
+    config = PlannerConfig(
+        batch_size=args.batch_size,
+        precision=precision,
+        num_blocks=args.blocks,
+        trace=True,
+    )
+    ctx = PlanningContext(graph, cluster, config)
+    print(f"{graph}  on {cluster.total_devices} devices "
+          f"({args.cluster}), BS={args.batch_size}, {precision.value}")
+    try:
+        plan = plan_graph(graph, cluster, config, context=ctx)
+    except PartitioningError as exc:
+        print(f"INFEASIBLE: {exc}")
+        # still export whatever the planner recorded before failing
+        write_chrome_trace(args.out, tracer=ctx.tracer, metrics=ctx.metrics)
+        print(f"partial trace written to {args.out}")
+        return 1
+    print(plan.summary())
+    timeline = plan_timeline(plan)
+    doc = write_chrome_trace(
+        args.out, tracer=ctx.tracer, timeline=timeline, metrics=ctx.metrics
+    )
+    spans = ctx.tracer.spans()
+    dp_spans = sum(1 for s in spans if s.category == "partitioner.dp")
+    print(
+        f"trace written to {args.out}: {len(doc['traceEvents'])} events "
+        f"({len(spans)} spans, {dp_spans} DP calls, "
+        f"{timeline.num_stages} stage tracks, "
+        f"{len(ctx.metrics)} metrics)"
+    )
+    print("open it at https://ui.perfetto.dev (or chrome://tracing)")
+    if args.jsonl:
+        write_jsonl(args.jsonl, ctx.tracer, ctx.metrics)
+        print(f"spans written to {args.jsonl}")
+    return 0
+
+
 def _build_graph(args: argparse.Namespace):
+    if args.model == "bert-base":
+        return build_bert(BertConfig(hidden_size=768, num_layers=12,
+                                     num_heads=12))
+    if args.model == "bert-large":
+        return build_bert(BertConfig())
     if args.model == "bert":
         return build_bert(BertConfig(hidden_size=args.hidden,
                                      num_layers=args.layers))
@@ -121,7 +205,8 @@ def _render_events(ctx) -> str:
     for event in ctx.events:
         keys = ("reason", "hit", "dp_calls", "candidates_tried",
                 "states_evaluated", "parallel_search", "memo_hit_rate",
-                "num_components", "num_blocks", "num_stages", "throughput")
+                "num_components", "num_blocks", "num_stages", "throughput",
+                "bubble_frac")
         detail = ", ".join(
             f"{k}={event.detail[k]}" for k in keys if k in event.detail
         )
@@ -247,6 +332,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     _add_partition(sub)
     _add_plan(sub)
+    _add_trace(sub)
     p4 = sub.add_parser("fig4", help="regenerate the Fig. 4 BERT sweep")
     p4.add_argument("--fast", action="store_true")
     p4.add_argument("--amp", action="store_true")
@@ -268,6 +354,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handler = {
         "partition": _cmd_partition,
         "plan": _cmd_plan,
+        "trace": _cmd_trace,
         "fig4": _cmd_fig4,
         "fig5": _cmd_fig5,
         "table1": _cmd_table1,

@@ -1,0 +1,155 @@
+"""Named counters, gauges and histograms for the planning pipeline.
+
+A :class:`MetricsRegistry` is a flat, thread-safe namespace of metrics
+created on first use::
+
+    metrics.counter("dp.states_evaluated").inc(1742)
+    metrics.gauge("pipeline.bubble_frac").set(0.31)
+    metrics.histogram("dp.states_per_call").observe(1742)
+
+Naming scheme (see ``docs/OBSERVABILITY.md``): dot-separated lowercase
+components, ``<layer>.<quantity>``; per-point variants append bracketed
+labels, e.g. ``dp.states_evaluated[S=4,MB=8]``.  The registry preserves
+insertion order, so snapshots read in the order metrics first appeared.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Optional, Union
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value: Union[int, float] = 0
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """Last-written value."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+
+class Histogram:
+    """Streaming summary (count / total / min / max) of observations."""
+
+    __slots__ = ("_lock", "count", "total", "vmin", "vmax")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total = 0.0
+        self.vmin = float("inf")
+        self.vmax = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.vmin:
+                self.vmin = value
+            if value > self.vmax:
+                self.vmax = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        with self._lock:
+            if not self.count:
+                return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0,
+                        "mean": 0.0}
+            return {
+                "count": self.count,
+                "total": self.total,
+                "min": self.vmin,
+                "max": self.vmax,
+                "mean": self.total / self.count,
+            }
+
+
+_Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Ordered, thread-safe namespace of named metrics."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, _Metric] = {}
+
+    def _get_or_create(self, name: str, kind: type) -> _Metric:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = kind()
+            elif not isinstance(metric, kind):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, not {kind.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)  # type: ignore[return-value]
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, Histogram)  # type: ignore[return-value]
+
+    def get(self, name: str) -> Optional[_Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-data view: counters/gauges to their value, histograms to
+        their summary dict.  Safe to ``json.dumps``."""
+        with self._lock:
+            items = list(self._metrics.items())
+        doc: Dict[str, Any] = {}
+        for name, metric in items:
+            if isinstance(metric, Histogram):
+                doc[name] = metric.summary()
+            else:
+                doc[name] = metric.value
+        return doc
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._metrics
+
+
+def point_name(base: str, **labels: Any) -> str:
+    """Bracketed per-point metric name: ``point_name("dp.states",
+    S=4, MB=8)`` → ``"dp.states[MB=8,S=4]"`` (labels sorted for
+    stability)."""
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{base}[{inner}]"

@@ -25,9 +25,12 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
 from repro.partitioner.stage_dp import DPContext, DPSolution, form_stage_dp
 
 
@@ -55,21 +58,33 @@ def _solve_candidates(
     R: int,
     parallel: bool,
     max_workers: Optional[int],
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    parent_id: Optional[int] = None,
 ) -> Dict[Tuple[int, int], Optional[DPSolution]]:
     """Run ``form_stage_dp`` for every ``(S, MB)`` candidate pair.
 
     Returns results keyed by pair so the caller ranks them in candidate
-    order regardless of thread completion order.
+    order regardless of thread completion order.  When a tracer is
+    given, every candidate carries its own ``dp.form_stage_dp`` span;
+    ``parent_id`` links spans recorded on pool threads back to the
+    node-level span of the coordinating thread.
     """
     if not parallel or len(pairs) <= 1:
         return {
-            (S, MB): form_stage_dp(ctx, S, D, batch_size, R, MB)
+            (S, MB): form_stage_dp(
+                ctx, S, D, batch_size, R, MB,
+                tracer=tracer, metrics=metrics, parent_id=parent_id,
+            )
             for S, MB in pairs
         }
     workers = max_workers or min(len(pairs), os.cpu_count() or 1)
     with ThreadPoolExecutor(max_workers=workers) as pool:
         futures = {
-            (S, MB): pool.submit(form_stage_dp, ctx, S, D, batch_size, R, MB)
+            (S, MB): pool.submit(
+                form_stage_dp, ctx, S, D, batch_size, R, MB,
+                tracer=tracer, metrics=metrics, parent_id=parent_id,
+            )
             for S, MB in pairs
         }
         return {pair: fut.result() for pair, fut in futures.items()}
@@ -84,6 +99,8 @@ def form_stage(
     search_all_stage_counts: bool = True,
     parallel: bool = True,
     max_workers: Optional[int] = None,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> Optional[SearchResult]:
     """Algorithm 2: search over (n, S, MB) for the best feasible plan.
 
@@ -104,12 +121,18 @@ def form_stage(
             as the serial sweep).
         max_workers: thread-pool size (default: CPU count, capped at the
             candidate count).
+        tracer: optional tracer; each node level gets a ``search.level``
+            span and each ``(S, MB)`` candidate a ``dp.form_stage_dp``
+            span (parented to the level span even across pool threads).
+        metrics: optional metrics registry, forwarded to every DP call.
 
     Returns:
         A :class:`SearchResult`, or ``None`` if no configuration fits.
     """
     if batch_size != ctx.batch_size:
         raise ValueError("batch size mismatch with DPContext")
+    if tracer is not None and not tracer.enabled:
+        tracer = None
     n = 1
     dp_calls = 0
     tried = 0
@@ -133,45 +156,67 @@ def form_stage(
             microbatch_counts.append(MB)
             MB *= 2
 
-        def run_level(pairs: List[Tuple[int, int]]) -> List[DPSolution]:
+        def run_level(
+            pairs: List[Tuple[int, int]],
+            level_id: Optional[int] = None,
+        ) -> List[DPSolution]:
             results = _solve_candidates(
-                ctx, pairs, D, batch_size, R, parallel, max_workers
+                ctx, pairs, D, batch_size, R, parallel, max_workers,
+                tracer=tracer, metrics=metrics, parent_id=level_id,
             )
             return [
                 results[pair] for pair in pairs if results[pair] is not None
             ]
 
-        if search_all_stage_counts:
-            pairs = [
-                (S, MB)
-                for S in range(s_lo, s_hi + 1)
-                for MB in microbatch_counts
-            ]
-            solutions = run_level(pairs)
-            dp_calls += len(pairs)
-            tried += len(solutions)
-        else:
-            # strict pseudocode: stop at the FIRST feasible stage count,
-            # so stage counts stay sequential (only MB fans out)
-            solutions = []
-            for S in range(s_lo, s_hi + 1):
-                pairs = [(S, MB) for MB in microbatch_counts]
-                solutions = run_level(pairs)
+        level_cm = (
+            tracer.span(
+                "search.level", category="partitioner.search",
+                n=n, D=D, R=R,
+            )
+            if tracer is not None
+            else nullcontext(None)
+        )
+        with level_cm as level_span:
+            level_id = level_span.span_id if level_span is not None else None
+            if search_all_stage_counts:
+                pairs = [
+                    (S, MB)
+                    for S in range(s_lo, s_hi + 1)
+                    for MB in microbatch_counts
+                ]
+                solutions = run_level(pairs, level_id)
                 dp_calls += len(pairs)
                 tried += len(solutions)
-                if solutions:
-                    break
-        if solutions:
-            best = min(
-                solutions, key=lambda s: s.estimated_iteration_time()
-            )
-            return SearchResult(
-                solution=best,
-                num_pipeline_nodes=n,
-                devices_per_pipeline=D,
-                replica_factor=R,
-                candidates_tried=tried,
-                dp_calls=dp_calls,
-            )
+            else:
+                # strict pseudocode: stop at the FIRST feasible stage
+                # count, so stage counts stay sequential (only MB fans
+                # out)
+                solutions = []
+                for S in range(s_lo, s_hi + 1):
+                    pairs = [(S, MB) for MB in microbatch_counts]
+                    solutions = run_level(pairs, level_id)
+                    dp_calls += len(pairs)
+                    tried += len(solutions)
+                    if solutions:
+                        break
+            if level_span is not None:
+                level_span.set(feasible_candidates=len(solutions))
+            if solutions:
+                best = min(
+                    solutions, key=lambda s: s.estimated_iteration_time()
+                )
+                if level_span is not None:
+                    level_span.set(
+                        winner_stages=best.num_stages,
+                        winner_microbatches=best.num_microbatches,
+                    )
+                return SearchResult(
+                    solution=best,
+                    num_pipeline_nodes=n,
+                    devices_per_pipeline=D,
+                    replica_factor=R,
+                    candidates_tried=tried,
+                    dp_calls=dp_calls,
+                )
         n *= 2
     return None

@@ -39,12 +39,15 @@ oracle.
 from __future__ import annotations
 
 import threading
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.graph.ir import TaskGraph, ValueKind
+from repro.obs.metrics import MetricsRegistry, point_name
+from repro.obs.tracer import Span, Tracer
 from repro.partitioner.blocks import Block
 from repro.profiler.profiler import GraphProfiler, ProfileResult
 
@@ -133,11 +136,15 @@ class DPContext:
         blocks: Sequence[Block],
         profiler: GraphProfiler,
         batch_size: int,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.graph = graph
         self.blocks = list(blocks)
         self.profiler = profiler
         self.batch_size = batch_size
+        #: optional metrics sink (``profiler.tensor_*`` counters); safe
+        #: to attach after construction too
+        self.metrics = metrics
         self.cluster = profiler.cluster
         k = len(self.blocks)
         self.k = k
@@ -470,7 +477,11 @@ class DPContext:
         with self._lock:
             cached = self._tensor_cache.get(cache_key)
             if cached is not None:
+                if self.metrics is not None:
+                    self.metrics.counter("profiler.tensor_cache_hits").inc()
                 return cached
+            if self.metrics is not None:
+                self.metrics.counter("profiler.tensor_builds").inc()
             vectorized = (
                 type(self).stage_profile is DPContext.stage_profile
                 or type(self)._profile_planes is not DPContext._profile_planes
@@ -559,6 +570,10 @@ def form_stage_dp(
     R: int,
     MB: int,
     dmin_pruning: bool = True,
+    *,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    parent_id: Optional[int] = None,
 ) -> Optional[DPSolution]:
     """Algorithm 1: DP over stage boundaries and device allocations.
 
@@ -571,6 +586,14 @@ def form_stage_dp(
         MB: number of microbatches.
         dmin_pruning: the paper's d_min search-space reduction; disabling
             it is the ablation of DESIGN.md choice #1.
+        tracer: optional :class:`~repro.obs.tracer.Tracer`; when given,
+            the whole call is wrapped in a ``dp.form_stage_dp`` span
+            carrying ``(S, D, R, MB)``, the visited-state count and the
+            outcome.  ``parent_id`` links the span to the coordinating
+            Algorithm-2 span when this call runs on a pool thread.
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`;
+            records ``dp.calls``, ``dp.states_evaluated`` (total and per
+            ``(S, MB)`` point) and the ``dp.states_per_call`` histogram.
 
     Returns:
         The best :class:`DPSolution`, or ``None`` (INFEASIBLE).
@@ -592,10 +615,41 @@ def form_stage_dp(
     """
     if BS != ctx.batch_size:
         raise ValueError("batch size mismatch with DPContext")
+    with ExitStack() as stack:
+        sp: Optional[Span] = None
+        if tracer is not None and tracer.enabled:
+            sp = stack.enter_context(
+                tracer.span(
+                    "dp.form_stage_dp",
+                    category="partitioner.dp",
+                    parent_id=parent_id,
+                    S=S, D=D, R=R, MB=MB,
+                )
+            )
+        return _form_stage_dp_body(
+            ctx, S, D, BS, R, MB, dmin_pruning, sp, metrics
+        )
+
+
+def _form_stage_dp_body(
+    ctx: DPContext,
+    S: int,
+    D: int,
+    BS: int,
+    R: int,
+    MB: int,
+    dmin_pruning: bool,
+    sp: Optional[Span],
+    metrics: Optional[MetricsRegistry],
+) -> Optional[DPSolution]:
     k = ctx.k
     if S < 1 or S > k or S > D:
+        if sp is not None:
+            sp.set(feasible=False, reason="stage count out of range")
         return INFEASIBLE
     ctx._count_dp_call()
+    if metrics is not None:
+        metrics.counter("dp.calls").inc()
     checkpointing = S > 1
     M = ctx.cluster.device.usable_memory
     full = (k + 1) * (k + 1) * (D + 1) * (D + 1) <= FULL_TENSOR_MAX_CELLS
@@ -770,7 +824,19 @@ def form_stage_dp(
         parent_d[s] = np.where(written, best_dp, -1)
 
     ctx._count_states(states)
+    if metrics is not None:
+        metrics.counter("dp.states_evaluated").inc(states)
+        metrics.counter(point_name("dp.states_evaluated", S=S, MB=MB)).inc(
+            states
+        )
+        metrics.histogram("dp.states_per_call").observe(states)
+    if sp is not None:
+        sp.set(states_evaluated=states)
     if not np.isfinite(V[S, k, D]):
+        if metrics is not None:
+            metrics.counter("dp.infeasible").inc()
+        if sp is not None:
+            sp.set(feasible=False, reason="no finite V[S, k, D]")
         return INFEASIBLE
 
     # reconstruct boundaries / device counts
@@ -794,6 +860,8 @@ def form_stage_dp(
         profiles.append(prof)
         lo = hi
 
+    if sp is not None:
+        sp.set(feasible=True, objective=float(V[S, k, D]))
     return DPSolution(
         boundaries=boundaries,
         device_counts=device_counts,

@@ -1,12 +1,20 @@
-"""Timeline extraction and Gantt rendering for simulated pipelines.
+"""Timeline extraction, Gantt rendering and trace export for simulated
+pipelines.
 
-While :mod:`repro.pipeline.simulator` returns only the makespan, this
-module records every (stage, microbatch, phase) interval of the
-flush-synchronous schedule with *real* per-stage times, supporting:
+:mod:`repro.pipeline.simulator` reduces a schedule to scalar figures
+(makespan, and via :func:`~repro.pipeline.hybrid.evaluate_plan` the
+iteration-time diagnostics stamped onto every plan); this module keeps
+the *full* event set instead — every (stage, microbatch, phase) interval
+of the flush-synchronous schedule with real per-stage times — and feeds
+the diagnostics layers built on top of it:
 
 * utilization/bubble accounting per stage (the quantitative version of
-  Fig. 1's idle slots),
+  Fig. 1's idle slots; surfaced as ``stage.*.utilization`` /
+  ``stage.bubble_frac`` metrics by the planner's evaluate pass),
 * ASCII Gantt rendering of a concrete plan's iteration,
+* Chrome-trace/Perfetto export — :meth:`Timeline.to_trace_events` emits
+  one track per stage with forward/backward colour-coded by category
+  (see :mod:`repro.obs.export` and ``repro trace`` on the CLI),
 * exact agreement with the scalar simulator (tested).
 """
 
@@ -56,6 +64,16 @@ class Timeline:
         """Mean idle fraction across stages (Fig. 1's bubble, measured)."""
         utils = [self.stage_utilization(s) for s in range(self.num_stages)]
         return 1.0 - float(np.mean(utils))
+
+    def to_trace_events(self, pid: int = 2) -> List[dict]:
+        """Chrome-trace complete events: one track (``tid``) per stage,
+        forward/backward split by event category.  Delegates to
+        :func:`repro.obs.export.timeline_to_trace_events`; the sum of
+        ``dur`` on a stage's track equals ``stage_busy_time(stage)`` in
+        microseconds."""
+        from repro.obs.export import timeline_to_trace_events
+
+        return timeline_to_trace_events(self, pid=pid)
 
     def validate(self) -> None:
         """Structural checks: no overlap per stage, dependencies hold."""

@@ -11,6 +11,8 @@ from typing import Any, Dict, Optional, Union
 from repro.graph.ir import TaskGraph
 from repro.hardware.cluster import ClusterSpec
 from repro.hardware.device import Precision
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
 from repro.planner.events import EventLog
 from repro.profiler.memory import OptimizerKind
 from repro.profiler.profiler import GraphProfiler
@@ -33,9 +35,16 @@ class PlannerConfig:
     The fields mirror the historical ``auto_partition`` keyword
     arguments; :meth:`fingerprint` hashes the plan-determining subset so
     the deployment cache can key on it (``validate``, ``cache_dir``,
-    ``parallel_search`` and ``search_workers`` change how the pipeline
-    runs, not what plan it produces, and are excluded -- the parallel
-    Algorithm-2 sweep is deterministic by construction).
+    ``parallel_search``, ``search_workers`` and ``trace`` change how the
+    pipeline runs, not what plan it produces, and are excluded -- the
+    parallel Algorithm-2 sweep is deterministic by construction, and
+    tracing only records what happened).
+
+    ``trace`` turns on fine-grained span recording (per-candidate
+    Algorithm-2 spans, per-call Algorithm-1 DP spans) on the context's
+    tracer; pass-level spans and search counters are always on -- they
+    back the event log and ``PlanDiagnostics`` -- and are too few to
+    measure.
     """
 
     batch_size: int
@@ -49,6 +58,7 @@ class PlannerConfig:
     cache_dir: Optional[Union[str, Path]] = None
     parallel_search: bool = True
     search_workers: Optional[int] = None
+    trace: bool = False
 
     def fingerprint(self) -> str:
         """Stable content hash of the plan-determining fields."""
@@ -70,8 +80,11 @@ class PlanningContext:
 
     Holds the immutable inputs (graph, cluster, config), the lazily
     constructed profiler, the artifact store passes read from and write
-    to, and the structured event log the :class:`~repro.planner.manager.
-    PassManager` appends to.
+    to, and the run's observability surface: a
+    :class:`~repro.obs.tracer.Tracer` (also the storage behind the
+    structured event log the :class:`~repro.planner.manager.PassManager`
+    appends to) and a :class:`~repro.obs.metrics.MetricsRegistry` the
+    search layers record counters into.
     """
 
     def __init__(
@@ -80,13 +93,19 @@ class PlanningContext:
         cluster: ClusterSpec,
         config: PlannerConfig,
         profiler: Optional[GraphProfiler] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.graph = graph
         self.cluster = cluster
         self.config = config
         self.profiler = profiler
         self.artifacts: Dict[str, Any] = {}
-        self.events = EventLog()
+        # the tracer stays enabled regardless of config.trace: it stores
+        # the pass events; config.trace gates the *fine-grained* spans
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.events = EventLog(self.tracer)
 
     # ------------------------------------------------------------------
     # artifact store

@@ -1,8 +1,18 @@
 """Structured planner events: one record per executed (or skipped) pass.
 
-The event log is the planner's observability surface: the CLI renders it
-(``repro plan --explain``), experiments aggregate it across sweeps, and
-tests assert on it (e.g. "the cached run never entered the stage search").
+The event log is the planner's long-standing observability surface: the
+CLI renders it (``repro plan --explain``), experiments aggregate it
+across sweeps, and tests assert on it (e.g. "the cached run never
+entered the stage search").
+
+Since the :mod:`repro.obs` layer landed, the log is a **thin view over a
+tracer** rather than its own store: :meth:`EventLog.record` appends a
+completed :class:`~repro.obs.tracer.Span` (category
+:data:`PASS_CATEGORY`, the pass's status and detail as span attributes)
+to the backing :class:`~repro.obs.tracer.Tracer`, and every read-side
+accessor reconstructs :class:`PassEvent` records from those spans.  One
+store means ``repro plan --explain`` tables and an exported Perfetto
+``trace.json`` can never disagree about what the planner did.
 """
 
 from __future__ import annotations
@@ -10,10 +20,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional
 
+from repro.obs.tracer import Span, Tracer
+
 #: event status values
 OK = "ok"
 SKIPPED = "skipped"
 FAILED = "failed"
+
+#: span category of pass events on the backing tracer
+PASS_CATEGORY = "planner.pass"
 
 
 @dataclass
@@ -34,11 +49,24 @@ class PassEvent:
         }
 
 
-class EventLog:
-    """Append-only log of :class:`PassEvent` records."""
+def _event_of(span: Span) -> PassEvent:
+    detail = {k: v for k, v in span.attrs.items() if k != "status"}
+    return PassEvent(
+        span.name, span.attrs.get("status", OK), span.duration, detail
+    )
 
-    def __init__(self) -> None:
-        self.events: List[PassEvent] = []
+
+class EventLog:
+    """Append-only log of :class:`PassEvent` records, stored as spans.
+
+    Args:
+        tracer: the backing tracer; a private always-enabled one is
+            created when omitted, so a bare ``EventLog()`` still works
+            everywhere it used to.
+    """
+
+    def __init__(self, tracer: Optional[Tracer] = None) -> None:
+        self.tracer = tracer if tracer is not None else Tracer()
 
     def record(
         self,
@@ -47,9 +75,23 @@ class EventLog:
         wall_time: float = 0.0,
         detail: Optional[Dict[str, Any]] = None,
     ) -> PassEvent:
-        event = PassEvent(name, status, wall_time, dict(detail or {}))
-        self.events.append(event)
-        return event
+        """Record a pass outcome as a completed span on the tracer.
+
+        The span is back-dated by ``wall_time`` so it ends "now" — the
+        pass manager measures first and records after.
+        """
+        span = self.tracer.add_span(
+            name,
+            category=PASS_CATEGORY,
+            duration=wall_time,
+            attrs={"status": status, **(detail or {})},
+        )
+        return _event_of(span)
+
+    @property
+    def events(self) -> List[PassEvent]:
+        """The pass events, reconstructed from the tracer's spans."""
+        return [_event_of(s) for s in self.tracer.spans(PASS_CATEGORY)]
 
     def find(self, name: str) -> Optional[PassEvent]:
         """The most recent event of pass ``name``, if any."""

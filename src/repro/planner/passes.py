@@ -108,6 +108,7 @@ class StageSearchPass(PlannerPass):
                 ctx.require(BLOCKS),
                 profiler,
                 ctx.config.batch_size,
+                metrics=ctx.metrics,
             ),
         )
         result = form_stage(
@@ -118,6 +119,16 @@ class StageSearchPass(PlannerPass):
             max_microbatches=ctx.config.max_microbatches,
             parallel=ctx.config.parallel_search,
             max_workers=ctx.config.search_workers,
+            # fine-grained per-candidate spans are opt-in; the search
+            # counters are cheap (per DP call, not per cell) and always on
+            tracer=ctx.tracer if ctx.config.trace else None,
+            metrics=ctx.metrics,
+        )
+        stats = profiler.stats()
+        for name, value in stats.items():
+            ctx.metrics.gauge(f"profiler.{name}").set(value)
+        ctx.metrics.gauge("profiler.memo_hits").set(
+            stats["cache_hits"] + stats["table_hits"]
         )
         if result is None:
             raise PartitioningError(
@@ -201,8 +212,22 @@ class EvaluatePass(PlannerPass):
     def run(self, ctx: PlanningContext) -> Optional[Dict[str, Any]]:
         plan = evaluate_plan(ctx.require(PLAN), schedule=ctx.config.schedule)
         ctx.put(EVALUATED, plan)
-        return {
+        detail: Dict[str, Any] = {
             "schedule": ctx.config.schedule,
             "iteration_time": plan.iteration_time,
             "throughput": plan.throughput,
         }
+        if ctx.config.schedule == "sync":
+            # the flush schedule's measured bubble (Fig. 1, quantified):
+            # gauges per stage plus the mean idle fraction
+            from repro.pipeline.timeline import plan_timeline
+
+            timeline = plan_timeline(plan)
+            for s in range(timeline.num_stages):
+                ctx.metrics.gauge(f"stage.{s}.utilization").set(
+                    timeline.stage_utilization(s)
+                )
+            bubble = timeline.bubble_fraction()
+            ctx.metrics.gauge("stage.bubble_frac").set(bubble)
+            detail["bubble_frac"] = bubble
+        return detail

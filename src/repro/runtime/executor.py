@@ -3,15 +3,23 @@
 Executes a :class:`~repro.graph.ir.TaskGraph` on NumPy arrays in the
 graph's topological insertion order, then walks it backwards accumulating
 vector-Jacobian products into parameter (and optionally input) gradients.
+
+Execution can be traced: construct the executor with a
+:class:`~repro.obs.tracer.Tracer` and every :meth:`Executor.forward` /
+:meth:`Executor.backward` call records an enclosing span plus one
+``exec.task`` span per kernel invocation (opt-in — the default is no
+tracer and a single ``None`` check per task).
 """
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
 from repro.graph.ir import DataType, TaskGraph, ValueKind
+from repro.obs.tracer import Tracer
 from repro.runtime import tensor as kernels
 
 Array = np.ndarray
@@ -40,6 +48,9 @@ class Executor:
             entries are initialized deterministically from ``seed``.
         train_dropout: if True, dropout uses a seeded mask (seed derived
             from the task name so clones agree); default inference-mode.
+        tracer: opt-in execution tracing — when given (and enabled),
+            forward/backward record per-task ``exec.task`` spans under
+            ``exec.forward`` / ``exec.backward`` parents.
     """
 
     def __init__(
@@ -49,10 +60,12 @@ class Executor:
         seed: int = 0,
         dtype=np.float64,
         train_dropout: bool = False,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.graph = graph
         self.dtype = dtype
         self.train_dropout = train_dropout
+        self.tracer = tracer if tracer is not None and tracer.enabled else None
         self.params: Dict[str, Array] = dict(params) if params else {}
         defaults = init_parameters(graph, seed=seed, dtype=dtype)
         for name, arr in defaults.items():
@@ -83,11 +96,26 @@ class Executor:
         for name, arr in self.params.items():
             if name in self.graph.values:
                 env[name] = arr
-        for task in self.graph.tasks.values():
-            args = [env[v] for v in task.inputs]
-            attrs = self._task_attrs(task)
-            out = kernels.forward_kernel(task.op_type)(*args, attrs)
-            env[task.outputs[0]] = out
+        if self.tracer is None:
+            for task in self.graph.tasks.values():
+                args = [env[v] for v in task.inputs]
+                attrs = self._task_attrs(task)
+                out = kernels.forward_kernel(task.op_type)(*args, attrs)
+                env[task.outputs[0]] = out
+            return env
+        with self.tracer.span(
+            "exec.forward", category="runtime",
+            graph=self.graph.name, num_tasks=len(self.graph.tasks),
+        ):
+            for task in self.graph.tasks.values():
+                args = [env[v] for v in task.inputs]
+                attrs = self._task_attrs(task)
+                with self.tracer.span(
+                    "exec.task", category="runtime",
+                    task=task.name, op=task.op_type, phase="F",
+                ):
+                    out = kernels.forward_kernel(task.op_type)(*args, attrs)
+                env[task.outputs[0]] = out
         return env
 
     def loss(self, inputs: Dict[str, Array]) -> float:
@@ -121,22 +149,39 @@ class Executor:
             for oname, g in output_grads.items():
                 grads[oname] = np.asarray(g, dtype=self.dtype)
 
-        for task in reversed(list(self.graph.tasks.values())):
-            gout = grads.get(task.outputs[0])
-            if gout is None:
-                continue
-            args = [env[v] for v in task.inputs]
-            attrs = self._task_attrs(task)
-            gin = kernels.vjp_kernel(task.op_type)(
-                gout, args, env[task.outputs[0]], attrs
+        bwd_cm = (
+            self.tracer.span(
+                "exec.backward", category="runtime", graph=self.graph.name
             )
-            for vname, g in zip(task.inputs, gin):
-                if g is None:
+            if self.tracer is not None
+            else nullcontext()
+        )
+        with bwd_cm:
+            for task in reversed(list(self.graph.tasks.values())):
+                gout = grads.get(task.outputs[0])
+                if gout is None:
                     continue
-                if vname in grads:
-                    grads[vname] = grads[vname] + g
-                else:
-                    grads[vname] = g
+                args = [env[v] for v in task.inputs]
+                attrs = self._task_attrs(task)
+                task_cm = (
+                    self.tracer.span(
+                        "exec.task", category="runtime",
+                        task=task.name, op=task.op_type, phase="B",
+                    )
+                    if self.tracer is not None
+                    else nullcontext()
+                )
+                with task_cm:
+                    gin = kernels.vjp_kernel(task.op_type)(
+                        gout, args, env[task.outputs[0]], attrs
+                    )
+                for vname, g in zip(task.inputs, gin):
+                    if g is None:
+                        continue
+                    if vname in grads:
+                        grads[vname] = grads[vname] + g
+                    else:
+                        grads[vname] = g
 
         result: Dict[str, Array] = {}
         for vname, value in self.graph.values.items():

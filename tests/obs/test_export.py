@@ -1,0 +1,146 @@
+"""Exporter contracts: Perfetto/Chrome-trace schema, timeline round-trip,
+JSON-lines format."""
+
+import json
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    chrome_trace,
+    spans_to_jsonl,
+    spans_to_trace_events,
+    timeline_to_trace_events,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.pipeline.timeline import build_sync_timeline
+
+
+def make_tracer():
+    tracer = Tracer()
+    with tracer.span("plan", category="planner.pass", status="ok"):
+        with tracer.span("dp.form_stage_dp", category="partitioner.dp", S=2):
+            pass
+    return tracer
+
+
+class TestChromeTraceSchema:
+    def test_complete_events_have_required_fields(self):
+        doc = chrome_trace(tracer=make_tracer())
+        events = doc["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == 2
+        for e in complete:
+            assert {"name", "cat", "ph", "ts", "dur", "pid", "tid"} <= set(e)
+            assert e["ts"] >= 0.0
+            assert e["dur"] >= 0.0
+        meta = [e for e in events if e["ph"] == "M"]
+        assert {m["name"] for m in meta} == {"process_name", "thread_name"}
+
+    def test_document_is_json_loadable(self, tmp_path):
+        timeline = build_sync_timeline([1.0, 2.0], [2.0, 4.0], 3)
+        metrics = MetricsRegistry()
+        metrics.counter("dp.calls").inc(5)
+        path = tmp_path / "trace.json"
+        write_chrome_trace(
+            str(path), tracer=make_tracer(), timeline=timeline,
+            metrics=metrics,
+        )
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["metrics"]["dp.calls"] == 5
+        for e in doc["traceEvents"]:
+            assert e["ph"] in ("X", "M")
+            if e["ph"] == "X":
+                assert "ts" in e and "dur" in e
+
+    def test_planner_and_pipeline_use_distinct_pids(self):
+        timeline = build_sync_timeline([1.0], [2.0], 2)
+        doc = chrome_trace(tracer=make_tracer(), timeline=timeline)
+        pids = {e["pid"] for e in doc["traceEvents"]}
+        assert pids == {1, 2}
+
+    def test_parent_and_span_ids_in_args(self):
+        (event,) = [
+            e for e in spans_to_trace_events(make_tracer().spans())
+            if e.get("ph") == "X" and e["name"] == "dp.form_stage_dp"
+        ]
+        assert event["args"]["S"] == 2
+        assert "span_id" in event["args"]
+        assert "parent_id" in event["args"]
+
+    def test_empty_sources(self):
+        assert spans_to_trace_events([]) == []
+        doc = chrome_trace()
+        assert doc["traceEvents"] == []
+
+
+class TestTimelineRoundTrip:
+    def test_dur_sum_per_track_equals_stage_busy_time(self):
+        timeline = build_sync_timeline(
+            [1.0, 1.5, 0.5], [2.0, 3.0, 1.0], 4
+        )
+        events = timeline_to_trace_events(timeline)
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == 3 * 4 * 2  # stages * microbatches * {F,B}
+        for s in range(timeline.num_stages):
+            dur_us = sum(e["dur"] for e in complete if e["tid"] == s)
+            assert dur_us == timeline.stage_busy_time(s) * 1e6
+
+    def test_one_thread_name_track_per_stage(self):
+        timeline = build_sync_timeline([1.0, 2.0], [2.0, 4.0], 2)
+        events = timeline_to_trace_events(timeline)
+        names = {
+            e["tid"]: e["args"]["name"]
+            for e in events if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert names == {0: "stage 0", 1: "stage 1"}
+
+    def test_phase_category_split(self):
+        timeline = build_sync_timeline([1.0], [2.0], 2)
+        cats = {e["cat"] for e in timeline_to_trace_events(timeline)
+                if e["ph"] == "X"}
+        assert cats == {"forward", "backward"}
+
+    def test_timeline_method_delegates(self):
+        timeline = build_sync_timeline([1.0, 2.0], [2.0, 4.0], 2)
+        assert timeline.to_trace_events() == timeline_to_trace_events(timeline)
+
+
+class TestThreadTracks:
+    def test_spans_from_two_threads_get_two_tracks(self):
+        import threading
+
+        tracer = Tracer()
+        with tracer.span("main-span"):
+            pass
+        t = threading.Thread(
+            target=lambda: tracer.add_span("worker-span", duration=0.001)
+        )
+        t.start()
+        t.join()
+        events = spans_to_trace_events(tracer.spans())
+        tids = {e["tid"] for e in events if e["ph"] == "X"}
+        assert tids == {1, 2}
+        labels = {
+            e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert labels == {"main", "worker-1"}
+
+
+class TestJsonl:
+    def test_line_format(self, tmp_path):
+        tracer = make_tracer()
+        metrics = MetricsRegistry()
+        metrics.counter("dp.calls").inc(3)
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(str(path), tracer, metrics)
+        lines = [json.loads(ln) for ln in path.read_text().splitlines()]
+        assert [ln["type"] for ln in lines] == ["span", "span", "metrics"]
+        assert lines[-1]["values"] == {"dp.calls": 3}
+        assert lines[0]["name"] in ("plan", "dp.form_stage_dp")
+
+    def test_empty(self):
+        assert spans_to_jsonl([]) == ""

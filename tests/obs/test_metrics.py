@@ -1,0 +1,92 @@
+"""MetricsRegistry: counters, gauges, histograms, naming, snapshots."""
+
+import json
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.obs import MetricsRegistry, point_name
+
+
+class TestCounter:
+    def test_inc_defaults_and_amounts(self):
+        reg = MetricsRegistry()
+        c = reg.counter("dp.calls")
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+        assert reg.counter("dp.calls") is c  # get-or-create
+
+    def test_negative_inc_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_thread_safe_increments(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c")
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(lambda _: c.inc(), range(2000)))
+        assert c.value == 2000
+
+
+class TestGaugeAndHistogram:
+    def test_gauge_keeps_last_value(self):
+        g = MetricsRegistry().gauge("stage.bubble_frac")
+        g.set(0.5)
+        g.set(0.31)
+        assert g.value == 0.31
+
+    def test_histogram_summary(self):
+        h = MetricsRegistry().histogram("dp.states_per_call")
+        for v in (10, 30, 20):
+            h.observe(v)
+        assert h.mean == 20
+        assert h.summary() == {
+            "count": 3, "total": 60.0, "min": 10.0, "max": 30.0, "mean": 20.0,
+        }
+
+    def test_empty_histogram_summary(self):
+        h = MetricsRegistry().histogram("h")
+        assert h.mean == 0.0
+        assert h.summary()["count"] == 0
+
+
+class TestRegistry:
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_get_contains_len(self):
+        reg = MetricsRegistry()
+        assert reg.get("missing") is None
+        assert "missing" not in reg
+        reg.counter("a")
+        reg.gauge("b")
+        assert "a" in reg and len(reg) == 2
+        assert reg.get("a").value == 0
+
+    def test_snapshot_is_json_safe_and_ordered(self):
+        reg = MetricsRegistry()
+        reg.counter("z.first").inc(3)
+        reg.gauge("a.second").set(1.5)
+        reg.histogram("m.third").observe(7)
+        snap = reg.snapshot()
+        # insertion order, not alphabetical
+        assert list(snap) == ["z.first", "a.second", "m.third"]
+        assert snap["z.first"] == 3
+        assert snap["a.second"] == 1.5
+        assert snap["m.third"]["count"] == 1
+        json.dumps(snap)  # must not raise
+
+
+class TestPointName:
+    def test_labels_sorted_for_stability(self):
+        assert point_name("dp.states_evaluated", S=4, MB=8) == \
+            "dp.states_evaluated[MB=8,S=4]"
+        assert point_name("dp.states_evaluated", MB=8, S=4) == \
+            point_name("dp.states_evaluated", S=4, MB=8)
+
+    def test_no_labels(self):
+        assert point_name("x") == "x[]"

@@ -1,0 +1,108 @@
+"""End-to-end tracing through the planning pipeline: pass spans, DP
+spans/counters, cross-thread parenting under ``parallel_search``, and
+the evaluate pass's pipeline gauges."""
+
+from repro.hardware import paper_cluster
+from repro.planner import PlannerConfig, PlanningContext, plan_graph
+from repro.planner.events import PASS_CATEGORY
+
+
+def run_plan(graph, **config_kwargs):
+    config_kwargs.setdefault("batch_size", 64)
+    ctx = PlanningContext(
+        graph, paper_cluster(), PlannerConfig(**config_kwargs)
+    )
+    plan = plan_graph(graph, ctx.cluster, ctx.config, context=ctx)
+    return ctx, plan
+
+
+class TestPassSpans:
+    def test_pass_spans_mirror_event_log(self, tiny_bert):
+        ctx, _ = run_plan(tiny_bert)
+        pass_spans = ctx.tracer.spans(PASS_CATEGORY)
+        assert [s.name for s in pass_spans] == [e.name for e in ctx.events]
+        by_name = {s.name: s for s in pass_spans}
+        assert by_name["stage_search"].attrs["status"] == "ok"
+        assert by_name["stage_search"].duration > 0
+
+    def test_trace_off_records_no_fine_grained_spans(self, tiny_bert):
+        ctx, _ = run_plan(tiny_bert, trace=False)
+        assert ctx.tracer.spans("partitioner.dp") == []
+        assert ctx.tracer.spans("partitioner.search") == []
+        # coarse pass spans and DP counters stay on regardless
+        assert len(ctx.tracer.spans(PASS_CATEGORY)) > 0
+        assert ctx.metrics.counter("dp.calls").value > 0
+
+
+class TestDPInstrumentation:
+    def test_candidate_spans_match_dp_calls(self, tiny_bert):
+        ctx, _ = run_plan(tiny_bert, trace=True)
+        dp_spans = ctx.tracer.spans("partitioner.dp")
+        assert len(dp_spans) == ctx.metrics.counter("dp.calls").value
+        assert len(dp_spans) == ctx.events.find("stage_search").detail[
+            "dp_calls"
+        ]
+        for span in dp_spans:
+            assert {"S", "MB"} <= set(span.attrs)
+            assert "feasible" in span.attrs
+
+    def test_per_point_state_counters(self, tiny_bert):
+        ctx, _ = run_plan(tiny_bert)
+        snap = ctx.metrics.snapshot()
+        points = {
+            k: v for k, v in snap.items()
+            if k.startswith("dp.states_evaluated[")
+        }
+        assert points, f"no per-(S,MB) counters in {sorted(snap)}"
+        assert sum(points.values()) == snap["dp.states_evaluated"]
+        assert snap["dp.states_per_call"]["count"] == snap["dp.calls"]
+
+    def test_profiler_gauges_exported(self, tiny_bert):
+        ctx, _ = run_plan(tiny_bert)
+        snap = ctx.metrics.snapshot()
+        assert snap["profiler.memo_hits"] == (
+            snap["profiler.cache_hits"] + snap["profiler.table_hits"]
+        )
+        assert snap["profiler.tensor_builds"] >= 1
+
+
+class TestParallelSearchTracing:
+    def test_cross_thread_parenting(self, tiny_bert):
+        ctx, _ = run_plan(
+            tiny_bert, trace=True, parallel_search=True, search_workers=4
+        )
+        level_spans = ctx.tracer.spans("partitioner.search")
+        dp_spans = ctx.tracer.spans("partitioner.dp")
+        assert level_spans and dp_spans
+        level_ids = {s.span_id for s in level_spans}
+        # every DP candidate span hangs off a search-level span, even
+        # when it ran on a pool thread
+        for span in dp_spans:
+            assert span.parent_id in level_ids
+        # the sweep actually fanned out
+        assert len({s.thread_id for s in dp_spans}) >= 1
+
+    def test_parallel_counters_match_serial(self, tiny_bert):
+        serial, plan_s = run_plan(tiny_bert, parallel_search=False)
+        par, plan_p = run_plan(
+            tiny_bert, parallel_search=True, search_workers=4
+        )
+        keys = ("dp.calls", "dp.states_evaluated", "dp.infeasible")
+        for key in keys:
+            assert (
+                serial.metrics.counter(key).value
+                == par.metrics.counter(key).value
+            )
+        assert plan_s.num_stages == plan_p.num_stages
+
+
+class TestEvaluateGauges:
+    def test_bubble_and_utilization_gauges(self, tiny_bert):
+        ctx, plan = run_plan(tiny_bert)
+        snap = ctx.metrics.snapshot()
+        bubble = snap["stage.bubble_frac"]
+        assert 0.0 <= bubble < 1.0
+        for s in range(plan.num_stages):
+            util = snap[f"stage.{s}.utilization"]
+            assert 0.0 < util <= 1.0
+        assert ctx.events.find("evaluate").detail["bubble_frac"] == bubble

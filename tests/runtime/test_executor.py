@@ -209,3 +209,40 @@ class TestInitParameters:
         a = init_parameters(mlp_graph, seed=5)
         b = init_parameters(mlp_graph, seed=5)
         assert all(np.array_equal(a[k], b[k]) for k in a)
+
+
+class TestTracing:
+    def test_traced_run_matches_untraced(self, mlp_graph, rng):
+        from repro.obs import Tracer
+
+        batch = mlp_batch(rng)
+        plain = Executor(mlp_graph, seed=3)
+        tracer = Tracer()
+        traced = Executor(mlp_graph, seed=3, tracer=tracer)
+        assert traced.loss(batch) == plain.loss(batch)
+
+        env = traced.forward(batch)
+        traced.backward(env)
+        names = {s.name for s in tracer.spans()}
+        assert {"exec.forward", "exec.backward", "exec.task"} <= names
+        tasks = [s for s in tracer.spans() if s.name == "exec.task"]
+        fwd = [s for s in tasks if s.attrs["phase"] == "F"]
+        bwd = [s for s in tasks if s.attrs["phase"] == "B"]
+        # forward covers every task; backward only tasks on the grad path
+        per_fwd_pass = len(mlp_graph.tasks)
+        assert len(fwd) == 2 * per_fwd_pass  # loss() + forward()
+        assert 0 < len(bwd) <= per_fwd_pass
+        parents = {s.span_id: s for s in tracer.spans()}
+        for s in tasks:
+            assert parents[s.parent_id].name in (
+                "exec.forward", "exec.backward"
+            )
+
+    def test_disabled_tracer_records_nothing(self, mlp_graph, rng):
+        from repro.obs import Tracer
+
+        tracer = Tracer(enabled=False)
+        ex = Executor(mlp_graph, tracer=tracer)
+        ex.loss_and_grads(mlp_batch(rng))
+        assert ex.tracer is None
+        assert len(tracer) == 0

@@ -92,3 +92,52 @@ class TestCLI:
         assert main(["ablation", "--fast"]) == 0
         out = capsys.readouterr().out
         assert "%" in out or "DNF" in out
+
+    def test_trace(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        jsonl_path = tmp_path / "trace.jsonl"
+        rc = main([
+            "trace", "--model", "bert", "--hidden", "64", "--layers", "4",
+            "--cluster", "v100x8", "--batch-size", "32",
+            "--out", str(trace_path), "--jsonl", str(jsonl_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "trace written to" in out
+        assert "perfetto" in out
+
+        doc = json.loads(trace_path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert complete
+        for e in complete:
+            assert "ts" in e and "dur" in e
+        # planner spans (pid 1) and pipeline stage tracks (pid 2)
+        assert {e["pid"] for e in complete} == {1, 2}
+        cats = {e["cat"] for e in complete}
+        assert "planner.pass" in cats
+        assert "partitioner.dp" in cats
+        assert {"forward", "backward"} <= cats
+        # DP search counters ride along, incl. per-(S, MB) points
+        assert doc["metrics"]["dp.calls"] > 0
+        assert any(k.startswith("dp.states_evaluated[") for k in doc["metrics"])
+
+        lines = [json.loads(ln) for ln in jsonl_path.read_text().splitlines()]
+        assert lines[-1]["type"] == "metrics"
+        assert all(ln["type"] == "span" for ln in lines[:-1])
+
+    def test_trace_default_preset(self, capsys, tmp_path):
+        # bert-base / v100x8 is the documented example; keep the batch
+        # small so the test stays fast
+        trace_path = tmp_path / "trace.json"
+        rc = main([
+            "trace", "--model", "bert-base", "--cluster", "v100x8",
+            "--batch-size", "64", "--out", str(trace_path),
+        ])
+        assert rc == 0
+        doc = json.loads(trace_path.read_text())
+        stage_tracks = {
+            e["tid"] for e in doc["traceEvents"]
+            if e["ph"] == "X" and e["pid"] == 2
+        }
+        assert len(stage_tracks) >= 1

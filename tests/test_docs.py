@@ -1,0 +1,63 @@
+"""The docs checker itself (tools/check_docs.py): the repo's own docs
+must pass, and the checker must actually catch breakage."""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CHECKER = REPO_ROOT / "tools" / "check_docs.py"
+
+spec = importlib.util.spec_from_file_location("check_docs", CHECKER)
+check_docs = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(check_docs)
+
+
+class TestRepoDocs:
+    def test_repo_docs_pass(self):
+        result = subprocess.run(
+            [sys.executable, str(CHECKER)],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": str(REPO_ROOT / "src")},
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "links OK" in result.stdout
+        assert "doctests OK" in result.stdout
+
+    def test_observability_examples_exist(self):
+        text = (REPO_ROOT / "docs" / "OBSERVABILITY.md").read_text()
+        blocks = check_docs.extract_python_blocks(text)
+        assert len(blocks) >= 4
+        assert any(">>>" in b for b in blocks)
+
+
+class TestChecker:
+    def test_broken_link_detected(self, tmp_path):
+        (tmp_path / "doc.md").write_text(
+            "see [here](missing.md) and [ok](other.md) and "
+            "[web](https://example.com) and [frag](#section)\n"
+        )
+        (tmp_path / "other.md").write_text("x\n")
+        errors = check_docs.check_links(tmp_path, ["doc.md"])
+        assert errors == ["doc.md: broken link -> missing.md"]
+
+    def test_fragment_on_relative_link_stripped(self, tmp_path):
+        (tmp_path / "doc.md").write_text("[s](other.md#part)\n")
+        (tmp_path / "other.md").write_text("x\n")
+        assert check_docs.check_links(tmp_path, ["doc.md"]) == []
+
+    def test_failing_doctest_detected(self, tmp_path):
+        (tmp_path / "bad.md").write_text(
+            "```python\n>>> 1 + 1\n3\n\n```\n"
+        )
+        failures, attempts = check_docs.run_doctests(tmp_path, ["bad.md"])
+        assert (failures, attempts) == (1, 1)
+
+    def test_state_shared_across_blocks(self, tmp_path):
+        (tmp_path / "two.md").write_text(
+            "first:\n```python\n>>> x = 2\n\n```\n"
+            "later:\n```python\n>>> x + 1\n3\n\n```\n"
+        )
+        failures, attempts = check_docs.run_doctests(tmp_path, ["two.md"])
+        assert (failures, attempts) == (0, 2)

@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Documentation checks, run by the CI ``docs`` job.
+
+Two checks:
+
+1. **Intra-repo links** — every relative markdown link in the checked
+   files must point at a file (or directory) that exists.  External
+   links (``http(s)://``, ``mailto:``) and pure fragments (``#...``)
+   are ignored; a trailing ``#fragment`` on a relative link is stripped
+   before the existence check.
+2. **Doctests** — fenced ```` ```python ```` blocks in
+   ``docs/OBSERVABILITY.md`` are extracted *in order into one shared
+   namespace* and executed with :mod:`doctest`, so the documented
+   examples cannot rot.
+
+Usage::
+
+    python tools/check_docs.py            # from the repository root
+    python tools/check_docs.py --verbose
+"""
+
+from __future__ import annotations
+
+import argparse
+import doctest
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: files whose relative links must resolve (generated / scratch files
+#: like ISSUE.md and SNIPPETS.md are deliberately out of scope)
+LINKED_DOCS = (
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "CHANGES.md",
+    "docs/ALGORITHMS.md",
+    "docs/OBSERVABILITY.md",
+    "examples/README.md",
+)
+
+#: files whose fenced python examples run as doctests
+DOCTEST_DOCS = ("docs/OBSERVABILITY.md",)
+
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_FENCE_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def check_links(root: Path, rel_paths=LINKED_DOCS) -> List[str]:
+    """Return one error string per broken relative link."""
+    errors: List[str] = []
+    for rel in rel_paths:
+        md = root / rel
+        if not md.exists():
+            errors.append(f"{rel}: file listed in LINKED_DOCS is missing")
+            continue
+        for target in _LINK_RE.findall(md.read_text()):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            target_path = target.split("#", 1)[0]
+            if not target_path:
+                continue
+            resolved = (md.parent / target_path).resolve()
+            if not resolved.exists():
+                errors.append(f"{rel}: broken link -> {target}")
+    return errors
+
+
+def extract_python_blocks(text: str) -> List[str]:
+    return [m.group(1) for m in _FENCE_RE.finditer(text)]
+
+
+def run_doctests(
+    root: Path, rel_paths=DOCTEST_DOCS, verbose: bool = False
+) -> Tuple[int, int]:
+    """Run fenced examples; returns (failures, attempts)."""
+    parser = doctest.DocTestParser()
+    runner = doctest.DocTestRunner(
+        verbose=verbose, optionflags=doctest.ELLIPSIS
+    )
+    failures = attempts = 0
+    for rel in rel_paths:
+        md = root / rel
+        blocks = extract_python_blocks(md.read_text())
+        source = "\n".join(blocks)
+        globs: dict = {}
+        test = parser.get_doctest(source, globs, rel, str(md), 0)
+        result = runner.run(test, clear_globs=False)
+        failures += result.failed
+        attempts += result.attempted
+    return failures, attempts
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", type=Path, default=REPO_ROOT)
+    ap.add_argument("--verbose", action="store_true")
+    args = ap.parse_args(argv)
+
+    rc = 0
+    link_errors = check_links(args.root)
+    if link_errors:
+        rc = 1
+        for err in link_errors:
+            print(f"LINK FAIL  {err}")
+    else:
+        print(f"links OK ({len(LINKED_DOCS)} files checked)")
+
+    failures, attempts = run_doctests(args.root, verbose=args.verbose)
+    if failures:
+        rc = 1
+        print(f"doctest FAIL ({failures}/{attempts} examples failed)")
+    elif attempts == 0:
+        rc = 1
+        print("doctest FAIL (no examples found — fence regex broken?)")
+    else:
+        print(f"doctests OK ({attempts} examples)")
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())
