@@ -344,7 +344,7 @@ def _balanced_unit_stages(
     current: List[str] = []
     acc = 0.0
     remaining = num_stages
-    for (key, tasks), w in zip(units, weights):
+    for (_key, tasks), w in zip(units, weights):
         units_left = len(units) - len(stages)
         if (
             current

@@ -115,7 +115,7 @@ def _search_megatron(
     # unique parameter split: weights of split ops shard t-ways
     split_params = 0
     seen: set = set()
-    for i, tname in enumerate(names):
+    for i, _tname in enumerate(names):
         for pid in profiler._task_param_ids[i]:
             if pid in seen:
                 continue

@@ -6,6 +6,7 @@ Examples::
         --nodes 4 --batch-size 256
     python -m repro plan --model bert --explain --cache-dir ~/.cache/repro
     python -m repro trace --model bert-base --cluster v100x8 --out trace.json
+    python -m repro verify deployment.json --model bert --nodes 4
     python -m repro fig4 --fast
     python -m repro fig5
     python -m repro table1
@@ -141,6 +142,55 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_verify(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "verify",
+        help="verify a saved deployment JSON against a model + cluster "
+             "(static invariants + differential re-simulation)",
+    )
+    p.add_argument("plan", help="deployment JSON written by "
+                                "'repro plan/partition --save'")
+    p.add_argument("--model", choices=MODEL_PRESETS, default="bert")
+    p.add_argument("--hidden", type=int, default=1024, help="BERT/GPT hidden size")
+    p.add_argument("--layers", type=int, default=24, help="BERT/GPT layer count")
+    p.add_argument("--depth", type=int, default=50, help="ResNet depth")
+    p.add_argument("--width-factor", type=int, default=8, help="ResNet width factor")
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--amp", action="store_true", help="mixed precision")
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.partitioner.deployment import (
+        DeploymentMismatchError,
+        plan_from_json,
+    )
+    from repro.verify import PlanVerificationError
+
+    try:
+        text = open(args.plan).read()
+    except OSError as exc:
+        print(f"FAIL: cannot read {args.plan}: {exc}")
+        return 1
+    graph = _build_graph(args)
+    cluster = paper_cluster(num_nodes=args.nodes)
+    try:
+        plan = plan_from_json(text, graph, cluster)
+    except PlanVerificationError as exc:
+        print(f"FAIL: {args.plan}: {len(exc.violations)} invariant "
+              f"violation(s)")
+        for v in exc.violations:
+            print(f"  - {v}")
+        return 1
+    except (DeploymentMismatchError, ValueError, KeyError) as exc:
+        print(f"FAIL: {args.plan}: {exc}")
+        return 1
+    print(f"OK: {args.plan} verified against {graph.name!r} on "
+          f"{cluster.total_devices} devices "
+          f"(stages={plan.num_stages}, MB={plan.num_microbatches}, "
+          f"R={plan.replica_factor})")
+    return 0
+
+
 def _build_graph(args: argparse.Namespace):
     if args.model == "bert-base":
         return build_bert(BertConfig(hidden_size=768, num_layers=12,
@@ -203,10 +253,10 @@ def _render_events(ctx) -> str:
              "  detail"]
     lines.append("-" * 72)
     for event in ctx.events:
-        keys = ("reason", "hit", "dp_calls", "candidates_tried",
+        keys = ("reason", "hit", "verified", "dp_calls", "candidates_tried",
                 "states_evaluated", "parallel_search", "memo_hit_rate",
                 "num_components", "num_blocks", "num_stages", "throughput",
-                "bubble_frac")
+                "bubble_frac", "invariants_checked", "violations")
         detail = ", ".join(
             f"{k}={event.detail[k]}" for k in keys if k in event.detail
         )
@@ -333,6 +383,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_partition(sub)
     _add_plan(sub)
     _add_trace(sub)
+    _add_verify(sub)
     p4 = sub.add_parser("fig4", help="regenerate the Fig. 4 BERT sweep")
     p4.add_argument("--fast", action="store_true")
     p4.add_argument("--amp", action="store_true")
@@ -355,6 +406,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "partition": _cmd_partition,
         "plan": _cmd_plan,
         "trace": _cmd_trace,
+        "verify": _cmd_verify,
         "fig4": _cmd_fig4,
         "fig5": _cmd_fig5,
         "table1": _cmd_table1,

@@ -11,7 +11,62 @@ from __future__ import annotations
 import json
 from typing import Any, Dict
 
+import numpy as np
+
 from repro.graph.ir import DataType, TaskGraph, TaskNode, ValueKind, ValueNode
+
+
+def _canon_attr_json(value: Any, task: str, key: str) -> Any:
+    """JSON form of one attr value; rejects non-serializable types.
+
+    Sequences are emitted as lists (JSON has no tuple);
+    :func:`_canon_attr_runtime` turns them back into tuples, so a
+    serialize/restore round trip is idempotent instead of silently
+    swapping tuple-valued attrs (strides, shapes) for lists.
+    """
+    if isinstance(value, (bool, np.bool_)):
+        return bool(value)
+    if value is None or isinstance(value, str):
+        return value
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return float(value)
+    if isinstance(value, (list, tuple)):
+        return [_canon_attr_json(v, task, key) for v in value]
+    if isinstance(value, dict):
+        for k in value:
+            if not isinstance(k, str):
+                raise TypeError(
+                    f"task {task!r} attr {key!r}: dict key {k!r} is not a "
+                    f"string, cannot serialize to JSON"
+                )
+        return {k: _canon_attr_json(v, task, key) for k, v in value.items()}
+    raise TypeError(
+        f"task {task!r} attr {key!r} has non-JSON-serializable type "
+        f"{type(value).__name__}; allowed: None, bool, int, float, str, "
+        f"list/tuple, dict (str keys)"
+    )
+
+
+def _canon_attr_runtime(value: Any) -> Any:
+    """Runtime form of a JSON attr value: sequences become tuples (the
+    canonical in-memory form the tracer produces)."""
+    if isinstance(value, list):
+        return tuple(_canon_attr_runtime(v) for v in value)
+    if isinstance(value, dict):
+        return {k: _canon_attr_runtime(v) for k, v in value.items()}
+    return value
+
+
+def canonicalize_attrs(attrs: Dict[str, Any], task: str = "?") -> Dict[str, Any]:
+    """The canonical runtime form of an attrs dict (tuples for
+    sequences, plain python scalars); raises :class:`TypeError` for
+    attrs JSON cannot represent."""
+    return {
+        k: _canon_attr_runtime(_canon_attr_json(v, task, k))
+        for k, v in attrs.items()
+    }
 
 
 def graph_to_json(graph: TaskGraph) -> str:
@@ -34,7 +89,10 @@ def graph_to_json(graph: TaskGraph) -> str:
                 "op_type": t.op_type,
                 "inputs": list(t.inputs),
                 "outputs": list(t.outputs),
-                "attrs": t.attrs,
+                "attrs": {
+                    k: _canon_attr_json(v, t.name, k)
+                    for k, v in t.attrs.items()
+                },
             }
             for t in graph.tasks.values()
         ],
@@ -64,7 +122,10 @@ def graph_from_json(text: str) -> TaskGraph:
                 op_type=tdoc["op_type"],
                 inputs=list(tdoc["inputs"]),
                 outputs=list(tdoc["outputs"]),
-                attrs=dict(tdoc["attrs"]),
+                attrs={
+                    k: _canon_attr_runtime(v)
+                    for k, v in tdoc["attrs"].items()
+                },
             )
         )
     for oname in doc["outputs"]:

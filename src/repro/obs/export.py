@@ -74,7 +74,7 @@ def spans_to_trace_events(
     events: List[Dict[str, Any]] = [
         _metadata("process_name", pid, name=process_name)
     ]
-    for raw, tid in tid_map.items():
+    for tid in tid_map.values():
         label = "main" if tid == 1 else f"worker-{tid - 1}"
         events.append(_metadata("thread_name", pid, tid, name=label))
     for span in spans:

@@ -40,6 +40,7 @@ def auto_partition(
     uncoarsen: bool = True,
     max_microbatches: Optional[int] = None,
     validate: bool = True,
+    verify: bool = True,
     profiler: Optional[GraphProfiler] = None,
     cache_dir: Optional[Union[str, Path]] = None,
     context: Optional[PlanningContext] = None,
@@ -59,6 +60,9 @@ def auto_partition(
         uncoarsen: enable the uncoarsening refinement step.
         max_microbatches: optional cap on the microbatch search.
         validate: structurally validate the graph first.
+        verify: hold the finished plan (fresh or cache-restored) to the
+            :mod:`repro.verify` invariants; violations raise
+            :class:`repro.verify.PlanVerificationError`.
         profiler: reuse an existing profiler (e.g. across experiments).
         cache_dir: directory of cached deployments; a repeated call with
             identical graph / cluster / planner config loads the plan
@@ -80,6 +84,7 @@ def auto_partition(
         uncoarsen=uncoarsen,
         max_microbatches=max_microbatches,
         validate=validate,
+        verify=verify,
         cache_dir=cache_dir,
     )
     if context is None:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from repro.graph.ir import TaskGraph
 from repro.graph.serialize import graph_to_json
@@ -20,7 +20,8 @@ from repro.hardware.device import Precision
 from repro.partitioner.allocation import allocate_devices
 from repro.partitioner.plan import PartitionPlan, StageSpec
 from repro.pipeline.hybrid import evaluate_plan
-from repro.profiler.profiler import ProfileResult
+from repro.profiler.memory import OptimizerKind
+from repro.profiler.profiler import GraphProfiler, ProfileResult
 
 
 class DeploymentMismatchError(ValueError):
@@ -69,12 +70,24 @@ def plan_to_json(plan: PartitionPlan, graph: TaskGraph) -> str:
 
 
 def plan_from_json(
-    text: str, graph: TaskGraph, cluster: ClusterSpec
+    text: str,
+    graph: TaskGraph,
+    cluster: ClusterSpec,
+    *,
+    verify: bool = True,
+    optimizer: OptimizerKind = OptimizerKind.ADAM,
+    profiler: Optional[GraphProfiler] = None,
 ) -> PartitionPlan:
     """Restore a plan; re-validates it against graph and cluster.
 
     Raises :class:`DeploymentMismatchError` if the graph content or the
-    cluster shape changed since the plan was saved.
+    cluster shape changed since the plan was saved.  With ``verify``
+    (the default) the restored plan is additionally held to the full
+    :mod:`repro.verify` invariants -- a stored deployment that drops a
+    stage, duplicates a task or no longer fits device memory raises
+    :class:`repro.verify.PlanVerificationError` instead of being
+    silently deployed (``optimizer``/``profiler`` feed the memory
+    re-derivation; the deployment JSON does not store the optimizer).
     """
     doc = json.loads(text)
     if doc.get("version") != 1:
@@ -126,4 +139,12 @@ def plan_from_json(
             doc["replica_factor"],
         ),
     )
-    return evaluate_plan(plan, schedule="sync")
+    plan = evaluate_plan(plan, schedule="sync")
+    if verify:
+        # local import: repro.verify depends on repro.partitioner types
+        from repro.verify import verify_plan
+
+        verify_plan(
+            plan, graph, cluster, profiler=profiler, optimizer=optimizer
+        )
+    return plan

@@ -11,6 +11,7 @@ from repro.pipeline.schedule import ScheduleEvent, sync_pipeline_schedule
 from repro.pipeline.simulator import (
     simulate_async_1f1b,
     simulate_sync_pipeline,
+    sync_pipeline_wave_estimate,
 )
 from repro.pipeline.one_f_one_b import simulate_sync_1f1b
 from repro.pipeline.timeline import Timeline, build_sync_timeline, render_gantt
@@ -26,4 +27,5 @@ __all__ = [
     "simulate_sync_1f1b",
     "simulate_sync_pipeline",
     "sync_pipeline_schedule",
+    "sync_pipeline_wave_estimate",
 ]

@@ -19,7 +19,8 @@ Two schedules:
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+import warnings
+from typing import Sequence
 
 import numpy as np
 
@@ -60,7 +61,7 @@ def simulate_sync_pipeline(
     # the backward of microbatch m on stage s depends on the backward of m
     # on stage s+1; the last stage's first backward waits for that
     # microbatch's own forward (which is the flush point for m = MB-1)
-    for j, m in enumerate(reversed(range(MB))):
+    for m in reversed(range(MB)):
         for s in reversed(range(S)):
             dep = b_done[s + 1, m] if s + 1 < S else f_done[S - 1, m]
             start = max(stage_free[s], dep)
@@ -90,16 +91,41 @@ def simulate_async_1f1b(
     return num_microbatches * bottleneck
 
 
+def sync_pipeline_wave_estimate(
+    tf: Sequence[float],
+    tb: Sequence[float],
+    num_microbatches: int,
+) -> float:
+    """Closed-form wave estimate: ``(MB + S - 1) x (max tf + max tb)``.
+
+    Counts the ``MB + S - 1`` forward/backward wave slots of a flush
+    pipeline, charging every slot at the slowest stage's rate.  Exact for
+    uniform stages; an **upper bound** on
+    :func:`simulate_sync_pipeline` in general (a faster stage finishes
+    its slot early, it never stretches one), so it must NOT be used as
+    an admissible lower bound when pruning candidates -- it can only
+    over-estimate, never under-estimate.
+    """
+    _validate(tf, tb, num_microbatches)
+    S = len(tf)
+    return (num_microbatches + S - 1) * (max(tf) + max(tb))
+
+
 def sync_pipeline_lower_bound(
     tf: Sequence[float],
     tb: Sequence[float],
     num_microbatches: int,
 ) -> float:
-    """Closed-form wave estimate: (MB + S - 1) x (max tf + max tb).
+    """Deprecated alias of :func:`sync_pipeline_wave_estimate`.
 
-    Exact for uniform stages; an upper-bounding approximation otherwise.
-    Used by Algorithm 2 to rank candidate solutions cheaply.
+    The historical name mischaracterized the bound direction: the wave
+    formula is an *upper*-bounding approximation of the simulated
+    makespan, not an admissible lower bound.
     """
-    _validate(tf, tb, num_microbatches)
-    S = len(tf)
-    return (num_microbatches + S - 1) * (max(tf) + max(tb))
+    warnings.warn(
+        "sync_pipeline_lower_bound is a misnomer (the wave formula is an "
+        "upper bound); use sync_pipeline_wave_estimate",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return sync_pipeline_wave_estimate(tf, tb, num_microbatches)

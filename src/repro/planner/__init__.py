@@ -27,6 +27,7 @@ from repro.planner.context import (
     PLAN,
     SEARCH_RESULT,
     VALIDATED,
+    VERIFIED,
     PlannerConfig,
     PlanningContext,
 )
@@ -44,6 +45,7 @@ from repro.planner.passes import (
     EvaluatePass,
     StageSearchPass,
     ValidatePass,
+    VerifyPass,
 )
 from repro.profiler.profiler import GraphProfiler
 
@@ -53,9 +55,11 @@ def default_passes() -> List[PlannerPass]:
 
     ``validate`` always runs (it is cheap and guards the cache path too);
     ``cache_load`` short-circuits every later compute pass on a hit; the
-    compute passes mirror the paper's phases; ``cache_store`` persists a
-    freshly computed plan.  Both cache passes self-skip when no cache
-    directory is configured.
+    compute passes mirror the paper's phases; ``verify`` holds the fresh
+    plan to the :mod:`repro.verify` invariants (a cache hit was already
+    verified during the load); ``cache_store`` persists a freshly
+    computed plan.  Both cache passes self-skip when no cache directory
+    is configured.
     """
     return [
         ValidatePass(),
@@ -65,6 +69,7 @@ def default_passes() -> List[PlannerPass]:
         StageSearchPass(),
         AllocatePass(),
         EvaluatePass(),
+        VerifyPass(),
         CachePass("store"),
     ]
 
@@ -138,7 +143,9 @@ __all__ = [
     "SEARCH_RESULT",
     "StageSearchPass",
     "VALIDATED",
+    "VERIFIED",
     "ValidatePass",
+    "VerifyPass",
     "cache_path",
     "default_passes",
     "plan_graph",

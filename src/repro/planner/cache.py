@@ -12,6 +12,8 @@ mutating any of the three re-plans instead of serving a stale deployment.
 
 from __future__ import annotations
 
+import os
+import tempfile
 from pathlib import Path
 from typing import Any, Dict, Optional
 
@@ -20,7 +22,7 @@ from repro.partitioner.deployment import (
     plan_from_json,
     plan_to_json,
 )
-from repro.planner.context import EVALUATED, PLAN, PlanningContext
+from repro.planner.context import EVALUATED, PLAN, VERIFIED, PlanningContext
 from repro.planner.manager import PlannerPass
 
 
@@ -64,20 +66,51 @@ class CachePass(PlannerPass):
         if not path.exists():
             return {"hit": False, "path": str(path)}
         try:
-            plan = plan_from_json(path.read_text(), ctx.graph, ctx.cluster)
+            # a restored deployment is held to the same repro.verify
+            # invariants as a fresh plan (truncated JSON, dropped stages,
+            # over-memory stages, ... all land in the except below)
+            plan = plan_from_json(
+                path.read_text(),
+                ctx.graph,
+                ctx.cluster,
+                verify=ctx.config.verify,
+                optimizer=ctx.config.optimizer,
+                profiler=(
+                    ctx.ensure_profiler() if ctx.config.verify else None
+                ),
+            )
         except (DeploymentMismatchError, ValueError, KeyError) as exc:
-            # a stale or corrupt entry is a miss, not a failure
+            # a stale, corrupt or invariant-violating entry is a miss,
+            # not a failure; the store pass then repairs it
             return {"hit": False, "path": str(path), "reason": str(exc)}
         plan.diagnostics.cache_hit = True
         ctx.put(PLAN, plan)
         ctx.put(EVALUATED, plan)
+        if ctx.config.verify:
+            # VerifyPass sees the artifact and skips the duplicate check
+            ctx.put(VERIFIED, True)
         ctx.put("cache_hit", True)
-        return {"hit": True, "path": str(path)}
+        return {"hit": True, "path": str(path), "verified": ctx.config.verify}
 
     def _store(self, ctx: PlanningContext, path: Path) -> Dict[str, Any]:
         plan = ctx.get(EVALUATED) or ctx.get(PLAN)
         if plan is None:
             return {"stored": False, "reason": "no plan to store"}
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(plan_to_json(plan, ctx.graph))
+        text = plan_to_json(plan, ctx.graph)
+        # write-then-rename so a crash or a concurrent planner never
+        # leaves a truncated entry at the final path
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(text)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
         return {"stored": True, "path": str(path)}

@@ -25,6 +25,7 @@ DP_CONTEXT = "dp_context"
 SEARCH_RESULT = "search_result"
 PLAN = "plan"
 EVALUATED = "evaluated"
+VERIFIED = "verified"
 FRAMEWORK_RESULT = "framework_result"
 
 
@@ -34,11 +35,12 @@ class PlannerConfig:
 
     The fields mirror the historical ``auto_partition`` keyword
     arguments; :meth:`fingerprint` hashes the plan-determining subset so
-    the deployment cache can key on it (``validate``, ``cache_dir``,
-    ``parallel_search``, ``search_workers`` and ``trace`` change how the
-    pipeline runs, not what plan it produces, and are excluded -- the
-    parallel Algorithm-2 sweep is deterministic by construction, and
-    tracing only records what happened).
+    the deployment cache can key on it (``validate``, ``verify``,
+    ``cache_dir``, ``parallel_search``, ``search_workers`` and ``trace``
+    change how the pipeline runs, not what plan it produces, and are
+    excluded -- the parallel Algorithm-2 sweep is deterministic by
+    construction, and tracing/verification only record or check what
+    happened).
 
     ``trace`` turns on fine-grained span recording (per-candidate
     Algorithm-2 spans, per-call Algorithm-1 DP spans) on the context's
@@ -54,6 +56,7 @@ class PlannerConfig:
     uncoarsen: bool = True
     max_microbatches: Optional[int] = None
     validate: bool = True
+    verify: bool = True
     schedule: str = "sync"
     cache_dir: Optional[Union[str, Path]] = None
     parallel_search: bool = True

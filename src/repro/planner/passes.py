@@ -9,6 +9,8 @@ Mapping to the paper:
 * :class:`AllocatePass` -- device-rank assignment for the winning DP
   solution.
 * :class:`EvaluatePass` -- hybrid-parallel throughput estimate.
+* :class:`VerifyPass` -- hold the finished plan to the
+  :mod:`repro.verify` invariants (static + differential).
 
 The cache passes live in :mod:`repro.planner.cache`.
 """
@@ -33,6 +35,7 @@ from repro.planner.context import (
     PLAN,
     SEARCH_RESULT,
     VALIDATED,
+    VERIFIED,
     PlanningContext,
 )
 from repro.planner.manager import PartitioningError, PlannerPass
@@ -230,4 +233,60 @@ class EvaluatePass(PlannerPass):
             bubble = timeline.bubble_fraction()
             ctx.metrics.gauge("stage.bubble_frac").set(bubble)
             detail["bubble_frac"] = bubble
+        return detail
+
+
+class VerifyPass(PlannerPass):
+    """Hold the finished plan to the :mod:`repro.verify` invariants.
+
+    Runs after :class:`EvaluatePass` on every fresh plan; a cache hit
+    skips it because ``CachePass("load")`` already verified the restored
+    deployment (it puts the ``VERIFIED`` artifact).  Disable with
+    ``PlannerConfig.verify=False``.
+    """
+
+    name = "verify"
+    requires = (PLAN,)
+    produces = (VERIFIED,)
+
+    def should_skip(self, ctx: PlanningContext) -> Optional[str]:
+        if not ctx.config.verify:
+            return "disabled by config.verify"
+        return super().should_skip(ctx)
+
+    def run(self, ctx: PlanningContext) -> Optional[Dict[str, Any]]:
+        from repro.verify import check_plan
+
+        plan = ctx.get(EVALUATED) or ctx.require(PLAN)
+        search = ctx.get(SEARCH_RESULT)
+        expected = (
+            search.solution.estimated_iteration_time()
+            if search is not None
+            else None
+        )
+        with ctx.tracer.span(
+            "verify.plan", category="verify", model=plan.model_name
+        ):
+            report = check_plan(
+                plan,
+                ctx.graph,
+                ctx.cluster,
+                profiler=ctx.ensure_profiler(),
+                optimizer=ctx.config.optimizer,
+                expected_iteration_time=expected,
+                schedule=ctx.config.schedule,
+            )
+        ctx.metrics.gauge("verify.invariants_checked").set(
+            report.invariants_checked
+        )
+        ctx.metrics.gauge("verify.violations").set(len(report.violations))
+        for stat, value in report.stats.items():
+            ctx.metrics.gauge(f"verify.{stat}").set(value)
+        report.raise_if_failed()
+        ctx.put(VERIFIED, report)
+        detail: Dict[str, Any] = {
+            "invariants_checked": report.invariants_checked,
+            "violations": 0,
+        }
+        detail.update(report.stats)
         return detail

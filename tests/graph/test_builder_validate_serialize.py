@@ -139,6 +139,36 @@ class TestSerialize:
         g2 = graph_from_json(graph_to_json(tiny_resnet))
         assert g2.tasks["stem.conv"].attrs == {"stride": 2, "padding": 3}
 
+    def test_roundtrip_twice_is_identity(self, tiny_bert, tiny_resnet):
+        """Attrs must be canonical after ONE round trip: a second trip
+        changes nothing (the historical bug: tuple attrs came back as
+        lists, so the restored graph serialized differently)."""
+        for graph in (tiny_bert, tiny_resnet):
+            once = graph_from_json(graph_to_json(graph))
+            twice = graph_from_json(graph_to_json(once))
+            assert graph_to_json(once) == graph_to_json(twice)
+            for name, task in once.tasks.items():
+                assert twice.tasks[name].attrs == task.attrs
+            assert json_stable(graph)
+
+    def test_tuple_attrs_restored_as_tuples(self, tiny_bert):
+        restored = graph_from_json(graph_to_json(tiny_bert))
+        attr = restored.tasks["layer0.attn.q_split"].attrs["shape"]
+        assert isinstance(attr, tuple)
+        assert attr == tiny_bert.tasks["layer0.attn.q_split"].attrs["shape"]
+
+    def test_fingerprint_stable_across_roundtrip(self, tiny_bert):
+        from repro.partitioner.deployment import graph_fingerprint
+
+        restored = graph_from_json(graph_to_json(tiny_bert))
+        assert graph_fingerprint(restored) == graph_fingerprint(tiny_bert)
+
+    def test_non_serializable_attr_rejected(self, mlp_graph):
+        task = next(iter(mlp_graph.tasks))
+        mlp_graph.tasks[task].attrs["bad"] = object()
+        with pytest.raises(TypeError, match=f"task '{task}' attr 'bad'"):
+            graph_to_json(mlp_graph)
+
 
 def json_stable(graph) -> bool:
     a = graph_to_json(graph)

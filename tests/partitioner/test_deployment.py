@@ -1,6 +1,8 @@
 """Tests for the deployment cache (plan JSON round-trip) and plan-driven
 runtime execution (PartitionedExecutor.from_plan)."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -14,6 +16,7 @@ from repro.partitioner.deployment import (
     plan_to_json,
 )
 from repro.runtime import Executor, PartitionedExecutor, init_parameters
+from repro.verify import PlanVerificationError
 
 
 @pytest.fixture(scope="module")
@@ -70,6 +73,74 @@ class TestRoundTrip:
         text = plan_to_json(plan, graph).replace('"version": 1', '"version": 9')
         with pytest.raises(DeploymentMismatchError, match="version"):
             plan_from_json(text, graph, cluster)
+
+
+class TestRestoredPlanVerification:
+    """Regressions: structurally well-formed deployment JSON whose
+    *content* violates plan invariants must be rejected on load, not
+    silently deployed."""
+
+    @pytest.fixture(scope="class")
+    def pipelined_setup(self):
+        from repro.models.random_dag import build_random_dag
+
+        cluster = tiny_cluster(num_nodes=1, devices_per_node=4,
+                               memory_bytes=256 * 1024)
+        for seed in range(8):
+            graph = build_random_dag(seed=seed, num_nodes=14, width=64)
+            plan = auto_partition(graph, cluster, 32, num_blocks=8)
+            if plan.num_stages >= 2:
+                return graph, cluster, plan
+        raise AssertionError("no seed in 0..7 produced a multi-stage plan")
+
+    @staticmethod
+    def drop_last_stage(doc):
+        """Remove the final stage but keep the device allocation exactly
+        covering the cluster (otherwise allocation fails first)."""
+        removed = doc["stages"].pop()
+        doc["stages"][0]["devices_per_pipeline"] += (
+            removed["devices_per_pipeline"]
+        )
+
+    def test_dropped_stage_rejected(self, pipelined_setup):
+        graph, cluster, plan = pipelined_setup
+        doc = json.loads(plan_to_json(plan, graph))
+        self.drop_last_stage(doc)
+        with pytest.raises(PlanVerificationError, match="not assigned"):
+            plan_from_json(json.dumps(doc), graph, cluster)
+
+    def test_task_in_two_stages_rejected(self, pipelined_setup):
+        from repro.partitioner.atomic import classify_tasks
+
+        graph, cluster, plan = pipelined_setup
+        doc = json.loads(plan_to_json(plan, graph))
+        non_constant = classify_tasks(graph)
+        stolen = next(
+            t for t in doc["stages"][1]["tasks"] if non_constant[t]
+        )
+        doc["stages"][0]["tasks"].append(stolen)
+        with pytest.raises(PlanVerificationError, match="exactly one"):
+            plan_from_json(json.dumps(doc), graph, cluster)
+
+    def test_over_memory_stage_rejected(self, pipelined_setup):
+        """Scale the batch and every stage's microbatch size together so
+        divisibility still holds but activations no longer fit."""
+        graph, cluster, plan = pipelined_setup
+        doc = json.loads(plan_to_json(plan, graph))
+        doc["batch_size"] *= 64
+        for sdoc in doc["stages"]:
+            sdoc["microbatch_size"] *= 64
+        with pytest.raises(PlanVerificationError, match="memory"):
+            plan_from_json(json.dumps(doc), graph, cluster)
+
+    def test_verify_opt_out_restores_legacy_load(self, pipelined_setup):
+        graph, cluster, plan = pipelined_setup
+        doc = json.loads(plan_to_json(plan, graph))
+        self.drop_last_stage(doc)
+        restored = plan_from_json(
+            json.dumps(doc), graph, cluster, verify=False
+        )
+        assert restored.num_stages == plan.num_stages - 1
 
 
 class TestFromPlan:

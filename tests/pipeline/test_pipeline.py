@@ -14,6 +14,7 @@ from repro.pipeline.simulator import (
     simulate_async_1f1b,
     simulate_sync_pipeline,
     sync_pipeline_lower_bound,
+    sync_pipeline_wave_estimate,
 )
 
 
@@ -127,7 +128,7 @@ class TestBounds:
         tf = [a for a, _ in times]
         tb = [b for _, b in times]
         sim = simulate_sync_pipeline(tf, tb, mb)
-        upper = sync_pipeline_lower_bound(tf, tb, mb)  # wave estimate
+        upper = sync_pipeline_wave_estimate(tf, tb, mb)
         # the busiest stage must run MB forwards and MB backwards
         work = mb * max(f + b for f, b in zip(tf, tb))
         assert sim >= work - 1e-9
@@ -142,3 +143,38 @@ class TestBounds:
         """Property: for uniform stages the sim equals the closed form."""
         sim = simulate_sync_pipeline([1.0] * s, [1.0] * s, mb)
         assert sim == pytest.approx(2 * (mb + s - 1))
+
+    def test_wave_estimate_is_not_a_lower_bound(self):
+        """On non-uniform stages the wave formula strictly OVER-estimates
+        the simulated makespan -- the historical ``lower_bound`` name was
+        wrong about the direction."""
+        tf, tb = [1.0, 0.1, 0.1], [1.0, 0.1, 0.1]
+        sim = simulate_sync_pipeline(tf, tb, 4)
+        estimate = sync_pipeline_wave_estimate(tf, tb, 4)
+        assert estimate > sim  # upper bound, strictly loose here
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        times=st.lists(
+            st.tuples(
+                st.floats(min_value=0.01, max_value=5.0),
+                st.floats(min_value=0.01, max_value=5.0),
+            ),
+            min_size=2, max_size=6,
+        ),
+        mb=st.integers(min_value=1, max_value=16),
+    )
+    def test_wave_estimate_bound_direction(self, times, mb):
+        """Property: the wave estimate never under-estimates the sim."""
+        tf = [a for a, _ in times]
+        tb = [b for _, b in times]
+        assert sync_pipeline_wave_estimate(tf, tb, mb) >= (
+            simulate_sync_pipeline(tf, tb, mb) - 1e-9
+        )
+
+    def test_deprecated_alias(self):
+        with pytest.warns(DeprecationWarning, match="upper bound"):
+            legacy = sync_pipeline_lower_bound([1.0, 2.0], [2.0, 1.0], 4)
+        assert legacy == sync_pipeline_wave_estimate(
+            [1.0, 2.0], [2.0, 1.0], 4
+        )

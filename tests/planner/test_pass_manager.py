@@ -75,13 +75,13 @@ class TestPassManager:
         names = [e.name for e in ctx.events]
         assert names == [
             "validate", "cache_load", "atomic_partition", "coarsen",
-            "stage_search", "allocate", "evaluate", "cache_store",
+            "stage_search", "allocate", "evaluate", "verify", "cache_store",
         ]
         ran = {e.name for e in ctx.events if e.status == "ok"}
         # no cache dir: both cache passes self-skip, the rest run
         assert ran == {
             "validate", "atomic_partition", "coarsen", "stage_search",
-            "allocate", "evaluate",
+            "allocate", "evaluate", "verify",
         }
         search = ctx.events.find("stage_search")
         assert search.wall_time > 0
@@ -93,7 +93,7 @@ class TestDefaultPipeline:
         names = [p.name for p in default_passes()]
         assert names == [
             "validate", "cache_load", "atomic_partition", "coarsen",
-            "stage_search", "allocate", "evaluate", "cache_store",
+            "stage_search", "allocate", "evaluate", "verify", "cache_store",
         ]
 
     def test_plan_has_pass_timings(self, tiny_bert, cluster):

@@ -136,7 +136,7 @@ class TestEquivalenceBert:
             num_microbatches=2, checkpointing=True,
         )
         opt_w, opt_p = Adam(1e-3), Adam(1e-3)
-        for step in range(3):
+        for _step in range(3):
             batch = bert_batch(rng, cfg)
             lw, gw = whole.loss_and_grads(batch)
             opt_w.step(whole.params, gw)

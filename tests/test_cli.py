@@ -80,6 +80,32 @@ class TestCLI:
         assert "restored from the deployment cache" in second
         assert "skipped" in second
 
+    def test_verify_roundtrip(self, capsys, tmp_path):
+        dep = tmp_path / "dep.json"
+        model = ["--model", "bert", "--hidden", "64", "--layers", "4",
+                 "--nodes", "1"]
+        assert main(["partition", *model, "--batch-size", "32",
+                     "--save", str(dep)]) == 0
+        capsys.readouterr()
+
+        assert main(["verify", str(dep), *model]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("OK:")
+        assert "stages=" in out
+
+        doc = json.loads(dep.read_text())
+        doc["stages"][0]["profile"]["memory"] *= 1000
+        dep.write_text(json.dumps(doc))
+        assert main(["verify", str(dep), *model]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "violation(s)" in out
+        assert "[memory]" in out
+
+    def test_verify_missing_file(self, capsys, tmp_path):
+        assert main(["verify", str(tmp_path / "nope.json")]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
     def test_loss_validation(self, capsys):
         assert main(["loss-validation", "--steps", "2"]) == 0
         assert "OK" in capsys.readouterr().out

@@ -40,6 +40,7 @@ LINKED_DOCS = (
     "CHANGES.md",
     "docs/ALGORITHMS.md",
     "docs/OBSERVABILITY.md",
+    "docs/VERIFICATION.md",
     "examples/README.md",
 )
 
