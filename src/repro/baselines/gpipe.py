@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines.base import FrameworkResult
+from repro.comm.model import stage_boundary_p2p_times
 from repro.graph.ir import TaskGraph
 from repro.hardware.cluster import ClusterSpec
 from repro.hardware.device import Precision
@@ -125,8 +126,14 @@ def _evaluate_pipeline(
             return None
         max_mem = max(max_mem, memory)
         max_param = max(max_param, prof.param_count)
-        send = cluster.p2p_time(prof.out_bytes) if prof.out_bytes else 0.0
-        recv = cluster.p2p_time(prof.in_bytes) if prof.in_bytes else 0.0
+        # charge each stage boundary at the tier it actually crosses:
+        # with one device per stage, boundary ranks follow the same
+        # contiguous layout the runtime would use, so a pipeline
+        # straddling nodes pays the inter-node rate there
+        send, recv = stage_boundary_p2p_times(
+            cluster, [1] * len(stages), replicas, i,
+            prof.out_bytes, prof.in_bytes,
+        )
         tf.append(prof.time_fwd + send)
         tb.append(prof.time_bwd + recv)
     pipe = simulate_sync_pipeline(tf, tb, num_microbatches)

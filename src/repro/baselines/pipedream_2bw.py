@@ -28,6 +28,7 @@ from repro.baselines.gpipe import (
     _uniform_layer_stages,
     layer_units,
 )
+from repro.comm.model import stage_boundary_p2p_times
 from repro.graph.ir import TaskGraph
 from repro.hardware.cluster import ClusterSpec
 from repro.hardware.device import Precision
@@ -132,8 +133,12 @@ def _search_pipedream_2bw(
                         break
                     max_mem = max(max_mem, memory)
                     max_param = max(max_param, prof.param_count)
-                    send = cluster.p2p_time(prof.out_bytes) if prof.out_bytes else 0.0
-                    recv = cluster.p2p_time(prof.in_bytes) if prof.in_bytes else 0.0
+                    # boundary-aware p2p: a stage boundary that crosses
+                    # nodes pays the inter-node rate, not NVLink
+                    send, recv = stage_boundary_p2p_times(
+                        cluster, [1] * S, replicas, i,
+                        prof.out_bytes, prof.in_bytes,
+                    )
                     tf.append(prof.time_fwd + send)
                     tb.append(prof.time_bwd + recv)
                 if feasible:

@@ -64,6 +64,11 @@ def _add_plan(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--blocks", type=int, default=32, help="block count k")
     p.add_argument("--cache-dir", type=str, default=None,
                    help="deployment cache directory (reruns load the plan)")
+    p.add_argument("--comm-model", choices=("flat", "topology"),
+                   default="flat",
+                   help="communication cost model: 'flat' is the paper's "
+                        "two-scalar closed forms, 'topology' routes every "
+                        "transfer over the link-level network model")
     p.add_argument("--explain", action="store_true",
                    help="print per-pass timings and profiler statistics")
     p.add_argument("--save", type=str, default=None,
@@ -222,10 +227,12 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         precision=precision,
         num_blocks=args.blocks,
         cache_dir=args.cache_dir,
+        comm_model=args.comm_model,
     )
     ctx = PlanningContext(graph, cluster, config)
     print(f"{graph}  on {cluster.total_devices} devices, "
-          f"BS={args.batch_size}, {precision.value}")
+          f"BS={args.batch_size}, {precision.value}, "
+          f"comm={args.comm_model}")
     try:
         plan = plan_graph(graph, cluster, config, context=ctx)
     except PartitioningError as exc:
@@ -256,7 +263,9 @@ def _render_events(ctx) -> str:
         keys = ("reason", "hit", "verified", "dp_calls", "candidates_tried",
                 "states_evaluated", "parallel_search", "memo_hit_rate",
                 "num_components", "num_blocks", "num_stages", "throughput",
-                "bubble_frac", "invariants_checked", "violations")
+                "bubble_frac", "comm_model", "allreduce_algorithm",
+                "internode_boundaries", "nvlink_boundary_frac",
+                "invariants_checked", "violations")
         detail = ", ".join(
             f"{k}={event.detail[k]}" for k in keys if k in event.detail
         )

@@ -1,0 +1,71 @@
+"""Topology-aware communication subsystem.
+
+Three layers, consumed through one swappable model API:
+
+* :mod:`repro.comm.topology` -- an explicit link-level network graph
+  (NVLink mesh, NIC uplinks, IB switch tier) built from a
+  :class:`~repro.hardware.cluster.ClusterSpec`, with deterministic
+  routing.
+* :mod:`repro.comm.collectives` -- alpha-beta cost models for p2p,
+  broadcast and allreduce (ring, recursive halving-doubling,
+  NCCL-style hierarchical) with automatic cheapest-algorithm
+  selection.
+* :mod:`repro.comm.contention` -- max-min fair link-occupancy
+  simulation for concurrent transfers.
+
+Planners pick a model with the ``comm_model`` knob (``"flat"`` keeps
+the legacy closed forms bit-for-bit; ``"topology"`` routes through the
+link-level model).  See ``docs/COMMUNICATION.md``.
+"""
+
+from repro.comm.collectives import (
+    ALLREDUCE_ALGORITHMS,
+    CollectiveCost,
+    allreduce_cost,
+    broadcast_cost,
+    halving_doubling_allreduce_cost,
+    hierarchical_allreduce_cost,
+    p2p_cost,
+    ring_allreduce_cost,
+)
+from repro.comm.contention import (
+    Transfer,
+    TransferResult,
+    concurrent_makespan,
+    simulate_transfers,
+)
+from repro.comm.model import (
+    COMM_MODELS,
+    CommModel,
+    FlatCommModel,
+    TopologyCommModel,
+    boundary_internode,
+    comm_model_for,
+    stage_boundary_p2p_times,
+)
+from repro.comm.topology import Link, NetworkTopology, Route
+
+__all__ = [
+    "ALLREDUCE_ALGORITHMS",
+    "COMM_MODELS",
+    "CollectiveCost",
+    "CommModel",
+    "FlatCommModel",
+    "Link",
+    "NetworkTopology",
+    "Route",
+    "TopologyCommModel",
+    "Transfer",
+    "TransferResult",
+    "allreduce_cost",
+    "boundary_internode",
+    "broadcast_cost",
+    "comm_model_for",
+    "concurrent_makespan",
+    "halving_doubling_allreduce_cost",
+    "hierarchical_allreduce_cost",
+    "p2p_cost",
+    "ring_allreduce_cost",
+    "simulate_transfers",
+    "stage_boundary_p2p_times",
+]

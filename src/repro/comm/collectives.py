@@ -1,0 +1,364 @@
+"""Alpha-beta cost models for collectives over an explicit topology.
+
+Every cost is derived from the links a transfer actually crosses
+(:class:`~repro.comm.topology.NetworkTopology` routes), with perfectly
+fair link sharing *within* one collective: a communication step that
+puts ``f`` concurrent flows over one link runs that link at ``1/f`` per
+flow.  Cross-collective contention is the business of
+:mod:`repro.comm.contention`.
+
+Algorithms
+----------
+
+``ring`` (allreduce)
+    ``2(n-1)`` steps moving ``nbytes/n`` chunks around the sorted rank
+    ring.  Every step uses the same hop pattern, so the cost collapses
+    to the textbook closed form ``2(n-1) a + 2(n-1)/n * nbytes / bw``
+    with ``bw`` the slowest effective hop -- *by construction the exact
+    expression of the legacy ``ClusterSpec.allreduce_time``*, which the
+    flat-parity suite pins.
+
+``halving_doubling`` (allreduce)
+    Recursive halving reduce-scatter + recursive doubling allgather;
+    ``2 log2(n)`` rounds, round ``k`` exchanging ``nbytes / 2^k`` with
+    the partner at XOR-distance ``n / 2^k``.  Power-of-two rank counts
+    only.  Wins on latency, collapses over node uplinks (every rank of
+    a node crosses the NIC simultaneously in the far rounds).
+
+``hierarchical`` (allreduce, NCCL-style)
+    Intra-node ring reduce-scatter, ``m`` concurrent inter-node rings
+    over the shards, intra-node ring allgather.  Requires >= 2 nodes
+    with equal per-node membership ``m >= 2``.  The bucketed/pipelined
+    implementation overlaps the intra and inter fabrics, so the beta
+    term is ``max(intra reduce-scatter + allgather, inter ring)`` while
+    the alpha terms sum.
+
+``direct`` (p2p), ``binomial_tree`` / ``ring`` (broadcast)
+    One route, or ``log2(n)``-round tree vs. a pipelined chain.
+
+:func:`allreduce_cost` evaluates every applicable algorithm and keeps
+the cheapest (first-listed wins ties), reporting the winner's name so
+planners can surface *which* algorithm a cost assumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.comm.topology import NetworkTopology, Route
+
+__all__ = [
+    "ALLREDUCE_ALGORITHMS",
+    "CollectiveCost",
+    "allreduce_cost",
+    "broadcast_cost",
+    "hierarchical_allreduce_cost",
+    "halving_doubling_allreduce_cost",
+    "p2p_cost",
+    "ring_allreduce_cost",
+]
+
+#: candidate order = deterministic tie-break order
+ALLREDUCE_ALGORITHMS = ("ring", "halving_doubling", "hierarchical")
+
+
+@dataclass(frozen=True)
+class CollectiveCost:
+    """One modeled collective: its time, the algorithm that achieves it,
+    and the per-link busy time it induces (for contention analysis)."""
+
+    op: str
+    algorithm: str
+    time: float
+    nbytes: float
+    n_ranks: int
+    #: link name -> seconds the link is busy carrying this collective
+    link_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def max_link_seconds(self) -> float:
+        return max(self.link_seconds.values(), default=0.0)
+
+
+def _zero(op: str, algorithm: str, nbytes: float, n: int) -> CollectiveCost:
+    return CollectiveCost(op=op, algorithm=algorithm, time=0.0,
+                          nbytes=nbytes, n_ranks=n)
+
+
+def _add_route_bytes(
+    loads: Dict[str, Tuple[float, float]], route: Route, nbytes: float
+) -> None:
+    """Accumulate ``nbytes`` onto every link of ``route`` (tracking the
+    link bandwidth alongside, so loads convert to seconds at the end)."""
+    for link in route.links:
+        total, _ = loads.get(link.name, (0.0, link.bandwidth))
+        loads[link.name] = (total + nbytes, link.bandwidth)
+
+
+def _loads_to_seconds(loads: Dict[str, Tuple[float, float]]) -> Dict[str, float]:
+    return {name: total / bw for name, (total, bw) in loads.items()}
+
+
+def _step_flow_bandwidth(
+    topo: NetworkTopology, hops: Sequence[Tuple[int, int]]
+) -> float:
+    """Effective per-flow bandwidth of one communication step in which
+    all ``hops`` (rank pairs) transfer concurrently: each link serves
+    its flows fairly, and the step runs at the slowest flow."""
+    flows: Dict[str, Tuple[int, float]] = {}
+    for src, dst in hops:
+        for link in topo.route(src, dst).links:
+            count, _ = flows.get(link.name, (0, link.bandwidth))
+            flows[link.name] = (count + 1, link.bandwidth)
+    if not flows:
+        return float("inf")
+    return min(bw / count for count, bw in flows.values())
+
+
+# ----------------------------------------------------------------------
+# point-to-point / broadcast
+# ----------------------------------------------------------------------
+def p2p_cost(
+    topo: NetworkTopology, src_rank: int, dst_rank: int, nbytes: float
+) -> CollectiveCost:
+    """Single transfer between two ranks (cut-through, uncontended)."""
+    if nbytes <= 0 or src_rank == dst_rank:
+        return _zero("p2p", "direct", nbytes, 2)
+    route = topo.route(src_rank, dst_rank)
+    loads: Dict[str, Tuple[float, float]] = {}
+    _add_route_bytes(loads, route, nbytes)
+    return CollectiveCost(
+        op="p2p",
+        algorithm="direct",
+        time=route.time(nbytes, topo.cluster.comm_latency),
+        nbytes=nbytes,
+        n_ranks=2,
+        link_seconds=_loads_to_seconds(loads),
+    )
+
+
+def broadcast_cost(
+    topo: NetworkTopology,
+    ranks: Sequence[int],
+    nbytes: float,
+    algorithm: Optional[str] = None,
+) -> CollectiveCost:
+    """One-to-all broadcast from ``ranks[0]``: binomial tree vs. a
+    pipelined chain, cheapest kept."""
+    group = list(ranks)
+    n = len(group)
+    if n <= 1 or nbytes <= 0:
+        return _zero("broadcast", algorithm or "binomial_tree", nbytes, n)
+    lat = topo.cluster.comm_latency
+    candidates: List[CollectiveCost] = []
+
+    if algorithm in (None, "binomial_tree"):
+        time = 0.0
+        loads: Dict[str, Tuple[float, float]] = {}
+        have = 1
+        while have < n:
+            hops = [
+                (group[i], group[i + have])
+                for i in range(have)
+                if i + have < n
+            ]
+            bw = _step_flow_bandwidth(topo, hops)
+            time += lat + nbytes / bw
+            for src, dst in hops:
+                _add_route_bytes(loads, topo.route(src, dst), nbytes)
+            have *= 2
+        candidates.append(CollectiveCost(
+            op="broadcast", algorithm="binomial_tree", time=time,
+            nbytes=nbytes, n_ranks=n,
+            link_seconds=_loads_to_seconds(loads),
+        ))
+
+    if algorithm in (None, "ring"):
+        hops = [(group[i], group[i + 1]) for i in range(n - 1)]
+        bw = _step_flow_bandwidth(topo, hops)
+        loads = {}
+        for src, dst in hops:
+            _add_route_bytes(loads, topo.route(src, dst), nbytes)
+        candidates.append(CollectiveCost(
+            op="broadcast", algorithm="ring",
+            # perfectly pipelined chain: one latency per hop, the
+            # payload streams at the slowest effective hop
+            time=lat * (n - 1) + nbytes / bw,
+            nbytes=nbytes, n_ranks=n,
+            link_seconds=_loads_to_seconds(loads),
+        ))
+
+    if not candidates:
+        raise ValueError(f"unknown broadcast algorithm {algorithm!r}")
+    best = candidates[0]
+    for cand in candidates[1:]:
+        if cand.time < best.time:
+            best = cand
+    return best
+
+
+# ----------------------------------------------------------------------
+# allreduce algorithms
+# ----------------------------------------------------------------------
+def ring_allreduce_cost(
+    topo: NetworkTopology, ranks: Sequence[int], nbytes: float
+) -> CollectiveCost:
+    """Ring allreduce over the sorted rank group.
+
+    Every one of the ``2(n-1)`` steps uses the identical hop pattern
+    (rank -> next rank), so the total is the legacy closed form with the
+    bandwidth of the slowest *effective* hop -- written as the exact
+    expression of ``ClusterSpec.allreduce_time`` so a uniform topology
+    reproduces the flat model bit-for-bit.
+    """
+    group = sorted(ranks)
+    n = len(group)
+    if n <= 1 or nbytes <= 0:
+        return _zero("allreduce", "ring", nbytes, n)
+    hops = [(group[i], group[(i + 1) % n]) for i in range(n)]
+    bw = _step_flow_bandwidth(topo, hops)
+    lat = topo.cluster.comm_latency
+    time = lat * 2 * (n - 1) + (2.0 * (n - 1) / n) * nbytes / bw
+    loads: Dict[str, Tuple[float, float]] = {}
+    hop_bytes = (2.0 * (n - 1) / n) * nbytes
+    for src, dst in hops:
+        _add_route_bytes(loads, topo.route(src, dst), hop_bytes)
+    return CollectiveCost(
+        op="allreduce", algorithm="ring", time=time,
+        nbytes=nbytes, n_ranks=n,
+        link_seconds=_loads_to_seconds(loads),
+    )
+
+
+def halving_doubling_allreduce_cost(
+    topo: NetworkTopology, ranks: Sequence[int], nbytes: float
+) -> Optional[CollectiveCost]:
+    """Recursive halving-doubling allreduce; ``None`` unless the rank
+    count is a power of two (the classic algorithm's requirement)."""
+    group = sorted(ranks)
+    n = len(group)
+    if n <= 1 or nbytes <= 0:
+        return _zero("allreduce", "halving_doubling", nbytes, n)
+    if n & (n - 1):
+        return None
+    lat = topo.cluster.comm_latency
+    time = 0.0
+    loads: Dict[str, Tuple[float, float]] = {}
+    dist, chunk = n // 2, nbytes / 2.0
+    while dist >= 1:
+        # both partners of a pair exchange simultaneously
+        hops = [(group[i], group[i ^ dist]) for i in range(n)]
+        bw = _step_flow_bandwidth(topo, hops)
+        # reduce-scatter round + the mirrored allgather round
+        time += 2.0 * (lat + chunk / bw)
+        for src, dst in hops:
+            _add_route_bytes(loads, topo.route(src, dst), 2.0 * chunk)
+        dist //= 2
+        chunk /= 2.0
+    return CollectiveCost(
+        op="allreduce", algorithm="halving_doubling", time=time,
+        nbytes=nbytes, n_ranks=n,
+        link_seconds=_loads_to_seconds(loads),
+    )
+
+
+def hierarchical_allreduce_cost(
+    topo: NetworkTopology, ranks: Sequence[int], nbytes: float
+) -> Optional[CollectiveCost]:
+    """NCCL-style hierarchical allreduce: intra-node ring reduce-scatter,
+    ``m`` concurrent inter-node rings over the shards, intra-node ring
+    allgather.  ``None`` unless the group spans >= 2 nodes with equal
+    per-node membership ``m >= 2``.
+
+    The bucketed implementation pipelines chunks through the phases, so
+    the beta terms of the intra fabric (reduce-scatter + allgather share
+    the NVLinks) and the inter fabric overlap: beta = max of the two.
+    Alpha terms sum (every chunk still pays each phase's latency chain).
+    """
+    group = sorted(ranks)
+    n = len(group)
+    if n <= 1 or nbytes <= 0:
+        return _zero("allreduce", "hierarchical", nbytes, n)
+    cl = topo.cluster
+    by_node: Dict[int, List[int]] = {}
+    for r in group:
+        by_node.setdefault(cl.node_of(r), []).append(r)
+    nodes = sorted(by_node)
+    N = len(nodes)
+    m = len(by_node[nodes[0]])
+    if N < 2 or m < 2 or any(len(by_node[nd]) != m for nd in nodes):
+        return None
+    lat = cl.comm_latency
+    loads: Dict[str, Tuple[float, float]] = {}
+
+    # intra phase: a ring over each node's members; all nodes run
+    # concurrently, the slowest node paces the phase
+    intra_bw = float("inf")
+    for nd in nodes:
+        members = by_node[nd]
+        hops = [(members[i], members[(i + 1) % m]) for i in range(m)]
+        intra_bw = min(intra_bw, _step_flow_bandwidth(topo, hops))
+        # reduce-scatter + allgather each move (m-1)/m * nbytes per hop
+        hop_bytes = 2.0 * ((m - 1) / m) * nbytes
+        for src, dst in hops:
+            _add_route_bytes(loads, topo.route(src, dst), hop_bytes)
+    intra_beta = 2.0 * ((m - 1) / m) * nbytes / intra_bw
+
+    # inter phase: ring i connects the i-th member of every node and
+    # carries the nbytes/m shard; the m rings run concurrently and
+    # share each node's NIC uplinks
+    hops = []
+    for i in range(m):
+        for a in range(N):
+            hops.append((by_node[nodes[a]][i], by_node[nodes[(a + 1) % N]][i]))
+    inter_bw = _step_flow_bandwidth(topo, hops)
+    shard = nbytes / m
+    inter_beta = (2.0 * (N - 1) / N) * shard / inter_bw
+    hop_bytes = (2.0 * (N - 1) / N) * shard
+    for src, dst in hops:
+        _add_route_bytes(loads, topo.route(src, dst), hop_bytes)
+
+    alpha = 2.0 * (m - 1) * lat + 2.0 * (N - 1) * lat
+    time = alpha + max(intra_beta, inter_beta)
+    return CollectiveCost(
+        op="allreduce", algorithm="hierarchical", time=time,
+        nbytes=nbytes, n_ranks=n,
+        link_seconds=_loads_to_seconds(loads),
+    )
+
+
+def allreduce_cost(
+    topo: NetworkTopology,
+    ranks: Sequence[int],
+    nbytes: float,
+    algorithm: Optional[str] = None,
+) -> CollectiveCost:
+    """Allreduce cost under ``algorithm``, or the cheapest applicable
+    algorithm when ``algorithm`` is ``None`` (ties keep the
+    first-listed candidate, so ``ring`` wins exact ties)."""
+    builders = {
+        "ring": ring_allreduce_cost,
+        "halving_doubling": halving_doubling_allreduce_cost,
+        "hierarchical": hierarchical_allreduce_cost,
+    }
+    if algorithm is not None:
+        if algorithm not in builders:
+            raise ValueError(
+                f"unknown allreduce algorithm {algorithm!r} "
+                f"(known: {ALLREDUCE_ALGORITHMS})"
+            )
+        cost = builders[algorithm](topo, ranks, nbytes)
+        if cost is None:
+            raise ValueError(
+                f"allreduce algorithm {algorithm!r} is not applicable to "
+                f"rank group {sorted(ranks)}"
+            )
+        return cost
+    best: Optional[CollectiveCost] = None
+    for name in ALLREDUCE_ALGORITHMS:
+        cost = builders[name](topo, ranks, nbytes)
+        if cost is not None and (best is None or cost.time < best.time):
+            best = cost
+    assert best is not None  # ring always applies
+    return best

@@ -1,0 +1,209 @@
+"""Contention-aware transfer simulation: max-min fair link sharing.
+
+The collective cost models in :mod:`repro.comm.collectives` assume each
+collective has the network to itself.  When a planner wants to know what
+happens if several transfers run *concurrently* -- e.g. the data-parallel
+allreduces of every pipeline stage firing together, or p2p activations
+overlapping a gradient allreduce -- this module simulates them over the
+shared links of a :class:`~repro.comm.topology.NetworkTopology`.
+
+The model is classic progressive filling: at any instant, every active
+transfer receives its max-min fair share of each link it crosses and
+progresses at the minimum share along its route.  The simulation advances
+event by event (next transfer completion), recomputing fair shares as
+transfers finish, which yields the exact fluid-model completion times.
+
+For collective phases (where per-transfer routing is already folded into
+:class:`~repro.comm.collectives.CollectiveCost.link_seconds`) the cheaper
+:func:`concurrent_makespan` bound applies bandwidth conservation: the
+phase cannot finish before the last collective would alone, nor before
+the busiest link has streamed every byte scheduled across it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.comm.collectives import CollectiveCost
+from repro.comm.topology import NetworkTopology
+
+__all__ = [
+    "Transfer",
+    "TransferResult",
+    "concurrent_makespan",
+    "simulate_transfers",
+]
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One point-to-point transfer submitted to the simulator."""
+
+    src_rank: int
+    dst_rank: int
+    nbytes: float
+    start: float = 0.0
+    tag: str = ""
+
+
+@dataclass
+class TransferResult:
+    """Completion record for one transfer."""
+
+    transfer: Transfer
+    finish: float
+    #: finish time the transfer would have had with the network to itself
+    solo_finish: float
+
+    @property
+    def slowdown(self) -> float:
+        """Contention slowdown factor (1.0 = no interference)."""
+        solo = self.solo_finish - self.transfer.start
+        actual = self.finish - self.transfer.start
+        if solo <= _EPS:
+            return 1.0
+        return actual / solo
+
+
+@dataclass
+class _Active:
+    transfer: Transfer
+    links: List[str]
+    remaining: float
+    rate: float = 0.0
+    result: Optional[TransferResult] = field(default=None)
+
+
+def _fair_rates(
+    active: List[_Active], capacity: Dict[str, float]
+) -> None:
+    """Assign max-min fair rates to ``active`` transfers (progressive
+    filling: repeatedly saturate the most constrained link and freeze
+    the flows crossing it)."""
+    unfrozen = [t for t in active if t.links]
+    for t in active:
+        t.rate = float("inf") if not t.links else 0.0
+    remaining_cap = dict(capacity)
+    flows: Dict[str, List[_Active]] = {}
+    for t in unfrozen:
+        for name in t.links:
+            flows.setdefault(name, []).append(t)
+    frozen: Dict[int, bool] = {id(t): False for t in unfrozen}
+    while True:
+        # per-link fair share among its not-yet-frozen flows
+        best_share = None
+        for name, ts in flows.items():
+            live = [t for t in ts if not frozen[id(t)]]
+            if not live:
+                continue
+            share = remaining_cap[name] / len(live)
+            if best_share is None or share < best_share:
+                best_share = share
+        if best_share is None:
+            break
+        # freeze every flow whose bottleneck link is (one of) the
+        # most-constrained: it can never do better than this share
+        newly = []
+        for name, ts in flows.items():
+            live = [t for t in ts if not frozen[id(t)]]
+            if not live:
+                continue
+            if remaining_cap[name] / len(live) <= best_share + _EPS:
+                newly.extend(live)
+        if not newly:  # pragma: no cover - numerical safety valve
+            break
+        for t in newly:
+            if frozen[id(t)]:
+                continue
+            frozen[id(t)] = True
+            t.rate = best_share
+            for name in t.links:
+                remaining_cap[name] = max(0.0, remaining_cap[name] - best_share)
+
+
+def simulate_transfers(
+    topo: NetworkTopology, transfers: Sequence[Transfer]
+) -> List[TransferResult]:
+    """Simulate ``transfers`` sharing the topology max-min fairly.
+
+    Returns one :class:`TransferResult` per input transfer, in input
+    order.  Zero-byte and self transfers complete instantly at their
+    start time.  Each transfer pays ``comm_latency`` once up front
+    (cut-through, as in the uncontended models), then streams at its
+    instantaneous fair rate.
+    """
+    lat = topo.cluster.comm_latency
+    capacity = {link.name: link.bandwidth for link in topo.links.values()}
+    results: Dict[int, TransferResult] = {}
+    pending: List[_Active] = []
+    for tr in transfers:
+        route = topo.route(tr.src_rank, tr.dst_rank)
+        solo = tr.start + route.time(tr.nbytes, lat)
+        if tr.nbytes <= 0 or not route.links:
+            results[id(tr)] = TransferResult(tr, finish=tr.start, solo_finish=tr.start)
+            continue
+        pending.append(_Active(
+            transfer=tr,
+            links=[link.name for link in route.links],
+            remaining=tr.nbytes,
+            result=TransferResult(tr, finish=solo, solo_finish=solo),
+        ))
+    # transfers become active at start + latency (the cut-through charge)
+    pending.sort(key=lambda a: a.transfer.start)
+    active: List[_Active] = []
+    now = 0.0
+    while pending or active:
+        if not active:
+            now = pending[0].transfer.start + lat
+            while pending and pending[0].transfer.start + lat <= now + _EPS:
+                active.append(pending.pop(0))
+        _fair_rates(active, capacity)
+        # next event: a completion or an arrival
+        dt_done = min(
+            (a.remaining / a.rate for a in active if a.rate > _EPS),
+            default=float("inf"),
+        )
+        dt_arrival = float("inf")
+        if pending:
+            dt_arrival = pending[0].transfer.start + lat - now
+        dt = min(dt_done, dt_arrival)
+        if dt == float("inf"):  # pragma: no cover - all rates zero
+            raise RuntimeError("contention simulation stalled")
+        dt = max(dt, 0.0)
+        now += dt
+        still: List[_Active] = []
+        for a in active:
+            a.remaining -= a.rate * dt
+            if a.remaining <= _EPS * max(1.0, a.transfer.nbytes):
+                a.result.finish = now
+                results[id(a.transfer)] = a.result
+            else:
+                still.append(a)
+        active = still
+        while pending and pending[0].transfer.start + lat <= now + _EPS:
+            active.append(pending.pop(0))
+    return [results[id(tr)] for tr in transfers]
+
+
+def concurrent_makespan(costs: Iterable[CollectiveCost], latency: float = 0.0) -> float:
+    """Lower-bound makespan of collectives running concurrently.
+
+    Bandwidth conservation: the phase takes at least as long as (a) the
+    slowest collective alone, and (b) the busiest link needs to stream
+    every byte scheduled across it (its summed ``link_seconds``).  This
+    is exact when the busiest link is shared work-conservingly, which is
+    how the planner charges overlapping per-stage allreduces.
+    """
+    costs = list(costs)
+    if not costs:
+        return 0.0
+    solo = max(c.time for c in costs)
+    per_link: Dict[str, float] = {}
+    for c in costs:
+        for name, seconds in c.link_seconds.items():
+            per_link[name] = per_link.get(name, 0.0) + seconds
+    busiest = max(per_link.values(), default=0.0)
+    return max(solo, busiest + latency)

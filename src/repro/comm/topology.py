@@ -1,0 +1,225 @@
+"""Link-level network topology constructed from a :class:`ClusterSpec`.
+
+The paper's testbed (Sec. IV-A) has three distinct interconnect tiers:
+an intra-node NVLink mesh between the eight V100s of a node, one or more
+NICs per node, and an InfiniBand switch connecting the nodes.  The flat
+cost model collapses all of that into two scalar bandwidths; this module
+keeps the tiers explicit so collective-algorithm costs
+(:mod:`repro.comm.collectives`) and link contention
+(:mod:`repro.comm.contention`) can be derived from the actual links a
+transfer crosses.
+
+Vertices are endpoint strings:
+
+* ``gpu:<rank>`` -- one accelerator, identified by its *global* rank;
+* ``nic:<node>:<i>`` -- NIC ``i`` of node ``node``;
+* ``switch`` -- the single inter-node switch tier.
+
+Links are directed (full-duplex fabric: the reverse direction is a
+separate :class:`Link` with its own capacity):
+
+* ``nvlink`` -- GPU <-> GPU inside a node, at
+  ``cluster.intra_node_bandwidth``.  With ``cluster.nvlink_degree`` set
+  below ``devices_per_node - 1`` the mesh degrades to a ring
+  neighbourhood: local GPUs ``i`` and ``j`` are linked iff their ring
+  distance is at most ``max(1, nvlink_degree // 2)``.
+* ``pci`` -- GPU <-> NIC, at the intra-node bandwidth (never the
+  bottleneck below NVLink; it exists so cross-node routes occupy
+  intra-node fabric for contention accounting).
+* ``uplink`` / ``downlink`` -- NIC <-> switch, at
+  ``cluster.inter_node_bandwidth / nic_count`` each, so the *node's*
+  aggregate uplink capacity equals the spec'd inter-node bandwidth
+  regardless of the NIC count.
+
+Routing is deterministic (see :meth:`NetworkTopology.route`) and
+cut-through: a transfer is charged the per-transfer ``comm_latency``
+once plus its size over the *bottleneck* bandwidth along the route,
+which makes single-transfer times on default presets identical to the
+flat model's closed forms (the parity property the test suite pins).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.hardware.cluster import ClusterSpec
+
+__all__ = ["Link", "Route", "NetworkTopology"]
+
+
+@dataclass(frozen=True)
+class Link:
+    """One directed physical link of the network graph."""
+
+    src: str
+    dst: str
+    bandwidth: float  # B/s
+    kind: str  # "nvlink" | "pci" | "uplink" | "downlink"
+
+    @property
+    def name(self) -> str:
+        """Stable identifier used by the contention simulator."""
+        return f"{self.src}->{self.dst}"
+
+
+@dataclass(frozen=True)
+class Route:
+    """The ordered links one point-to-point transfer crosses."""
+
+    links: Tuple[Link, ...]
+
+    @property
+    def bottleneck_bandwidth(self) -> float:
+        """Slowest link bandwidth along the route (inf for empty routes,
+        i.e. src == dst)."""
+        if not self.links:
+            return float("inf")
+        return min(link.bandwidth for link in self.links)
+
+    @property
+    def hops(self) -> int:
+        return len(self.links)
+
+    def time(self, nbytes: float, latency: float) -> float:
+        """Cut-through transfer time: one latency charge plus the size
+        over the bottleneck bandwidth."""
+        if nbytes <= 0 or not self.links:
+            return 0.0
+        return latency + nbytes / self.bottleneck_bandwidth
+
+
+def _ring_distance(i: int, j: int, d: int) -> int:
+    return min((i - j) % d, (j - i) % d)
+
+
+class NetworkTopology:
+    """Explicit network graph of one cluster, with deterministic routing.
+
+    Construct via :meth:`from_cluster`; instances are immutable in
+    practice and shared through the ``comm_model_for`` cache.
+    """
+
+    def __init__(self, cluster: ClusterSpec) -> None:
+        self.cluster = cluster
+        self.links: Dict[Tuple[str, str], Link] = {}
+        d = cluster.devices_per_node
+        degree = cluster.nvlink_degree
+        self._full_mesh = degree is None or degree >= d - 1
+        self._ring_radius = 0 if self._full_mesh else max(1, int(degree) // 2)
+        self._build()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _add(self, src: str, dst: str, bandwidth: float, kind: str) -> None:
+        self.links[(src, dst)] = Link(src, dst, bandwidth, kind)
+
+    def _build(self) -> None:
+        cl = self.cluster
+        d = cl.devices_per_node
+        for node in range(cl.num_nodes):
+            base = node * d
+            # NVLink mesh (or ring neighbourhood) between local GPUs
+            for i in range(d):
+                for j in range(i + 1, d):
+                    if self._nvlink_peers(i, j):
+                        gi, gj = f"gpu:{base + i}", f"gpu:{base + j}"
+                        self._add(gi, gj, cl.intra_node_bandwidth, "nvlink")
+                        self._add(gj, gi, cl.intra_node_bandwidth, "nvlink")
+            # NIC tier: every GPU reaches every local NIC over the
+            # intra-node fabric; each NIC owns an equal share of the
+            # node's aggregate uplink
+            per_nic = cl.inter_node_bandwidth / cl.nic_count
+            for n in range(cl.nic_count):
+                nic = f"nic:{node}:{n}"
+                for i in range(d):
+                    gpu = f"gpu:{base + i}"
+                    self._add(gpu, nic, cl.intra_node_bandwidth, "pci")
+                    self._add(nic, gpu, cl.intra_node_bandwidth, "pci")
+                if cl.num_nodes > 1:
+                    self._add(nic, "switch", per_nic, "uplink")
+                    self._add("switch", nic, per_nic, "downlink")
+
+    def _nvlink_peers(self, i: int, j: int) -> bool:
+        """Whether local GPUs ``i`` and ``j`` share a direct NVLink."""
+        if i == j:
+            return False
+        if self._full_mesh:
+            return True
+        return _ring_distance(i, j, self.cluster.devices_per_node) <= self._ring_radius
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def link(self, src: str, dst: str) -> Link:
+        return self.links[(src, dst)]
+
+    def nic_of(self, rank: int) -> str:
+        """The NIC a rank's cross-node traffic leaves through (static,
+        local-rank round-robin over the node's NICs)."""
+        cl = self.cluster
+        node = cl.node_of(rank)
+        local = rank % cl.devices_per_node
+        return f"nic:{node}:{local % cl.nic_count}"
+
+    def _intra_path(self, node: int, src_local: int, dst_local: int) -> List[Link]:
+        """Deterministic same-node GPU->GPU path: the direct NVLink when
+        present, otherwise greedy max-stride hops around the ring in the
+        shorter direction (ties broken toward increasing local index)."""
+        base = node * self.cluster.devices_per_node
+        d = self.cluster.devices_per_node
+        if self._nvlink_peers(src_local, dst_local):
+            return [self.link(f"gpu:{base + src_local}", f"gpu:{base + dst_local}")]
+        fwd = (dst_local - src_local) % d
+        bwd = (src_local - dst_local) % d
+        step = 1 if fwd <= bwd else -1
+        remaining = min(fwd, bwd)
+        path: List[Link] = []
+        cur = src_local
+        while remaining > 0:
+            stride = min(self._ring_radius, remaining)
+            nxt = (cur + step * stride) % d
+            path.append(self.link(f"gpu:{base + cur}", f"gpu:{base + nxt}"))
+            cur = nxt
+            remaining -= stride
+        return path
+
+    def route(self, src_rank: int, dst_rank: int) -> Route:
+        """The deterministic route between two global device ranks.
+
+        Same node: NVLink (multi-hop under a constrained mesh).  Cross
+        node: ``gpu -> nic -> switch -> nic -> gpu``, with each
+        endpoint's NIC chosen by local-rank round-robin.
+        """
+        if src_rank == dst_rank:
+            return Route(())
+        cl = self.cluster
+        src_node, dst_node = cl.node_of(src_rank), cl.node_of(dst_rank)
+        d = cl.devices_per_node
+        if src_node == dst_node:
+            return Route(tuple(self._intra_path(src_node, src_rank % d, dst_rank % d)))
+        src_nic, dst_nic = self.nic_of(src_rank), self.nic_of(dst_rank)
+        return Route((
+            self.link(f"gpu:{src_rank}", src_nic),
+            self.link(src_nic, "switch"),
+            self.link("switch", dst_nic),
+            self.link(dst_nic, f"gpu:{dst_rank}"),
+        ))
+
+    # ------------------------------------------------------------------
+    def p2p_time(self, src_rank: int, dst_rank: int, nbytes: float) -> float:
+        """Single uncontended transfer time between two ranks."""
+        return self.route(src_rank, dst_rank).time(nbytes, self.cluster.comm_latency)
+
+    def num_links(self) -> int:
+        return len(self.links)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cl = self.cluster
+        return (
+            f"NetworkTopology({cl.num_nodes}x{cl.devices_per_node}, "
+            f"{self.num_links()} links, "
+            f"{'full-mesh' if self._full_mesh else f'ring-r{self._ring_radius}'} NVLink, "
+            f"{cl.nic_count} NIC/node)"
+        )

@@ -2,10 +2,15 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional
 
 from repro.hardware.device import DeviceSpec
+
+#: recognised communication models (mirrors ``repro.comm.COMM_MODELS``;
+#: duplicated literally to keep this module import-light)
+_COMM_MODELS = ("flat", "topology")
 
 
 @dataclass(frozen=True)
@@ -18,6 +23,15 @@ class ClusterSpec:
     the inter-node bandwidth" because device allocation keeps adjacent
     stages on the same node where possible); ``inter_node_bandwidth`` is
     the network rate used for cross-node data-parallel allreduce.
+
+    Communication costs are produced by a swappable model
+    (:mod:`repro.comm`): ``comm_model="flat"`` (the default) keeps the
+    historical two-scalar closed forms bit-for-bit, while
+    ``comm_model="topology"`` derives costs from an explicit link-level
+    network graph.  The topology shape is tunable: ``nvlink_degree``
+    (``None`` = full mesh) bounds how many NVLink peers each GPU has,
+    and ``nic_count`` splits the node's aggregate uplink bandwidth over
+    that many NICs.
     """
 
     num_nodes: int
@@ -26,10 +40,21 @@ class ClusterSpec:
     intra_node_bandwidth: float  # B/s, e.g. NVLink 25 GB/s
     inter_node_bandwidth: float  # B/s, e.g. 100 Gb/s IB = 12.5 GB/s
     comm_latency: float = 10.0e-6  # per-transfer fixed latency (s)
+    comm_model: str = "flat"  # "flat" | "topology"
+    nvlink_degree: Optional[int] = None  # None = full intra-node mesh
+    nic_count: int = 1  # NICs per node, sharing inter_node_bandwidth
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1 or self.devices_per_node < 1:
             raise ValueError("cluster must have >=1 node and >=1 device/node")
+        if self.comm_model not in _COMM_MODELS:
+            raise ValueError(
+                f"unknown comm_model {self.comm_model!r} (known: {_COMM_MODELS})"
+            )
+        if self.nvlink_degree is not None and self.nvlink_degree < 1:
+            raise ValueError("nvlink_degree must be >= 1 (or None for full mesh)")
+        if self.nic_count < 1:
+            raise ValueError("nic_count must be >= 1")
 
     @property
     def total_devices(self) -> int:
@@ -41,33 +66,38 @@ class ClusterSpec:
             raise ValueError(f"device rank {device_rank} out of range")
         return device_rank // self.devices_per_node
 
+    @property
+    def comm(self):
+        """The communication model this cluster asks for (a
+        :class:`repro.comm.model.CommModel`, cached per spec)."""
+        from repro.comm.model import comm_model_for
+
+        return comm_model_for(self)
+
     def p2p_time(self, nbytes: float, same_node: bool = True) -> float:
-        """Point-to-point transfer time between two devices."""
-        bw = self.intra_node_bandwidth if same_node else self.inter_node_bandwidth
-        return self.comm_latency + nbytes / bw
+        """Point-to-point transfer time between two devices (delegates
+        to the configured communication model)."""
+        return self.comm.p2p_time(nbytes, same_node=same_node)
 
     def allreduce_time(self, nbytes: float, n_ranks: int,
                        spans_nodes: bool = True) -> float:
-        """Ring-allreduce time over ``n_ranks`` replicas.
+        """Allreduce time over ``n_ranks`` replicas (delegates to the
+        configured communication model).
 
-        Standard ring cost ``2 (n-1)/n * size / min_link_bw``; the
-        bottleneck link is the inter-node network whenever the ring spans
-        nodes.
+        Under the flat model this is the standard ring cost
+        ``2 (n-1)/n * size / min_link_bw`` with the inter-node network as
+        the bottleneck link whenever the ring spans nodes; the topology
+        model instead prices a representative rank group under its
+        cheapest applicable allreduce algorithm.
         """
-        if n_ranks <= 1:
-            return 0.0
-        bw = self.inter_node_bandwidth if spans_nodes else self.intra_node_bandwidth
-        return self.comm_latency * 2 * (n_ranks - 1) + (
-            2.0 * (n_ranks - 1) / n_ranks
-        ) * nbytes / bw
+        return self.comm.allreduce_time(nbytes, n_ranks, spans_nodes=spans_nodes)
 
     def scaled(self, num_nodes: int) -> "ClusterSpec":
         """Same hardware, different node count (Algorithm 2 iterates n)."""
-        return ClusterSpec(
-            num_nodes=num_nodes,
-            devices_per_node=self.devices_per_node,
-            device=self.device,
-            intra_node_bandwidth=self.intra_node_bandwidth,
-            inter_node_bandwidth=self.inter_node_bandwidth,
-            comm_latency=self.comm_latency,
-        )
+        return dataclasses.replace(self, num_nodes=num_nodes)
+
+    def with_comm_model(self, comm_model: str) -> "ClusterSpec":
+        """Same cluster under a different communication model."""
+        if comm_model == self.comm_model:
+            return self
+        return dataclasses.replace(self, comm_model=comm_model)

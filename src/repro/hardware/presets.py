@@ -9,6 +9,8 @@ is 100 Gbps." (Sec. IV-A)
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.hardware.cluster import ClusterSpec
 from repro.hardware.device import DeviceSpec
 
@@ -23,11 +25,20 @@ V100 = DeviceSpec(
 )
 
 
-def paper_cluster(num_nodes: int = 4) -> ClusterSpec:
+def paper_cluster(
+    num_nodes: int = 4,
+    comm_model: str = "flat",
+    nvlink_degree: Optional[int] = None,
+    nic_count: int = 1,
+) -> ClusterSpec:
     """The paper's evaluation cluster: ``num_nodes`` x 8 V100.
 
     NVLink pairs run at 25 or 50 GB/s; we use the conservative 25 GB/s the
     paper quotes as the lower bound.  InfiniBand 100 Gb/s = 12.5 GB/s.
+
+    ``comm_model``/``nvlink_degree``/``nic_count`` select the
+    communication model and network shape (see :mod:`repro.comm`); the
+    defaults reproduce the historical flat model exactly.
     """
     return ClusterSpec(
         num_nodes=num_nodes,
@@ -35,6 +46,9 @@ def paper_cluster(num_nodes: int = 4) -> ClusterSpec:
         device=V100,
         intra_node_bandwidth=25.0e9,
         inter_node_bandwidth=12.5e9,
+        comm_model=comm_model,
+        nvlink_degree=nvlink_degree,
+        nic_count=nic_count,
     )
 
 
@@ -44,9 +58,16 @@ def single_node() -> ClusterSpec:
 
 
 def tiny_cluster(num_nodes: int = 1, devices_per_node: int = 4,
-                 memory_bytes: int = 2 * 1024**3) -> ClusterSpec:
+                 memory_bytes: int = 2 * 1024**3,
+                 comm_model: str = "flat",
+                 nvlink_degree: Optional[int] = None,
+                 nic_count: int = 1) -> ClusterSpec:
     """A small cluster with shrunken device memory, for fast tests that
-    still trip memory-infeasibility paths on toy models."""
+    still trip memory-infeasibility paths on toy models.
+
+    The topology knobs (``comm_model``, ``nvlink_degree``,
+    ``nic_count``) let memory-starved multi-stage tests exercise
+    constrained NVLink meshes and contended NIC uplinks cheaply."""
     dev = DeviceSpec(
         name="tiny",
         memory_bytes=memory_bytes,
@@ -60,6 +81,9 @@ def tiny_cluster(num_nodes: int = 1, devices_per_node: int = 4,
         device=dev,
         intra_node_bandwidth=25.0e9,
         inter_node_bandwidth=12.5e9,
+        comm_model=comm_model,
+        nvlink_degree=nvlink_degree,
+        nic_count=nic_count,
     )
 
 

@@ -5,21 +5,63 @@ Each of the ``R`` pipeline replicas receives a contiguous band of
 ranks within the band.  Because Algorithm 2 aligns ``D`` to whole nodes,
 a pipeline never straddles more nodes than necessary and stage-to-stage
 edges stay on NVLink wherever the stage boundary does not coincide with a
-node boundary.
+node boundary (the assumption behind the paper's footnote 3).
+
+Under ``comm_model="topology"`` the allocation stops *assuming* that and
+starts checking it: candidate physical orderings of the stages inside
+each band are scored by the modeled p2p cost of every stage boundary
+(weighted by the bytes that actually cross it), and the cheapest
+ordering wins -- with the identity ordering kept on ties, so clusters
+where contiguity is already optimal (the common case, and every flat
+run) produce byte-identical assignments.  :func:`boundary_report`
+summarizes how many boundaries earned the NVLink rate, which
+``repro plan --explain`` surfaces as the footnote-3 validation.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from itertools import permutations
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.hardware.cluster import ClusterSpec
 from repro.partitioner.plan import DeviceAssignment
+
+#: permuting S stages costs S! scorings; beyond this we keep contiguity
+_MAX_PERMUTE_STAGES = 6
+
+
+def _order_cost(
+    cluster: ClusterSpec,
+    device_counts: Sequence[int],
+    replica_factor: int,
+    order: Sequence[int],
+    boundary_bytes: Sequence[float],
+) -> float:
+    """Total modeled boundary-edge cost of one physical stage ordering
+    (summed over replicas; the logical boundary s -> s+1 is priced
+    between the last rank of stage s and the first rank of stage s+1)."""
+    D = sum(device_counts)
+    comm = cluster.comm
+    offsets: Dict[int, int] = {}
+    off = 0
+    for stage in order:
+        offsets[stage] = off
+        off += device_counts[stage]
+    cost = 0.0
+    for replica in range(replica_factor):
+        base = replica * D
+        for s in range(len(device_counts) - 1):
+            src = base + offsets[s] + device_counts[s] - 1
+            dst = base + offsets[s + 1]
+            cost += comm.rank_p2p_time(src, dst, boundary_bytes[s])
+    return cost
 
 
 def allocate_devices(
     cluster: ClusterSpec,
     device_counts: List[int],
     replica_factor: int,
+    boundary_bytes: Optional[Sequence[float]] = None,
 ) -> DeviceAssignment:
     """Assign global device ranks to every (replica, stage) pair.
 
@@ -28,6 +70,10 @@ def allocate_devices(
         device_counts: devices per stage within one pipeline
             (``d_i - d_{i-1}`` from Algorithm 1).
         replica_factor: number of whole-pipeline replicas R.
+        boundary_bytes: per-microbatch bytes crossing each of the
+            ``S - 1`` stage boundaries; under ``comm_model="topology"``
+            these weight the placement scoring (omitted or under the
+            flat model, stages take consecutive ranks unconditionally).
 
     Raises:
         ValueError: if the allocation does not exactly cover the cluster.
@@ -39,10 +85,60 @@ def allocate_devices(
             f"allocation covers {total} devices, cluster has "
             f"{cluster.total_devices}"
         )
+    S = len(device_counts)
+    order: Tuple[int, ...] = tuple(range(S))
+    if (
+        cluster.comm_model == "topology"
+        and 2 <= S <= _MAX_PERMUTE_STAGES
+    ):
+        weights = (
+            list(boundary_bytes)
+            if boundary_bytes is not None
+            else [1.0] * (S - 1)
+        )
+        if len(weights) != S - 1:
+            raise ValueError(
+                f"boundary_bytes has {len(weights)} entries for "
+                f"{S - 1} stage boundaries"
+            )
+        # permutations() yields the identity first; strict < keeps it
+        # on ties, so the topology model only deviates from contiguity
+        # when the network model says a reordering is actually cheaper
+        best_cost = None
+        for cand in permutations(range(S)):
+            cost = _order_cost(
+                cluster, device_counts, replica_factor, cand, weights
+            )
+            if best_cost is None or cost < best_cost:
+                best_cost, order = cost, cand
     ranks: Dict[Tuple[int, int], Tuple[int, ...]] = {}
-    rank = 0
     for replica in range(replica_factor):
-        for stage, count in enumerate(device_counts):
+        rank = replica * D
+        for stage in order:
+            count = device_counts[stage]
             ranks[(replica, stage)] = tuple(range(rank, rank + count))
             rank += count
     return DeviceAssignment(ranks=ranks, cluster=cluster)
+
+
+def boundary_report(
+    assignment: DeviceAssignment,
+    replica_factor: int,
+    num_stages: int,
+) -> Dict[str, float]:
+    """Footnote-3 accounting: how many stage boundaries (across all
+    replicas) stay on the intra-node fabric vs. cross a node boundary."""
+    total = 0
+    internode = 0
+    for replica in range(replica_factor):
+        for s in range(num_stages - 1):
+            total += 1
+            if assignment.crossing_is_internode(replica, s):
+                internode += 1
+    return {
+        "boundaries": float(total),
+        "internode_boundaries": float(internode),
+        "nvlink_boundary_frac": (
+            (total - internode) / total if total else 1.0
+        ),
+    }

@@ -44,6 +44,7 @@ def auto_partition(
     profiler: Optional[GraphProfiler] = None,
     cache_dir: Optional[Union[str, Path]] = None,
     context: Optional[PlanningContext] = None,
+    comm_model: Optional[str] = None,
 ) -> PartitionPlan:
     """Automatically partition ``graph`` for hybrid parallelism.
 
@@ -69,6 +70,9 @@ def auto_partition(
             from disk instead of re-running the stage search.
         context: supply a :class:`PlanningContext` to inspect the
             per-pass event log and artifacts after the call.
+        comm_model: communication cost model (``"flat"`` or
+            ``"topology"``, see :mod:`repro.comm`); ``None`` inherits
+            the cluster's own ``comm_model`` setting.
 
     Returns:
         A fully evaluated :class:`PartitionPlan`.
@@ -86,11 +90,14 @@ def auto_partition(
         validate=validate,
         verify=verify,
         cache_dir=cache_dir,
+        comm_model=comm_model,
     )
     if context is None:
         context = PlanningContext(graph, cluster, config, profiler)
     else:
         context.config = config
+        if comm_model is not None:
+            context.cluster = context.cluster.with_comm_model(comm_model)
         if profiler is not None:
             context.profiler = profiler
     return plan_graph(graph, cluster, config, context=context)

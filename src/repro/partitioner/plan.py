@@ -95,6 +95,11 @@ class PlanDiagnostics:
     pipeline_time: float = 0.0
     allreduce_time: float = 0.0
     optimizer_time: float = 0.0
+    # communication model the evaluation priced the plan under, and the
+    # allreduce algorithm of the dominant stage group ("" until the
+    # plan is evaluated; always "ring" under the flat model)
+    comm_model: str = ""
+    allreduce_algorithm: str = ""
     # planner instrumentation
     cache_hit: bool = False
     profiler_memo_hit_rate: float = 0.0

@@ -427,10 +427,13 @@ class DPContext:
         microbatch size: the whole-plane form of :meth:`stage_profile`.
 
         Operation order mirrors ``stage_profile`` exactly (prefix
-        difference, checkpointing recompute, then the p2p latency term
-        ``comm_latency + bytes / intra_node_bandwidth`` of
+        difference, checkpointing recompute, then the same-node p2p
+        affine term ``latency + bytes / bandwidth`` of
         ``ClusterSpec.p2p_time`` gated on non-zero traffic) so each entry
-        is the identical float64 arithmetic, just elementwise.
+        is the identical float64 arithmetic, just elementwise.  The
+        ``(latency, bandwidth)`` pair comes from the cluster's configured
+        communication model (``p2p_affine``), which keeps the plane and
+        the scalar path exact under both the flat and topology models.
         """
         IN1, OUT1, PARAMS = self._range_matrices()
         tf_prefix, tb_prefix = self._time_prefix_at(bs)
@@ -440,8 +443,7 @@ class DPContext:
             tb_plane = tb_plane + tf_plane
         in_b = IN1 * bs
         out_b = OUT1 * bs
-        lat = self.cluster.comm_latency
-        bw = self.cluster.intra_node_bandwidth
+        lat, bw = self.cluster.comm.p2p_affine(same_node=True)
         tf_plane = tf_plane + np.where(out_b != 0.0, lat + out_b / bw, 0.0)
         tb_plane = tb_plane + np.where(in_b != 0.0, lat + in_b / bw, 0.0)
         act_factor = self.profiler.precision.activation_bytes_factor

@@ -3,11 +3,21 @@
 Combines the pipeline simulator with the gradient-allreduce cost of each
 stage's replica group and a parameter-update estimate, producing the
 iteration time and samples/second throughput recorded in Figs. 4 and 5.
+
+The allreduce phase is priced by the cluster's configured communication
+model (:mod:`repro.comm`): under the default flat model each stage group
+pays the legacy closed-form ring cost and the phase is the slowest group
+(disjoint devices, free overlap -- bit-identical to the historical
+behaviour); under the topology model each group is priced over its
+*actual* device ranks with automatic allreduce-algorithm selection, and
+the phase additionally respects bandwidth conservation on shared links
+(concurrent stage groups contending for the same NIC uplinks cannot all
+run at full rate).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any, Dict, Tuple
 
 from repro.pipeline.simulator import simulate_async_1f1b, simulate_sync_pipeline
 
@@ -19,13 +29,70 @@ if TYPE_CHECKING:  # avoid a circular import with repro.partitioner
 _OPT_BYTES_PER_PARAM = 28.0
 
 
+def allreduce_phase(plan: "PartitionPlan") -> Tuple[float, Dict[str, Any]]:
+    """Duration of the data-parallel gradient sync phase, plus detail.
+
+    Returns ``(seconds, details)`` where ``details`` carries the comm
+    model name and, under the topology model, the allreduce algorithm
+    chosen for the dominant (slowest) stage group and the per-stage
+    algorithm map.
+    """
+    cluster = plan.cluster
+    comm = cluster.comm
+    details: Dict[str, Any] = {"comm_model": comm.name}
+    if comm.name != "flat" and plan.assignment is not None:
+        from repro.comm.contention import concurrent_makespan
+
+        costs = []
+        algorithms: Dict[int, str] = {}
+        dominant_time, dominant_algo = 0.0, ""
+        for stage in plan.stages:
+            group = sorted({
+                rank
+                for replica in range(plan.replica_factor)
+                for rank in plan.assignment.devices_of(replica, stage.index)
+            })
+            grad_bytes = stage.profile.param_count * 4.0
+            if len(group) <= 1 or grad_bytes <= 0:
+                continue
+            cost = comm.allreduce(grad_bytes, group)
+            costs.append(cost)
+            algorithms[stage.index] = cost.algorithm
+            if cost.time > dominant_time:
+                dominant_time, dominant_algo = cost.time, cost.algorithm
+        time = concurrent_makespan(costs)
+        details["allreduce_algorithm"] = dominant_algo
+        details["allreduce_algorithms"] = algorithms
+        details["allreduce_solo_time"] = dominant_time
+        details["allreduce_contention_factor"] = (
+            time / dominant_time if dominant_time > 0 else 1.0
+        )
+        return time, details
+
+    # flat model: the historical loop, expression for expression
+    allreduce = 0.0
+    for stage in plan.stages:
+        n_ranks = stage.devices_per_pipeline * plan.replica_factor
+        grad_bytes = stage.profile.param_count * 4.0
+        # a replica group spans nodes whenever whole-pipeline replicas
+        # exist (they live on different nodes) or the intra-pipeline
+        # replicas straddle a node boundary
+        spans = plan.replica_factor > 1 or (
+            stage.devices_per_pipeline > cluster.devices_per_node
+        )
+        allreduce = max(
+            allreduce, cluster.allreduce_time(grad_bytes, n_ranks, spans)
+        )
+    details["allreduce_algorithm"] = "ring"
+    return allreduce, details
+
+
 def evaluate_plan(plan: "PartitionPlan", schedule: str = "sync") -> "PartitionPlan":
     """Fill ``plan.iteration_time`` / ``plan.throughput`` in place.
 
-    The iteration consists of the pipeline makespan, the slowest stage's
-    gradient allreduce across its replica group (stage groups sync
-    concurrently on disjoint devices), and the slowest stage's local
-    optimizer step.
+    The iteration consists of the pipeline makespan, the data-parallel
+    gradient-sync phase (see :func:`allreduce_phase`), and the slowest
+    stage's local optimizer step.
 
     Args:
         plan: a populated partition plan.
@@ -47,20 +114,9 @@ def evaluate_plan(plan: "PartitionPlan", schedule: str = "sync") -> "PartitionPl
 
     cluster = plan.cluster
     device = cluster.device
-    allreduce = 0.0
+    allreduce, comm_details = allreduce_phase(plan)
     opt_step = 0.0
     for stage in plan.stages:
-        n_ranks = stage.devices_per_pipeline * plan.replica_factor
-        grad_bytes = stage.profile.param_count * 4.0
-        # a replica group spans nodes whenever whole-pipeline replicas
-        # exist (they live on different nodes) or the intra-pipeline
-        # replicas straddle a node boundary
-        spans = plan.replica_factor > 1 or (
-            stage.devices_per_pipeline > cluster.devices_per_node
-        )
-        allreduce = max(
-            allreduce, cluster.allreduce_time(grad_bytes, n_ranks, spans)
-        )
         opt_step = max(
             opt_step,
             stage.profile.param_count * _OPT_BYTES_PER_PARAM / device.mem_bandwidth,
@@ -71,4 +127,8 @@ def evaluate_plan(plan: "PartitionPlan", schedule: str = "sync") -> "PartitionPl
     plan.diagnostics.pipeline_time = pipe_time
     plan.diagnostics.allreduce_time = allreduce
     plan.diagnostics.optimizer_time = opt_step
+    plan.diagnostics.comm_model = comm_details["comm_model"]
+    plan.diagnostics.allreduce_algorithm = comm_details.get(
+        "allreduce_algorithm", ""
+    )
     return plan

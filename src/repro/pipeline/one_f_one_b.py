@@ -62,55 +62,54 @@ def simulate_sync_1f1b(
     peak = [0] * S
     warmup = [min(S - s, MB) for s in range(S)]
 
+    # The canonical PipeDream-Flush order per stage: a warm-up of
+    # forwards, a strict backward/forward alternation, then the
+    # backward drain.  Greedy "backward whenever ready" is NOT
+    # equivalent -- it can run consecutive backwards and starve a
+    # downstream stage of forwards, inflating the makespan.
+    queues: List[str] = []
+    for s in range(S):
+        w = warmup[s]
+        ops = "F" * w + "BF" * (MB - w) + "B" * w
+        queues.append(ops)
+    pos = [0] * S
+
     remaining = 2 * S * MB
     while remaining:
-        progressed = False
-        # earliest-available-stage first keeps the replay deterministic
-        for s in sorted(range(S), key=lambda i: stage_time[i]):
-            # candidate backward: the next unfinished backward (in order)
-            m_b = done_b[s]
-            b_ready = None
-            if m_b < MB and f_done[s, m_b] < np.inf:
-                dep = b_done[s + 1, m_b] if s + 1 < S else f_done[s, m_b]
-                if dep < np.inf:
-                    b_ready = max(stage_time[s], dep)
-            # candidate forward
-            m_f = next_f[s]
-            f_ready = None
-            if m_f < MB:
-                dep = f_done[s - 1, m_f] if s > 0 else 0.0
-                if dep < np.inf:
-                    f_ready = max(stage_time[s], dep)
-
-            # strict 1F1B: a forward may only run while the stash is
-            # below the warm-up bound; backwards always take priority.
-            # Otherwise the stage WAITS (bounded memory is the point).
-            f_allowed = f_ready is not None and inflight[s] < warmup[s]
-            b_allowed = b_ready is not None
-            if not f_allowed and not b_allowed:
+        # each stage executes its fixed sequence as soon as the next
+        # op's dependency is met; the resulting schedule is unique, so
+        # any execution order works -- earliest start keeps it readable
+        best = None
+        for s in range(S):
+            if pos[s] == len(queues[s]):
                 continue
-            do_backward = b_allowed and (
-                not f_allowed or b_ready <= f_ready
-            )
-
-            if do_backward:
-                start = b_ready
-                b_done[s, m_b] = start + tb[s]
-                stage_time[s] = b_done[s, m_b]
-                done_b[s] += 1
-                inflight[s] -= 1
+            if queues[s][pos[s]] == "F":
+                m = next_f[s]
+                dep = f_done[s - 1, m] if s > 0 else 0.0
             else:
-                start = f_ready
-                f_done[s, m_f] = start + tf[s]
-                stage_time[s] = f_done[s, m_f]
-                next_f[s] += 1
-                inflight[s] += 1
-                peak[s] = max(peak[s], inflight[s])
-            remaining -= 1
-            progressed = True
-            break  # re-evaluate global earliest stage
-        if not progressed:  # pragma: no cover - schedule deadlock guard
+                m = done_b[s]
+                dep = b_done[s + 1, m] if s + 1 < S else f_done[s, m]
+            if dep == np.inf:
+                continue
+            start = max(stage_time[s], dep)
+            if best is None or start < best[0]:
+                best = (start, s, m)
+        if best is None:  # pragma: no cover - schedule deadlock guard
             raise RuntimeError("1F1B simulation deadlocked")
+        start, s, m = best
+        if queues[s][pos[s]] == "F":
+            f_done[s, m] = start + tf[s]
+            stage_time[s] = f_done[s, m]
+            next_f[s] += 1
+            inflight[s] += 1
+            peak[s] = max(peak[s], inflight[s])
+        else:
+            b_done[s, m] = start + tb[s]
+            stage_time[s] = b_done[s, m]
+            done_b[s] += 1
+            inflight[s] -= 1
+        pos[s] += 1
+        remaining -= 1
 
     return OneFOneBResult(makespan=float(b_done.max()), peak_inflight=peak)
 

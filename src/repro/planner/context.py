@@ -47,6 +47,12 @@ class PlannerConfig:
     tracer; pass-level spans and search counters are always on -- they
     back the event log and ``PlanDiagnostics`` -- and are too few to
     measure.
+
+    ``comm_model`` selects the communication cost model
+    (:mod:`repro.comm`): ``None`` inherits the cluster's own setting,
+    ``"flat"``/``"topology"`` override it for this run.  The model is
+    plan-determining (it prices stage boundaries and allreduce), so it
+    participates in :meth:`fingerprint`.
     """
 
     batch_size: int
@@ -62,6 +68,7 @@ class PlannerConfig:
     parallel_search: bool = True
     search_workers: Optional[int] = None
     trace: bool = False
+    comm_model: Optional[str] = None
 
     def fingerprint(self) -> str:
         """Stable content hash of the plan-determining fields."""
@@ -73,6 +80,7 @@ class PlannerConfig:
             "uncoarsen": self.uncoarsen,
             "max_microbatches": self.max_microbatches,
             "schedule": self.schedule,
+            "comm_model": self.comm_model,
         }
         blob = json.dumps(doc, sort_keys=True).encode()
         return hashlib.sha256(blob).hexdigest()[:16]
@@ -100,6 +108,14 @@ class PlanningContext:
         metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.graph = graph
+        # an explicit config.comm_model overrides the cluster's own
+        # setting, so every pass (and the plan itself) sees one
+        # consistent communication model
+        if (
+            config.comm_model is not None
+            and config.comm_model != cluster.comm_model
+        ):
+            cluster = cluster.with_comm_model(config.comm_model)
         self.cluster = cluster
         self.config = config
         self.profiler = profiler
@@ -156,6 +172,9 @@ class PlanningContext:
                 "cluster": [
                     self.cluster.num_nodes,
                     self.cluster.devices_per_node,
+                    self.cluster.comm_model,
+                    self.cluster.nvlink_degree,
+                    self.cluster.nic_count,
                 ],
                 "config": self.config.fingerprint(),
             },

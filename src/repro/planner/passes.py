@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Any, Dict, Optional
 
 from repro.graph.validate import validate_graph
-from repro.partitioner.allocation import allocate_devices
+from repro.partitioner.allocation import allocate_devices, boundary_report
 from repro.partitioner.atomic import atomic_partition
 from repro.partitioner.blocks import block_partition
 from repro.partitioner.plan import PartitionPlan, StageSpec
@@ -182,7 +182,13 @@ class AllocatePass(PlannerPass):
             )
             lo = hi
         assignment = allocate_devices(
-            ctx.cluster, sol.device_counts, result.replica_factor
+            ctx.cluster,
+            sol.device_counts,
+            result.replica_factor,
+            boundary_bytes=[
+                sol.stage_profiles[i].out_bytes
+                for i in range(len(sol.device_counts) - 1)
+            ],
         )
         plan = PartitionPlan(
             model_name=ctx.graph.name,
@@ -201,7 +207,16 @@ class AllocatePass(PlannerPass):
         diag.num_blocks = len(ctx.get(BLOCKS, ()))
         diag.num_atomic_components = len(ctx.get(COMPONENTS, ()))
         ctx.put(PLAN, plan)
-        return {"num_stages": plan.num_stages}
+        # footnote-3 accounting: did the placement actually earn the
+        # NVLink rate the cost model charges stage boundaries at?
+        report = boundary_report(
+            assignment, result.replica_factor, plan.num_stages
+        )
+        for name, value in report.items():
+            ctx.metrics.gauge(f"comm.{name}").set(value)
+        detail: Dict[str, Any] = {"num_stages": plan.num_stages}
+        detail.update(report)
+        return detail
 
 
 class EvaluatePass(PlannerPass):
@@ -219,7 +234,16 @@ class EvaluatePass(PlannerPass):
             "schedule": ctx.config.schedule,
             "iteration_time": plan.iteration_time,
             "throughput": plan.throughput,
+            "comm_model": plan.diagnostics.comm_model,
         }
+        ctx.metrics.gauge("comm.allreduce_time").set(
+            plan.diagnostics.allreduce_time
+        )
+        ctx.metrics.gauge("comm.pipeline_time").set(
+            plan.diagnostics.pipeline_time
+        )
+        if plan.diagnostics.allreduce_algorithm:
+            detail["allreduce_algorithm"] = plan.diagnostics.allreduce_algorithm
         if ctx.config.schedule == "sync":
             # the flush schedule's measured bubble (Fig. 1, quantified):
             # gauges per stage plus the mean idle fraction

@@ -254,7 +254,12 @@ class GraphProfiler:
         return in_bytes, out_bytes
 
     def comm_time(self, nbytes: float, same_node: bool = True) -> float:
-        """Stage-to-stage transfer time (footnote 3: intra-node bandwidth)."""
+        """Stage-to-stage transfer time (footnote 3: intra-node bandwidth).
+
+        Delegates to the cluster's configured communication model
+        (:mod:`repro.comm`): the flat model reproduces the paper's
+        closed form, the topology model prices the transfer over the
+        actual NVLink/NIC route."""
         if nbytes <= 0:
             return 0.0
         return self.cluster.p2p_time(nbytes, same_node=same_node)

@@ -45,11 +45,12 @@ def default_clusters() -> Dict[str, ClusterSpec]:
 
 @dataclass
 class HarnessCase:
-    """Outcome of one (seed, cluster) planner run."""
+    """Outcome of one (seed, cluster, comm model) planner run."""
 
     seed: int
     cluster_name: str
     feasible: bool
+    comm_model: str = "flat"
     num_stages: int = 0
     violations: Tuple[Violation, ...] = ()
     invariants_checked: int = 0
@@ -86,44 +87,57 @@ def run_harness(
     num_nodes: int = 14,
     width: int = 64,
     num_blocks: int = 8,
+    comm_models: Sequence[str] = ("flat", "topology"),
 ) -> HarnessResult:
-    """Plan every (seed, cluster) combination and verify each plan.
+    """Plan every (seed, cluster, comm model) combination and verify
+    each plan.
 
     The planner runs with verification *disabled* so the harness is an
     independent referee: a planner bug produces a reported violation
     here instead of an exception inside the pipeline being measured.
+    The ``comm_models`` column re-plans every combination under each
+    communication model (:mod:`repro.comm`), so the topology model is
+    held to the same zero-violation bar as the flat one.
     """
     if clusters is None:
         clusters = default_clusters()
     result = HarnessResult()
     for seed in seeds:
         graph = build_random_dag(seed=seed, num_nodes=num_nodes, width=width)
-        for cname, cluster in clusters.items():
-            try:
-                plan = auto_partition(
-                    graph,
-                    cluster,
-                    batch_size=batch_size,
-                    num_blocks=num_blocks,
-                    verify=False,
-                )
-            except PartitioningError:
+        for cname, base_cluster in clusters.items():
+            for comm_model in comm_models:
+                cluster = base_cluster.with_comm_model(comm_model)
+                try:
+                    plan = auto_partition(
+                        graph,
+                        cluster,
+                        batch_size=batch_size,
+                        num_blocks=num_blocks,
+                        verify=False,
+                    )
+                except PartitioningError:
+                    result.cases.append(
+                        HarnessCase(
+                            seed=seed,
+                            cluster_name=cname,
+                            feasible=False,
+                            comm_model=comm_model,
+                        )
+                    )
+                    continue
+                report: VerificationReport = check_plan(plan, graph, cluster)
                 result.cases.append(
-                    HarnessCase(seed=seed, cluster_name=cname, feasible=False)
+                    HarnessCase(
+                        seed=seed,
+                        cluster_name=cname,
+                        feasible=True,
+                        comm_model=comm_model,
+                        num_stages=plan.num_stages,
+                        violations=tuple(report.violations),
+                        invariants_checked=report.invariants_checked,
+                        sim_rel_err=report.stats.get("sim_rel_err", 0.0),
+                    )
                 )
-                continue
-            report: VerificationReport = check_plan(plan, graph, cluster)
-            result.cases.append(
-                HarnessCase(
-                    seed=seed,
-                    cluster_name=cname,
-                    feasible=True,
-                    num_stages=plan.num_stages,
-                    violations=tuple(report.violations),
-                    invariants_checked=report.invariants_checked,
-                    sim_rel_err=report.stats.get("sim_rel_err", 0.0),
-                )
-            )
     return result
 
 
@@ -136,6 +150,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     help="interior compute nodes per random DAG")
     ap.add_argument("--width", type=int, default=64)
     ap.add_argument("--blocks", type=int, default=8)
+    ap.add_argument("--comm-models", nargs="+", default=["flat", "topology"],
+                    choices=["flat", "topology"],
+                    help="communication models to plan under")
     args = ap.parse_args(argv)
 
     result = run_harness(
@@ -144,14 +161,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         num_nodes=args.num_nodes,
         width=args.width,
         num_blocks=args.blocks,
+        comm_models=tuple(args.comm_models),
     )
     for case in result.cases:
+        label = f"{case.cluster_name}/{case.comm_model}"
         if not case.feasible:
-            print(f"seed {case.seed:3d} {case.cluster_name:10s} INFEASIBLE")
+            print(f"seed {case.seed:3d} {label:20s} INFEASIBLE")
             continue
         status = "OK" if case.ok else "FAIL"
         print(
-            f"seed {case.seed:3d} {case.cluster_name:10s} {status}  "
+            f"seed {case.seed:3d} {label:20s} {status}  "
             f"stages={case.num_stages} checks={case.invariants_checked} "
             f"sim_rel_err={case.sim_rel_err:.2e}"
         )

@@ -38,6 +38,12 @@ The invariant families (see ``docs/VERIFICATION.md``):
   stage times with :func:`repro.pipeline.simulator.simulate_sync_pipeline`
   reproduces the DP's ``estimated_iteration_time`` (and the recorded
   pipeline makespan) within :data:`SIM_REL_TOL`.
+* **comm** -- the recorded data-parallel allreduce phase re-derives
+  identically (within :data:`SIM_REL_TOL`) under the cluster's
+  *configured* communication model
+  (:func:`repro.pipeline.hybrid.allreduce_phase`), so an evaluation
+  that priced gradient sync under one model cannot be silently reused
+  under another.
 
 Tolerances
 ----------
@@ -194,6 +200,7 @@ class _Checker:
         if not self.unknown_tasks:
             self._check_derived_profiles()
         self._check_differential()
+        self._check_comm()
         return self.report
 
     # ------------------------------------------------------------------
@@ -512,6 +519,41 @@ class _Checker:
                     f"re-simulating its stage times gives {sim:.6e}s "
                     f"(rel err {err:.2e} > {SIM_REL_TOL:.0e})",
                 )
+
+    # ------------------------------------------------------------------
+    def _check_comm(self) -> None:
+        """Re-derive the data-parallel allreduce phase under the
+        cluster's configured communication model and compare against the
+        recorded value."""
+        plan = self.plan
+        if plan.iteration_time <= 0.0 or not plan.stages:
+            return  # plan has not been evaluated yet
+        from repro.pipeline.hybrid import allreduce_phase
+
+        rederived, details = allreduce_phase(plan)
+        recorded = plan.diagnostics.allreduce_time
+        err = _rel_err(rederived, recorded)
+        self.report.stats["comm_rel_err"] = err
+        self._checked()
+        if err > SIM_REL_TOL:
+            self._fail(
+                "comm",
+                f"plan records allreduce_time {recorded:.6e}s but "
+                f"re-deriving it under the {details['comm_model']!r} "
+                f"communication model gives {rederived:.6e}s "
+                f"(rel err {err:.2e} > {SIM_REL_TOL:.0e})",
+            )
+        if (
+            plan.diagnostics.comm_model
+            and plan.diagnostics.comm_model != details["comm_model"]
+        ):
+            self._checked()
+            self._fail(
+                "comm",
+                f"plan was evaluated under comm model "
+                f"{plan.diagnostics.comm_model!r} but the cluster is "
+                f"configured for {details['comm_model']!r}",
+            )
 
 
 def check_plan(

@@ -1,0 +1,123 @@
+"""Contention simulator: max-min fair sharing, event ordering, and the
+bandwidth-conservation makespan bound."""
+
+import pytest
+
+from repro.comm.collectives import CollectiveCost, allreduce_cost
+from repro.comm.contention import (
+    Transfer,
+    concurrent_makespan,
+    simulate_transfers,
+)
+from repro.comm.topology import NetworkTopology
+from repro.hardware.presets import paper_cluster
+
+TOPO = NetworkTopology(paper_cluster(2))
+NBYTES = 1e8
+
+
+class TestSimulateTransfers:
+    def test_single_transfer_matches_uncontended_model(self):
+        (res,) = simulate_transfers(TOPO, [Transfer(0, 8, NBYTES)])
+        assert res.finish == pytest.approx(
+            TOPO.p2p_time(0, 8, NBYTES), rel=1e-9
+        )
+        assert res.slowdown == pytest.approx(1.0, rel=1e-9)
+
+    def test_two_flows_sharing_an_uplink_halve(self):
+        # both transfers leave node 0 through the same NIC uplink, so
+        # each streams at half the IB rate (latency is paid once, which
+        # keeps the slowdown a hair under 2.0)
+        cl = TOPO.cluster
+        results = simulate_transfers(
+            TOPO, [Transfer(0, 8, NBYTES), Transfer(1, 9, NBYTES)]
+        )
+        expected = cl.comm_latency + NBYTES / (cl.inter_node_bandwidth / 2)
+        for res in results:
+            assert res.finish == pytest.approx(expected, rel=1e-9)
+            assert res.slowdown == pytest.approx(2.0, rel=1e-2)
+
+    def test_disjoint_routes_do_not_interfere(self):
+        # NVLink transfers inside different nodes share nothing
+        results = simulate_transfers(
+            TOPO, [Transfer(0, 1, NBYTES), Transfer(8, 9, NBYTES)]
+        )
+        for res in results:
+            assert res.slowdown == pytest.approx(1.0, rel=1e-9)
+
+    def test_staggered_arrivals_do_not_contend(self):
+        solo = TOPO.p2p_time(0, 8, NBYTES)
+        late_start = solo * 2
+        results = simulate_transfers(
+            TOPO,
+            [Transfer(0, 8, NBYTES), Transfer(1, 9, NBYTES, start=late_start)],
+        )
+        assert results[0].slowdown == pytest.approx(1.0, rel=1e-9)
+        assert results[1].slowdown == pytest.approx(1.0, rel=1e-9)
+        assert results[1].finish == pytest.approx(
+            late_start + solo, rel=1e-9
+        )
+
+    def test_partial_overlap_slows_only_the_overlap(self):
+        # second transfer starts halfway through the first; both see
+        # some contention but strictly less than a full 2x
+        solo = TOPO.p2p_time(0, 8, NBYTES)
+        results = simulate_transfers(
+            TOPO,
+            [Transfer(0, 8, NBYTES), Transfer(1, 9, NBYTES, start=solo / 2)],
+        )
+        assert 1.0 < results[0].slowdown < 2.0
+        assert 1.0 < results[1].slowdown < 2.0
+
+    def test_zero_and_self_transfers_finish_immediately(self):
+        results = simulate_transfers(
+            TOPO,
+            [Transfer(0, 0, NBYTES, start=1.0), Transfer(0, 8, 0.0, start=2.0)],
+        )
+        assert results[0].finish == 1.0
+        assert results[1].finish == 2.0
+        assert all(r.slowdown == 1.0 for r in results)
+
+    def test_results_preserve_input_order(self):
+        transfers = [Transfer(0, 8, NBYTES, tag=f"t{i}") for i in range(3)]
+        results = simulate_transfers(TOPO, transfers)
+        assert [r.transfer.tag for r in results] == ["t0", "t1", "t2"]
+
+    def test_three_flows_share_fairly(self):
+        cl = TOPO.cluster
+        results = simulate_transfers(
+            TOPO, [Transfer(i, 8 + i, NBYTES) for i in range(3)]
+        )
+        expected = cl.comm_latency + NBYTES / (cl.inter_node_bandwidth / 3)
+        for res in results:
+            assert res.finish == pytest.approx(expected, rel=1e-9)
+            assert res.slowdown == pytest.approx(3.0, rel=1e-2)
+
+
+class TestConcurrentMakespan:
+    def test_empty_phase_is_free(self):
+        assert concurrent_makespan([]) == 0.0
+
+    def test_single_collective_is_its_own_time(self):
+        cost = allreduce_cost(TOPO, range(16), NBYTES)
+        assert concurrent_makespan([cost]) == cost.time
+
+    def test_shared_link_serializes_bytes(self):
+        cost = allreduce_cost(TOPO, range(16), NBYTES, algorithm="ring")
+        span = concurrent_makespan([cost, cost])
+        # both rings schedule their bytes over the same uplinks, so the
+        # busiest link must stream twice the seconds
+        assert span == pytest.approx(2 * cost.max_link_seconds, rel=1e-9)
+        assert span >= cost.time
+
+    def test_disjoint_collectives_run_at_solo_speed(self):
+        left = allreduce_cost(TOPO, range(4), NBYTES)  # node-0 NVLink only
+        right = allreduce_cost(TOPO, range(8, 12), NBYTES)
+        assert concurrent_makespan([left, right]) == max(left.time, right.time)
+
+    def test_latency_floor_applies(self):
+        cost = CollectiveCost(
+            op="allreduce", algorithm="ring", time=1.0, nbytes=1.0,
+            n_ranks=2, link_seconds={"l": 3.0},
+        )
+        assert concurrent_makespan([cost], latency=0.5) == 3.5

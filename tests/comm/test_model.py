@@ -1,0 +1,169 @@
+"""The CommModel layer: flat delegation parity, representative-group
+fallbacks, the model factory cache, and the boundary-tier helpers used
+by the pipeline baselines."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.model import (
+    COMM_MODELS,
+    FlatCommModel,
+    TopologyCommModel,
+    boundary_internode,
+    comm_model_for,
+    stage_boundary_p2p_times,
+)
+from repro.hardware.presets import paper_cluster, tiny_cluster
+
+nbytes_st = st.floats(min_value=1.0, max_value=1e12,
+                      allow_nan=False, allow_infinity=False)
+
+
+class TestFlatDelegation:
+    """``ClusterSpec.p2p_time``/``allreduce_time`` now delegate through
+    ``repro.comm``; under the default flat model they must equal the
+    historical closed forms bit for bit."""
+
+    @given(nbytes=nbytes_st, n=st.integers(min_value=2, max_value=64))
+    @settings(max_examples=50, deadline=None)
+    def test_cluster_methods_equal_legacy_arithmetic(self, nbytes, n):
+        cl = paper_cluster(4)
+        assert cl.comm_model == "flat"
+        assert cl.p2p_time(nbytes) == (
+            cl.comm_latency + nbytes / cl.intra_node_bandwidth
+        )
+        assert cl.p2p_time(nbytes, same_node=False) == (
+            cl.comm_latency + nbytes / cl.inter_node_bandwidth
+        )
+        for spans, bw in (
+            (True, cl.inter_node_bandwidth),
+            (False, cl.intra_node_bandwidth),
+        ):
+            assert cl.allreduce_time(nbytes, n, spans_nodes=spans) == (
+                cl.comm_latency * 2 * (n - 1)
+                + (2.0 * (n - 1) / n) * nbytes / bw
+            )
+
+    def test_single_rank_allreduce_is_free(self):
+        assert paper_cluster(1).allreduce_time(1e8, 1) == 0.0
+
+    @given(nbytes=nbytes_st)
+    @settings(max_examples=50, deadline=None)
+    def test_topology_p2p_affine_matches_flat_on_uniform_presets(self, nbytes):
+        cl = paper_cluster(2)
+        flat, topo = FlatCommModel(cl), TopologyCommModel(cl)
+        for same in (True, False):
+            assert topo.p2p_affine(same) == flat.p2p_affine(same)
+            assert topo.p2p_time(nbytes, same) == flat.p2p_time(nbytes, same)
+
+
+class TestTopologyModel:
+    def test_rank_p2p_uses_actual_route(self):
+        cl = paper_cluster(2).with_comm_model("topology")
+        model = cl.comm
+        assert model.rank_p2p_time(0, 1, 1e6) == (
+            cl.comm_latency + 1e6 / cl.intra_node_bandwidth
+        )
+        assert model.rank_p2p_time(0, 8, 1e6) == (
+            cl.comm_latency + 1e6 / cl.inter_node_bandwidth
+        )
+        assert model.rank_p2p_time(5, 5, 1e6) == 0.0
+
+    def test_allreduce_reports_algorithm(self):
+        cl = paper_cluster(4).with_comm_model("topology")
+        cost = cl.comm.allreduce(1e8, range(32))
+        assert cost.algorithm == "hierarchical"
+        assert cost.n_ranks == 32
+
+    def test_spanning_group_falls_back_to_flat_on_one_node(self):
+        # a single-node cluster cannot host a node-spanning group; the
+        # legacy closed form is the conservative answer
+        cl = tiny_cluster(num_nodes=1, devices_per_node=4,
+                          comm_model="topology")
+        topo, flat = TopologyCommModel(cl), FlatCommModel(cl)
+        assert topo.allreduce_time(1e8, 4, spans_nodes=True) == (
+            flat.allreduce_time(1e8, 4, spans_nodes=True)
+        )
+
+    def test_oversized_group_falls_back_to_flat(self):
+        cl = tiny_cluster(num_nodes=2, devices_per_node=2,
+                          comm_model="topology")
+        topo, flat = TopologyCommModel(cl), FlatCommModel(cl)
+        assert topo.allreduce_time(1e8, 16, spans_nodes=True) == (
+            flat.allreduce_time(1e8, 16, spans_nodes=True)
+        )
+
+    def test_topology_never_beats_physics(self):
+        # modeled allreduce under topology >= the best closed form could
+        # ever claim: the payload still crosses the slowest tier
+        cl = paper_cluster(4)
+        topo = TopologyCommModel(cl)
+        t = topo.allreduce_time(1e8, 32, spans_nodes=True)
+        assert t > 0.0
+
+
+class TestFactory:
+    def test_factory_caches_per_cluster(self):
+        cl = paper_cluster(2)
+        assert comm_model_for(cl) is comm_model_for(paper_cluster(2))
+
+    def test_factory_dispatches_on_comm_model(self):
+        assert isinstance(comm_model_for(paper_cluster(2)), FlatCommModel)
+        assert isinstance(
+            comm_model_for(paper_cluster(2, comm_model="topology")),
+            TopologyCommModel,
+        )
+        assert set(COMM_MODELS) == {"flat", "topology"}
+
+    def test_with_comm_model_is_identity_when_unchanged(self):
+        cl = paper_cluster(2)
+        assert cl.with_comm_model("flat") is cl
+        topo = cl.with_comm_model("topology")
+        assert topo.comm_model == "topology"
+        assert topo.num_nodes == cl.num_nodes
+
+    def test_cluster_validates_comm_knobs(self):
+        with pytest.raises(ValueError):
+            paper_cluster(2, comm_model="quantum")
+        with pytest.raises(ValueError):
+            paper_cluster(2, nvlink_degree=0)
+        with pytest.raises(ValueError):
+            paper_cluster(2, nic_count=0)
+
+
+class TestBoundaryHelpers:
+    def test_boundary_internode_detects_node_crossings(self):
+        cl = paper_cluster(4)
+        # 16 single-device stages x 2 replicas: each replica owns 16
+        # contiguous ranks (2 nodes); only the boundary after stage 7
+        # crosses a node boundary
+        counts = [1] * 16
+        for b in range(15):
+            expected = b == 7
+            assert boundary_internode(cl, counts, 2, b) is expected
+
+    def test_last_boundary_is_never_internode(self):
+        cl = paper_cluster(2)
+        assert boundary_internode(cl, [8, 8], 1, 1) is False
+
+    def test_stage_boundary_p2p_times_price_each_tier(self):
+        cl = paper_cluster(2)
+        counts = [8, 8]  # stage boundary == node boundary
+        out_b, in_b = 1e6, 2e6
+        send0, recv0 = stage_boundary_p2p_times(cl, counts, 1, 0, out_b, in_b)
+        send1, recv1 = stage_boundary_p2p_times(cl, counts, 1, 1, out_b, in_b)
+        # stage 0 sends across the node boundary; its input edge (data
+        # loading) keeps the same-node convention
+        assert send0 == cl.p2p_time(out_b, same_node=False)
+        assert recv0 == cl.p2p_time(in_b, same_node=True)
+        # stage 1's backward gradient crosses back over IB; its output
+        # (the loss) stays local
+        assert send1 == cl.p2p_time(out_b, same_node=True)
+        assert recv1 == cl.p2p_time(in_b, same_node=False)
+
+    def test_zero_bytes_cost_nothing(self):
+        cl = paper_cluster(2)
+        assert stage_boundary_p2p_times(cl, [8, 8], 1, 0, 0.0, 0.0) == (
+            0.0, 0.0
+        )

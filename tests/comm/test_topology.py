@@ -1,0 +1,107 @@
+"""Link-level topology construction and deterministic routing."""
+
+import pytest
+
+from repro.comm.topology import NetworkTopology, Route
+from repro.hardware.presets import paper_cluster, tiny_cluster
+
+
+class TestConstruction:
+    def test_single_node_link_count(self):
+        # 8 GPUs full mesh: 8*7 directed NVLinks; 8 gpu<->nic pci pairs;
+        # no uplink on a single-node cluster
+        topo = NetworkTopology(paper_cluster(1))
+        assert topo.num_links() == 8 * 7 + 2 * 8
+
+    def test_multi_node_link_count(self):
+        topo = NetworkTopology(paper_cluster(2))
+        per_node = 8 * 7 + 2 * 8 + 2  # mesh + pci + uplink/downlink
+        assert topo.num_links() == 2 * per_node
+
+    def test_link_bandwidth_tiers(self):
+        cl = paper_cluster(2)
+        topo = NetworkTopology(cl)
+        assert topo.link("gpu:0", "gpu:1").bandwidth == cl.intra_node_bandwidth
+        assert topo.link("gpu:0", "gpu:1").kind == "nvlink"
+        assert topo.link("nic:0:0", "switch").bandwidth == (
+            cl.inter_node_bandwidth
+        )
+        assert topo.link("nic:0:0", "switch").kind == "uplink"
+
+    def test_multiple_nics_split_uplink(self):
+        cl = tiny_cluster(num_nodes=2, devices_per_node=4, nic_count=2)
+        topo = NetworkTopology(cl)
+        assert topo.link("nic:0:0", "switch").bandwidth == (
+            cl.inter_node_bandwidth / 2
+        )
+        # local ranks round-robin over the node's NICs
+        assert topo.nic_of(0) == "nic:0:0"
+        assert topo.nic_of(1) == "nic:0:1"
+        assert topo.nic_of(2) == "nic:0:0"
+        assert topo.nic_of(5) == "nic:1:1"
+
+    def test_constrained_mesh_drops_links(self):
+        full = NetworkTopology(tiny_cluster(num_nodes=1, devices_per_node=4))
+        ring = NetworkTopology(
+            tiny_cluster(num_nodes=1, devices_per_node=4, nvlink_degree=2)
+        )
+        assert ring.num_links() < full.num_links()
+        # radius 1: neighbours linked, opposite corners are not
+        assert ("gpu:0", "gpu:1") in ring.links
+        assert ("gpu:0", "gpu:2") not in ring.links
+
+
+class TestRouting:
+    def test_self_route_is_empty(self):
+        topo = NetworkTopology(paper_cluster(1))
+        route = topo.route(3, 3)
+        assert route.links == ()
+        assert route.time(1e6, 10e-6) == 0.0
+
+    def test_same_node_single_nvlink_hop(self):
+        topo = NetworkTopology(paper_cluster(2))
+        route = topo.route(1, 6)
+        assert route.hops == 1
+        assert route.links[0].kind == "nvlink"
+
+    def test_cross_node_via_nic_and_switch(self):
+        topo = NetworkTopology(paper_cluster(2))
+        route = topo.route(0, 9)
+        assert [link.kind for link in route.links] == [
+            "pci", "uplink", "downlink", "pci"
+        ]
+        assert route.bottleneck_bandwidth == (
+            topo.cluster.inter_node_bandwidth
+        )
+
+    def test_constrained_mesh_multi_hop(self):
+        topo = NetworkTopology(
+            tiny_cluster(num_nodes=1, devices_per_node=4, nvlink_degree=2)
+        )
+        route = topo.route(0, 2)
+        assert route.hops == 2
+        assert all(link.kind == "nvlink" for link in route.links)
+        # the bottleneck is still the NVLink rate; latency charged once
+        cl = topo.cluster
+        assert topo.p2p_time(0, 2, 1e6) == (
+            cl.comm_latency + 1e6 / cl.intra_node_bandwidth
+        )
+
+    def test_routes_are_deterministic(self):
+        topo = NetworkTopology(paper_cluster(4))
+        for src, dst in [(0, 1), (0, 9), (13, 30), (31, 0)]:
+            assert topo.route(src, dst) == topo.route(src, dst)
+
+    def test_empty_route_bottleneck_is_infinite(self):
+        assert Route(()).bottleneck_bandwidth == float("inf")
+
+
+class TestP2PParity:
+    @pytest.mark.parametrize("nbytes", [1.0, 4096.0, 1e8])
+    def test_matches_flat_closed_forms_on_default_presets(self, nbytes):
+        cl = paper_cluster(2)
+        topo = NetworkTopology(cl)
+        intra = cl.comm_latency + nbytes / cl.intra_node_bandwidth
+        inter = cl.comm_latency + nbytes / cl.inter_node_bandwidth
+        assert topo.p2p_time(0, 1, nbytes) == intra
+        assert topo.p2p_time(0, 8, nbytes) == inter

@@ -1,0 +1,98 @@
+"""Topology-aware device allocation: permutation scoring, the identity
+tie-break that keeps flat runs byte-identical, and the footnote-3
+property that full plans keep stage boundaries on NVLink whenever a
+pipeline fits inside a node."""
+
+import pytest
+
+from repro.hardware.presets import paper_cluster, tiny_cluster
+from repro.models import BertConfig, build_bert
+from repro.partitioner import auto_partition
+from repro.partitioner.allocation import allocate_devices, boundary_report
+
+
+class TestAllocateDevices:
+    def test_flat_model_never_permutes(self):
+        cl = tiny_cluster(num_nodes=2, devices_per_node=2)
+        asg = allocate_devices(cl, [1, 1, 1, 1], 1,
+                               boundary_bytes=[1e3, 1e9, 1e3])
+        # contiguous identity order regardless of the weights
+        assert [asg.devices_of(0, s) for s in range(4)] == [
+            (0,), (1,), (2,), (3,)
+        ]
+
+    def test_identity_wins_ties_under_topology(self):
+        # uniform weights on a single node: every ordering costs the
+        # same, so the assignment must stay byte-identical to flat
+        cl = tiny_cluster(num_nodes=1, devices_per_node=4,
+                          comm_model="topology")
+        asg = allocate_devices(cl, [2, 1, 1], 1)
+        assert [asg.devices_of(0, s) for s in range(3)] == [
+            (0, 1), (2,), (3,)
+        ]
+
+    def test_reorders_to_keep_heavy_boundary_on_nvlink(self):
+        # four 1-device stages on a 2x2 cluster: contiguity forces one
+        # boundary across the node gap; the scoring must move the cheap
+        # boundary there, not the 1 GB one
+        cl = tiny_cluster(num_nodes=2, devices_per_node=2,
+                          comm_model="topology")
+        asg = allocate_devices(cl, [1, 1, 1, 1], 1,
+                               boundary_bytes=[1e3, 1e9, 1e3])
+        assert not asg.crossing_is_internode(0, 1)
+        report = boundary_report(asg, 1, 4)
+        assert report["internode_boundaries"] >= 1.0  # the gap is real
+        # and the allocation still covers each rank exactly once
+        used = sorted(r for s in range(4) for r in asg.devices_of(0, s))
+        assert used == [0, 1, 2, 3]
+
+    def test_wrong_boundary_bytes_length_raises(self):
+        cl = tiny_cluster(num_nodes=1, devices_per_node=4,
+                          comm_model="topology")
+        with pytest.raises(ValueError, match="boundary_bytes"):
+            allocate_devices(cl, [2, 2], 1, boundary_bytes=[1.0, 2.0])
+
+    def test_incomplete_cover_raises(self):
+        with pytest.raises(ValueError, match="allocation covers"):
+            allocate_devices(tiny_cluster(), [2], 1)
+
+
+class TestBoundaryReport:
+    def test_all_nvlink_on_single_node(self):
+        cl = tiny_cluster(num_nodes=1, devices_per_node=4)
+        asg = allocate_devices(cl, [2, 2], 1)
+        report = boundary_report(asg, 1, 2)
+        assert report == {
+            "boundaries": 1.0,
+            "internode_boundaries": 0.0,
+            "nvlink_boundary_frac": 1.0,
+        }
+
+    def test_single_stage_has_no_boundaries(self):
+        cl = tiny_cluster(num_nodes=1, devices_per_node=4)
+        asg = allocate_devices(cl, [4], 1)
+        assert boundary_report(asg, 1, 1)["nvlink_boundary_frac"] == 1.0
+
+
+class TestFootnote3:
+    """The paper's footnote 3: because Algorithm 2 aligns pipelines to
+    whole nodes, stage-to-stage traffic travels over NVLink.  Under the
+    topology model the planner now *checks* that instead of assuming
+    it."""
+
+    @pytest.mark.parametrize("num_nodes", [2, 4])
+    def test_planned_stage_edges_stay_on_nvlink(self, num_nodes):
+        graph = build_bert(
+            BertConfig(hidden_size=768, num_layers=12, num_heads=12)
+        )
+        cluster = paper_cluster(num_nodes, comm_model="topology")
+        plan = auto_partition(graph, cluster, batch_size=256)
+        assert plan.assignment is not None
+        D = sum(s.devices_per_pipeline for s in plan.stages)
+        assert D <= cluster.devices_per_node  # premise of footnote 3
+        report = boundary_report(
+            plan.assignment, plan.replica_factor, plan.num_stages
+        )
+        assert report["internode_boundaries"] == 0.0
+        assert report["nvlink_boundary_frac"] == 1.0
+        assert plan.diagnostics.comm_model == "topology"

@@ -1,5 +1,6 @@
 """The randomized differential harness: 25 seeded random DAGs x 3
-cluster presets, full planner, every emitted plan verified."""
+cluster presets x 2 communication models, full planner, every emitted
+plan verified."""
 
 from repro.verify.harness import default_clusters, main, run_harness
 
@@ -7,18 +8,32 @@ from repro.verify.harness import default_clusters, main, run_harness
 class TestHarness:
     def test_full_seed_matrix_has_zero_violations(self):
         result = run_harness(seeds=range(25))
-        assert len(result.cases) == 25 * len(default_clusters())
+        assert len(result.cases) == 25 * len(default_clusters()) * 2
         assert result.total_violations == 0, [
             str(v) for c in result.cases for v in c.violations
         ]
         # the matrix must actually exercise the planner: most
         # combinations feasible, and the memory-starved preset forcing
         # genuine multi-stage pipelines
-        assert result.num_feasible >= 60
+        assert result.num_feasible >= 120
         assert any(c.num_stages >= 2 for c in result.cases)
+        # both communication models appear, and the topology column is
+        # held to the same zero-violation bar (asserted above) with the
+        # same feasibility profile as flat
+        by_model = {}
+        for case in result.cases:
+            by_model.setdefault(case.comm_model, []).append(case)
+        assert set(by_model) == {"flat", "topology"}
+        flat_feasible = {
+            (c.seed, c.cluster_name) for c in by_model["flat"] if c.feasible
+        }
+        topo_feasible = {
+            (c.seed, c.cluster_name) for c in by_model["topology"] if c.feasible
+        }
+        assert flat_feasible == topo_feasible
 
     def test_cli_entry(self, capsys):
-        assert main(["--seeds", "2"]) == 0
+        assert main(["--seeds", "2", "--comm-models", "flat"]) == 0
         out = capsys.readouterr().out
         assert "0 violation(s)" in out
         assert "seed   0" in out
