@@ -92,14 +92,14 @@ def run_snapshot(workloads, rounds: int = 3) -> dict:
             t0 = time.perf_counter()
             plan = auto_partition(graph, cluster, batch_size)
             walls.append(time.perf_counter() - t0)
-        extras = plan.extras
+        diag = plan.diagnostics
         doc[name] = {
             "wall_time_s": min(walls),
             "wall_times_s": walls,
             "batch_size": batch_size,
-            "dp_calls": int(extras["dp_calls"]),
-            "states_evaluated": int(extras["states_evaluated"]),
-            "candidates_tried": int(extras["candidates_tried"]),
+            "dp_calls": int(diag.dp_calls),
+            "states_evaluated": int(diag.states_evaluated),
+            "candidates_tried": int(diag.candidates_tried),
             "num_stages": plan.num_stages,
             "throughput": plan.throughput,
         }

@@ -27,11 +27,12 @@ def main() -> None:
 
     print(plan.summary())
     print()
-    print(f"atomic components : {plan.extras['num_atomic_components']:.0f}")
-    print(f"blocks            : {plan.extras['num_blocks']:.0f}")
-    print(f"DP invocations    : {plan.extras['dp_calls']:.0f}")
-    print(f"pipeline time     : {plan.extras['pipeline_time'] * 1e3:.2f} ms")
-    print(f"allreduce time    : {plan.extras['allreduce_time'] * 1e3:.2f} ms")
+    diag = plan.diagnostics
+    print(f"atomic components : {diag.num_atomic_components}")
+    print(f"blocks            : {diag.num_blocks}")
+    print(f"DP invocations    : {diag.dp_calls}")
+    print(f"pipeline time     : {diag.pipeline_time * 1e3:.2f} ms")
+    print(f"allreduce time    : {diag.allreduce_time * 1e3:.2f} ms")
 
     # the device assignment shows where every stage replica runs
     assignment = plan.assignment

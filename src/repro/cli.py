@@ -64,13 +64,24 @@ def _add_plan(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--blocks", type=int, default=32, help="block count k")
     p.add_argument("--cache-dir", type=str, default=None,
                    help="deployment cache directory (reruns load the plan)")
+    p.add_argument("--delta", action="store_true",
+                   help="delta replan: persist per-pass artifacts under "
+                        "<cache-dir>/artifacts/ and reuse every artifact "
+                        "whose inputs are unchanged (requires --cache-dir)")
+    p.add_argument("--memory-budget-gb", type=float, default=None,
+                   help="cap the per-device memory the stage search may "
+                        "fill (GiB); default: hardware capacity")
+    p.add_argument("--cache-budget-mb", type=int, default=None,
+                   help="LRU byte budget of the on-disk cache (MiB), "
+                        "deployments + artifacts; default: unbounded")
     p.add_argument("--comm-model", choices=("flat", "topology"),
                    default="flat",
                    help="communication cost model: 'flat' is the paper's "
                         "two-scalar closed forms, 'topology' routes every "
                         "transfer over the link-level network model")
     p.add_argument("--explain", action="store_true",
-                   help="print per-pass timings and profiler statistics")
+                   help="print per-pass timings, profiler statistics, and "
+                        "cache / artifact-reuse gauges")
     p.add_argument("--save", type=str, default=None,
                    help="write the deployment JSON to this path")
 
@@ -214,11 +225,16 @@ def _build_graph(args: argparse.Namespace):
 
 def _cmd_plan(args: argparse.Namespace) -> int:
     from repro.planner import (
+        ArtifactStore,
         PlannerConfig,
         PlanningContext,
         plan_graph,
     )
 
+    if args.delta and args.cache_dir is None:
+        print("ERROR: --delta needs --cache-dir (the artifacts persist "
+              "under <cache-dir>/artifacts/)")
+        return 2
     graph = _build_graph(args)
     cluster = paper_cluster(num_nodes=args.nodes)
     precision = Precision.AMP if args.amp else Precision.FP32
@@ -228,11 +244,24 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         num_blocks=args.blocks,
         cache_dir=args.cache_dir,
         comm_model=args.comm_model,
+        memory_budget=(
+            args.memory_budget_gb * 2**30
+            if args.memory_budget_gb is not None else None
+        ),
+        cache_budget_bytes=(
+            args.cache_budget_mb * 2**20
+            if args.cache_budget_mb is not None else None
+        ),
     )
     ctx = PlanningContext(graph, cluster, config)
+    if args.delta:
+        # the context lends the store its disk backend, so artifacts
+        # written by earlier --delta runs are picked up across processes
+        ctx.attach_store(ArtifactStore())
     print(f"{graph}  on {cluster.total_devices} devices, "
           f"BS={args.batch_size}, {precision.value}, "
-          f"comm={args.comm_model}")
+          f"comm={args.comm_model}"
+          + (", delta replan" if args.delta else ""))
     try:
         plan = plan_graph(graph, cluster, config, context=ctx)
     except PartitioningError as exc:
@@ -255,17 +284,20 @@ def _cmd_plan(args: argparse.Namespace) -> int:
 
 
 def _render_events(ctx) -> str:
-    """Two-column per-pass report plus profiler memo statistics."""
+    """Two-column per-pass report plus profiler / cache / reuse stats."""
     lines = ["", "pass".ljust(20) + "status".ljust(10) + "time".rjust(10) +
              "  detail"]
     lines.append("-" * 72)
     for event in ctx.events:
-        keys = ("reason", "hit", "verified", "dp_calls", "candidates_tried",
+        keys = ("reason", "hit", "verified", "stored", "reuse",
+                "fingerprint", "dp_calls", "candidates_tried",
                 "states_evaluated", "parallel_search", "memo_hit_rate",
-                "num_components", "num_blocks", "num_stages", "throughput",
+                "num_components", "num_blocks", "range_entries",
+                "num_stages", "throughput",
                 "bubble_frac", "comm_model", "allreduce_algorithm",
                 "internode_boundaries", "nvlink_boundary_frac",
-                "invariants_checked", "violations")
+                "invariants_checked", "violations",
+                "cache_bytes", "cache_evictions")
         detail = ", ".join(
             f"{k}={event.detail[k]}" for k in keys if k in event.detail
         )
@@ -286,6 +318,21 @@ def _render_events(ctx) -> str:
         )
     else:
         lines.append("profiler memo hit rate: n/a (profiler never built)")
+    snap = ctx.metrics.snapshot()
+    if "cache.bytes" in snap:
+        lines.append(
+            f"cache: {int(snap['cache.bytes'])} bytes on disk, "
+            f"{int(snap.get('cache.evictions', 0))} eviction(s)"
+        )
+    if "planner.reuse.passes_skipped" in snap:
+        lines.append(
+            "artifact reuse: "
+            f"{int(snap['planner.reuse.passes_skipped'])} pass(es) "
+            "skipped, "
+            f"{int(snap['planner.reuse.artifacts_loaded'])} artifact(s) "
+            "loaded, "
+            f"{int(snap['planner.reuse.store_misses'])} store miss(es)"
+        )
     return "\n".join(lines)
 
 

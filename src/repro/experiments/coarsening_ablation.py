@@ -180,7 +180,7 @@ def run_coarsening_ablation(
                 AblationRow(
                     model=name,
                     full_throughput=plan.throughput,
-                    full_dp_states=int(plan.extras.get("dp_calls", 0)),
+                    full_dp_states=int(plan.diagnostics.dp_calls),
                     ablated_finished=False,
                     projected_states=projected,
                 )
@@ -223,7 +223,7 @@ def run_coarsening_ablation(
             AblationRow(
                 model=name,
                 full_throughput=plan.throughput,
-                full_dp_states=int(plan.extras.get("dp_calls", 0)),
+                full_dp_states=int(plan.diagnostics.dp_calls),
                 ablated_finished=best is not None,
                 ablated_throughput=best or 0.0,
                 ablated_dp_states=ctx.states_evaluated,

@@ -69,6 +69,30 @@ def canonicalize_attrs(attrs: Dict[str, Any], task: str = "?") -> Dict[str, Any]
     }
 
 
+def canonical_json(doc: Any) -> str:
+    """Deterministic JSON text for hashing: sorted keys, no whitespace
+    variance, NumPy scalars coerced to plain Python.
+
+    Content fingerprints throughout the repo (graph fingerprints, the
+    planner's facet/artifact fingerprints) hash this form so the same
+    logical content always produces the same digest."""
+
+    def _default(value: Any) -> Any:
+        if isinstance(value, (np.bool_,)):
+            return bool(value)
+        if isinstance(value, np.integer):
+            return int(value)
+        if isinstance(value, np.floating):
+            return float(value)
+        raise TypeError(
+            f"cannot canonicalize {type(value).__name__} for hashing"
+        )
+
+    return json.dumps(
+        doc, sort_keys=True, separators=(",", ":"), default=_default
+    )
+
+
 def graph_to_json(graph: TaskGraph) -> str:
     """Serialize a graph to a JSON string (deterministic key order)."""
     doc: Dict[str, Any] = {

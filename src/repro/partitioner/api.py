@@ -3,10 +3,11 @@
 A thin wrapper over the pass-based planning engine
 (:mod:`repro.planner`): it assembles the default pass list — validate ->
 cache load -> atomic-level partitioning -> block-level coarsening ->
-Algorithm-2 stage search -> device allocation -> throughput evaluation ->
-cache store — and returns the finished plan.  Callers that need the
-event log or a custom pipeline use :func:`repro.planner.plan_graph`
-directly.
+profile-tensor construction -> Algorithm-2 stage search -> device
+allocation -> throughput evaluation -> cache store — and returns the
+finished plan.  Callers that need the event log or a custom pipeline use
+:func:`repro.planner.plan_graph` directly; ``reuse_from`` turns the call
+into a delta replan (see :mod:`repro.planner.replan`).
 """
 
 from __future__ import annotations
@@ -45,6 +46,9 @@ def auto_partition(
     cache_dir: Optional[Union[str, Path]] = None,
     context: Optional[PlanningContext] = None,
     comm_model: Optional[str] = None,
+    memory_budget: Optional[float] = None,
+    cache_budget_bytes: Optional[int] = None,
+    reuse_from: Optional[PlanningContext] = None,
 ) -> PartitionPlan:
     """Automatically partition ``graph`` for hybrid parallelism.
 
@@ -73,6 +77,15 @@ def auto_partition(
         comm_model: communication cost model (``"flat"`` or
             ``"topology"``, see :mod:`repro.comm`); ``None`` inherits
             the cluster's own ``comm_model`` setting.
+        memory_budget: optional per-device memory cap (bytes) for the
+            stage search, below the hardware capacity; ``None`` uses
+            the full capacity.
+        cache_budget_bytes: LRU byte budget for the on-disk cache
+            (deployment entries + artifacts); ``None`` is unbounded.
+        reuse_from: the :class:`PlanningContext` of a previous planning
+            run; still-valid artifacts (coarsening, profile tensors,
+            DP solution) are reused and only the invalidated passes
+            rerun -- a *delta replan* (see :mod:`repro.planner.replan`).
 
     Returns:
         A fully evaluated :class:`PartitionPlan`.
@@ -91,6 +104,8 @@ def auto_partition(
         verify=verify,
         cache_dir=cache_dir,
         comm_model=comm_model,
+        memory_budget=memory_budget,
+        cache_budget_bytes=cache_budget_bytes,
     )
     if context is None:
         context = PlanningContext(graph, cluster, config, profiler)
@@ -100,4 +115,8 @@ def auto_partition(
             context.cluster = context.cluster.with_comm_model(comm_model)
         if profiler is not None:
             context.profiler = profiler
+    if reuse_from is not None:
+        from repro.planner import ensure_store
+
+        context.attach_store(ensure_store(reuse_from))
     return plan_graph(graph, cluster, config, context=context)

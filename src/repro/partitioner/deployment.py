@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import weakref
 from typing import Any, Dict, Optional
 
 from repro.graph.ir import TaskGraph
@@ -28,9 +29,21 @@ class DeploymentMismatchError(ValueError):
     """The stored deployment does not match the supplied graph/cluster."""
 
 
+#: per-object fingerprint memo -- graphs are immutable once traced, and
+#: serializing a large graph is the single most expensive step of a
+#: cache lookup / facet digest, so hash each instance at most once
+_fingerprint_memo: "weakref.WeakKeyDictionary[TaskGraph, str]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
 def graph_fingerprint(graph: TaskGraph) -> str:
     """Stable content hash of a traced graph."""
-    return hashlib.sha256(graph_to_json(graph).encode()).hexdigest()[:16]
+    fp = _fingerprint_memo.get(graph)
+    if fp is None:
+        fp = hashlib.sha256(graph_to_json(graph).encode()).hexdigest()[:16]
+        _fingerprint_memo[graph] = fp
+    return fp
 
 
 def plan_to_json(plan: PartitionPlan, graph: TaskGraph) -> str:

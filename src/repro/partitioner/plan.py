@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -149,8 +150,17 @@ class PartitionPlan:
 
     @property
     def extras(self) -> Dict[str, float]:
-        """Flat dict view of :attr:`diagnostics` (kept for callers that
-        predate :class:`PlanDiagnostics`)."""
+        """Deprecated flat dict view of :attr:`diagnostics`.
+
+        Predates :class:`PlanDiagnostics`; read the typed fields (or
+        ``plan.diagnostics.as_dict()``) instead.
+        """
+        warnings.warn(
+            "PartitionPlan.extras is deprecated; use plan.diagnostics "
+            "(or plan.diagnostics.as_dict() for the flat view)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.diagnostics.as_dict()
 
     @property

@@ -137,6 +137,7 @@ class DPContext:
         profiler: GraphProfiler,
         batch_size: int,
         metrics: Optional[MetricsRegistry] = None,
+        memory_budget: Optional[float] = None,
     ) -> None:
         self.graph = graph
         self.blocks = list(blocks)
@@ -146,6 +147,10 @@ class DPContext:
         #: to attach after construction too
         self.metrics = metrics
         self.cluster = profiler.cluster
+        #: optional per-device memory cap below the hardware capacity
+        #: (``PlannerConfig.memory_budget``); bounds the DP's feasibility
+        #: check without touching the profiles themselves
+        self.memory_budget = memory_budget
         k = len(self.blocks)
         self.k = k
 
@@ -174,6 +179,101 @@ class DPContext:
         ] = {}
         self.dp_calls = 0
         self.states_evaluated = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def usable_memory(self) -> float:
+        """Per-device memory the DP may fill: hardware capacity, further
+        capped by :attr:`memory_budget` when one is set."""
+        capacity = self.cluster.device.usable_memory
+        if self.memory_budget is not None:
+            capacity = min(capacity, self.memory_budget)
+        return capacity
+
+    def set_memory_budget(self, budget: Optional[float]) -> None:
+        """Change the memory cap; drops only the budget-dependent derived
+        masks (:meth:`_dp_tensors`), never the profile tensors."""
+        with self._lock:
+            if budget != self.memory_budget:
+                self.memory_budget = budget
+                self._dp_tensor_cache.clear()
+
+    def rebind(
+        self,
+        cluster: "ClusterSpec",
+        metrics: Optional[MetricsRegistry] = None,
+        memory_budget: Optional[float] = None,
+    ) -> "DPContext":
+        """Retarget a reused context at a new planning run.
+
+        The expensive caches (range matrices, per-batch time prefixes,
+        profile tensors) depend only on the graph, the block list, the
+        batch size, the device's *performance* model and the same-node
+        p2p affine -- exactly the facets the artifact store keys the
+        ``dp_context`` artifact on -- so a delta replan that changes the
+        cluster shape, the capacity or the memory budget keeps them all.
+        The derived DP masks additionally depend on
+        :attr:`usable_memory` (their OVER plane), so they are dropped
+        only when the effective capacity/budget actually changed; the
+        per-run counters are reset so the new run's diagnostics start
+        from zero.
+        """
+        self.profiler.rebind_cluster(cluster)
+        with self._lock:
+            old_usable = self.usable_memory
+            self.cluster = cluster
+            self.metrics = metrics
+            if memory_budget != self.memory_budget:
+                self.memory_budget = memory_budget
+            if self.usable_memory != old_usable:
+                self._dp_tensor_cache.clear()
+            self.dp_calls = 0
+            self.states_evaluated = 0
+        return self
+
+    # ------------------------------------------------------------------
+    # cache snapshot (artifact-store disk codec)
+    # ------------------------------------------------------------------
+    def export_cache_state(self) -> Dict[str, np.ndarray]:
+        """The reusable numeric caches as named arrays (for ``npz``
+        serialization by the artifact store's disk backend).
+
+        Covers the saved-activation prefix, the range matrices and the
+        per-batch time prefixes; the profile/DP tensors are derived from
+        these by pure broadcasting and are cheaper to rebuild than to
+        store."""
+        with self._lock:
+            arrays: Dict[str, np.ndarray] = {
+                "saved_prefix": self._saved_prefix,
+            }
+            if self._range_mats is not None:
+                in1, out1, params = self._range_mats
+                arrays["range_in1"] = in1
+                arrays["range_out1"] = out1
+                arrays["range_params"] = params
+            for bs, (tf, tb) in self._time_prefix.items():
+                arrays[f"time_tf_{bs}"] = tf
+                arrays[f"time_tb_{bs}"] = tb
+            return arrays
+
+    def import_cache_state(self, arrays: Dict[str, np.ndarray]) -> None:
+        """Restore the caches exported by :meth:`export_cache_state`."""
+        with self._lock:
+            if "saved_prefix" in arrays:
+                self._saved_prefix = np.asarray(arrays["saved_prefix"])
+            if "range_in1" in arrays:
+                self._range_mats = (
+                    np.asarray(arrays["range_in1"]),
+                    np.asarray(arrays["range_out1"]),
+                    np.asarray(arrays["range_params"]),
+                )
+            for name, arr in arrays.items():
+                if name.startswith("time_tf_"):
+                    bs = int(name[len("time_tf_"):])
+                    self._time_prefix[bs] = (
+                        np.asarray(arr),
+                        np.asarray(arrays[f"time_tb_{bs}"]),
+                    )
 
     # ------------------------------------------------------------------
     def _count_dp_call(self) -> None:
@@ -537,7 +637,7 @@ class DPContext:
                 return cached
             TF, TB, MEM = self.profile_tensors(D, R, MB, checkpointing)
             FIN = np.isfinite(TF)
-            OVER = MEM > self.cluster.device.usable_memory
+            OVER = MEM > self.usable_memory
             result = (TF, TB, MEM, FIN, OVER)
             self._dp_tensor_cache[key] = result
             return result
@@ -653,7 +753,7 @@ def _form_stage_dp_body(
     if metrics is not None:
         metrics.counter("dp.calls").inc()
     checkpointing = S > 1
-    M = ctx.cluster.device.usable_memory
+    M = ctx.usable_memory
     full = (k + 1) * (k + 1) * (D + 1) * (D + 1) <= FULL_TENSOR_MAX_CELLS
     if full:
         TF, TB, MEM, FIN, OVER = ctx._dp_tensors(D, R, MB, checkpointing)
@@ -663,6 +763,10 @@ def _form_stage_dp_body(
         TF, TB, MEM = ctx.profile_tensors(D, R, MB, checkpointing)
 
     INF = np.inf
+    # broadcastable index planes for gathering the per-(b, r) argmin out
+    # of a (b', b, r) slab without take_along_axis overhead
+    row_idx = np.arange(k + 1)[:, None]
+    col_idx = np.arange(D + 1)[None, :]
     V = np.full((S + 1, k + 1, D + 1), INF)
     tf = np.zeros((S + 1, k + 1, D + 1))
     tb = np.zeros((S + 1, k + 1, D + 1))
@@ -696,9 +800,10 @@ def _form_stage_dp_body(
         if full:
             # one (b', b, r) slab per feasible d' column: for fixed d',
             # the replica count r = d - d' increases 1:1 along the d
-            # axis, so the slab is a slice TF[..., 1:nd+1] of the cached
-            # tensors.  A running lexicographic (value, b', d') minimum
-            # across columns equals the flat (b', d') row-major argmin.
+            # axis, so the slab is a pure *slice* TF[..., 1:nd+1] of the
+            # cached tensors (no gather materialized).  A running
+            # lexicographic (value, b', d') minimum across columns
+            # equals the flat (b', d') row-major argmin.
             ptf = tf[s - 1]
             ptb = tb[s - 1]
             col_ok = prev_ok.any(axis=0)
@@ -736,7 +841,9 @@ def _form_stage_dp_body(
                 )
                 v = np.where(ok, cand_tf + cand_tb, INF)
                 bp_idx = np.argmin(v, axis=0)  # (b, r): smallest b' wins
-                vmin = np.take_along_axis(v, bp_idx[None], axis=0)[0]
+                rows = row_idx[: bp_idx.shape[0]]
+                cols = col_idx[:, :nd]
+                vmin = v[bp_idx, rows, cols]
                 bpg = bp_idx + (s - 1)
                 cur = best[bsl, ds_]
                 cur_bp = best_bp[bsl, ds_]
@@ -745,8 +852,8 @@ def _form_stage_dp_body(
                 # d'): the (b', d') row-major first-minimum tie-break
                 upd = (vmin < cur) | ((vmin == cur) & (bpg < cur_bp))
                 if upd.any():
-                    ctf = np.take_along_axis(cand_tf, bp_idx[None], axis=0)[0]
-                    ctb = np.take_along_axis(cand_tb, bp_idx[None], axis=0)[0]
+                    ctf = cand_tf[bp_idx, rows, cols]
+                    ctb = cand_tb[bp_idx, rows, cols]
                     best[bsl, ds_] = np.where(upd, vmin, cur)
                     best_tf[bsl, ds_] = np.where(upd, ctf, best_tf[bsl, ds_])
                     best_tb[bsl, ds_] = np.where(upd, ctb, best_tb[bsl, ds_])
@@ -897,7 +1004,7 @@ def reference_form_stage_dp(
     if S < 1 or S > k or S > D:
         return INFEASIBLE
     checkpointing = S > 1
-    M = ctx.cluster.device.usable_memory
+    M = ctx.usable_memory
     INF = float("inf")
 
     V = {(0, 0, 0): 0.0}

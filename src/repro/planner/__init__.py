@@ -32,6 +32,7 @@ from repro.planner.context import (
     PlanningContext,
 )
 from repro.planner.events import EventLog, PassEvent
+from repro.planner.facets import FACET_NAMES, compute_facets
 from repro.planner.manager import (
     PartitioningError,
     PassError,
@@ -43,10 +44,13 @@ from repro.planner.passes import (
     AtomicPartitionPass,
     CoarsenPass,
     EvaluatePass,
+    ProfileTensorsPass,
     StageSearchPass,
     ValidatePass,
     VerifyPass,
 )
+from repro.planner.replan import ensure_store, replan
+from repro.planner.store import Artifact, ArtifactStore, DiskBackend
 from repro.profiler.profiler import GraphProfiler
 
 
@@ -55,17 +59,19 @@ def default_passes() -> List[PlannerPass]:
 
     ``validate`` always runs (it is cheap and guards the cache path too);
     ``cache_load`` short-circuits every later compute pass on a hit; the
-    compute passes mirror the paper's phases; ``verify`` holds the fresh
-    plan to the :mod:`repro.verify` invariants (a cache hit was already
-    verified during the load); ``cache_store`` persists a freshly
-    computed plan.  Both cache passes self-skip when no cache directory
-    is configured.
+    compute passes mirror the paper's phases, with ``profile_tensors``
+    building the reusable DP profile planes between coarsening and the
+    stage search; ``verify`` holds the fresh plan to the
+    :mod:`repro.verify` invariants (a cache hit was already verified
+    during the load); ``cache_store`` persists a freshly computed plan.
+    Both cache passes self-skip when no cache directory is configured.
     """
     return [
         ValidatePass(),
         CachePass("load"),
         AtomicPartitionPass(),
         CoarsenPass(),
+        ProfileTensorsPass(),
         StageSearchPass(),
         AllocatePass(),
         EvaluatePass(),
@@ -120,6 +126,8 @@ def run_framework_pipeline(
 
 
 __all__ = [
+    "Artifact",
+    "ArtifactStore",
     "AllocatePass",
     "AtomicPartitionPass",
     "BLOCKS",
@@ -127,9 +135,11 @@ __all__ = [
     "CachePass",
     "CoarsenPass",
     "DP_CONTEXT",
+    "DiskBackend",
     "EVALUATED",
     "EvaluatePass",
     "EventLog",
+    "FACET_NAMES",
     "FRAMEWORK_RESULT",
     "GraphProfiler",
     "PLAN",
@@ -140,6 +150,7 @@ __all__ = [
     "PlannerConfig",
     "PlannerPass",
     "PlanningContext",
+    "ProfileTensorsPass",
     "SEARCH_RESULT",
     "StageSearchPass",
     "VALIDATED",
@@ -147,7 +158,10 @@ __all__ = [
     "ValidatePass",
     "VerifyPass",
     "cache_path",
+    "compute_facets",
     "default_passes",
+    "ensure_store",
     "plan_graph",
+    "replan",
     "run_framework_pipeline",
 ]

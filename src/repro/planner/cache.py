@@ -1,4 +1,4 @@
-"""First-class deployment caching for the planning pipeline.
+"""Whole-plan deployment caching as a thin view over the disk backend.
 
 RaNNC persists its partitioning results ("deployments") so relaunching a
 job skips the search; :class:`CachePass` folds that into the pass
@@ -8,12 +8,20 @@ on a hit, restores the plan so every search pass is skipped; a
 back.  Entries are keyed on graph fingerprint + cluster shape + the
 plan-determining planner config (see ``PlanningContext.cache_key``), so
 mutating any of the three re-plans instead of serving a stale deployment.
+
+Since the artifact store landed (:mod:`repro.planner.store`), this pass
+owns no file I/O of its own: reads and writes go through the context's
+:class:`~repro.planner.store.DiskBackend` -- the same backend that holds
+the serialized per-pass artifacts when delta replanning is on.  The
+entry paths and bytes are unchanged (``<cache_dir>/<model>-<key>.json``,
+the version-1 deployment document), but the backend adds the LRU byte
+budget (``PlannerConfig.cache_budget_bytes``) that keeps the directory
+from growing without bound, plus the ``cache.bytes`` /
+``cache.evictions`` gauges ``repro plan --explain`` reports.
 """
 
 from __future__ import annotations
 
-import os
-import tempfile
 from pathlib import Path
 from typing import Any, Dict, Optional
 
@@ -30,14 +38,24 @@ def cache_path(ctx: PlanningContext) -> Optional[Path]:
     """Deployment file for this context, or ``None`` if caching is off."""
     if ctx.config.cache_dir is None:
         return None
+    return Path(ctx.config.cache_dir) / _cache_relpath(ctx)
+
+
+def _cache_relpath(ctx: PlanningContext) -> str:
+    """Entry file name relative to the cache root."""
     safe_model = "".join(
         c if c.isalnum() or c in "-_." else "_" for c in ctx.graph.name
     )
-    return Path(ctx.config.cache_dir) / f"{safe_model}-{ctx.cache_key()}.json"
+    return f"{safe_model}-{ctx.cache_key()}.json"
 
 
 class CachePass(PlannerPass):
-    """Load (``mode="load"``) or store (``mode="store"``) a deployment."""
+    """Load (``mode="load"``) or store (``mode="store"``) a deployment.
+
+    Not ``cacheable``: the deployment entry *is* the persisted form of
+    the plan artifacts, addressed by the legacy whole-plan key rather
+    than per-pass input fingerprints.
+    """
 
     requires = ()
     produces = ()
@@ -56,21 +74,34 @@ class CachePass(PlannerPass):
         return None
 
     def run(self, ctx: PlanningContext) -> Optional[Dict[str, Any]]:
-        path = cache_path(ctx)
-        assert path is not None  # should_skip gates the None case
+        backend = ctx.deployment_backend()
+        assert backend is not None  # should_skip gates the None case
+        relpath = _cache_relpath(ctx)
         if self.mode == "load":
-            return self._load(ctx, path)
-        return self._store(ctx, path)
+            detail = self._load(ctx, backend, relpath)
+        else:
+            detail = self._store(ctx, backend, relpath)
+        stats = backend.stats()
+        ctx.metrics.gauge("cache.bytes").set(stats["bytes"])
+        ctx.metrics.gauge("cache.evictions").set(stats["evictions"])
+        detail["cache_bytes"] = int(stats["bytes"])
+        if stats["evictions"]:
+            detail["cache_evictions"] = int(stats["evictions"])
+        return detail
 
-    def _load(self, ctx: PlanningContext, path: Path) -> Dict[str, Any]:
-        if not path.exists():
-            return {"hit": False, "path": str(path)}
+    def _load(
+        self, ctx: PlanningContext, backend, relpath: str
+    ) -> Dict[str, Any]:
+        path = str(backend.path(relpath))
+        text = backend.read_text(relpath)
+        if text is None:
+            return {"hit": False, "path": path}
         try:
             # a restored deployment is held to the same repro.verify
             # invariants as a fresh plan (truncated JSON, dropped stages,
             # over-memory stages, ... all land in the except below)
             plan = plan_from_json(
-                path.read_text(),
+                text,
                 ctx.graph,
                 ctx.cluster,
                 verify=ctx.config.verify,
@@ -82,7 +113,7 @@ class CachePass(PlannerPass):
         except (DeploymentMismatchError, ValueError, KeyError) as exc:
             # a stale, corrupt or invariant-violating entry is a miss,
             # not a failure; the store pass then repairs it
-            return {"hit": False, "path": str(path), "reason": str(exc)}
+            return {"hit": False, "path": path, "reason": str(exc)}
         plan.diagnostics.cache_hit = True
         ctx.put(PLAN, plan)
         ctx.put(EVALUATED, plan)
@@ -90,27 +121,15 @@ class CachePass(PlannerPass):
             # VerifyPass sees the artifact and skips the duplicate check
             ctx.put(VERIFIED, True)
         ctx.put("cache_hit", True)
-        return {"hit": True, "path": str(path), "verified": ctx.config.verify}
+        return {"hit": True, "path": path, "verified": ctx.config.verify}
 
-    def _store(self, ctx: PlanningContext, path: Path) -> Dict[str, Any]:
+    def _store(
+        self, ctx: PlanningContext, backend, relpath: str
+    ) -> Dict[str, Any]:
         plan = ctx.get(EVALUATED) or ctx.get(PLAN)
         if plan is None:
             return {"stored": False, "reason": "no plan to store"}
-        path.parent.mkdir(parents=True, exist_ok=True)
-        text = plan_to_json(plan, ctx.graph)
-        # write-then-rename so a crash or a concurrent planner never
-        # leaves a truncated entry at the final path
-        fd, tmp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w") as fh:
-                fh.write(text)
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        # the backend writes via write-then-rename, so a crash or a
+        # concurrent planner never leaves a truncated entry
+        path = backend.write_text(relpath, plan_to_json(plan, ctx.graph))
         return {"stored": True, "path": str(path)}

@@ -53,6 +53,20 @@ class PlannerConfig:
     ``"flat"``/``"topology"`` override it for this run.  The model is
     plan-determining (it prices stage boundaries and allreduce), so it
     participates in :meth:`fingerprint`.
+
+    ``memory_budget`` optionally caps the per-device memory the stage
+    search may fill *below* the hardware capacity (bytes; ``None`` means
+    capacity).  It bounds only the DP's feasibility check -- coarsening
+    keeps using the raw device capacity -- so a budget change invalidates
+    the stage search but reuses the coarsening and profile-tensor
+    artifacts under delta replanning.  Plan-determining, so it enters
+    :meth:`fingerprint`; ``None`` is omitted from the hashed document to
+    keep default-config fingerprints identical to earlier releases.
+
+    ``cache_budget_bytes`` is the LRU byte budget of the on-disk cache
+    backend (deployment entries + serialized artifacts); ``None`` leaves
+    the cache unbounded.  A run-mode knob: it changes what stays cached,
+    never what plan is produced, so it is excluded from the fingerprint.
     """
 
     batch_size: int
@@ -69,6 +83,8 @@ class PlannerConfig:
     search_workers: Optional[int] = None
     trace: bool = False
     comm_model: Optional[str] = None
+    memory_budget: Optional[float] = None
+    cache_budget_bytes: Optional[int] = None
 
     def fingerprint(self) -> str:
         """Stable content hash of the plan-determining fields."""
@@ -82,6 +98,10 @@ class PlannerConfig:
             "schedule": self.schedule,
             "comm_model": self.comm_model,
         }
+        if self.memory_budget is not None:
+            # only hashed when set, so pre-existing cache entries keyed
+            # without the field keep hitting
+            doc["memory_budget"] = self.memory_budget
         blob = json.dumps(doc, sort_keys=True).encode()
         return hashlib.sha256(blob).hexdigest()[:16]
 
@@ -90,8 +110,10 @@ class PlanningContext:
     """Mutable state shared by the passes of one planning run.
 
     Holds the immutable inputs (graph, cluster, config), the lazily
-    constructed profiler, the artifact store passes read from and write
-    to, and the run's observability surface: a
+    constructed profiler, the per-run artifact dict passes read from and
+    write to, optionally a cross-run content-addressed
+    :class:`~repro.planner.store.ArtifactStore` (delta replanning), and
+    the run's observability surface: a
     :class:`~repro.obs.tracer.Tracer` (also the storage behind the
     structured event log the :class:`~repro.planner.manager.PassManager`
     appends to) and a :class:`~repro.obs.metrics.MetricsRegistry` the
@@ -106,6 +128,7 @@ class PlanningContext:
         profiler: Optional[GraphProfiler] = None,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        store: Optional["ArtifactStore"] = None,
     ) -> None:
         self.graph = graph
         # an explicit config.comm_model overrides the cluster's own
@@ -125,6 +148,14 @@ class PlanningContext:
         self.tracer = tracer if tracer is not None else Tracer()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.events = EventLog(self.tracer)
+        #: fingerprints of the artifacts produced (or reused) this run,
+        #: keyed by artifact name; feeds downstream passes' input
+        #: fingerprints and seeds the store for later delta replans
+        self.artifact_fps: Dict[str, str] = {}
+        self.store: Optional["ArtifactStore"] = None
+        self._disk = None
+        if store is not None:
+            self.attach_store(store)
 
     # ------------------------------------------------------------------
     # artifact store
@@ -148,6 +179,50 @@ class PlanningContext:
     def put(self, name: str, value: Any) -> Any:
         self.artifacts[name] = value
         return value
+
+    # ------------------------------------------------------------------
+    # incremental replanning
+    # ------------------------------------------------------------------
+    def attach_store(self, store: "ArtifactStore") -> "ArtifactStore":
+        """Adopt a cross-run artifact store, wiring the on-disk backend.
+
+        When the store already carries a disk backend rooted at this
+        context's ``cache_dir`` the backend is shared with the legacy
+        deployment-cache path (one byte budget, one set of gauges);
+        otherwise, a configured ``cache_dir`` lends the store its
+        backend.
+        """
+        self.store = store
+        if self.config.cache_dir is not None:
+            root = Path(self.config.cache_dir)
+            if store.disk is not None and store.disk.root == root:
+                self._disk = store.disk
+            elif store.disk is None:
+                store.disk = self.deployment_backend()
+        return store
+
+    def deployment_backend(self):
+        """The on-disk cache backend for this context's ``cache_dir``
+        (``None`` when caching is off).  Shared with the artifact store
+        when one is attached, so deployment entries and serialized
+        artifacts live under one LRU byte budget."""
+        if self.config.cache_dir is None:
+            return None
+        root = Path(self.config.cache_dir)
+        if self._disk is None or self._disk.root != root:
+            from repro.planner.store import DiskBackend
+
+            self._disk = DiskBackend(
+                root, byte_budget=self.config.cache_budget_bytes
+            )
+        return self._disk
+
+    def facets(self) -> Dict[str, str]:
+        """Digest of every input facet of this run (see
+        :mod:`repro.planner.facets`)."""
+        from repro.planner.facets import compute_facets
+
+        return compute_facets(self.graph, self.cluster, self.config)
 
     # ------------------------------------------------------------------
     def ensure_profiler(self) -> GraphProfiler:

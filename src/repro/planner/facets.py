@@ -1,0 +1,142 @@
+"""Input facets: the fingerprint vocabulary of incremental replanning.
+
+A *facet* is a named, hashable slice of the planner's inputs (graph,
+cluster, config) that some passes depend on and others do not.  Each
+pass declares the facets it reads (``PlannerPass.facets``); its *input
+fingerprint* is the hash of those facet digests plus the fingerprints of
+the artifacts it requires, so invalidation propagates transitively: a
+``comm_model`` change re-fingerprints ``allocate`` and ``evaluate`` but
+leaves ``coarsen`` and ``profile_tensors`` untouched, while a graph edit
+re-fingerprints everything downstream of ``atomic_partition``.
+
+The facet boundaries encode real dataflow, not convention -- e.g. the
+profile tensors price stage boundaries at the *same-node* p2p affine
+(footnote 3 of the paper), so ``comm_local`` hashes exactly that pair
+and a change to the inter-node bandwidth alone reuses them.  See
+``docs/INCREMENTAL.md`` for the full facet-invalidation matrix.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
+
+from repro.graph.serialize import canonical_json
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.ir import TaskGraph
+    from repro.hardware.cluster import ClusterSpec
+    from repro.planner.context import PlannerConfig
+    from repro.planner.manager import PlannerPass
+
+#: facet names, in the order they appear in the invalidation matrix
+FACET_NAMES = (
+    "graph",
+    "arch",
+    "capacity",
+    "budget",
+    "coarsen",
+    "batch",
+    "cluster_shape",
+    "comm_local",
+    "comm",
+    "search",
+    "schedule",
+)
+
+
+def _digest(doc: Any) -> str:
+    return hashlib.sha256(canonical_json(doc).encode()).hexdigest()[:16]
+
+
+def compute_facets(
+    graph: "TaskGraph", cluster: "ClusterSpec", config: "PlannerConfig"
+) -> Dict[str, str]:
+    """Digest every facet of one planning run's inputs.
+
+    Args:
+        graph: the traced model.
+        cluster: the *effective* cluster (after any ``config.comm_model``
+            override has been applied, i.e. ``PlanningContext.cluster``).
+        config: the planner configuration.
+    """
+    from repro.partitioner.deployment import graph_fingerprint
+
+    device = cluster.device
+    lat, bw = cluster.comm.p2p_affine(same_node=True)
+    return {
+        # the traced model itself
+        "graph": graph_fingerprint(graph),
+        # device performance model + numerics: everything a per-task
+        # time or memory profile depends on
+        "arch": _digest(
+            {
+                "device": [
+                    device.peak_flops_fp32,
+                    device.peak_flops_fp16,
+                    device.mem_bandwidth,
+                    device.matmul_efficiency,
+                    device.kernel_overhead,
+                ],
+                "precision": config.precision.value,
+                "optimizer": config.optimizer.value,
+            }
+        ),
+        # per-device memory capacity (bounds coarsening and the DP)
+        "capacity": _digest(
+            [device.memory_bytes, device.memory_reserve_fraction]
+        ),
+        # the planner-level cap below capacity (DP feasibility only)
+        "budget": _digest(config.memory_budget),
+        # block-level partitioning knobs
+        "coarsen": _digest([config.num_blocks, config.uncoarsen]),
+        # global minibatch size
+        "batch": _digest(config.batch_size),
+        # how many devices Algorithm 2 may spread a pipeline over
+        "cluster_shape": _digest(
+            [cluster.num_nodes, cluster.devices_per_node]
+        ),
+        # the same-node p2p affine the profile tensors price stage
+        # boundaries at (footnote 3): latency + bytes / bandwidth
+        "comm_local": _digest([cluster.comm_model, lat, bw]),
+        # the full communication model (placement scoring, allreduce)
+        "comm": _digest(
+            [
+                cluster.comm_model,
+                cluster.intra_node_bandwidth,
+                cluster.inter_node_bandwidth,
+                cluster.comm_latency,
+                cluster.nvlink_degree,
+                cluster.nic_count,
+            ]
+        ),
+        # stage-search envelope
+        "search": _digest(config.max_microbatches),
+        # pipeline schedule the plan is evaluated under
+        "schedule": _digest(config.schedule),
+    }
+
+
+def pass_input_fingerprint(
+    p: "PlannerPass",
+    facets: Dict[str, str],
+    artifact_fps: Dict[str, str],
+) -> Tuple[Optional[str], Dict[str, str]]:
+    """``(fingerprint, inputs)`` of one pass given the run's facets.
+
+    ``inputs`` maps each declared input (``facet:<name>`` or
+    ``artifact:<name>``) to its digest; the fingerprint hashes the pass
+    name together with that mapping.  Returns ``(None, {})`` when a
+    required artifact has no recorded fingerprint (e.g. it was restored
+    through a non-content-addressed path), which disables store reuse
+    for the pass rather than guessing.
+    """
+    inputs: Dict[str, str] = {}
+    for facet in p.facets:
+        inputs[f"facet:{facet}"] = facets[facet]
+    for artifact in p.requires:
+        fp = artifact_fps.get(artifact)
+        if fp is None:
+            return None, {}
+        inputs[f"artifact:{artifact}"] = fp
+    return _digest({"pass": p.name, "inputs": inputs}), inputs

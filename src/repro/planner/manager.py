@@ -5,6 +5,17 @@ manager checks both around each pass, so a mis-assembled pipeline fails
 with "pass X requires artifact Y" instead of an attribute error three
 layers deep, and a crashing pass is reported by name with the artifacts
 that existed at the time.
+
+Passes additionally declare the input *facets* they read (see
+:mod:`repro.planner.facets`).  When the context carries an
+:class:`~repro.planner.store.ArtifactStore`, the manager computes each
+cacheable pass's input fingerprint (facet digests + the fingerprints of
+its required artifacts) before running it; a store hit on every produced
+artifact skips the pass and installs the stored payloads instead, so a
+delta replan reruns only the invalidated suffix of the pipeline.  Reuse
+is observable: each skipped pass records a ``planner.reuse.<pass>`` span
+and the run ends with ``planner.reuse.*`` gauges.  Without a store the
+manager behaves exactly as before -- no fingerprinting, no extra I/O.
 """
 
 from __future__ import annotations
@@ -44,6 +55,13 @@ class PlannerPass:
     produces: Tuple[str, ...] = ()
     #: skip this pass when a finished plan is already in the context
     skip_when_planned: bool = False
+    #: input facets (beyond ``requires``) this pass reads; the basis of
+    #: its input fingerprint under store-backed incremental replanning
+    facets: Tuple[str, ...] = ()
+    #: whether the pass's artifacts may be reused from / stored into an
+    #: ArtifactStore.  False for passes with side effects or checks that
+    #: must re-run on every plan (validate, verify, the legacy cache).
+    cacheable: bool = False
 
     def should_skip(self, ctx: PlanningContext) -> Optional[str]:
         """A human-readable skip reason, or ``None`` to run the pass."""
@@ -72,11 +90,66 @@ class PassManager:
 
     def run(self, ctx: PlanningContext) -> PlanningContext:
         """Execute all passes in order; returns the (mutated) context."""
+        store = ctx.store
+        facets = ctx.facets() if store is not None else None
+        reused_passes = 0
+        artifacts_loaded = 0
+        store_misses = 0
         for p in self.passes:
             reason = p.should_skip(ctx)
             if reason is not None:
                 ctx.events.record(p.name, SKIPPED, 0.0, {"reason": reason})
                 continue
+            fp = None
+            inputs: Dict[str, str] = {}
+            if store is not None and p.cacheable and p.produces:
+                from repro.planner.facets import pass_input_fingerprint
+
+                fp, inputs = pass_input_fingerprint(
+                    p, facets, ctx.artifact_fps
+                )
+            if fp is not None:
+                reuse_start = time.perf_counter()
+                arts = []
+                for artifact in p.produces:
+                    art = store.get(artifact, fp, ctx)
+                    if art is None:
+                        store_misses += 1
+                        break
+                    arts.append(art)
+                if len(arts) == len(p.produces):
+                    from repro.planner.store import materialize_for_reuse
+
+                    for artifact, art in zip(p.produces, arts):
+                        ctx.put(
+                            artifact,
+                            materialize_for_reuse(
+                                artifact, art.payload, ctx
+                            ),
+                        )
+                        ctx.artifact_fps[artifact] = fp
+                    reused_passes += 1
+                    artifacts_loaded += len(arts)
+                    ctx.tracer.add_span(
+                        f"planner.reuse.{p.name}",
+                        category="planner.reuse",
+                        duration=time.perf_counter() - reuse_start,
+                        attrs={
+                            "fingerprint": fp,
+                            "artifacts": ",".join(p.produces),
+                        },
+                    )
+                    ctx.events.record(
+                        p.name,
+                        SKIPPED,
+                        0.0,
+                        {
+                            "reason": "artifacts reused from store",
+                            "reuse": True,
+                            "fingerprint": fp,
+                        },
+                    )
+                    continue
             for artifact in p.requires:
                 if not ctx.has(artifact):
                     raise PassError(
@@ -108,8 +181,40 @@ class PassManager:
                         f"produce it",
                     )
             ctx.events.record(p.name, OK, elapsed, detail)
+            if fp is not None:
+                for artifact in p.produces:
+                    store.put(artifact, fp, ctx.get(artifact), inputs, ctx)
+                    ctx.artifact_fps[artifact] = fp
+        if store is not None:
+            self._finish_store_run(
+                ctx, store, reused_passes, artifacts_loaded, store_misses
+            )
         self._stamp_diagnostics(ctx)
         return ctx
+
+    @staticmethod
+    def _finish_store_run(
+        ctx: PlanningContext,
+        store,
+        reused_passes: int,
+        artifacts_loaded: int,
+        store_misses: int,
+    ) -> None:
+        """Flush accumulating artifacts and record the reuse gauges."""
+        from repro.planner.context import DP_CONTEXT
+
+        # the DP context keeps warming during the stage search; sync the
+        # on-disk entry to the post-search state
+        fp = ctx.artifact_fps.get(DP_CONTEXT)
+        if fp is not None and ctx.has(DP_CONTEXT):
+            store.refresh(DP_CONTEXT, fp, ctx)
+        metrics = ctx.metrics
+        metrics.gauge("planner.reuse.passes_skipped").set(reused_passes)
+        metrics.gauge("planner.reuse.artifacts_loaded").set(artifacts_loaded)
+        metrics.gauge("planner.reuse.store_hits").set(artifacts_loaded)
+        metrics.gauge("planner.reuse.store_misses").set(store_misses)
+        for stat, value in store.stats().items():
+            metrics.gauge(f"planner.store.{stat}").set(value)
 
     @staticmethod
     def _stamp_diagnostics(ctx: PlanningContext) -> None:

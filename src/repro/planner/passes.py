@@ -5,6 +5,9 @@ Mapping to the paper:
 * :class:`ValidatePass` -- structural sanity of the traced graph.
 * :class:`AtomicPartitionPass` -- atomic-level partitioning (Sec. III-A).
 * :class:`CoarsenPass` -- block-level partitioning (Sec. III-B).
+* :class:`ProfileTensorsPass` -- the profiling context over the block
+  list (range matrices + the lazily-filled (k+1, k+1, D+1) profile
+  tensors Algorithm 1 reduces over).
 * :class:`StageSearchPass` -- Algorithm 2 over Algorithm 1 (Sec. III-C).
 * :class:`AllocatePass` -- device-rank assignment for the winning DP
   solution.
@@ -12,7 +15,12 @@ Mapping to the paper:
 * :class:`VerifyPass` -- hold the finished plan to the
   :mod:`repro.verify` invariants (static + differential).
 
-The cache passes live in :mod:`repro.planner.cache`.
+Each compute pass declares the input facets it reads (``facets``) and
+whether its artifacts are reusable across runs (``cacheable``); the
+facet boundaries are what let a delta replan that only changed the
+cluster size or memory budget skip everything up to and including
+``profile_tensors``.  The cache passes live in
+:mod:`repro.planner.cache`.
 """
 
 from __future__ import annotations
@@ -65,6 +73,8 @@ class AtomicPartitionPass(PlannerPass):
     name = "atomic_partition"
     produces = (COMPONENTS,)
     skip_when_planned = True
+    cacheable = True
+    facets = ("graph",)
 
     def run(self, ctx: PlanningContext) -> Optional[Dict[str, Any]]:
         components = ctx.put(COMPONENTS, atomic_partition(ctx.graph))
@@ -72,12 +82,20 @@ class AtomicPartitionPass(PlannerPass):
 
 
 class CoarsenPass(PlannerPass):
-    """Sec. III-B: multilevel coarsening to ``k`` balanced blocks."""
+    """Sec. III-B: multilevel coarsening to ``k`` balanced blocks.
+
+    Reads the device's performance model (block balance weights) and its
+    raw memory *capacity* (the block-size ceiling) -- deliberately not
+    the planner-level ``memory_budget``, which caps only the stage
+    search, so budget sweeps reuse one coarsening.
+    """
 
     name = "coarsen"
     requires = (COMPONENTS,)
     produces = (BLOCKS,)
     skip_when_planned = True
+    cacheable = True
+    facets = ("arch", "capacity", "coarsen")
 
     def run(self, ctx: PlanningContext) -> Optional[Dict[str, Any]]:
         blocks = ctx.put(
@@ -93,27 +111,62 @@ class CoarsenPass(PlannerPass):
         return {"num_blocks": len(blocks)}
 
 
-class StageSearchPass(PlannerPass):
-    """Sec. III-C: Algorithm 2's (n, S, MB) search over Algorithm 1."""
+class ProfileTensorsPass(PlannerPass):
+    """Build the :class:`DPContext`: the profiling state of Algorithm 1.
 
-    name = "stage_search"
+    The context's range matrices, per-batch time prefixes and dense
+    profile tensors depend on the graph, the block list, the batch size,
+    the device performance model and the same-node p2p affine -- *not*
+    on the cluster shape, the memory capacity or the budget -- so a
+    delta replan that only resized the cluster reuses it wholesale (the
+    most expensive artifact to rebuild).  The range matrices are built
+    eagerly here; the per-``(D, R, MB)`` tensors fill in lazily during
+    the stage search and travel with the artifact.
+    """
+
+    name = "profile_tensors"
     requires = (BLOCKS,)
-    produces = (SEARCH_RESULT, DP_CONTEXT)
+    produces = (DP_CONTEXT,)
     skip_when_planned = True
+    cacheable = True
+    facets = ("arch", "batch", "comm_local")
 
     def run(self, ctx: PlanningContext) -> Optional[Dict[str, Any]]:
-        profiler = ctx.ensure_profiler()
-        memo_before = profiler.memo_hit_rate
         dp_ctx = ctx.put(
             DP_CONTEXT,
             DPContext(
                 ctx.graph,
                 ctx.require(BLOCKS),
-                profiler,
+                ctx.ensure_profiler(),
                 ctx.config.batch_size,
                 metrics=ctx.metrics,
+                memory_budget=ctx.config.memory_budget,
             ),
         )
+        dp_ctx._range_matrices()
+        return {
+            "num_blocks": dp_ctx.k,
+            "range_entries": (dp_ctx.k + 1) ** 2,
+        }
+
+
+class StageSearchPass(PlannerPass):
+    """Sec. III-C: Algorithm 2's (n, S, MB) search over Algorithm 1."""
+
+    name = "stage_search"
+    requires = (BLOCKS, DP_CONTEXT)
+    produces = (SEARCH_RESULT,)
+    skip_when_planned = True
+    cacheable = True
+    facets = ("cluster_shape", "batch", "search", "capacity", "budget")
+
+    def run(self, ctx: PlanningContext) -> Optional[Dict[str, Any]]:
+        profiler = ctx.ensure_profiler()
+        memo_before = profiler.memo_hit_rate
+        dp_ctx = ctx.require(DP_CONTEXT)
+        # the budget gates feasibility only; a reused context just drops
+        # its derived masks, never the profile tensors
+        dp_ctx.set_memory_budget(ctx.config.memory_budget)
         result = form_stage(
             dp_ctx,
             num_nodes=ctx.cluster.num_nodes,
@@ -159,6 +212,8 @@ class AllocatePass(PlannerPass):
     requires = (SEARCH_RESULT, DP_CONTEXT)
     produces = (PLAN,)
     skip_when_planned = True
+    cacheable = True
+    facets = ("cluster_shape", "comm", "batch")
 
     def run(self, ctx: PlanningContext) -> Optional[Dict[str, Any]]:
         result = ctx.require(SEARCH_RESULT)
@@ -226,6 +281,8 @@ class EvaluatePass(PlannerPass):
     requires = (PLAN,)
     produces = (EVALUATED,)
     skip_when_planned = True
+    cacheable = True
+    facets = ("schedule", "comm")
 
     def run(self, ctx: PlanningContext) -> Optional[Dict[str, Any]]:
         plan = evaluate_plan(ctx.require(PLAN), schedule=ctx.config.schedule)

@@ -1,0 +1,138 @@
+"""Delta replanning: reuse a previous run's artifacts for a new plan.
+
+A finished :class:`~repro.planner.context.PlanningContext` holds every
+intermediate the pipeline produced (atomic components, coarsened blocks,
+the profile-tensor ``DPContext``, the DP solution).  When the cluster or
+the planner config changes *partially* -- more nodes, a different memory
+budget, another communication model -- most of those artifacts are still
+valid, and recomputing them (profiling above all) dominates replanning
+latency.
+
+:func:`replan` runs the standard pipeline against an
+:class:`~repro.planner.store.ArtifactStore` seeded from the previous
+context (:func:`ensure_store`).  The pass manager then skips every pass
+whose input fingerprint is unchanged: growing the cluster reuses the
+coarsening and profile tensors and reruns only the stage search onward;
+touching the memory budget does the same; touching nothing at all reuses
+everything.  Because each pass is deterministic, the delta plan is
+bit-identical to a cold plan for the same inputs -- and the ``verify``
+pass still re-checks every delta-produced plan, reuse or not.
+
+Typical use::
+
+    ctx = PlanningContext(graph, cluster, config)
+    plan = plan_graph(graph, cluster, config, context=ctx)
+    # ... the cluster doubles ...
+    new_plan = replan(ctx, cluster=bigger_cluster)
+
+or, through the one-call API::
+
+    plan = auto_partition(graph, cluster, batch_size=32, context=ctx)
+    new_plan = auto_partition(
+        graph, bigger_cluster, batch_size=32, reuse_from=ctx
+    )
+
+``repro plan --delta`` exposes the same mechanism on the command line by
+persisting the artifacts under ``<cache_dir>/artifacts/``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Optional
+
+from repro.graph.ir import TaskGraph
+from repro.hardware.cluster import ClusterSpec
+from repro.planner.context import PlannerConfig, PlanningContext
+from repro.planner.facets import pass_input_fingerprint
+from repro.planner.store import ArtifactStore
+
+__all__ = ["ensure_store", "replan"]
+
+
+def ensure_store(prev_context: PlanningContext) -> ArtifactStore:
+    """The artifact store behind ``prev_context``, creating and seeding
+    one from the context's finished artifacts when it ran store-less.
+
+    Seeding replays the fingerprint chain of the default pipeline over
+    the previous run's facets: each cacheable pass's input fingerprint
+    is recomputed exactly as the manager would have, and whichever of
+    its artifacts the context holds are put into the store under that
+    address.  A context that already carries a store (it ran with one)
+    is returned as-is -- its artifacts were stored during the run.
+    """
+    if prev_context.store is not None:
+        return prev_context.store
+    from repro.planner import default_passes
+
+    store = ArtifactStore()
+    prev_context.attach_store(store)
+    facets = prev_context.facets()
+    chain = dict(prev_context.artifact_fps)
+    for p in default_passes():
+        if not (p.cacheable and p.produces):
+            continue
+        fp, inputs = pass_input_fingerprint(p, facets, chain)
+        if fp is None:
+            continue
+        stored_all = True
+        for artifact in p.produces:
+            if not prev_context.has(artifact):
+                stored_all = False
+                continue
+            store.put(
+                artifact,
+                fp,
+                prev_context.get(artifact),
+                inputs,
+                prev_context,
+            )
+        if stored_all:
+            # downstream fingerprints chain through this artifact
+            for artifact in p.produces:
+                chain[artifact] = fp
+    prev_context.artifact_fps.update(chain)
+    return store
+
+
+def replan(
+    prev_context: PlanningContext,
+    *,
+    graph: Optional[TaskGraph] = None,
+    cluster: Optional[ClusterSpec] = None,
+    config: Optional[PlannerConfig] = None,
+    context: Optional[PlanningContext] = None,
+    **config_overrides: Any,
+):
+    """Re-plan after a change, reusing every still-valid artifact.
+
+    Args:
+        prev_context: the context of a finished planning run.
+        graph: replacement graph (default: the previous run's).
+        cluster: replacement cluster (default: the previous run's).
+        config: replacement config (default: the previous run's).
+        context: supply the new run's :class:`PlanningContext` to
+            inspect its event log afterwards; must not carry its own
+            store.  One is created when omitted.
+        **config_overrides: individual :class:`PlannerConfig` fields to
+            override on top of ``config`` (e.g. ``memory_budget=16e9``).
+
+    Returns:
+        The new :class:`~repro.partitioner.plan.PartitionPlan`,
+        bit-identical to what a cold run with the same inputs produces.
+    """
+    from repro.planner import plan_graph
+
+    store = ensure_store(prev_context)
+    new_graph = graph if graph is not None else prev_context.graph
+    new_cluster = cluster if cluster is not None else prev_context.cluster
+    new_config = config if config is not None else prev_context.config
+    if config_overrides:
+        new_config = dataclasses.replace(new_config, **config_overrides)
+    if context is None:
+        context = PlanningContext(
+            new_graph, new_cluster, new_config, store=store
+        )
+    else:
+        context.attach_store(store)
+    return plan_graph(new_graph, new_cluster, new_config, context=context)

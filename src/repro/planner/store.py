@@ -1,0 +1,620 @@
+"""Content-addressed artifact store for incremental replanning.
+
+Every pass artifact (atomic partition, coarsened blocks, profile
+tensors, DP solution, plan) becomes a first-class :class:`Artifact`:
+addressed by ``(name, fingerprint)`` where the fingerprint is the
+producing pass's *input* fingerprint (facet digests + required-artifact
+fingerprints, see :mod:`repro.planner.facets`).  Since every pass is
+deterministic, equal inputs imply an equal output, so the input
+fingerprint doubles as the content address -- no output hashing needed.
+
+Two backends:
+
+* an in-memory LRU (optionally byte-budgeted) holding live payload
+  objects, which makes same-process delta replans free, and
+* an optional :class:`DiskBackend` that serializes the artifacts that
+  have a codec (``components``/``blocks``/``search_result`` as JSON,
+  ``dp_context`` as ``npz``) under ``<cache_dir>/artifacts/``, with an
+  LRU byte budget over *all* files under the cache root -- including the
+  legacy whole-plan deployment entries, whose reads and writes
+  :mod:`repro.planner.cache` routes through the same backend.
+
+Reusing a loaded artifact sometimes needs run-specific fix-up (a
+``DPContext`` must be rebound to the new cluster, a plan must be
+deep-copied so later mutation cannot leak between runs); those hooks
+live in :func:`materialize_for_reuse`.
+"""
+
+from __future__ import annotations
+
+import copy
+import io
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, field, is_dataclass, fields as dc_fields
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.planner.context import (
+    BLOCKS,
+    COMPONENTS,
+    DP_CONTEXT,
+    EVALUATED,
+    PLAN,
+    SEARCH_RESULT,
+    PlanningContext,
+)
+
+
+# ----------------------------------------------------------------------
+# artifacts
+# ----------------------------------------------------------------------
+@dataclass
+class Artifact:
+    """One content-addressed planning artifact.
+
+    Attributes:
+        name: artifact kind (``blocks``, ``dp_context``, ...).
+        fingerprint: the producing pass's input fingerprint; together
+            with ``name`` this is the store address.
+        inputs: the declared inputs behind the fingerprint, each mapped
+            to its own digest (``facet:arch`` -> ..., ``artifact:blocks``
+            -> ...), kept for provenance and debugging.
+        payload: the live artifact object.
+        nbytes: estimated in-memory size (LRU accounting).
+    """
+
+    name: str
+    fingerprint: str
+    inputs: Dict[str, str] = field(default_factory=dict)
+    payload: Any = None
+    nbytes: int = 0
+
+    @property
+    def key(self) -> str:
+        return f"{self.name}:{self.fingerprint}"
+
+
+def _estimate_nbytes(obj: Any, depth: int = 0) -> int:
+    """Rough recursive in-memory size, for LRU accounting only."""
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, str)):
+        return len(obj)
+    if obj is None or isinstance(obj, (bool, int, float)):
+        return 8
+    if depth >= 4:
+        return 64
+    if isinstance(obj, dict):
+        return 64 + sum(
+            _estimate_nbytes(k, depth + 1) + _estimate_nbytes(v, depth + 1)
+            for k, v in obj.items()
+        )
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return 64 + sum(_estimate_nbytes(v, depth + 1) for v in obj)
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return 64 + sum(
+            _estimate_nbytes(getattr(obj, f.name), depth + 1)
+            for f in dc_fields(obj)
+        )
+    return 256
+
+
+# ----------------------------------------------------------------------
+# disk backend (shared by artifacts and the legacy deployment cache)
+# ----------------------------------------------------------------------
+class DiskBackend:
+    """Byte-budgeted file store rooted at the planner cache directory.
+
+    All reads and writes go through here -- artifact files under
+    ``artifacts/`` and the legacy whole-plan deployment JSONs at the
+    root -- so one LRU budget (least-recently-*used*, tracked via file
+    mtimes: reads touch) bounds the combined footprint.  Writes are
+    write-then-rename, so a crash or a concurrent planner never leaves a
+    truncated file at a final path.
+    """
+
+    def __init__(
+        self, root: Path, byte_budget: Optional[int] = None
+    ) -> None:
+        self.root = Path(root)
+        self.byte_budget = byte_budget
+        self.evictions = 0
+        self.hits = 0
+        self.misses = 0
+
+    def path(self, relpath: str) -> Path:
+        return self.root / relpath
+
+    # -- reads ----------------------------------------------------------
+    def read_bytes(self, relpath: str) -> Optional[bytes]:
+        path = self.path(relpath)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        self.hits += 1
+        try:  # LRU recency: a read makes the entry young again
+            os.utime(path)
+        except OSError:
+            pass
+        return data
+
+    def read_text(self, relpath: str) -> Optional[str]:
+        data = self.read_bytes(relpath)
+        return None if data is None else data.decode()
+
+    # -- writes ---------------------------------------------------------
+    def write_bytes(self, relpath: str, data: bytes) -> Path:
+        path = self.path(relpath)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self._enforce_budget(protect=path)
+        return path
+
+    def write_text(self, relpath: str, text: str) -> Path:
+        return self.write_bytes(relpath, text.encode())
+
+    # -- accounting -----------------------------------------------------
+    def _entries(self):
+        if not self.root.exists():
+            return []
+        out = []
+        for path in self.root.rglob("*"):
+            if not path.is_file() or path.suffix == ".tmp":
+                continue
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            out.append((path, st.st_size, st.st_mtime))
+        return out
+
+    def bytes_used(self) -> int:
+        return sum(size for _, size, _ in self._entries())
+
+    def _enforce_budget(self, protect: Optional[Path] = None) -> None:
+        if self.byte_budget is None:
+            return
+        entries = self._entries()
+        used = sum(size for _, size, _ in entries)
+        if used <= self.byte_budget:
+            return
+        # oldest mtime first = least recently used first
+        entries.sort(key=lambda e: e[2])
+        for path, size, _ in entries:
+            if used <= self.byte_budget:
+                break
+            if protect is not None and path == protect:
+                continue  # never evict the entry being written
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            used -= size
+            self.evictions += 1
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "bytes": float(self.bytes_used()),
+            "budget_bytes": (
+                float(self.byte_budget) if self.byte_budget else 0.0
+            ),
+            "evictions": float(self.evictions),
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+        }
+
+
+# ----------------------------------------------------------------------
+# disk codecs
+# ----------------------------------------------------------------------
+class ArtifactCodec:
+    """Serialize one artifact kind for the disk backend.  Artifacts
+    without a codec (plans: the legacy deployment JSON already persists
+    them whole) live in the memory backend only."""
+
+    ext = "json"
+
+    def encode(self, payload: Any, ctx: PlanningContext) -> bytes:
+        raise NotImplementedError
+
+    def decode(self, data: bytes, ctx: PlanningContext) -> Any:
+        raise NotImplementedError
+
+    def size_of(self, payload: Any) -> Optional[int]:
+        return None
+
+
+class _ComponentsCodec(ArtifactCodec):
+    def encode(self, payload: Any, ctx: PlanningContext) -> bytes:
+        doc = [
+            [c.index, c.non_constant_task, list(c.tasks)] for c in payload
+        ]
+        return json.dumps(doc).encode()
+
+    def decode(self, data: bytes, ctx: PlanningContext) -> Any:
+        from repro.partitioner.atomic import AtomicComponent
+
+        return [
+            AtomicComponent(
+                index=idx, non_constant_task=nct, tasks=tuple(tasks)
+            )
+            for idx, nct, tasks in json.loads(data.decode())
+        ]
+
+
+class _BlocksCodec(ArtifactCodec):
+    def encode(self, payload: Any, ctx: PlanningContext) -> bytes:
+        doc = [
+            [b.index, list(b.atomic_indices), list(b.tasks)] for b in payload
+        ]
+        return json.dumps(doc).encode()
+
+    def decode(self, data: bytes, ctx: PlanningContext) -> Any:
+        from repro.partitioner.blocks import Block
+
+        return [
+            Block(
+                index=idx,
+                atomic_indices=tuple(atoms),
+                tasks=tuple(tasks),
+            )
+            for idx, atoms, tasks in json.loads(data.decode())
+        ]
+
+
+class _DPContextCodec(ArtifactCodec):
+    """``npz`` of the reusable numeric caches plus a JSON header.
+
+    The context is rebuilt against the *current* run's graph and
+    profiler at decode time; that is sound because the artifact address
+    already pins the graph, block list, batch size, device performance
+    model and same-node p2p affine (anything else and the fingerprint
+    would differ, so this entry would never be looked up).
+    """
+
+    ext = "npz"
+
+    def encode(self, payload: Any, ctx: PlanningContext) -> bytes:
+        meta = {
+            "batch_size": payload.batch_size,
+            "blocks": [
+                [b.index, list(b.atomic_indices), list(b.tasks)]
+                for b in payload.blocks
+            ],
+        }
+        header = np.frombuffer(
+            json.dumps(meta).encode(), dtype=np.uint8
+        )
+        buf = io.BytesIO()
+        np.savez_compressed(
+            buf, __meta__=header, **payload.export_cache_state()
+        )
+        return buf.getvalue()
+
+    def decode(self, data: bytes, ctx: PlanningContext) -> Any:
+        from repro.partitioner.blocks import Block
+        from repro.partitioner.stage_dp import DPContext
+
+        with np.load(io.BytesIO(data), allow_pickle=False) as npz:
+            arrays = {name: npz[name] for name in npz.files}
+        meta = json.loads(arrays.pop("__meta__").tobytes().decode())
+        blocks = [
+            Block(
+                index=idx,
+                atomic_indices=tuple(atoms),
+                tasks=tuple(tasks),
+            )
+            for idx, atoms, tasks in meta["blocks"]
+        ]
+        dp_ctx = DPContext(
+            ctx.graph,
+            blocks,
+            ctx.ensure_profiler(),
+            meta["batch_size"],
+            metrics=ctx.metrics,
+            memory_budget=ctx.config.memory_budget,
+        )
+        dp_ctx.import_cache_state(arrays)
+        return dp_ctx
+
+    def size_of(self, payload: Any) -> Optional[int]:
+        total = 1024
+        for arr in payload.export_cache_state().values():
+            total += int(arr.nbytes)
+        return total
+
+
+class _SearchResultCodec(ArtifactCodec):
+    def encode(self, payload: Any, ctx: PlanningContext) -> bytes:
+        sol = payload.solution
+        doc = {
+            "solution": {
+                "boundaries": sol.boundaries,
+                "device_counts": sol.device_counts,
+                "num_microbatches": sol.num_microbatches,
+                "num_stages": sol.num_stages,
+                "replica_factor": sol.replica_factor,
+                "objective": sol.objective,
+                "max_tf": sol.max_tf,
+                "max_tb": sol.max_tb,
+                "stage_profiles": [
+                    [
+                        p.time_fwd,
+                        p.time_bwd,
+                        p.memory,
+                        p.microbatch_size,
+                        p.in_bytes,
+                        p.out_bytes,
+                        p.param_count,
+                    ]
+                    for p in sol.stage_profiles
+                ],
+            },
+            "num_pipeline_nodes": payload.num_pipeline_nodes,
+            "devices_per_pipeline": payload.devices_per_pipeline,
+            "replica_factor": payload.replica_factor,
+            "candidates_tried": payload.candidates_tried,
+            "dp_calls": payload.dp_calls,
+        }
+        return json.dumps(doc).encode()
+
+    def decode(self, data: bytes, ctx: PlanningContext) -> Any:
+        from repro.partitioner.search import SearchResult
+        from repro.partitioner.stage_dp import DPSolution, StageProfile
+
+        doc = json.loads(data.decode())
+        s = doc["solution"]
+        solution = DPSolution(
+            boundaries=list(s["boundaries"]),
+            device_counts=list(s["device_counts"]),
+            num_microbatches=s["num_microbatches"],
+            num_stages=s["num_stages"],
+            replica_factor=s["replica_factor"],
+            objective=s["objective"],
+            max_tf=s["max_tf"],
+            max_tb=s["max_tb"],
+            stage_profiles=[
+                StageProfile(
+                    time_fwd=tf,
+                    time_bwd=tb,
+                    memory=mem,
+                    microbatch_size=mb,
+                    in_bytes=inb,
+                    out_bytes=outb,
+                    param_count=params,
+                )
+                for tf, tb, mem, mb, inb, outb, params in s["stage_profiles"]
+            ],
+        )
+        return SearchResult(
+            solution=solution,
+            num_pipeline_nodes=doc["num_pipeline_nodes"],
+            devices_per_pipeline=doc["devices_per_pipeline"],
+            replica_factor=doc["replica_factor"],
+            candidates_tried=doc["candidates_tried"],
+            dp_calls=doc["dp_calls"],
+        )
+
+
+CODECS: Dict[str, ArtifactCodec] = {
+    COMPONENTS: _ComponentsCodec(),
+    BLOCKS: _BlocksCodec(),
+    DP_CONTEXT: _DPContextCodec(),
+    SEARCH_RESULT: _SearchResultCodec(),
+}
+
+
+# ----------------------------------------------------------------------
+# reuse fix-up
+# ----------------------------------------------------------------------
+def materialize_for_reuse(
+    name: str, payload: Any, ctx: PlanningContext
+) -> Any:
+    """Prepare a stored payload for use in a new planning run."""
+    if name == DP_CONTEXT:
+        # keep every numeric cache; retarget cluster/metrics/budget, and
+        # let the run share the context's profiler (with its memo) so a
+        # warm delta replan performs no fresh profiling at all
+        payload.rebind(
+            ctx.cluster,
+            metrics=ctx.metrics,
+            memory_budget=ctx.config.memory_budget,
+        )
+        if ctx.profiler is None:
+            ctx.profiler = payload.profiler
+        return payload
+    if name in (PLAN, EVALUATED):
+        # plans are mutated downstream (evaluation, diagnostics
+        # stamping, callers); isolate each run with a copy
+        return copy.deepcopy(payload)
+    return payload
+
+
+# ----------------------------------------------------------------------
+# the store
+# ----------------------------------------------------------------------
+class ArtifactStore:
+    """Content-addressed artifact storage with an in-memory LRU front
+    and an optional :class:`DiskBackend` behind it.
+
+    ``get``/``put`` address artifacts by ``(name, fingerprint)``.  The
+    memory tier holds live objects (``memory_budget_bytes`` caps the
+    estimated footprint; least recently used artifacts are dropped
+    first); the disk tier persists every artifact that has a codec, and
+    a memory miss that hits disk re-materializes the payload and
+    promotes it.
+    """
+
+    def __init__(
+        self,
+        memory_budget_bytes: Optional[int] = None,
+        disk: Optional[DiskBackend] = None,
+    ) -> None:
+        self.memory_budget_bytes = memory_budget_bytes
+        self.disk = disk
+        self._mem: "OrderedDict[str, Artifact]" = OrderedDict()
+        self._mem_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+        self.memory_evictions = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _relpath(name: str, fingerprint: str) -> str:
+        codec = CODECS[name]
+        return f"artifacts/{name}-{fingerprint}.{codec.ext}"
+
+    def __len__(self) -> int:
+        return len(self._mem)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._mem
+
+    # ------------------------------------------------------------------
+    def get(
+        self,
+        name: str,
+        fingerprint: str,
+        ctx: Optional[PlanningContext] = None,
+    ) -> Optional[Artifact]:
+        key = f"{name}:{fingerprint}"
+        art = self._mem.get(key)
+        if art is not None:
+            self._mem.move_to_end(key)
+            self.hits += 1
+            return art
+        codec = CODECS.get(name)
+        if self.disk is not None and codec is not None and ctx is not None:
+            data = self.disk.read_bytes(self._relpath(name, fingerprint))
+            if data is not None:
+                try:
+                    payload = codec.decode(data, ctx)
+                except (ValueError, KeyError, OSError):
+                    # a corrupt file is a miss, not a failure
+                    self.misses += 1
+                    return None
+                art = self._insert(name, fingerprint, payload, {})
+                self.hits += 1
+                self.disk_hits += 1
+                return art
+        self.misses += 1
+        return None
+
+    def put(
+        self,
+        name: str,
+        fingerprint: str,
+        payload: Any,
+        inputs: Optional[Dict[str, str]] = None,
+        ctx: Optional[PlanningContext] = None,
+    ) -> Artifact:
+        art = self._insert(name, fingerprint, payload, dict(inputs or {}))
+        self._write_disk(art, ctx)
+        return art
+
+    def refresh(
+        self, name: str, fingerprint: str, ctx: PlanningContext
+    ) -> None:
+        """Re-serialize a (mutable) artifact's current state to disk.
+
+        The ``dp_context`` payload accumulates caches *after* its
+        producing pass finishes (the stage search fills the per-batch
+        time prefixes and profile tensors), so the manager refreshes it
+        once the run is over; without this, the on-disk entry would only
+        ever hold the eagerly-built range matrices.
+        """
+        art = self._mem.get(f"{name}:{fingerprint}")
+        if art is not None:
+            art.nbytes = self._payload_nbytes(name, art.payload)
+            self._write_disk(art, ctx)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _payload_nbytes(name: str, payload: Any) -> int:
+        codec = CODECS.get(name)
+        if codec is not None:
+            size = codec.size_of(payload)
+            if size is not None:
+                return size
+        return _estimate_nbytes(payload)
+
+    def _insert(
+        self,
+        name: str,
+        fingerprint: str,
+        payload: Any,
+        inputs: Dict[str, str],
+    ) -> Artifact:
+        key = f"{name}:{fingerprint}"
+        old = self._mem.pop(key, None)
+        if old is not None:
+            self._mem_bytes -= old.nbytes
+        art = Artifact(
+            name=name,
+            fingerprint=fingerprint,
+            inputs=inputs,
+            payload=payload,
+            nbytes=self._payload_nbytes(name, payload),
+        )
+        self._mem[key] = art
+        self._mem_bytes += art.nbytes
+        if self.memory_budget_bytes is not None:
+            while (
+                self._mem_bytes > self.memory_budget_bytes
+                and len(self._mem) > 1
+            ):
+                _, evicted = self._mem.popitem(last=False)
+                self._mem_bytes -= evicted.nbytes
+                self.memory_evictions += 1
+        return art
+
+    def _write_disk(
+        self, art: Artifact, ctx: Optional[PlanningContext]
+    ) -> None:
+        codec = CODECS.get(art.name)
+        if self.disk is None or codec is None or ctx is None:
+            return
+        try:
+            data = codec.encode(art.payload, ctx)
+        except (TypeError, ValueError):  # pragma: no cover - defensive
+            return
+        self.disk.write_bytes(
+            self._relpath(art.name, art.fingerprint), data
+        )
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, float]:
+        doc = {
+            "entries": float(len(self._mem)),
+            "memory_bytes": float(self._mem_bytes),
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "disk_hits": float(self.disk_hits),
+            "memory_evictions": float(self.memory_evictions),
+        }
+        if self.disk is not None:
+            # "backend_" prefix: "disk_hits" above counts decoded
+            # artifact promotions, the backend's "hits" counts raw reads
+            for k, v in self.disk.stats().items():
+                doc[f"backend_{k}"] = v
+        return doc

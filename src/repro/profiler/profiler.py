@@ -107,6 +107,44 @@ class GraphProfiler:
         self.table_hits = 0
 
     # ------------------------------------------------------------------
+    # delta-replan support
+    # ------------------------------------------------------------------
+    #: device fields the per-task cost tables were extracted from; a
+    #: rebind target must agree on all of them (capacity fields --
+    #: ``memory_bytes``, ``memory_reserve_fraction`` -- may differ: they
+    #: never enter a time table or a profile result)
+    _PERF_FIELDS = (
+        "peak_flops_fp32",
+        "peak_flops_fp16",
+        "mem_bandwidth",
+        "matmul_efficiency",
+        "kernel_overhead",
+    )
+
+    def rebind_cluster(self, cluster: ClusterSpec) -> "GraphProfiler":
+        """Retarget the profiler at a new cluster, keeping every memo.
+
+        Used by delta replanning: the per-task cost arrays and time
+        tables depend on the device's *performance* model only, so a
+        cluster that merely changed shape, interconnect or memory
+        capacity can reuse them all.  ``comm_time`` prices through
+        ``self.cluster``, so it immediately sees the new topology.
+
+        Raises:
+            ValueError: if the new device's performance fields differ
+                (the memoized tables would be silently wrong).
+        """
+        old, new = self.cluster.device, cluster.device
+        for fname in self._PERF_FIELDS:
+            if getattr(old, fname) != getattr(new, fname):
+                raise ValueError(
+                    f"cannot rebind profiler: device.{fname} changed "
+                    f"({getattr(old, fname)!r} -> {getattr(new, fname)!r})"
+                )
+        self.cluster = cluster
+        return self
+
+    # ------------------------------------------------------------------
     # vectorized time tables
     # ------------------------------------------------------------------
     def _times_at(self, batch_size: int) -> Tuple[np.ndarray, np.ndarray]:

@@ -127,7 +127,7 @@ class TestAutoPartition:
         assert covered == set(tiny_bert.tasks)
         assert plan.assignment is not None
         assert plan.per_microbatch_time > 0
-        assert "pipeline_time" in plan.extras
+        assert "pipeline_time" in plan.diagnostics.as_dict()
 
     def test_summary_renders(self, tiny_bert, cluster):
         plan = auto_partition(tiny_bert, cluster, 64)

@@ -74,7 +74,7 @@ class TestPlanTimeline:
         tl = plan_timeline(plan)
         tl.validate()
         assert tl.num_stages == plan.num_stages
-        assert tl.makespan == pytest.approx(plan.extras["pipeline_time"])
+        assert tl.makespan == pytest.approx(plan.diagnostics.pipeline_time)
 
 
 @settings(max_examples=30, deadline=None)

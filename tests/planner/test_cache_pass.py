@@ -65,7 +65,7 @@ class TestCacheHit:
         warm, ctx = plan_with_ctx(tiny_bert, cluster, 64, cache_dir)
         assert warm.diagnostics.dp_calls == 0
         assert ctx.events.find("stage_search").status == "skipped"
-        assert "pass_time.stage_search" not in warm.extras
+        assert "pass_time.stage_search" not in warm.diagnostics.as_dict()
 
     def test_stale_entry_treated_as_miss(self, tiny_bert, cache_dir):
         cluster = paper_cluster()

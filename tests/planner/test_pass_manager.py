@@ -14,6 +14,7 @@ from repro.planner import (
     PlannerConfig,
     PlannerPass,
     PlanningContext,
+    ProfileTensorsPass,
     StageSearchPass,
     ValidatePass,
     default_passes,
@@ -75,13 +76,14 @@ class TestPassManager:
         names = [e.name for e in ctx.events]
         assert names == [
             "validate", "cache_load", "atomic_partition", "coarsen",
-            "stage_search", "allocate", "evaluate", "verify", "cache_store",
+            "profile_tensors", "stage_search", "allocate", "evaluate",
+            "verify", "cache_store",
         ]
         ran = {e.name for e in ctx.events if e.status == "ok"}
         # no cache dir: both cache passes self-skip, the rest run
         assert ran == {
-            "validate", "atomic_partition", "coarsen", "stage_search",
-            "allocate", "evaluate", "verify",
+            "validate", "atomic_partition", "coarsen", "profile_tensors",
+            "stage_search", "allocate", "evaluate", "verify",
         }
         search = ctx.events.find("stage_search")
         assert search.wall_time > 0
@@ -93,7 +95,8 @@ class TestDefaultPipeline:
         names = [p.name for p in default_passes()]
         assert names == [
             "validate", "cache_load", "atomic_partition", "coarsen",
-            "stage_search", "allocate", "evaluate", "verify", "cache_store",
+            "profile_tensors", "stage_search", "allocate", "evaluate",
+            "verify", "cache_store",
         ]
 
     def test_plan_has_pass_timings(self, tiny_bert, cluster):
@@ -103,7 +106,8 @@ class TestDefaultPipeline:
         assert "coarsen" in timings
         # skipped passes (cache without a directory) record no timing
         assert "cache_load" not in timings
-        assert plan.extras["pass_time.stage_search"] == pytest.approx(
+        flat = plan.diagnostics.as_dict()
+        assert flat["pass_time.stage_search"] == pytest.approx(
             timings["stage_search"]
         )
 
@@ -136,6 +140,7 @@ class TestDefaultPipeline:
                 ValidatePass(),
                 AtomicPartitionPass(),
                 CoarsenPass(),
+                ProfileTensorsPass(),
                 StageSearchPass(),
                 AllocatePass(),
             ],
@@ -153,7 +158,7 @@ class TestDefaultPipeline:
         plan = plan_graph(tiny_bert, cluster, config)
         assert plan.throughput > 0
         assert plan.diagnostics.pipeline_time > 0
-        assert plan.extras["pipeline_time"] == pytest.approx(
+        assert plan.diagnostics.as_dict()["pipeline_time"] == pytest.approx(
             plan.diagnostics.pipeline_time
         )
 

@@ -1,0 +1,250 @@
+"""Delta-replan equality: warm replans must be bit-identical to cold runs.
+
+Every pass is deterministic, so reusing stored artifacts must never
+change the plan -- only how much of the pipeline reruns.  These tests
+drive :func:`repro.planner.replan` over the PR-5 pinned-plan fixture
+(the paper's three reference models across the v100x8/16/32 presets) and
+hold every delta-produced plan to the pinned snapshot, field for field
+and float for float, while asserting *what* was reused via the event log
+and the ``planner.reuse.*`` gauges.
+"""
+
+import dataclasses
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.hardware import paper_cluster
+from repro.models import BertConfig, ResNetConfig, build_bert, build_resnet
+from repro.partitioner import auto_partition
+from repro.partitioner.deployment import plan_to_json
+from repro.planner import (
+    ArtifactStore,
+    PlannerConfig,
+    PlanningContext,
+    ensure_store,
+    plan_graph,
+    replan,
+)
+
+FIXTURE = Path(__file__).resolve().parents[1] / "data" / "pinned_plans.json"
+
+MODELS = {
+    "bert-base": (
+        lambda: build_bert(
+            BertConfig(hidden_size=768, num_layers=12, num_heads=12)
+        ),
+        256,
+    ),
+    "bert-large": (lambda: build_bert(BertConfig()), 256),
+    "resnet50x8": (
+        lambda: build_resnet(ResNetConfig(depth=50, width_factor=8)),
+        512,
+    ),
+}
+CLUSTERS = {"v100x8": 1, "v100x16": 2, "v100x32": 4}
+CLUSTER_ORDER = list(CLUSTERS)
+
+with FIXTURE.open() as fh:
+    PINNED = json.load(fh)
+
+#: passes whose artifacts survive a cluster-size or budget change
+PROFILE_PASSES = ("atomic_partition", "coarsen", "profile_tensors")
+
+
+def _assert_matches_pinned(plan, expected):
+    assert expected["feasible"]
+    assert [list(s.block_range) for s in plan.stages] == (
+        expected["boundaries"]
+    )
+    assert [s.devices_per_pipeline for s in plan.stages] == (
+        expected["devices"]
+    )
+    assert [s.microbatch_size for s in plan.stages] == (
+        expected["microbatch_sizes"]
+    )
+    assert plan.num_microbatches == expected["num_microbatches"]
+    assert plan.replica_factor == expected["replica_factor"]
+    # bit-identical, not approximately equal: artifact reuse must not
+    # perturb a single float
+    assert plan.iteration_time == expected["iteration_time"]
+    assert plan.diagnostics.pipeline_time == expected["pipeline_time"]
+    assert plan.diagnostics.allreduce_time == expected["allreduce_time"]
+    assert [s.profile.time_fwd for s in plan.stages] == (
+        expected["stage_time_fwd"]
+    )
+    assert [s.profile.time_bwd for s in plan.stages] == (
+        expected["stage_time_bwd"]
+    )
+
+
+def _reused(ctx):
+    return [e.name for e in ctx.events if e.detail.get("reuse")]
+
+
+@pytest.mark.parametrize("key", sorted(PINNED), ids=sorted(PINNED))
+def test_cluster_change_delta_matches_pinned(key):
+    """Plan on a *different* cluster, delta-replan to the target, and
+    demand the pinned (cold-run) plan bit for bit."""
+    model_name, cluster_name = key.split("/")
+    build, batch_size = MODELS[model_name]
+    graph = build()
+    prev_name = CLUSTER_ORDER[
+        (CLUSTER_ORDER.index(cluster_name) + 1) % len(CLUSTER_ORDER)
+    ]
+    config = PlannerConfig(batch_size=batch_size)
+
+    prev_ctx = PlanningContext(
+        graph, paper_cluster(CLUSTERS[prev_name]), config
+    )
+    plan_graph(graph, prev_ctx.cluster, config, context=prev_ctx)
+
+    target = paper_cluster(CLUSTERS[cluster_name])
+    new_ctx = PlanningContext(graph, target, config)
+    plan = replan(prev_ctx, cluster=target, context=new_ctx)
+
+    _assert_matches_pinned(plan, PINNED[key])
+    # a cluster-size change invalidates the stage search onward but
+    # reuses the partitioning and the profile tensors
+    assert _reused(new_ctx) == list(PROFILE_PASSES)
+    for name in ("stage_search", "allocate", "evaluate", "verify"):
+        assert new_ctx.events.find(name).status == "ok"
+    snap = new_ctx.metrics.snapshot()
+    assert snap["planner.reuse.passes_skipped"] == len(PROFILE_PASSES)
+    assert snap["planner.reuse.artifacts_loaded"] == len(PROFILE_PASSES)
+    spans = [
+        s for s in new_ctx.tracer.spans() if s.category == "planner.reuse"
+    ]
+    assert {s.name for s in spans} == {
+        f"planner.reuse.{p}" for p in PROFILE_PASSES
+    }
+
+
+@pytest.mark.parametrize("model_name", sorted(MODELS), ids=sorted(MODELS))
+def test_perturb_then_restore_reuses_everything(model_name):
+    """Changing the config and changing it back must reuse the whole
+    cacheable pipeline and reproduce the original plan bit for bit."""
+    build, batch_size = MODELS[model_name]
+    graph = build()
+    cluster = paper_cluster(2)
+    config = PlannerConfig(batch_size=batch_size)
+
+    prev_ctx = PlanningContext(graph, cluster, config)
+    original = plan_graph(graph, cluster, config, context=prev_ctx)
+
+    # perturb: cap the memory budget, which invalidates the search
+    budget = cluster.device.usable_memory * 0.75
+    perturbed_ctx = PlanningContext(
+        graph,
+        cluster,
+        dataclasses.replace(config, memory_budget=budget),
+    )
+    replan(prev_ctx, memory_budget=budget, context=perturbed_ctx)
+    assert _reused(perturbed_ctx) == list(PROFILE_PASSES)
+
+    # restore: every cacheable pass's inputs are unchanged again
+    restored_ctx = PlanningContext(graph, cluster, config)
+    restored = replan(perturbed_ctx, config=config, context=restored_ctx)
+    assert _reused(restored_ctx) == [
+        "atomic_partition",
+        "coarsen",
+        "profile_tensors",
+        "stage_search",
+        "allocate",
+        "evaluate",
+    ]
+    # verify still re-checks the reused plan
+    assert restored_ctx.events.find("verify").status == "ok"
+    assert plan_to_json(restored, graph) == plan_to_json(original, graph)
+
+
+def test_memory_budget_change_matches_cold_run():
+    build, batch_size = MODELS["bert-base"]
+    graph = build()
+    cluster = paper_cluster(2)
+    config = PlannerConfig(batch_size=batch_size)
+    budget = cluster.device.usable_memory * 0.6
+
+    prev_ctx = PlanningContext(graph, cluster, config)
+    plan_graph(graph, cluster, config, context=prev_ctx)
+
+    new_ctx = PlanningContext(
+        graph, cluster, dataclasses.replace(config, memory_budget=budget)
+    )
+    delta = replan(prev_ctx, memory_budget=budget, context=new_ctx)
+    assert _reused(new_ctx) == list(PROFILE_PASSES)
+    assert new_ctx.events.find("stage_search").status == "ok"
+
+    cold = plan_graph(
+        graph, cluster, dataclasses.replace(config, memory_budget=budget)
+    )
+    assert plan_to_json(delta, graph) == plan_to_json(cold, graph)
+
+
+def test_auto_partition_reuse_from():
+    """The one-call API: ``reuse_from=`` turns the second call into a
+    delta replan."""
+    build, batch_size = MODELS["bert-base"]
+    graph = build()
+    prev_ctx = PlanningContext(
+        graph, paper_cluster(1), PlannerConfig(batch_size=batch_size)
+    )
+    auto_partition(graph, prev_ctx.cluster, batch_size, context=prev_ctx)
+
+    bigger = paper_cluster(4)
+    new_ctx = PlanningContext(
+        graph, bigger, PlannerConfig(batch_size=batch_size)
+    )
+    plan = auto_partition(
+        graph, bigger, batch_size, context=new_ctx, reuse_from=prev_ctx
+    )
+    assert _reused(new_ctx) == list(PROFILE_PASSES)
+    _assert_matches_pinned(plan, PINNED["bert-base/v100x32"])
+
+
+def test_disk_artifacts_survive_process_boundary(tmp_path):
+    """A fresh store over the same cache dir (a new process, in effect)
+    reloads the serialized artifacts from disk."""
+    build, batch_size = MODELS["bert-base"]
+    graph = build()
+    cluster = paper_cluster(1)
+    config = PlannerConfig(batch_size=batch_size, cache_dir=tmp_path)
+
+    ctx1 = PlanningContext(graph, cluster, config)
+    ctx1.attach_store(ArtifactStore())
+    plan_graph(graph, cluster, config, context=ctx1)
+    assert sorted(p.name.split("-")[0] for p in
+                  (tmp_path / "artifacts").iterdir()) == [
+        "blocks", "components", "dp_context", "search_result",
+    ]
+
+    # different budget: the legacy whole-plan cache misses, the
+    # artifact store hits from disk for the profile passes
+    budget = cluster.device.usable_memory * 0.7
+    ctx2 = PlanningContext(
+        graph, cluster, dataclasses.replace(config, memory_budget=budget)
+    )
+    ctx2.attach_store(ArtifactStore())
+    plan_graph(graph, cluster, ctx2.config, context=ctx2)
+    assert _reused(ctx2) == list(PROFILE_PASSES)
+    assert ctx2.metrics.snapshot()["planner.store.disk_hits"] == len(
+        PROFILE_PASSES
+    )
+
+
+def test_ensure_store_is_idempotent():
+    build, batch_size = MODELS["bert-base"]
+    graph = build()
+    ctx = PlanningContext(
+        graph, paper_cluster(1), PlannerConfig(batch_size=batch_size)
+    )
+    plan_graph(graph, ctx.cluster, ctx.config, context=ctx)
+    store = ensure_store(ctx)
+    assert ensure_store(ctx) is store
+    # seeded under the exact fingerprints a store-backed run computes
+    assert set(ctx.artifact_fps) >= {
+        "components", "blocks", "dp_context", "search_result",
+    }
+    for name, fp in ctx.artifact_fps.items():
+        assert store.get(name, fp) is not None

@@ -1,0 +1,213 @@
+"""Unit tests for the content-addressed artifact store.
+
+Covers the :class:`Artifact` value type, the size estimator behind the
+memory LRU, the byte-budgeted :class:`DiskBackend` (shared by artifacts
+and the legacy deployment entries), every disk codec's round trip, and
+the reuse fix-up hooks.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.hardware import paper_cluster
+from repro.models import BertConfig, build_bert
+from repro.planner import (
+    ArtifactStore,
+    DiskBackend,
+    PlannerConfig,
+    PlanningContext,
+    plan_graph,
+)
+from repro.planner.context import (
+    BLOCKS,
+    COMPONENTS,
+    DP_CONTEXT,
+    EVALUATED,
+    SEARCH_RESULT,
+)
+from repro.planner.store import (
+    CODECS,
+    Artifact,
+    _estimate_nbytes,
+    materialize_for_reuse,
+)
+
+
+@pytest.fixture(scope="module")
+def planned_ctx():
+    """One finished store-less planning run to harvest artifacts from."""
+    graph = build_bert(
+        BertConfig(hidden_size=256, num_layers=4, num_heads=8)
+    )
+    ctx = PlanningContext(
+        graph, paper_cluster(1), PlannerConfig(batch_size=64)
+    )
+    plan_graph(graph, ctx.cluster, ctx.config, context=ctx)
+    return ctx
+
+
+class TestArtifact:
+    def test_key_is_name_and_fingerprint(self):
+        art = Artifact(name="blocks", fingerprint="abcd")
+        assert art.key == "blocks:abcd"
+
+    def test_estimate_nbytes(self):
+        assert _estimate_nbytes(np.zeros(10, dtype=np.float64)) == 80
+        assert _estimate_nbytes("hello") == 5
+        assert _estimate_nbytes([np.zeros(4, dtype=np.float32)]) == 64 + 16
+        # opaque objects get a flat charge, never zero
+        assert _estimate_nbytes(object()) > 0
+
+
+class TestDiskBackend:
+    def test_round_trip_and_counters(self, tmp_path):
+        backend = DiskBackend(tmp_path)
+        assert backend.read_bytes("missing.json") is None
+        assert backend.misses == 1
+        backend.write_text("a.json", "payload")
+        assert backend.read_text("a.json") == "payload"
+        assert backend.hits == 1
+
+    def test_write_is_atomic_no_tmp_left_behind(self, tmp_path):
+        backend = DiskBackend(tmp_path)
+        backend.write_bytes("sub/dir/x.bin", b"\x00" * 64)
+        names = [p.name for p in (tmp_path / "sub" / "dir").iterdir()]
+        assert names == ["x.bin"]
+
+    def test_budget_evicts_least_recently_used(self, tmp_path):
+        backend = DiskBackend(tmp_path, byte_budget=250)
+        backend.write_bytes("old.bin", b"a" * 100)
+        os.utime(tmp_path / "old.bin", (1, 1))  # make it ancient
+        backend.write_bytes("mid.bin", b"b" * 100)
+        os.utime(tmp_path / "mid.bin", (2, 2))
+        backend.write_bytes("new.bin", b"c" * 100)
+        assert not (tmp_path / "old.bin").exists()
+        assert (tmp_path / "mid.bin").exists()
+        assert (tmp_path / "new.bin").exists()
+        assert backend.evictions == 1
+        assert backend.bytes_used() <= 250
+
+    def test_read_refreshes_recency(self, tmp_path):
+        backend = DiskBackend(tmp_path, byte_budget=250)
+        backend.write_bytes("a.bin", b"a" * 100)
+        backend.write_bytes("b.bin", b"b" * 100)
+        for rel in ("a.bin", "b.bin"):
+            os.utime(tmp_path / rel, (1, 1))
+        backend.read_bytes("a.bin")  # touch: a becomes the youngest
+        backend.write_bytes("c.bin", b"c" * 100)
+        assert (tmp_path / "a.bin").exists()
+        assert not (tmp_path / "b.bin").exists()
+
+    def test_never_evicts_entry_being_written(self, tmp_path):
+        backend = DiskBackend(tmp_path, byte_budget=50)
+        backend.write_bytes("big.bin", b"x" * 100)
+        # over budget but protected: the fresh write must survive
+        assert (tmp_path / "big.bin").exists()
+
+    def test_stats_shape(self, tmp_path):
+        backend = DiskBackend(tmp_path, byte_budget=1000)
+        backend.write_bytes("a.bin", b"a" * 10)
+        stats = backend.stats()
+        assert stats["bytes"] == 10.0
+        assert stats["budget_bytes"] == 1000.0
+
+
+class TestCodecs:
+    @pytest.mark.parametrize("name", [COMPONENTS, BLOCKS, SEARCH_RESULT])
+    def test_json_round_trip(self, planned_ctx, name):
+        codec = CODECS[name]
+        original = planned_ctx.require(name)
+        restored = codec.decode(
+            codec.encode(original, planned_ctx), planned_ctx
+        )
+        if name == SEARCH_RESULT:
+            assert restored.solution == original.solution
+            assert restored.dp_calls == original.dp_calls
+            assert restored.replica_factor == original.replica_factor
+        else:
+            assert restored == original
+
+    def test_dp_context_round_trip(self, planned_ctx):
+        codec = CODECS[DP_CONTEXT]
+        original = planned_ctx.require(DP_CONTEXT)
+        restored = codec.decode(
+            codec.encode(original, planned_ctx), planned_ctx
+        )
+        assert restored.batch_size == original.batch_size
+        assert restored.blocks == original.blocks
+        a = original.export_cache_state()
+        b = restored.export_cache_state()
+        assert sorted(a) == sorted(b)
+        for key in a:
+            # exact equality: the floats travel through npz unmodified
+            np.testing.assert_array_equal(a[key], b[key])
+
+    def test_dp_context_size_tracks_cache_state(self, planned_ctx):
+        codec = CODECS[DP_CONTEXT]
+        dp_ctx = planned_ctx.require(DP_CONTEXT)
+        floor = sum(
+            arr.nbytes for arr in dp_ctx.export_cache_state().values()
+        )
+        assert codec.size_of(dp_ctx) >= floor
+
+
+class TestArtifactStore:
+    def test_put_get_and_lru_order(self):
+        store = ArtifactStore()
+        store.put("blocks", "f1", ["b"])
+        art = store.get("blocks", "f1")
+        assert art is not None and art.payload == ["b"]
+        assert store.get("blocks", "f2") is None
+        assert store.hits == 1 and store.misses == 1
+
+    def test_memory_budget_evicts_oldest(self):
+        store = ArtifactStore(memory_budget_bytes=250)
+        store.put("blocks", "f1", "a" * 100)
+        store.put("blocks", "f2", "b" * 100)
+        store.put("blocks", "f3", "c" * 100)
+        assert store.get("blocks", "f1") is None
+        assert store.get("blocks", "f3") is not None
+        assert store.memory_evictions >= 1
+
+    def test_last_entry_never_evicted(self):
+        store = ArtifactStore(memory_budget_bytes=10)
+        store.put("blocks", "f1", "x" * 1000)
+        assert store.get("blocks", "f1") is not None
+
+    def test_disk_promotion(self, planned_ctx, tmp_path):
+        disk = DiskBackend(tmp_path)
+        writer = ArtifactStore(disk=disk)
+        writer.put(
+            BLOCKS,
+            "fp01",
+            planned_ctx.require(BLOCKS),
+            {"facet:graph": "g"},
+            planned_ctx,
+        )
+        reader = ArtifactStore(disk=disk)
+        art = reader.get(BLOCKS, "fp01", planned_ctx)
+        assert art is not None
+        assert art.payload == planned_ctx.require(BLOCKS)
+        assert reader.disk_hits == 1
+        # promoted into memory: the second get is a pure memory hit
+        reader.get(BLOCKS, "fp01", planned_ctx)
+        assert reader.disk_hits == 1
+
+    def test_stats_keep_store_and_backend_hits_apart(self, tmp_path):
+        store = ArtifactStore(disk=DiskBackend(tmp_path))
+        stats = store.stats()
+        assert "disk_hits" in stats and "backend_hits" in stats
+
+
+class TestMaterializeForReuse:
+    def test_plan_is_deep_copied(self, planned_ctx):
+        plan = planned_ctx.require(EVALUATED)
+        copy1 = materialize_for_reuse(EVALUATED, plan, planned_ctx)
+        assert copy1 is not plan
+        assert copy1.stages == plan.stages
+
+    def test_blocks_pass_through(self, planned_ctx):
+        blocks = planned_ctx.require(BLOCKS)
+        assert materialize_for_reuse(BLOCKS, blocks, planned_ctx) is blocks

@@ -40,13 +40,18 @@ LINKED_DOCS = (
     "CHANGES.md",
     "docs/ALGORITHMS.md",
     "docs/COMMUNICATION.md",
+    "docs/INCREMENTAL.md",
     "docs/OBSERVABILITY.md",
     "docs/VERIFICATION.md",
     "examples/README.md",
 )
 
 #: files whose fenced python examples run as doctests
-DOCTEST_DOCS = ("docs/OBSERVABILITY.md", "docs/COMMUNICATION.md")
+DOCTEST_DOCS = (
+    "docs/OBSERVABILITY.md",
+    "docs/COMMUNICATION.md",
+    "docs/INCREMENTAL.md",
+)
 
 _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _FENCE_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
