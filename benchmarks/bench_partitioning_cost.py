@@ -121,12 +121,31 @@ def main(argv=None) -> int:
         "--full", action="store_true",
         help="include the multi-billion-parameter workloads (slow)",
     )
+    parser.add_argument(
+        "--budget-bert-large", type=float, default=None, metavar="SECONDS",
+        help="fail when the best BERT-Large wall time exceeds this bound "
+        "(the CI no-regression gate for the DP-engine work)",
+    )
     args = parser.parse_args(argv)
     workloads = FULL_WORKLOADS if args.full else SMALL_WORKLOADS
     doc = run_snapshot(workloads, rounds=args.rounds)
     with open(args.out, "w") as fh:
         json.dump(doc, fh, indent=2, sort_keys=True)
     print(f"wrote {args.out}", file=sys.stderr)
+    if args.budget_bert_large is not None:
+        wall = doc["bert_large"]["wall_time_s"]
+        if wall > args.budget_bert_large:
+            print(
+                f"FAIL: bert_large plan time {wall:.2f}s exceeds the "
+                f"{args.budget_bert_large:.2f}s budget",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"OK: bert_large plan time {wall:.2f}s within "
+            f"{args.budget_bert_large:.2f}s budget",
+            file=sys.stderr,
+        )
     return 0
 
 

@@ -79,9 +79,24 @@ def _add_plan(sub: argparse._SubParsersAction) -> None:
                    help="communication cost model: 'flat' is the paper's "
                         "two-scalar closed forms, 'topology' routes every "
                         "transfer over the link-level network model")
+    p.add_argument("--workers", type=int, default=None,
+                   help="Algorithm-2 worker-pool size (default: CPU "
+                        "count, capped at the candidate count)")
+    p.add_argument("--dp-engine",
+                   choices=("numpy", "numba", "banded", "dense", "rows"),
+                   default="numpy",
+                   help="Algorithm-1 evaluation engine; all engines "
+                        "produce bit-identical plans (see docs/SCALING.md)")
+    p.add_argument("--search-backend",
+                   choices=("thread", "process", "serial"),
+                   default="thread",
+                   help="Algorithm-2 sweep pool: threads (default), "
+                        "processes (true parallelism on large graphs) or "
+                        "a serial sweep")
     p.add_argument("--explain", action="store_true",
-                   help="print per-pass timings, profiler statistics, and "
-                        "cache / artifact-reuse gauges")
+                   help="print per-pass timings, peak-RSS deltas, "
+                        "profiler statistics, and cache / artifact-reuse "
+                        "gauges")
     p.add_argument("--save", type=str, default=None,
                    help="write the deployment JSON to this path")
 
@@ -252,6 +267,9 @@ def _cmd_plan(args: argparse.Namespace) -> int:
             args.cache_budget_mb * 2**20
             if args.cache_budget_mb is not None else None
         ),
+        search_workers=args.workers,
+        search_backend=args.search_backend,
+        dp_engine=args.dp_engine,
     )
     ctx = PlanningContext(graph, cluster, config)
     if args.delta:
@@ -291,7 +309,8 @@ def _render_events(ctx) -> str:
     for event in ctx.events:
         keys = ("reason", "hit", "verified", "stored", "reuse",
                 "fingerprint", "dp_calls", "candidates_tried",
-                "states_evaluated", "parallel_search", "memo_hit_rate",
+                "states_evaluated", "parallel_search", "search_backend",
+                "dp_engine", "memo_hit_rate",
                 "num_components", "num_blocks", "range_entries",
                 "num_stages", "throughput",
                 "bubble_frac", "comm_model", "allreduce_algorithm",
@@ -301,6 +320,10 @@ def _render_events(ctx) -> str:
         detail = ", ".join(
             f"{k}={event.detail[k]}" for k in keys if k in event.detail
         )
+        rss_delta = event.detail.get("peak_rss_delta")
+        if rss_delta:
+            part = f"peak_rss_delta={rss_delta / 2**20:.1f}MiB"
+            detail = f"{detail}, {part}" if detail else part
         lines.append(
             event.name.ljust(20)
             + event.status.ljust(10)
@@ -319,6 +342,11 @@ def _render_events(ctx) -> str:
     else:
         lines.append("profiler memo hit rate: n/a (profiler never built)")
     snap = ctx.metrics.snapshot()
+    if "planner.peak_rss_bytes" in snap:
+        lines.append(
+            "planner peak RSS: "
+            f"{snap['planner.peak_rss_bytes'] / 2**20:.1f} MiB"
+        )
     if "cache.bytes" in snap:
         lines.append(
             f"cache: {int(snap['cache.bytes'])} bytes on disk, "

@@ -16,7 +16,7 @@ covers the exact configurations evaluated in the paper:
 from repro.models.configs import BertConfig, GPTConfig, ResNetConfig, T5Config, t5_11b
 from repro.models.bert import build_bert
 from repro.models.resnet import build_resnet
-from repro.models.gpt import build_gpt
+from repro.models.gpt import build_gpt, gpt3_like
 from repro.models.t5 import build_t5
 from repro.models.mlp import build_diamond, build_fig2_example, build_mlp
 
@@ -32,5 +32,6 @@ __all__ = [
     "build_mlp",
     "build_resnet",
     "build_t5",
+    "gpt3_like",
     "t5_11b",
 ]

@@ -50,6 +50,33 @@ def _decoder_layer(b: GraphBuilder, cfg: GPTConfig, x: Sym, mask: Sym, idx: int)
     return b.op("add", [x, ff], name=f"{p}.ffn.residual")
 
 
+def gpt3_like(
+    depth: int = 96,
+    hidden_size: int = 1536,
+    num_heads: int = 16,
+    seq_len: int = 512,
+    vocab_size: int = 32000,
+) -> TaskGraph:
+    """Synthetic GPT-3-shaped decoder graph with a configurable depth.
+
+    The planner-scaling workload (``benchmarks/bench_scale.py``,
+    docs/SCALING.md): each decoder layer traces to ~25 tasks, so
+    ``depth=420`` yields a >10k-task graph -- the regime where the dense
+    profile tensors stop fitting and the banded DP engine takes over.
+    The per-layer width is kept at trainable-on-V100 scale so the stage
+    search exercises real feasibility trade-offs instead of failing on
+    memory outright.
+    """
+    cfg = GPTConfig(
+        hidden_size=hidden_size,
+        num_layers=depth,
+        num_heads=num_heads,
+        seq_len=seq_len,
+        vocab_size=vocab_size,
+    )
+    return build_gpt(cfg)
+
+
 def build_gpt(cfg: GPTConfig = GPTConfig()) -> TaskGraph:
     """Trace a GPT-2-like language-modeling graph (next-token loss)."""
     b = GraphBuilder(cfg.name)

@@ -28,6 +28,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     point_name,
 )
+from repro.obs.rss import peak_rss_bytes
 from repro.obs.tracer import NULL_SPAN, NULL_TRACER, Span, Tracer
 
 __all__ = [
@@ -42,6 +43,7 @@ __all__ = [
     "Span",
     "Tracer",
     "chrome_trace",
+    "peak_rss_bytes",
     "point_name",
     "spans_to_jsonl",
     "spans_to_trace_events",

@@ -1,0 +1,32 @@
+"""Peak-RSS observability.
+
+``resource.getrusage`` reports the process's resident-set high-water
+mark; the planner records it as the ``planner.peak_rss_bytes`` gauge and
+as per-pass deltas, which is what makes the banded DP engine's
+O(band * D) memory claim *observable* (see docs/SCALING.md).  The
+``resource`` module is POSIX-only, so callers must tolerate ``None``.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None  # type: ignore[assignment]
+
+__all__ = ["peak_rss_bytes"]
+
+
+def peak_rss_bytes() -> Optional[int]:
+    """The process's peak resident set size in bytes, or ``None`` where
+    ``resource`` is unavailable.  ``ru_maxrss`` is kibibytes on Linux and
+    bytes on macOS; both are normalized to bytes."""
+    if resource is None:
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return int(peak)
+    return int(peak) * 1024

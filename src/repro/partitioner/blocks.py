@@ -408,9 +408,14 @@ class BlockPartitioner:
         if best is None:
             lo = max(times)
             hi = sum(times)
+            # The binary search re-packs the same topological order 40
+            # times; part memory depends only on the (start, end) range of
+            # ``order``, so a shared memo returns the identical float on
+            # revisits instead of re-deduplicating parameter ids.
+            mem_memo: Dict[Tuple[int, int], float] = {}
             for _ in range(40):
                 cap = 0.5 * (lo + hi)
-                parts = self._pack(order, times, cap)
+                parts = self._pack(order, times, cap, mem_memo)
                 if parts is not None and len(parts) <= self.k:
                     best = parts
                     hi = cap
@@ -467,24 +472,45 @@ class BlockPartitioner:
         order: List[int],
         times: List[float],
         cap: float,
+        mem_memo: Optional[Dict[Tuple[int, int], float]] = None,
     ) -> Optional[List[List[int]]]:
-        """Greedy prefix packing under a load cap and the memory cap."""
+        """Greedy prefix packing under a load cap and the memory cap.
+
+        ``mem_memo`` (shared across the caller's binary-search rounds)
+        caches part memory by ``(start, end)`` indices into ``order`` --
+        the candidate atom set, and hence the float, is fully determined
+        by the range, so hits reproduce the uncached value exactly.
+        """
         parts: List[List[int]] = []
         current: List[int] = []
         atoms: Set[int] = set()
         acc = 0.0
-        for gid, t in zip(order, times):
+        start = 0
+        for idx, (gid, t) in enumerate(zip(order, times)):
             if not current:
                 if t > cap:
                     return None  # a single group exceeds the load cap
                 current, atoms, acc = [gid], set(self.group_atoms[gid]), t
+                start = idx
                 continue
             candidate = atoms | self.group_atoms[gid]
-            if acc + t > cap or self._group_memory(candidate) > self.memory_limit:
+            if acc + t > cap:
+                over = True
+            elif mem_memo is None:
+                over = self._group_memory(candidate) > self.memory_limit
+            else:
+                mem = mem_memo.get((start, idx))
+                if mem is None:
+                    mem = mem_memo[(start, idx)] = self._group_memory(
+                        candidate
+                    )
+                over = mem > self.memory_limit
+            if over:
                 parts.append(current)
                 if t > cap:
                     return None
                 current, atoms, acc = [gid], set(self.group_atoms[gid]), t
+                start = idx
             else:
                 current.append(gid)
                 atoms, acc = candidate, acc + t

@@ -9,11 +9,18 @@ count that yields any feasible DP solution wins; among its microbatch
 variants the one with the best estimated iteration time is returned.
 
 The ``(S, MB)`` candidates of one node level are independent DP problems
-over a shared :class:`DPContext`, so they can run on a thread pool
-(``parallel=True``): the context's caches and counters are lock-guarded,
-NumPy releases the GIL inside the DP reductions, and the winner is always
-selected from the results in the serial sweep's candidate order, so the
-returned plan and the ``dp_calls`` / ``candidates_tried`` statistics are
+over a shared :class:`DPContext`, so they can run on a worker pool.  Two
+backends are available (``backend=``): ``"thread"`` shares the context
+across a thread pool (the caches and counters are lock-guarded and NumPy
+releases the GIL inside the reductions), while ``"process"`` forks the
+context into a :class:`~concurrent.futures.ProcessPoolExecutor` for true
+parallelism on big sweeps -- the context pickles via its
+``export/import_cache_state`` snapshot, candidates are chunked by
+microbatch count so each worker shares its profile-tensor cache across
+the stage counts it owns, and the parent *replays* every worker's
+``dp_calls`` / ``states_evaluated`` deltas in candidate order.  Under
+every backend the winner is selected from the results in the serial
+sweep's candidate order, so the returned plan and all statistics are
 identical to a sequential search.
 
 Aligning ``D`` to whole nodes keeps each pipeline inside as few nodes as
@@ -24,14 +31,110 @@ bandwidth (footnote 3 of the paper).
 from __future__ import annotations
 
 import os
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry, point_name
 from repro.obs.tracer import Tracer
 from repro.partitioner.stage_dp import DPContext, DPSolution, form_stage_dp
+
+#: accepted values for the Algorithm-2 ``backend`` knob /
+#: ``PlannerConfig.search_backend``
+SEARCH_BACKENDS = ("serial", "thread", "process")
+
+#: per-worker DP context of a process-pool sweep, installed once by the
+#: pool initializer so every chunk the worker executes shares its caches
+_WORKER_CTX: Optional[DPContext] = None
+
+
+def _init_search_worker(ctx: DPContext) -> None:
+    global _WORKER_CTX
+    _WORKER_CTX = ctx
+
+
+def _run_candidate_chunk(
+    chunk: List[Tuple[int, int]],
+    D: int,
+    batch_size: int,
+    R: int,
+    engine: str,
+) -> List[Tuple[Optional[DPSolution], bool, int]]:
+    """Worker body: solve a chunk of ``(S, MB)`` candidates on the
+    worker-global context, reporting per-candidate counter deltas
+    ``(solution, dp_call_made, states_evaluated)`` so the parent can
+    replay them deterministically."""
+    ctx = _WORKER_CTX
+    assert ctx is not None, "process-pool worker used before initialization"
+    out: List[Tuple[Optional[DPSolution], bool, int]] = []
+    for S, MB in chunk:
+        calls0 = ctx.dp_calls
+        states0 = ctx.states_evaluated
+        sol = form_stage_dp(ctx, S, D, batch_size, R, MB, engine=engine)
+        out.append(
+            (sol, ctx.dp_calls > calls0, ctx.states_evaluated - states0)
+        )
+    return out
+
+
+def _solve_candidates_process(
+    ctx: DPContext,
+    pairs: List[Tuple[int, int]],
+    D: int,
+    batch_size: int,
+    R: int,
+    workers: int,
+    engine: str,
+    metrics: Optional[MetricsRegistry],
+) -> Dict[Tuple[int, int], Optional[DPSolution]]:
+    """Evaluate candidates on a process pool, then replay the workers'
+    counter deltas in candidate order.
+
+    The replay makes ``ctx.dp_calls`` / ``ctx.states_evaluated`` and the
+    ``dp.*`` metrics (totals, per-``(S, MB)`` points, the states
+    histogram and the infeasible count) come out identical to a serial
+    sweep; per-candidate tracer spans are not recorded, since spans
+    cannot cross the process boundary.
+    """
+    chunks: Dict[int, List[Tuple[int, int]]] = {}
+    for pair in pairs:
+        chunks.setdefault(pair[1], []).append(pair)
+    results: Dict[Tuple[int, int], Optional[DPSolution]] = {}
+    stats: Dict[Tuple[int, int], Tuple[bool, int]] = {}
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_init_search_worker,
+        initargs=(ctx,),
+    ) as pool:
+        futures = {
+            mb: pool.submit(
+                _run_candidate_chunk, chunk, D, batch_size, R, engine
+            )
+            for mb, chunk in chunks.items()
+        }
+        for mb, fut in futures.items():
+            for pair, (sol, made_call, states) in zip(
+                chunks[mb], fut.result()
+            ):
+                results[pair] = sol
+                stats[pair] = (made_call, states)
+    for S, MB in pairs:
+        made_call, states = stats[(S, MB)]
+        if not made_call:
+            continue  # stage count out of range: no DP call was made
+        ctx._count_dp_call()
+        ctx._count_states(states)
+        if metrics is not None:
+            metrics.counter("dp.calls").inc()
+            metrics.counter("dp.states_evaluated").inc(states)
+            metrics.counter(
+                point_name("dp.states_evaluated", S=S, MB=MB)
+            ).inc(states)
+            metrics.histogram("dp.states_per_call").observe(states)
+            if results[(S, MB)] is None:
+                metrics.counter("dp.infeasible").inc()
+    return results
 
 
 @dataclass
@@ -58,6 +161,8 @@ def _solve_candidates(
     R: int,
     parallel: bool,
     max_workers: Optional[int],
+    backend: str = "thread",
+    engine: str = "numpy",
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
     parent_id: Optional[int] = None,
@@ -65,24 +170,41 @@ def _solve_candidates(
     """Run ``form_stage_dp`` for every ``(S, MB)`` candidate pair.
 
     Returns results keyed by pair so the caller ranks them in candidate
-    order regardless of thread completion order.  When a tracer is
-    given, every candidate carries its own ``dp.form_stage_dp`` span;
-    ``parent_id`` links spans recorded on pool threads back to the
-    node-level span of the coordinating thread.
+    order regardless of worker completion order.  When a tracer is
+    given, every candidate carries its own ``dp.form_stage_dp`` span
+    (thread/serial backends only); ``parent_id`` links spans recorded on
+    pool threads back to the node-level span of the coordinating thread.
     """
-    if not parallel or len(pairs) <= 1:
+    if backend not in SEARCH_BACKENDS:
+        raise ValueError(
+            f"unknown search backend {backend!r}; "
+            f"expected one of {SEARCH_BACKENDS}"
+        )
+    workers = max_workers or min(len(pairs), os.cpu_count() or 1)
+    if (
+        not parallel
+        or backend == "serial"
+        or len(pairs) <= 1
+        or (backend == "process" and workers <= 1)
+    ):
+        # A one-worker process pool would pay fork + context-pickle cost
+        # for zero concurrency (e.g. single-core hosts), so it degrades
+        # to the serial sweep -- same results, counters and plan.
         return {
             (S, MB): form_stage_dp(
-                ctx, S, D, batch_size, R, MB,
+                ctx, S, D, batch_size, R, MB, engine=engine,
                 tracer=tracer, metrics=metrics, parent_id=parent_id,
             )
             for S, MB in pairs
         }
-    workers = max_workers or min(len(pairs), os.cpu_count() or 1)
+    if backend == "process":
+        return _solve_candidates_process(
+            ctx, pairs, D, batch_size, R, workers, engine, metrics
+        )
     with ThreadPoolExecutor(max_workers=workers) as pool:
         futures = {
             (S, MB): pool.submit(
-                form_stage_dp, ctx, S, D, batch_size, R, MB,
+                form_stage_dp, ctx, S, D, batch_size, R, MB, engine=engine,
                 tracer=tracer, metrics=metrics, parent_id=parent_id,
             )
             for S, MB in pairs
@@ -99,6 +221,8 @@ def form_stage(
     search_all_stage_counts: bool = True,
     parallel: bool = True,
     max_workers: Optional[int] = None,
+    backend: str = "thread",
+    engine: str = "numpy",
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
 ) -> Optional[SearchResult]:
@@ -117,10 +241,18 @@ def form_stage(
             a pipeline several stages shorter than optimal (see DESIGN.md,
             deviation D2); both modes are tested.
         parallel: evaluate the independent ``(S, MB)`` DP candidates of a
-            level on a thread pool (deterministic: same plan and counters
+            level on a worker pool (deterministic: same plan and counters
             as the serial sweep).
-        max_workers: thread-pool size (default: CPU count, capped at the
+        max_workers: worker-pool size (default: CPU count, capped at the
             candidate count).
+        backend: one of :data:`SEARCH_BACKENDS` -- ``"thread"``
+            (default), ``"process"`` (true parallelism; the context is
+            forked to the workers and counter deltas are replayed in
+            candidate order) or ``"serial"`` (force a sequential sweep
+            regardless of ``parallel``).
+        engine: DP evaluation engine, forwarded to every
+            :func:`form_stage_dp` call (see
+            :data:`~repro.partitioner.stage_dp.DP_ENGINES`).
         tracer: optional tracer; each node level gets a ``search.level``
             span and each ``(S, MB)`` candidate a ``dp.form_stage_dp``
             span (parented to the level span even across pool threads).
@@ -162,6 +294,7 @@ def form_stage(
         ) -> List[DPSolution]:
             results = _solve_candidates(
                 ctx, pairs, D, batch_size, R, parallel, max_workers,
+                backend=backend, engine=engine,
                 tracer=tracer, metrics=metrics, parent_id=level_id,
             )
             return [

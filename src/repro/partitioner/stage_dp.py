@@ -55,9 +55,58 @@ INFEASIBLE = None
 
 #: (k+1)^2 * (D+1)^2 ceiling for the all-(b, d) DP evaluation; above it
 #: (e.g. the no-coarsening ablation's atomic-level contexts, k in the
-#: hundreds) the per-(s, b) row engine is used instead, which never
-#: materializes the 4-D candidate tensor.
+#: hundreds) a banded engine is used instead, which never materializes
+#: the dense (k+1, k+1, D+1) candidate tensors.
 FULL_TENSOR_MAX_CELLS = 2_000_000
+
+#: accepted values for the ``engine`` knob of :func:`form_stage_dp` /
+#: ``PlannerConfig.dp_engine``.  All engines are bit-identical (plans,
+#: tie-breaks and ``states_evaluated`` counters); the knob only selects
+#: the evaluation strategy:
+#:
+#: * ``"numpy"`` (default; ``"auto"`` is an alias): the dense full-slab
+#:   engine when the 4-D candidate space fits under
+#:   :data:`FULL_TENSOR_MAX_CELLS`, else the banded engine.
+#: * ``"numba"``: the banded layout reduced by a JIT-compiled kernel
+#:   (``repro.partitioner._dp_kernels``); falls back to the banded NumPy
+#:   engine when numba is not installed.
+#: * ``"banded"``: force the banded NumPy engine even when the dense
+#:   tensors would fit.
+#: * ``"dense"``: the pre-banded behavior (full slab when it fits, else
+#:   the per-(s, b) row engine) -- kept as the benchmarking baseline.
+#: * ``"rows"``: force the per-(s, b) row engine.
+DP_ENGINES = ("auto", "numpy", "numba", "banded", "dense", "rows")
+
+
+def resolve_dp_engine(
+    engine: str, k: int, D: int, *, banded_supported: bool = True
+) -> str:
+    """Resolve an ``engine`` knob value to a concrete evaluation mode
+    (``"full"``, ``"banded"``, ``"kernel"`` or ``"rows"``) for a DP call
+    of ``k`` blocks and ``D`` devices.
+
+    Contexts whose profiles cannot be deduplicated by per-replica
+    microbatch (a custom ``stage_profile`` without a matching
+    ``_profile_planes``; see :attr:`DPContext.supports_banded`) fall back
+    to the dense engines regardless of the knob.
+    """
+    if engine not in DP_ENGINES:
+        raise ValueError(
+            f"unknown dp engine {engine!r}; expected one of {DP_ENGINES}"
+        )
+    full_fits = (k + 1) * (k + 1) * (D + 1) * (D + 1) <= FULL_TENSOR_MAX_CELLS
+    if engine == "rows":
+        return "rows"
+    if engine == "dense" or not banded_supported:
+        return "full" if full_fits else "rows"
+    if engine in ("auto", "numpy"):
+        return "full" if full_fits else "banded"
+    if engine == "banded":
+        return "banded"
+    # engine == "numba"
+    from repro.partitioner._dp_kernels import kernel_available
+
+    return "kernel" if kernel_available() else "banded"
 
 
 @dataclass(frozen=True)
@@ -116,6 +165,32 @@ class DPSolution:
                 tf, tb, self.num_microbatches
             )
         return self._iteration_time
+
+
+@dataclass
+class BandedProfile:
+    """Banded candidate-stage profiles for one ``(D, R, MB,
+    checkpointing)`` key.
+
+    A stage profile depends on the replica count ``r`` only through the
+    per-replica microbatch ``bs = BS // (R * MB * r)``, so the replica
+    axis collapses to one plane per *distinct* ``bs`` -- and within one
+    DP call every reachable stage spans at most ``k - S + 1`` blocks, so
+    each plane needs only that diagonal band.  Entry ``[p, lo, j]``
+    profiles blocks ``(lo, lo + 1 + j]`` at microbatch ``bs_list[p]``;
+    entries past the block count hold +inf.  Peak memory is
+    ``O(P * k * band)`` instead of the dense ``O(k^2 * D)``.
+    """
+
+    span: int                 # widest stored stage span (band width)
+    bs_list: List[int]        # distinct per-replica microbatch sizes
+    plane_of_r: np.ndarray    # (D+1,) plane index per r; -1 = bs < 1
+    tf: np.ndarray            # (P, k, span) forward time
+    tb: np.ndarray            # (P, k, span) backward time
+    mem: np.ndarray           # (P, k, span) memory bytes
+
+    def nbytes(self) -> int:
+        return self.tf.nbytes + self.tb.nbytes + self.mem.nbytes
 
 
 class DPContext:
@@ -177,8 +252,44 @@ class DPContext:
             Tuple[int, int, int, bool],
             Tuple[np.ndarray, ...],
         ] = {}
+        self._band_cache: Dict[
+            Tuple[int, int, int, bool], BandedProfile
+        ] = {}
         self.dp_calls = 0
         self.states_evaluated = 0
+
+    # ------------------------------------------------------------------
+    # pickling (process-pool Algorithm-2 workers)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> Dict[str, object]:
+        """Constructor arguments plus the reusable numeric caches.
+
+        The lock, the metrics sink and the derived tensor/band caches are
+        dropped: workers re-derive tensors from the exported prefix/range
+        arrays (pure broadcasting), aggregate their own counters, and the
+        parent replays those counters in candidate order so a process-pool
+        sweep stays bit-identical to a serial one.
+        """
+        with self._lock:
+            return {
+                "graph": self.graph,
+                "blocks": self.blocks,
+                "profiler": self.profiler,
+                "batch_size": self.batch_size,
+                "memory_budget": self.memory_budget,
+                "cache_state": self.export_cache_state(),
+            }
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__init__(
+            state["graph"],
+            state["blocks"],
+            state["profiler"],
+            state["batch_size"],
+            metrics=None,
+            memory_budget=state["memory_budget"],
+        )
+        self.import_cache_state(state["cache_state"])
 
     # ------------------------------------------------------------------
     @property
@@ -642,6 +753,128 @@ class DPContext:
             self._dp_tensor_cache[key] = result
             return result
 
+    # ------------------------------------------------------------------
+    # banded construction (O(band * D) peak memory)
+    # ------------------------------------------------------------------
+    @property
+    def supports_banded(self) -> bool:
+        """Whether profiles may be deduplicated by per-replica microbatch
+        (the precondition of the banded/JIT engines): true for the default
+        profile semantics and for subclasses that provide a matching
+        ``_profile_planes``; false for a custom ``stage_profile`` alone,
+        which may depend on ``r`` directly."""
+        return (
+            type(self).stage_profile is DPContext.stage_profile
+            or type(self)._profile_planes is not DPContext._profile_planes
+        )
+
+    def profile_bands(
+        self, D: int, R: int, MB: int, checkpointing: bool, span: int
+    ) -> BandedProfile:
+        """Banded profiles covering stage spans up to ``span`` blocks.
+
+        Cached per ``(D, R, MB, checkpointing)`` and grown on demand: a
+        request wider than the cached band rebuilds it (Algorithm 2
+        issues the widest request of a node level first -- smallest
+        ``S`` -- so serial sweeps build each band exactly once).
+        """
+        span = int(min(max(span, 1), self.k))
+        key = (D, R, MB, checkpointing)
+        with self._lock:
+            cached = self._band_cache.get(key)
+            if cached is not None and cached.span >= span:
+                if self.metrics is not None:
+                    self.metrics.counter("profiler.band_cache_hits").inc()
+                return cached
+            if self.metrics is not None:
+                self.metrics.counter("profiler.band_builds").inc()
+            band = self._build_bands(D, R, MB, checkpointing, span)
+            self._band_cache[key] = band
+            return band
+
+    def _build_bands(
+        self, D: int, R: int, MB: int, checkpointing: bool, span: int
+    ) -> BandedProfile:
+        k = self.k
+        bs_list: List[int] = []
+        plane_index: Dict[int, int] = {}
+        plane_of_r = np.full(D + 1, -1, dtype=np.int64)
+        for r in range(1, D + 1):
+            bs = self.batch_size // (R * MB * r)
+            if bs < 1:
+                continue  # microbatch collapsed: stays -1
+            p = plane_index.get(bs)
+            if p is None:
+                p = len(bs_list)
+                plane_index[bs] = p
+                bs_list.append(bs)
+            plane_of_r[r] = p
+        P = len(bs_list)
+        tf = np.full((P, k, span), np.inf)
+        tb = np.full((P, k, span), np.inf)
+        mem = np.full((P, k, span), np.inf)
+        direct = (
+            type(self)._profile_planes is DPContext._profile_planes
+        )
+        for p, bs in enumerate(bs_list):
+            if direct:
+                tf[p], tb[p], mem[p] = self._band_plane(
+                    bs, MB, checkpointing, span
+                )
+            else:
+                # subclass planes: build dense once, slice the band out
+                # (transiently O(k^2) but still deduplicated over r)
+                planes = self._profile_planes(bs, MB, checkpointing)
+                tf[p] = _band_from_plane(planes[0], span)
+                tb[p] = _band_from_plane(planes[1], span)
+                mem[p] = _band_from_plane(planes[2], span)
+        return BandedProfile(
+            span=span, bs_list=bs_list, plane_of_r=plane_of_r,
+            tf=tf, tb=tb, mem=mem,
+        )
+
+    def _band_plane(
+        self, bs: int, MB: int, checkpointing: bool, span: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The diagonal band of :meth:`_profile_planes`, gathered without
+        materializing the dense plane.  Entry ``[lo, j]`` profiles blocks
+        ``(lo, lo + 1 + j]``; the arithmetic (prefix difference,
+        checkpointing recompute, p2p affine term, memory model) runs in
+        the exact order of the dense builder so every in-range entry is
+        the identical float64 result."""
+        k = self.k
+        IN1, OUT1, PARAMS = self._range_matrices()
+        tf_prefix, tb_prefix = self._time_prefix_at(bs)
+        lo = np.arange(k)[:, None]
+        hi = lo + 1 + np.arange(span)[None, :]
+        valid = hi <= k
+        hic = np.minimum(hi, k)
+        tf_band = tf_prefix[hic] - tf_prefix[lo]
+        tb_band = tb_prefix[hic] - tb_prefix[lo]
+        if checkpointing:
+            tb_band = tb_band + tf_band
+        in_b = IN1[lo, hic] * bs
+        out_b = OUT1[lo, hic] * bs
+        lat, bw = self.cluster.comm.p2p_affine(same_node=True)
+        tf_band = tf_band + np.where(out_b != 0.0, lat + out_b / bw, 0.0)
+        tb_band = tb_band + np.where(in_b != 0.0, lat + in_b / bw, 0.0)
+        act_factor = self.profiler.precision.activation_bytes_factor
+        saved = (
+            self._saved_prefix[hic] - self._saved_prefix[lo]
+        ) * bs * act_factor
+        mem_band = self.profiler.memory_model.total_bytes(
+            param_count=PARAMS[lo, hic],
+            saved_act_bytes_micro=saved,
+            boundary_in_bytes_micro=in_b,
+            microbatches_in_flight=MB if checkpointing else 1,
+            checkpointing=checkpointing,
+        )
+        return (
+            np.where(valid, tf_band, np.inf),
+            np.where(valid, tb_band, np.inf),
+            np.where(valid, mem_band, np.inf),
+        )
+
     def profile_tensors_reference(
         self, D: int, R: int, MB: int, checkpointing: bool
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -664,6 +897,172 @@ class DPContext:
         return TF, TB, MEM
 
 
+def _band_from_plane(plane: np.ndarray, span: int) -> np.ndarray:
+    """Gather the diagonal band (``hi = lo + 1 + j``) out of a dense
+    ``(k+1, k+1)`` range plane; out-of-range entries become +inf."""
+    k = plane.shape[0] - 1
+    lo = np.arange(k)[:, None]
+    hi = lo + 1 + np.arange(span)[None, :]
+    valid = hi <= k
+    return np.where(valid, plane[lo, np.minimum(hi, k)], np.inf)
+
+
+def _replica_groups(plane_of_r: np.ndarray, max_r: int) -> List[Tuple[int, int, int]]:
+    """Contiguous replica-count runs ``(r_start, r_end, plane)`` sharing
+    one per-replica microbatch plane (``plane = -1``: bs collapsed)."""
+    groups: List[Tuple[int, int, int]] = []
+    r = 1
+    while r <= max_r:
+        p = int(plane_of_r[r])
+        r2 = r
+        while r2 + 1 <= max_r and int(plane_of_r[r2 + 1]) == p:
+            r2 += 1
+        groups.append((r, r2, p))
+        r = r2 + 1
+    return groups
+
+
+def _banded_stage_numpy(
+    bands: BandedProfile,
+    prev_ok: np.ndarray,
+    ptf: np.ndarray,
+    ptb: np.ndarray,
+    s: int,
+    b_hi: int,
+    d_hi: int,
+    M: float,
+    best: np.ndarray,
+    best_tf: np.ndarray,
+    best_tb: np.ndarray,
+    best_bp: np.ndarray,
+    best_dp: np.ndarray,
+    memf: np.ndarray,
+    bsf: np.ndarray,
+    slab_cache: Optional[Dict[int, Tuple]] = None,
+) -> None:
+    """One stage count of the banded DP engine.
+
+    Mirrors the full-slab engine's per-``d'`` column reduction, but the
+    per-stage slab lives in band coordinates -- ``(b', b)`` restricted to
+    the reachable rows/cols, which for stage ``s`` of an ``S``-stage DP
+    is exactly a ``(k - S + 1)``-square -- and the replica axis is
+    reduced one *bs-group* at a time: ``r`` values sharing a per-replica
+    microbatch have identical candidate values, so each group's argmin is
+    computed once and broadcast across the group's ``d`` range.  The
+    update rule, tie-breaks and failure-mask accumulation are the exact
+    expressions of the dense engine, so every written cell is
+    bit-identical.
+
+    The per-stage ``(b', b)`` slab of plane ``p`` is a *diagonal shear*
+    of the band matrix: ``slab[i, j] = band[s - 1 + i, j - i]``.  Each
+    plane is materialized once per DP call (``slab_cache``, shared
+    across the ``s`` loop since ``nb = k - S + 1`` is constant) as the
+    band padded on the right with ``nb`` INF columns; every stage's
+    slab is then a zero-copy strided view whose out-of-band cells
+    (``j < i``) land in the neighbouring row's INF padding.
+    Over-memory and out-of-band infeasibility are poisoned into the
+    padded TF as INF, so the candidate value ``max(prev, TF) +
+    max(prev, TB)`` is INF exactly where the dense engine's masked
+    ``np.where(ok, ..., INF)`` is, with no mask passes at all.
+    """
+    INF = np.inf
+    bsl = slice(s, b_hi + 1)
+    psl = slice(s - 1, b_hi)
+    nb = b_hi - s + 1        # = k - S + 1: cols b = s .. b_hi
+    col_ok = prev_ok.any(axis=0)
+    cols = np.arange(nb)
+    groups = _replica_groups(bands.plane_of_r, d_hi - (s - 1))
+    if slab_cache is None:
+        slab_cache = {}
+    views: Dict[int, Tuple] = {}
+    cand_tf = np.empty((nb, nb))
+    cand_tb = np.empty((nb, nb))
+    v = np.empty((nb, nb))
+    pcol_tf = np.empty((nb, 1))
+    as_strided = np.lib.stride_tricks.as_strided
+    for dp_ in range(s - 1, d_hi):
+        if not col_ok[dp_]:
+            continue
+        nd = d_hi - dp_
+        pok = prev_ok[psl, dp_]
+        # column b has a valid (b', b) pair iff some b' <= b has pok
+        any_valid = np.logical_or.accumulate(pok)
+        # prev TF carries INF at infeasible rows so they never win; TB
+        # needs no poisoning (one INF operand already forces v to INF)
+        pcol_tf[:, 0] = np.where(pok, ptf[psl, dp_], INF)
+        pcol_tb = ptb[psl, dp_][:, None]
+        for r1, r2, p in groups:
+            if r1 > nd:
+                break
+            g = slice(dp_ + r1, dp_ + min(r2, nd) + 1)
+            if p < 0:
+                # microbatch collapsed for this whole run of r: the dense
+                # engine's FIN plane is all-False there, so every valid
+                # transition records a bs failure
+                bsf[bsl, g] |= any_valid[:, None]
+                continue
+            view = views.get(p)
+            if view is None:
+                padded = slab_cache.get(p)
+                if padded is None:
+                    kk, span = bands.tf[p].shape
+                    over_full = bands.mem[p] > M  # (k, span)
+                    tfp = np.full((kk, span + nb), INF)
+                    if over_full.any():
+                        tfp[:, :span] = np.where(over_full, INF, bands.tf[p])
+                        row_over = over_full.any(axis=1)
+                        ovp = np.zeros((kk, span + nb), dtype=bool)
+                        ovp[:, :span] = over_full
+                    else:
+                        tfp[:, :span] = bands.tf[p]
+                        row_over = None
+                        ovp = None
+                    tbp = np.full((kk, span + nb), INF)
+                    tbp[:, :span] = bands.tb[p]
+                    padded = (tfp, tbp, ovp, row_over)
+                    slab_cache[p] = padded
+                tfp, tbp, ovp, row_over = padded
+                t0, t1 = tfp.strides
+                shear = (nb, nb), (t0 - t1, t1)
+                Ptf = as_strided(tfp[s - 1:], *shear)
+                Ptb = as_strided(tbp[s - 1:], *shear)
+                Pover = None
+                if row_over is not None and row_over[psl].any():
+                    b0, b1 = ovp.strides
+                    Pover = as_strided(ovp[s - 1:], (nb, nb), (b0 - b1, b1))
+                view = (Ptf, Ptb, Pover)
+                views[p] = view
+            Ptf, Ptb, Pover = view
+            # in-band entries are always finite (every span 1..k-S+1 is a
+            # real block range), so fin == in_band and valid & ~fin == 0:
+            # present-bs groups never contribute to bsf
+            if Pover is not None:
+                ovm_cols = (pok[:, None] & Pover).any(axis=0)
+                if ovm_cols.any():
+                    memf[bsl, g] |= ovm_cols[:, None]
+            np.maximum(pcol_tf, Ptf, out=cand_tf)
+            np.maximum(pcol_tb, Ptb, out=cand_tb)
+            np.add(cand_tf, cand_tb, out=v)
+            bp_idx = np.argmin(v, axis=0)     # (b,): smallest b' wins
+            vmin = v[bp_idx, cols]
+            if not np.isfinite(vmin).any():   # == the dense ok.any() skip
+                continue
+            bpg = bp_idx + (s - 1)
+            cur = best[bsl, g]
+            cur_bp = best_bp[bsl, g]
+            upd = (vmin[:, None] < cur) | (
+                (vmin[:, None] == cur) & (bpg[:, None] < cur_bp)
+            )
+            if upd.any():
+                ctf = cand_tf[bp_idx, cols]
+                ctb = cand_tb[bp_idx, cols]
+                best[bsl, g] = np.where(upd, vmin[:, None], cur)
+                best_tf[bsl, g] = np.where(upd, ctf[:, None], best_tf[bsl, g])
+                best_tb[bsl, g] = np.where(upd, ctb[:, None], best_tb[bsl, g])
+                best_bp[bsl, g] = np.where(upd, bpg[:, None], cur_bp)
+                best_dp[bsl, g] = np.where(upd, dp_, best_dp[bsl, g])
+
+
 def form_stage_dp(
     ctx: DPContext,
     S: int,
@@ -673,6 +1072,7 @@ def form_stage_dp(
     MB: int,
     dmin_pruning: bool = True,
     *,
+    engine: str = "numpy",
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
     parent_id: Optional[int] = None,
@@ -688,6 +1088,9 @@ def form_stage_dp(
         MB: number of microbatches.
         dmin_pruning: the paper's d_min search-space reduction; disabling
             it is the ablation of DESIGN.md choice #1.
+        engine: evaluation strategy, one of :data:`DP_ENGINES`.  Every
+            engine returns bit-identical solutions and counters; see
+            :func:`resolve_dp_engine` for the mapping to concrete modes.
         tracer: optional :class:`~repro.obs.tracer.Tracer`; when given,
             the whole call is wrapped in a ``dp.form_stage_dp`` span
             carrying ``(S, D, R, MB)``, the visited-state count and the
@@ -729,7 +1132,7 @@ def form_stage_dp(
                 )
             )
         return _form_stage_dp_body(
-            ctx, S, D, BS, R, MB, dmin_pruning, sp, metrics
+            ctx, S, D, BS, R, MB, dmin_pruning, engine, sp, metrics
         )
 
 
@@ -741,6 +1144,7 @@ def _form_stage_dp_body(
     R: int,
     MB: int,
     dmin_pruning: bool,
+    engine: str,
     sp: Optional[Span],
     metrics: Optional[MetricsRegistry],
 ) -> Optional[DPSolution]:
@@ -754,11 +1158,26 @@ def _form_stage_dp_body(
         metrics.counter("dp.calls").inc()
     checkpointing = S > 1
     M = ctx.usable_memory
-    full = (k + 1) * (k + 1) * (D + 1) * (D + 1) <= FULL_TENSOR_MAX_CELLS
+    mode = resolve_dp_engine(
+        engine, k, D, banded_supported=ctx.supports_banded
+    )
+    full = mode == "full"
+    kernel = None
     if full:
         TF, TB, MEM, FIN, OVER = ctx._dp_tensors(D, R, MB, checkpointing)
         # b' < b (a stage must contain at least one block)
         LT = np.triu(np.ones((k + 1, k + 1), dtype=bool), 1)
+    elif mode in ("banded", "kernel"):
+        # within this DP call every reachable stage spans at most
+        # k - S + 1 blocks, so the band covers the whole search space
+        bands = ctx.profile_bands(D, R, MB, checkpointing, k - S + 1)
+        # padded shear slabs are shared across the whole s loop: nb =
+        # k - S + 1 and the memory budget are constant within one call
+        band_slabs: Dict[int, Tuple] = {}
+        if mode == "kernel":
+            from repro.partitioner._dp_kernels import banded_stage_kernel
+
+            kernel = banded_stage_kernel
     else:
         TF, TB, MEM = ctx.profile_tensors(D, R, MB, checkpointing)
 
@@ -859,6 +1278,21 @@ def _form_stage_dp_body(
                     best_tb[bsl, ds_] = np.where(upd, ctb, best_tb[bsl, ds_])
                     best_bp[bsl, ds_] = np.where(upd, bpg, cur_bp)
                     best_dp[bsl, ds_] = np.where(upd, dp, best_dp[bsl, ds_])
+        elif mode in ("banded", "kernel"):
+            if kernel is not None:
+                kernel(
+                    bands.tf, bands.tb, bands.mem, bands.plane_of_r,
+                    prev_ok, tf[s - 1], tb[s - 1],
+                    s, b_hi, d_hi, float(M),
+                    best, best_tf, best_tb, best_bp, best_dp, memf, bsf,
+                )
+            else:
+                _banded_stage_numpy(
+                    bands, prev_ok, tf[s - 1], tb[s - 1],
+                    s, b_hi, d_hi, M,
+                    best, best_tf, best_tb, best_bp, best_dp, memf, bsf,
+                    slab_cache=band_slabs,
+                )
         else:
             dprimes = np.arange(s - 1, max(d_hi, s - 1))
             ds = np.arange(s, d_hi + 1)

@@ -23,6 +23,7 @@ from __future__ import annotations
 import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.rss import peak_rss_bytes
 from repro.planner.context import EVALUATED, PLAN, PlanningContext
 from repro.planner.events import FAILED, OK, SKIPPED
 
@@ -160,6 +161,7 @@ class PassManager:
                         f"{sorted(ctx.artifacts)})",
                     )
             start = time.perf_counter()
+            rss_before = peak_rss_bytes()
             try:
                 detail = p.run(ctx) or {}
             except Exception as exc:
@@ -173,6 +175,12 @@ class PassManager:
                     raise  # domain errors keep their type for callers
                 raise PassError(p.name, str(exc)) from exc
             elapsed = time.perf_counter() - start
+            if rss_before is not None:
+                rss_after = peak_rss_bytes()
+                if rss_after is not None and rss_after > rss_before:
+                    # how much this pass raised the process's resident
+                    # high-water mark (0 deltas are omitted as noise)
+                    detail["peak_rss_delta"] = rss_after - rss_before
             for artifact in p.produces:
                 if not ctx.has(artifact):
                     raise PassError(
@@ -189,6 +197,9 @@ class PassManager:
             self._finish_store_run(
                 ctx, store, reused_passes, artifacts_loaded, store_misses
             )
+        rss = peak_rss_bytes()
+        if rss is not None:
+            ctx.metrics.gauge("planner.peak_rss_bytes").set(float(rss))
         self._stamp_diagnostics(ctx)
         return ctx
 

@@ -175,6 +175,8 @@ class StageSearchPass(PlannerPass):
             max_microbatches=ctx.config.max_microbatches,
             parallel=ctx.config.parallel_search,
             max_workers=ctx.config.search_workers,
+            backend=ctx.config.search_backend,
+            engine=ctx.config.dp_engine,
             # fine-grained per-candidate spans are opt-in; the search
             # counters are cheap (per DP call, not per cell) and always on
             tracer=ctx.tracer if ctx.config.trace else None,
@@ -201,6 +203,8 @@ class StageSearchPass(PlannerPass):
             "replica_factor": result.replica_factor,
             "devices_per_pipeline": result.devices_per_pipeline,
             "parallel_search": ctx.config.parallel_search,
+            "search_backend": ctx.config.search_backend,
+            "dp_engine": ctx.config.dp_engine,
             "memo_hit_rate": profiler.memo_hit_rate - memo_before,
         }
 

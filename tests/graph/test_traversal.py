@@ -177,6 +177,58 @@ def test_can_merge_preserves_acyclicity(dag, data):
         gg.topo_order()  # must not raise
 
 
+def _reachable_brute(gg, src, dst):
+    """Unpruned DFS oracle for ``_reachable_avoiding_edge``."""
+    stack = [s for s in gg.succ[src] if s != dst]
+    seen = set(stack)
+    while stack:
+        n = stack.pop()
+        if n == dst:
+            return True
+        for s in gg.succ[n]:
+            if s not in seen:
+                seen.add(s)
+                stack.append(s)
+    return False
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_dag(), st.data())
+def test_level_pruned_reachability_matches_unpruned(dag, data):
+    """Property: through an arbitrary merge sequence, the level function
+    keeps its per-edge invariant and the pruned reachability check gives
+    the same answer as an unpruned DFS for every adjacent pair."""
+    n, edges = dag
+    gg = GroupGraph(range(n), edges)
+    for _ in range(data.draw(st.integers(min_value=0, max_value=n - 1))):
+        pairs = [
+            (a, b)
+            for a in gg.nodes()
+            for b in sorted(gg.succ[a])
+            if gg.can_merge(a, b)
+        ]
+        if not pairs:
+            break
+        gg.merge(*data.draw(st.sampled_from(pairs)))
+    assert gg._level is not None
+    for a in gg.nodes():
+        for b in sorted(gg.succ[a]):
+            assert gg._level[a] < gg._level[b]
+            assert gg._reachable_avoiding_edge(a, b) == _reachable_brute(
+                gg, a, b
+            )
+
+
+def test_cyclic_input_disables_pruning_not_reachability():
+    """A cyclic input (callers are expected to avoid it, but nothing
+    enforces that at construction) falls back to the unpruned search."""
+    gg = GroupGraph(range(3), [(0, 1), (1, 2), (2, 0)])
+    assert gg._level is None
+    assert gg._reachable_avoiding_edge(0, 2)      # 0 -> 1 -> 2
+    # the only 0 -> 1 path is the direct edge, which the query excludes
+    assert not gg._reachable_avoiding_edge(0, 1)
+
+
 @settings(max_examples=40, deadline=None)
 @given(st.integers(min_value=2, max_value=8), st.data())
 def test_convexity_matches_interval_property_on_chains(n, data):

@@ -17,6 +17,7 @@ import pytest
 from repro.hardware import paper_cluster
 from repro.models import BertConfig, ResNetConfig, build_bert, build_resnet
 from repro.partitioner import auto_partition
+from repro.partitioner.stage_dp import DP_ENGINES
 
 FIXTURE = Path(__file__).resolve().parents[1] / "data" / "pinned_plans.json"
 
@@ -80,3 +81,28 @@ def test_fixture_covers_full_matrix():
     assert set(PINNED) == {
         f"{m}/{c}" for m in MODELS for c in CLUSTERS
     }
+
+
+# every non-default DP engine must reproduce the same pinned plans the
+# default ("numpy") engine is held to above -- the engines are different
+# evaluation strategies over one DP, not different algorithms.  "numba"
+# degrades to the banded NumPy engine when numba is absent, so this test
+# is meaningful (and identical) with or without the JIT installed.
+ENGINES = [e for e in DP_ENGINES if e != "numpy"]
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("key", sorted(PINNED), ids=sorted(PINNED))
+def test_every_engine_matches_pinned_plan(key, engine):
+    expected = PINNED[key]
+    model_name, cluster_name = key.split("/")
+    build, batch_size = MODELS[model_name]
+    cluster = paper_cluster(CLUSTERS[cluster_name])
+
+    plan = auto_partition(build(), cluster, batch_size, dp_engine=engine)
+
+    assert [list(s.block_range) for s in plan.stages] == expected["boundaries"]
+    assert [s.devices_per_pipeline for s in plan.stages] == expected["devices"]
+    assert plan.num_microbatches == expected["num_microbatches"]
+    assert plan.replica_factor == expected["replica_factor"]
+    assert plan.iteration_time == expected["iteration_time"]

@@ -42,6 +42,7 @@ LINKED_DOCS = (
     "docs/COMMUNICATION.md",
     "docs/INCREMENTAL.md",
     "docs/OBSERVABILITY.md",
+    "docs/SCALING.md",
     "docs/VERIFICATION.md",
     "examples/README.md",
 )
@@ -51,6 +52,7 @@ DOCTEST_DOCS = (
     "docs/OBSERVABILITY.md",
     "docs/COMMUNICATION.md",
     "docs/INCREMENTAL.md",
+    "docs/SCALING.md",
 )
 
 _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
