@@ -7,6 +7,8 @@ Examples::
     python -m repro plan --model bert --explain --cache-dir ~/.cache/repro
     python -m repro trace --model bert-base --cluster v100x8 --out trace.json
     python -m repro verify deployment.json --model bert --nodes 4
+    python -m repro serve --port 8321 --cache-dir ~/.cache/repro \
+        --cache-budget-mb 256 --workers 4
     python -m repro fig4 --fast
     python -m repro fig5
     python -m repro table1
@@ -171,6 +173,54 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         write_jsonl(args.jsonl, ctx.tracer, ctx.metrics)
         print(f"spans written to {args.jsonl}")
     return 0
+
+
+def _add_serve(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "serve",
+        help="run the plan service: a long-lived HTTP/JSON daemon over "
+             "the planning pipeline (coalescing, shared artifact store, "
+             "delta replanning; see docs/SERVICE.md)",
+    )
+    p.add_argument("--host", type=str, default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8321,
+                   help="listen port (0 picks a free port)")
+    p.add_argument("--cache-dir", type=str, default=None,
+                   help="shared on-disk cache root (deployments + "
+                        "artifacts); omit for a memory-only store")
+    p.add_argument("--cache-budget-mb", type=int, default=None,
+                   help="LRU byte budget of the on-disk cache (MiB)")
+    p.add_argument("--store-budget-mb", type=int, default=None,
+                   help="byte budget of the in-memory artifact tier (MiB)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="pipeline thread-pool size (distinct-model "
+                        "requests that can plan concurrently)")
+    p.add_argument("--drain-timeout", type=float, default=30.0,
+                   help="seconds to wait for in-flight plans on shutdown")
+    p.add_argument("--trace-out", type=str, default=None,
+                   help="write the serving window's Perfetto trace here "
+                        "on exit")
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import serve
+
+    return serve(
+        host=args.host,
+        port=args.port,
+        drain_timeout=args.drain_timeout,
+        trace_out=args.trace_out,
+        cache_dir=args.cache_dir,
+        cache_budget_bytes=(
+            args.cache_budget_mb * 2**20
+            if args.cache_budget_mb is not None else None
+        ),
+        store_memory_budget_bytes=(
+            args.store_budget_mb * 2**20
+            if args.store_budget_mb is not None else None
+        ),
+        workers=args.workers,
+    )
 
 
 def _add_verify(sub: argparse._SubParsersAction) -> None:
@@ -468,6 +518,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_plan(sub)
     _add_trace(sub)
     _add_verify(sub)
+    _add_serve(sub)
     p4 = sub.add_parser("fig4", help="regenerate the Fig. 4 BERT sweep")
     p4.add_argument("--fast", action="store_true")
     p4.add_argument("--amp", action="store_true")
@@ -491,6 +542,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "plan": _cmd_plan,
         "trace": _cmd_trace,
         "verify": _cmd_verify,
+        "serve": _cmd_serve,
         "fig4": _cmd_fig4,
         "fig5": _cmd_fig5,
         "table1": _cmd_table1,

@@ -58,6 +58,22 @@ def auto_partition(
     This is the user-facing equivalent of wrapping a PyTorch module in
     ``pyrannc.RaNNCModule``: no annotations, no manual stages.
 
+    Example -- partition BERT-base for one 8-V100 node and re-plan the
+    same model for two nodes, reusing the profiling work::
+
+        from repro.hardware import paper_cluster
+        from repro.models import BertConfig, build_bert
+        from repro.planner import PlannerConfig, PlanningContext
+
+        graph = build_bert(BertConfig(hidden_size=768, num_layers=12,
+                                      num_heads=12))
+        ctx = PlanningContext(graph, paper_cluster(1),
+                              PlannerConfig(batch_size=64))
+        plan = auto_partition(graph, paper_cluster(1), batch_size=64,
+                              context=ctx)
+        bigger = auto_partition(graph, paper_cluster(2), batch_size=64,
+                                reuse_from=ctx)   # delta replan
+
     Args:
         graph: the traced model (see :mod:`repro.models`).
         cluster: target cluster (e.g. ``paper_cluster()``).

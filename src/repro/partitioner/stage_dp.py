@@ -198,11 +198,25 @@ class DPContext:
 
     Shared across every ``form_stage_dp`` call of an Algorithm-2 search so
     block-range aggregates (task times, activation sizes, boundary bytes,
-    unique parameter counts) are computed once.  All mutable caches and
-    counters are guarded by an RLock: the Algorithm-2 sweep may issue DP
-    calls from a thread pool, and both the cached tensors and the
-    ``dp_calls`` / ``states_evaluated`` statistics must come out identical
-    to a serial sweep.
+    unique parameter counts) are computed once.
+
+    Concurrency contract:
+
+    * **Intra-run** (reads + memoization): all mutable caches and
+      counters are guarded by an RLock -- the Algorithm-2 sweep may issue
+      DP calls from a thread pool, and both the cached tensors and the
+      ``dp_calls`` / ``states_evaluated`` statistics must come out
+      identical to a serial sweep.
+    * **Cross-run** (rebinding): :meth:`rebind` and
+      :meth:`set_memory_budget` mutate the shared payload *in place*
+      when a ``dp_context`` artifact is reused from an
+      :class:`~repro.planner.store.ArtifactStore`
+      (``materialize_for_reuse``).  They are single-writer operations:
+      they must not race with another run's DP calls on the same
+      payload.  The RLock does not serialize whole runs -- callers that
+      can share a payload (same model family, e.g. the plan service in
+      :mod:`repro.service.engine`) must hold their own per-model mutex
+      around the entire pipeline execution.
     """
 
     def __init__(

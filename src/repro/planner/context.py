@@ -80,6 +80,23 @@ class PlannerConfig:
     backend (deployment entries + serialized artifacts); ``None`` leaves
     the cache unbounded.  A run-mode knob: it changes what stays cached,
     never what plan is produced, so it is excluded from the fingerprint.
+
+    Example -- the paper's BERT setup with tracing and a bounded disk
+    cache::
+
+        config = PlannerConfig(
+            batch_size=256,
+            num_blocks=32,            # block-level partitioning k
+            comm_model="topology",    # link-level communication costs
+            memory_budget=24 * 2**30, # cap the stage search at 24 GiB
+            cache_dir="~/.cache/repro",
+            cache_budget_bytes=256 * 2**20,
+            dp_engine="numpy",        # auto: dense small, banded large
+            trace=True,
+        )
+
+    The full knob-by-knob table lives in ``docs/SERVICE.md`` (the plan
+    service exposes most of these as request ``options``).
     """
 
     batch_size: int

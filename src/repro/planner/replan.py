@@ -120,6 +120,13 @@ def replan(
     Returns:
         The new :class:`~repro.partitioner.plan.PartitionPlan`,
         bit-identical to what a cold run with the same inputs produces.
+
+    Example -- after a finished run, tighten the memory budget and grow
+    the cluster; only the stage search onward reruns::
+
+        plan = plan_graph(graph, cluster, config, context=ctx)
+        tighter = replan(ctx, memory_budget=16 * 2**30)
+        wider = replan(ctx, cluster=paper_cluster(4))
     """
     from repro.planner import plan_graph
 

@@ -32,6 +32,7 @@ import io
 import json
 import os
 import tempfile
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field, is_dataclass, fields as dc_fields
 from pathlib import Path
@@ -116,6 +117,15 @@ class DiskBackend:
     mtimes: reads touch) bounds the combined footprint.  Writes are
     write-then-rename, so a crash or a concurrent planner never leaves a
     truncated file at a final path.
+
+    Concurrency contract: safe for concurrent callers in one process
+    (counters and budget enforcement are lock-guarded) *and* across
+    processes sharing one cache root -- readers see either the old or
+    the new bytes of an entry, never a mix, and a process killed
+    mid-write leaves only an orphaned ``*.tmp`` that budget accounting
+    and reads both ignore.  This is what lets the plan service
+    (:mod:`repro.service`) recover with miss-then-repair semantics after
+    a hard kill.
     """
 
     def __init__(
@@ -123,6 +133,7 @@ class DiskBackend:
     ) -> None:
         self.root = Path(root)
         self.byte_budget = byte_budget
+        self._lock = threading.Lock()
         self.evictions = 0
         self.hits = 0
         self.misses = 0
@@ -136,9 +147,11 @@ class DiskBackend:
         try:
             data = path.read_bytes()
         except OSError:
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
             return None
-        self.hits += 1
+        with self._lock:
+            self.hits += 1
         try:  # LRU recency: a read makes the entry young again
             os.utime(path)
         except OSError:
@@ -193,23 +206,24 @@ class DiskBackend:
     def _enforce_budget(self, protect: Optional[Path] = None) -> None:
         if self.byte_budget is None:
             return
-        entries = self._entries()
-        used = sum(size for _, size, _ in entries)
-        if used <= self.byte_budget:
-            return
-        # oldest mtime first = least recently used first
-        entries.sort(key=lambda e: e[2])
-        for path, size, _ in entries:
+        with self._lock:
+            entries = self._entries()
+            used = sum(size for _, size, _ in entries)
             if used <= self.byte_budget:
-                break
-            if protect is not None and path == protect:
-                continue  # never evict the entry being written
-            try:
-                path.unlink()
-            except OSError:
-                continue
-            used -= size
-            self.evictions += 1
+                return
+            # oldest mtime first = least recently used first
+            entries.sort(key=lambda e: e[2])
+            for path, size, _ in entries:
+                if used <= self.byte_budget:
+                    break
+                if protect is not None and path == protect:
+                    continue  # never evict the entry being written
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                used -= size
+                self.evictions += 1
 
     def stats(self) -> Dict[str, float]:
         return {
@@ -462,6 +476,16 @@ class ArtifactStore:
     first); the disk tier persists every artifact that has a codec, and
     a memory miss that hits disk re-materializes the payload and
     promotes it.
+
+    Concurrency contract: ``get``/``put``/``refresh``/``stats`` are
+    linearizable (one internal RLock), so one store may back many
+    concurrent planning runs -- the plan service shares a single store
+    across all requests.  The lock covers the store's own state only:
+    a *payload* handed out by ``get`` may still be mutated by its reuse
+    fix-up (:func:`materialize_for_reuse` rebinds a ``dp_context`` in
+    place), which is why runs that can share payloads -- same model
+    family -- must be serialized by the caller (see
+    :mod:`repro.service.engine` for the keyed-mutex pattern).
     """
 
     def __init__(
@@ -471,6 +495,7 @@ class ArtifactStore:
     ) -> None:
         self.memory_budget_bytes = memory_budget_bytes
         self.disk = disk
+        self._lock = threading.RLock()
         self._mem: "OrderedDict[str, Artifact]" = OrderedDict()
         self._mem_bytes = 0
         self.hits = 0
@@ -485,10 +510,12 @@ class ArtifactStore:
         return f"artifacts/{name}-{fingerprint}.{codec.ext}"
 
     def __len__(self) -> int:
-        return len(self._mem)
+        with self._lock:
+            return len(self._mem)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._mem
+        with self._lock:
+            return key in self._mem
 
     # ------------------------------------------------------------------
     def get(
@@ -498,27 +525,34 @@ class ArtifactStore:
         ctx: Optional[PlanningContext] = None,
     ) -> Optional[Artifact]:
         key = f"{name}:{fingerprint}"
-        art = self._mem.get(key)
-        if art is not None:
-            self._mem.move_to_end(key)
-            self.hits += 1
-            return art
-        codec = CODECS.get(name)
-        if self.disk is not None and codec is not None and ctx is not None:
-            data = self.disk.read_bytes(self._relpath(name, fingerprint))
-            if data is not None:
-                try:
-                    payload = codec.decode(data, ctx)
-                except (ValueError, KeyError, OSError):
-                    # a corrupt file is a miss, not a failure
-                    self.misses += 1
-                    return None
-                art = self._insert(name, fingerprint, payload, {})
+        with self._lock:
+            art = self._mem.get(key)
+            if art is not None:
+                self._mem.move_to_end(key)
                 self.hits += 1
-                self.disk_hits += 1
                 return art
-        self.misses += 1
-        return None
+            codec = CODECS.get(name)
+            if (
+                self.disk is not None
+                and codec is not None
+                and ctx is not None
+            ):
+                data = self.disk.read_bytes(
+                    self._relpath(name, fingerprint)
+                )
+                if data is not None:
+                    try:
+                        payload = codec.decode(data, ctx)
+                    except (ValueError, KeyError, OSError):
+                        # a corrupt file is a miss, not a failure
+                        self.misses += 1
+                        return None
+                    art = self._insert(name, fingerprint, payload, {})
+                    self.hits += 1
+                    self.disk_hits += 1
+                    return art
+            self.misses += 1
+            return None
 
     def put(
         self,
@@ -528,9 +562,10 @@ class ArtifactStore:
         inputs: Optional[Dict[str, str]] = None,
         ctx: Optional[PlanningContext] = None,
     ) -> Artifact:
-        art = self._insert(name, fingerprint, payload, dict(inputs or {}))
-        self._write_disk(art, ctx)
-        return art
+        with self._lock:
+            art = self._insert(name, fingerprint, payload, dict(inputs or {}))
+            self._write_disk(art, ctx)
+            return art
 
     def refresh(
         self, name: str, fingerprint: str, ctx: PlanningContext
@@ -543,10 +578,11 @@ class ArtifactStore:
         once the run is over; without this, the on-disk entry would only
         ever hold the eagerly-built range matrices.
         """
-        art = self._mem.get(f"{name}:{fingerprint}")
-        if art is not None:
-            art.nbytes = self._payload_nbytes(name, art.payload)
-            self._write_disk(art, ctx)
+        with self._lock:
+            art = self._mem.get(f"{name}:{fingerprint}")
+            if art is not None:
+                art.nbytes = self._payload_nbytes(name, art.payload)
+                self._write_disk(art, ctx)
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -604,14 +640,15 @@ class ArtifactStore:
 
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, float]:
-        doc = {
-            "entries": float(len(self._mem)),
-            "memory_bytes": float(self._mem_bytes),
-            "hits": float(self.hits),
-            "misses": float(self.misses),
-            "disk_hits": float(self.disk_hits),
-            "memory_evictions": float(self.memory_evictions),
-        }
+        with self._lock:
+            doc = {
+                "entries": float(len(self._mem)),
+                "memory_bytes": float(self._mem_bytes),
+                "hits": float(self.hits),
+                "misses": float(self.misses),
+                "disk_hits": float(self.disk_hits),
+                "memory_evictions": float(self.memory_evictions),
+            }
         if self.disk is not None:
             # "backend_" prefix: "disk_hits" above counts decoded
             # artifact promotions, the backend's "hits" counts raw reads

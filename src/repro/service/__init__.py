@@ -1,0 +1,48 @@
+"""Planner-as-a-service: a long-lived plan daemon over the pipeline.
+
+The ROADMAP's production framing ("heavy traffic from millions of
+users") as a front end over the existing planning substrate:
+
+* :class:`~repro.service.engine.PlanEngine` -- the transport-free core:
+  requests keyed by graph+cluster+config fingerprint, duplicate
+  in-flight requests coalesced onto one future, every run attached to a
+  shared :class:`~repro.planner.store.ArtifactStore` so warm requests
+  reuse whole pipelines and *delta* requests (cluster resize, memory
+  budget, hyperparameter change) rerun only the invalidated suffix.
+* :class:`~repro.service.server.PlanServer` -- the stdlib asyncio
+  HTTP/JSON transport (``repro serve`` on the CLI), with graceful
+  SIGTERM/SIGINT draining of in-flight plans.
+* :class:`~repro.service.client.ServiceClient` -- a blocking client for
+  benchmarks, smoke tests and scripts.
+
+Protocol reference, coalescing semantics and a walkthrough live in
+``docs/SERVICE.md``; ``benchmarks/bench_service.py`` measures warm/cold
+latency percentiles and the coalescing rate under a Poisson load.
+"""
+
+from repro.service.client import (
+    ServiceClient,
+    ServiceHTTPError,
+    wait_until_healthy,
+)
+from repro.service.engine import PlanEngine
+from repro.service.protocol import (
+    ERROR_STATUS,
+    PlanRequest,
+    ServiceError,
+    normalize_plan_request,
+)
+from repro.service.server import PlanServer, serve
+
+__all__ = [
+    "ERROR_STATUS",
+    "PlanEngine",
+    "PlanRequest",
+    "PlanServer",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceHTTPError",
+    "normalize_plan_request",
+    "serve",
+    "wait_until_healthy",
+]

@@ -1,0 +1,450 @@
+"""The plan engine: coalescing, shared artifact store, drain semantics.
+
+:class:`PlanEngine` is the transport-independent core of the plan
+service.  It owns
+
+* one :class:`~repro.planner.store.ArtifactStore` shared by every
+  request (optionally disk-backed under ``cache_dir`` with one LRU byte
+  budget across deployment entries and serialized artifacts, exactly as
+  ``repro plan --delta`` configures it),
+* the **in-flight request table**: requests are keyed by the
+  graph+cluster+config fingerprint
+  (:attr:`~repro.service.protocol.PlanRequest.key`); concurrent
+  duplicates coalesce onto the first caller's future, so N identical
+  requests cost one pipeline run and N-1 waits,
+* the service-level observability surface: ``service.*`` spans on a
+  :class:`~repro.obs.tracer.Tracer` and request / coalesce / hit
+  counters plus per-class latency histograms on a
+  :class:`~repro.obs.metrics.MetricsRegistry`.
+
+Concurrency contract (the store/replan plumbing this engine relies on):
+
+* :class:`~repro.planner.store.DiskBackend` writes are atomic
+  (write-then-rename), so concurrent readers -- including a second
+  engine process over the same ``cache_dir`` -- never observe a torn
+  file, and a crash mid-write leaves at most an orphaned ``*.tmp``.
+* :class:`~repro.planner.store.ArtifactStore` ``get``/``put``/
+  ``refresh`` are linearizable (internal lock), so requests for
+  *different* models run fully in parallel against one store.
+* A reused ``dp_context`` artifact is **shared and rebound in place**
+  (:func:`~repro.planner.store.materialize_for_reuse`), and
+  :class:`~repro.partitioner.stage_dp.DPContext` guards its memo caches
+  for the intra-run Algorithm-2 sweep only -- ``rebind()`` /
+  ``set_memory_budget()`` must not race with another run's DP calls.
+  The engine therefore serializes pipeline executions **per model
+  family** (one keyed mutex per graph fingerprint): same-model requests
+  -- the only ones that can share mutable artifacts -- are single-writer,
+  while different models planned concurrently never share state.
+
+Delta requests need no special endpoint plumbing: every run attaches the
+shared store, so the pass manager reruns exactly the invalidated
+pipeline suffix (a cluster resize reuses atomic partition + coarsening +
+profile tensors and reruns the stage search onward; see
+:mod:`repro.planner.replan` for why the result is bit-identical to a
+cold plan).  The ``replan`` method only adds the *contract*: it fails
+with ``no_base`` unless the model family was planned before, so callers
+can distinguish "cheap incremental update" from "schedule a cold plan".
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+from repro.planner import PartitioningError, PlanningContext, plan_graph
+from repro.planner.store import ArtifactStore, DiskBackend
+from repro.service.protocol import (
+    PlanRequest,
+    ServiceError,
+    normalize_plan_request,
+)
+
+__all__ = ["PlanEngine"]
+
+
+def _percentile(values: List[float], q: float) -> float:
+    """Nearest-rank percentile of a non-empty list (q in [0, 100])."""
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+class PlanEngine:
+    """Transport-independent plan service core (see module docstring).
+
+    Args:
+        cache_dir: root of the shared on-disk cache (deployment JSONs +
+            serialized artifacts); ``None`` keeps everything in memory.
+        cache_budget_bytes: LRU byte budget over the whole cache root.
+        store_memory_budget_bytes: byte budget of the in-memory artifact
+            tier (``None``: unbounded).
+        workers: size of the pipeline thread pool -- the number of
+            *distinct-model* requests that can plan concurrently.
+        tracer / metrics: observability sinks; fresh ones are created
+            when omitted (exported via :meth:`export_trace`).
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[Path] = None,
+        cache_budget_bytes: Optional[int] = None,
+        store_memory_budget_bytes: Optional[int] = None,
+        workers: int = 2,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.cache_budget_bytes = cache_budget_bytes
+        disk = None
+        if self.cache_dir is not None:
+            disk = DiskBackend(self.cache_dir, byte_budget=cache_budget_bytes)
+        self.store = ArtifactStore(
+            memory_budget_bytes=store_memory_budget_bytes, disk=disk
+        )
+        self.workers = max(1, int(workers))
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._graph_cache: Dict[str, Any] = {}
+        self._graph_cache_lock = threading.Lock()
+        self._inflight: Dict[str, concurrent.futures.Future] = {}
+        self._inflight_lock = threading.Lock()
+        self._model_locks: Dict[str, threading.Lock] = {}
+        #: model families (graph fingerprints) that completed >= 1 plan;
+        #: the ``replan`` endpoint's base check
+        self._planned_models: Set[str] = set()
+        #: per-class latency samples backing the stats percentiles
+        self._latency: Dict[str, List[float]] = {}
+        self._latency_lock = threading.Lock()
+        self._closing = threading.Event()
+        self.started_at = time.time()
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def handle(self, method: str, params: Any) -> Dict[str, Any]:
+        """Serve one request; returns the ``result`` object or raises
+        :class:`ServiceError`.  Thread-safe; blocks until done."""
+        handler = {
+            "plan": self.plan,
+            "replan": self.replan,
+            "verify": self.verify,
+            "simulate": self.simulate,
+            "stats": lambda _params: self.stats(),
+        }.get(method)
+        if handler is None:
+            raise ServiceError("not_found", f"unknown method {method!r}")
+        return handler(params)
+
+    # ------------------------------------------------------------------
+    # plan / replan / simulate
+    # ------------------------------------------------------------------
+    def plan(self, params: Any) -> Dict[str, Any]:
+        req = self._normalize(params)
+        doc, meta = self._coalesced_plan(req)
+        return {"plan": doc, "meta": meta}
+
+    def replan(self, params: Any) -> Dict[str, Any]:
+        """Delta contract: like ``plan``, but only against a warm base.
+
+        Fails with ``no_base`` (HTTP 409) when this engine never
+        finished a plan for the model family, instead of silently
+        falling back to a cold run.
+        """
+        req = self._normalize(params)
+        if req.model_key not in self._planned_models:
+            raise ServiceError(
+                "no_base",
+                "replan requires a previous plan for this model; "
+                "POST /v1/plan first",
+                {"model": json.loads(req.model_spec)},
+            )
+        doc, meta = self._coalesced_plan(req)
+        return {"plan": doc, "meta": meta}
+
+    def simulate(self, params: Any) -> Dict[str, Any]:
+        """Plan (warm requests reuse everything) and report the simulated
+        1F1B flush timeline: makespan, bubble, per-stage utilization."""
+        from repro.pipeline.timeline import plan_timeline
+
+        req = self._normalize(params)
+        doc, meta = self._coalesced_plan(req)
+        plan = self._plan_object(req)
+        timeline = plan_timeline(plan)
+        return {
+            "meta": meta,
+            "timeline": {
+                "makespan": timeline.makespan,
+                "bubble_fraction": timeline.bubble_fraction(),
+                "num_stages": timeline.num_stages,
+                "stage_utilization": [
+                    timeline.stage_utilization(s)
+                    for s in range(timeline.num_stages)
+                ],
+                "iteration_time": plan.iteration_time,
+                "throughput": plan.throughput,
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # verify
+    # ------------------------------------------------------------------
+    def verify(self, params: Any) -> Dict[str, Any]:
+        """Round-trip a deployment document through
+        :func:`~repro.partitioner.deployment.plan_from_json` and the full
+        :mod:`repro.verify` invariants."""
+        from repro.partitioner.deployment import (
+            DeploymentMismatchError,
+            plan_from_json,
+        )
+        from repro.service.protocol import build_cluster, build_model
+        from repro.verify import PlanVerificationError
+
+        if not isinstance(params, dict):
+            raise ServiceError("bad_request", "params must be a JSON object")
+        plan_doc = params.get("plan")
+        if not isinstance(plan_doc, dict):
+            raise ServiceError(
+                "bad_request", "missing 'plan' (a deployment document)"
+            )
+        if params.get("model") is None or params.get("cluster") is None:
+            raise ServiceError("bad_request", "missing 'model' or 'cluster'")
+        graph, _ = build_model(params["model"])
+        cluster, _ = build_cluster(params["cluster"])
+        started = time.perf_counter()
+        with self.tracer.span(
+            "service.verify", category="service", model=graph.name
+        ):
+            try:
+                plan = plan_from_json(
+                    json.dumps(plan_doc), graph, cluster, verify=True
+                )
+            except PlanVerificationError as exc:
+                raise ServiceError(
+                    "verification_failed",
+                    f"{len(exc.violations)} invariant violation(s)",
+                    {"violations": [str(v) for v in exc.violations]},
+                ) from exc
+            except (DeploymentMismatchError, ValueError, KeyError) as exc:
+                raise ServiceError(
+                    "verification_failed", str(exc)
+                ) from exc
+        self.metrics.counter("service.verify_requests").inc()
+        return {
+            "verified": True,
+            "model": plan.model_name,
+            "num_stages": plan.num_stages,
+            "num_microbatches": plan.num_microbatches,
+            "replica_factor": plan.replica_factor,
+            "wall_ms": (time.perf_counter() - started) * 1e3,
+        }
+
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        with self._inflight_lock:
+            inflight = len(self._inflight)
+        with self._latency_lock:
+            latency = {
+                kind: {
+                    "count": len(samples),
+                    "p50_ms": _percentile(samples, 50),
+                    "p99_ms": _percentile(samples, 99),
+                    "mean_ms": sum(samples) / len(samples),
+                }
+                for kind, samples in self._latency.items()
+                if samples
+            }
+        return {
+            "uptime_s": time.time() - self.started_at,
+            "inflight": inflight,
+            "draining": self._closing.is_set(),
+            "models_planned": len(self._planned_models),
+            "latency_ms": latency,
+            "counters": {
+                name: value
+                for name, value in self.metrics.snapshot().items()
+                if name.startswith("service.")
+            },
+            "store": self.store.stats(),
+            "spans": len(self.tracer.spans()),
+        }
+
+    def export_trace(self, path) -> int:
+        """Write the serving window's spans + metrics as a Perfetto /
+        Chrome trace; returns the number of trace events."""
+        from repro.obs import write_chrome_trace
+
+        doc = write_chrome_trace(path, tracer=self.tracer, metrics=self.metrics)
+        return len(doc["traceEvents"])
+
+    # ------------------------------------------------------------------
+    # shutdown
+    # ------------------------------------------------------------------
+    def drain(self, timeout: Optional[float] = 30.0) -> bool:
+        """Stop accepting new plan work and wait for in-flight requests.
+
+        Returns ``True`` when everything completed inside ``timeout``.
+        New submissions fail fast with ``shutting_down`` (HTTP 503);
+        requests already coalesced keep their future and still get the
+        leader's result.  Store writes are atomic, so even an abandoned
+        drain leaves no torn cache entries -- a later engine over the
+        same ``cache_dir`` sees either the old bytes or the new bytes,
+        never a mix (miss-then-repair covers deleted/truncated files).
+        """
+        self._closing.set()
+        with self._inflight_lock:
+            pending = list(self._inflight.values())
+        done, not_done = concurrent.futures.wait(pending, timeout=timeout)
+        return not not_done
+
+    @property
+    def draining(self) -> bool:
+        return self._closing.is_set()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _normalize(self, params: Any) -> PlanRequest:
+        with self._graph_cache_lock:
+            graph_cache = self._graph_cache
+            return normalize_plan_request(
+                params,
+                cache_dir=self.cache_dir,
+                cache_budget_bytes=self.cache_budget_bytes,
+                graph_cache=graph_cache,
+            )
+
+    def _model_lock(self, model_key: str) -> threading.Lock:
+        with self._inflight_lock:
+            lock = self._model_locks.get(model_key)
+            if lock is None:
+                lock = self._model_locks[model_key] = threading.Lock()
+            return lock
+
+    def _coalesced_plan(
+        self, req: PlanRequest
+    ) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+        """One pipeline run per in-flight key; followers share it."""
+        started = time.perf_counter()
+        self.metrics.counter("service.requests").inc()
+        with self._inflight_lock:
+            future = self._inflight.get(req.key)
+            leader = future is None
+            if leader:
+                if self._closing.is_set():
+                    raise ServiceError(
+                        "shutting_down", "service is draining; retry elsewhere"
+                    )
+                future = concurrent.futures.Future()
+                self._inflight[req.key] = future
+        if leader:
+            try:
+                future.set_result(self._execute(req))
+            except BaseException as exc:  # propagate to every waiter
+                future.set_exception(exc)
+            finally:
+                with self._inflight_lock:
+                    self._inflight.pop(req.key, None)
+        else:
+            self.metrics.counter("service.coalesced").inc()
+        try:
+            doc, meta = future.result()
+        except concurrent.futures.CancelledError:
+            raise ServiceError(
+                "shutting_down", "request cancelled during shutdown"
+            ) from None
+        wall_ms = (time.perf_counter() - started) * 1e3
+        meta = dict(meta)
+        meta["wall_ms"] = wall_ms
+        if not leader:
+            meta["coalesced"] = True
+            self._observe_latency("coalesced", wall_ms)
+        else:
+            self._observe_latency(meta["cache"], wall_ms)
+        return doc, meta
+
+    def _execute(
+        self, req: PlanRequest
+    ) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+        """Run the planning pipeline for one (leader) request."""
+        from repro.partitioner.deployment import plan_to_json
+
+        with self._model_lock(req.model_key):
+            ctx = PlanningContext(req.graph, req.cluster, req.config)
+            ctx.attach_store(self.store)
+            run_started = time.perf_counter()
+            with self.tracer.span(
+                "service.plan",
+                category="service",
+                model=req.graph.name,
+                devices=req.cluster.total_devices,
+                fingerprint=req.key,
+            ) as span:
+                try:
+                    plan = plan_graph(
+                        req.graph, req.cluster, req.config, context=ctx
+                    )
+                except PartitioningError as exc:
+                    span.set(outcome="infeasible")
+                    raise ServiceError("infeasible", str(exc)) from exc
+                cache_kind, reused = self._classify(ctx)
+                span.set(outcome="ok", cache=cache_kind)
+            self._planned_models.add(req.model_key)
+            self.metrics.counter(f"service.{cache_kind}_results").inc()
+            doc = json.loads(plan_to_json(plan, req.graph))
+            meta = {
+                "fingerprint": req.key,
+                "cache": cache_kind,
+                "reused_passes": reused,
+                "verified": bool(req.config.verify),
+                "plan_ms": (time.perf_counter() - run_started) * 1e3,
+                "iteration_time": plan.iteration_time,
+                "throughput": plan.throughput,
+                "num_stages": plan.num_stages,
+            }
+            return doc, meta
+
+    @staticmethod
+    def _classify(ctx: PlanningContext) -> Tuple[str, List[str]]:
+        """``(cache kind, reused pass names)`` from the run's event log.
+
+        * ``warm``: the whole-plan deployment entry hit, or every compute
+          pass up to ``evaluate`` was reused from the store;
+        * ``delta``: a proper prefix was reused (the pipeline reran only
+          the invalidated suffix);
+        * ``cold``: nothing was reused.
+        """
+        reused = []
+        for event in ctx.events:
+            if event.detail.get("reuse"):
+                reused.append(event.name)
+            if event.name == "cache_load" and event.detail.get("hit"):
+                return "warm", reused
+        if "evaluate" in reused:
+            return "warm", reused
+        if reused:
+            return "delta", reused
+        return "cold", reused
+
+    def _observe_latency(self, kind: str, wall_ms: float) -> None:
+        self.metrics.histogram(f"service.latency_ms.{kind}").observe(wall_ms)
+        with self._latency_lock:
+            samples = self._latency.setdefault(kind, [])
+            samples.append(wall_ms)
+            if len(samples) > 4096:  # bound stats memory under load
+                del samples[: len(samples) - 4096]
+
+    def _plan_object(self, req: PlanRequest):
+        """The live plan for ``req`` (used by ``simulate``): rerun the
+        pipeline, which is a full store reuse after ``_coalesced_plan``."""
+        with self._model_lock(req.model_key):
+            ctx = PlanningContext(req.graph, req.cluster, req.config)
+            ctx.attach_store(self.store)
+            return plan_graph(req.graph, req.cluster, req.config, context=ctx)

@@ -1,0 +1,358 @@
+"""Wire protocol of the plan service: request schemas, error codes.
+
+Every request body is a JSON object; every response body is an envelope
+
+``{"ok": true,  "result": {...}}`` or
+``{"ok": false, "error": {"code": "...", "message": "...", ...}}``.
+
+The request side of the protocol is *normalized* here, away from any
+transport: :func:`normalize_plan_request` turns a raw ``plan`` /
+``replan`` / ``simulate`` params object into a :class:`PlanRequest`
+carrying the built graph, cluster and :class:`PlannerConfig`, plus the
+request *fingerprint* (graph content + cluster shape + plan-determining
+config) that keys coalescing and cache lookups.  The engine
+(:mod:`repro.service.engine`) never re-parses JSON, and the HTTP front
+end (:mod:`repro.service.server`) never builds graphs.
+
+See ``docs/SERVICE.md`` for the endpoint-by-endpoint reference with
+request/response examples and the full error-code table.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.graph.ir import TaskGraph
+from repro.hardware import paper_cluster
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.device import Precision
+from repro.planner.context import PlannerConfig
+
+#: named model presets (also accepted by the CLI's ``--model``)
+MODEL_PRESETS = ("bert-base", "bert-large")
+
+#: cluster presets -> number of 8-V100 nodes
+CLUSTER_PRESETS = {"v100x8": 1, "v100x16": 2, "v100x32": 4}
+
+#: machine-readable error codes -> HTTP status
+ERROR_STATUS = {
+    "bad_request": 400,
+    "not_found": 404,
+    "no_base": 409,
+    "infeasible": 422,
+    "verification_failed": 422,
+    "shutting_down": 503,
+    "internal": 500,
+}
+
+
+class ServiceError(Exception):
+    """A protocol-level failure with a machine-readable ``code``.
+
+    ``code`` must be a key of :data:`ERROR_STATUS`; ``detail`` (optional)
+    is attached to the error object verbatim.
+    """
+
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        detail: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if code not in ERROR_STATUS:
+            raise ValueError(f"unknown error code {code!r}")
+        super().__init__(message)
+        self.code = code
+        self.detail = dict(detail or {})
+
+    @property
+    def status(self) -> int:
+        return ERROR_STATUS[self.code]
+
+    def as_error_doc(self) -> Dict[str, Any]:
+        doc = {"code": self.code, "message": str(self)}
+        if self.detail:
+            doc.update(self.detail)
+        return doc
+
+
+@dataclass(frozen=True)
+class PlanRequest:
+    """A normalized ``plan``/``replan``/``simulate`` request.
+
+    ``key`` is the coalescing fingerprint: requests with equal keys are
+    guaranteed to produce byte-identical plans (same graph content, same
+    cluster shape, same plan-determining config), so concurrent
+    duplicates may share one pipeline run.  ``model_key`` identifies the
+    model *family* (graph content only); it scopes the per-model
+    single-writer lock and the ``replan`` base check.
+    """
+
+    graph: TaskGraph
+    cluster: ClusterSpec
+    config: PlannerConfig
+    key: str
+    model_key: str
+    model_spec: str
+    cluster_spec: str
+
+
+def _expect_object(doc: Any, what: str) -> Dict[str, Any]:
+    if not isinstance(doc, dict):
+        raise ServiceError("bad_request", f"{what} must be a JSON object")
+    return doc
+
+
+def build_model(spec: Any) -> Tuple[TaskGraph, str]:
+    """Build the task graph for a request's ``model`` object.
+
+    Accepted shapes::
+
+        {"preset": "bert-base" | "bert-large"}
+        {"family": "bert" | "gpt", "hidden": 768, "layers": 12,
+         "heads": 12}                        # heads optional for gpt
+        {"family": "resnet", "depth": 50, "width_factor": 8}
+        {"family": "mlp", "widths": [64, 128, 10]}
+
+    Returns the graph plus the canonical spec string used in cache keys.
+    """
+    from repro.models import (
+        BertConfig,
+        GPTConfig,
+        ResNetConfig,
+        build_bert,
+        build_gpt,
+        build_resnet,
+    )
+    from repro.models.mlp import build_mlp
+
+    spec = _expect_object(spec, "model")
+    canonical = json.dumps(spec, sort_keys=True)
+    preset = spec.get("preset")
+    if preset is not None:
+        if preset == "bert-base":
+            return (
+                build_bert(
+                    BertConfig(hidden_size=768, num_layers=12, num_heads=12)
+                ),
+                canonical,
+            )
+        if preset == "bert-large":
+            return build_bert(BertConfig()), canonical
+        raise ServiceError(
+            "bad_request",
+            f"unknown model preset {preset!r}; "
+            f"expected one of {MODEL_PRESETS}",
+        )
+    family = spec.get("family")
+    try:
+        if family == "bert":
+            cfg = BertConfig(
+                hidden_size=int(spec.get("hidden", 1024)),
+                num_layers=int(spec.get("layers", 24)),
+                num_heads=int(spec.get("heads", 16)),
+            )
+            return build_bert(cfg), canonical
+        if family == "gpt":
+            hidden = int(spec.get("hidden", 768))
+            kwargs = {
+                "hidden_size": hidden,
+                "num_layers": int(spec.get("layers", 12)),
+                # heads must divide hidden; default to 64-wide heads
+                "num_heads": int(spec.get("heads", max(1, hidden // 64))),
+            }
+            return build_gpt(GPTConfig(**kwargs)), canonical
+        if family == "resnet":
+            cfg = ResNetConfig(
+                depth=int(spec.get("depth", 50)),
+                width_factor=int(spec.get("width_factor", 1)),
+            )
+            return build_resnet(cfg), canonical
+        if family == "mlp":
+            widths = spec.get("widths", (64, 128, 128, 64, 10))
+            return build_mlp([int(w) for w in widths]), canonical
+    except ServiceError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise ServiceError(
+            "bad_request", f"invalid model spec: {exc}"
+        ) from exc
+    raise ServiceError(
+        "bad_request",
+        f"model needs a 'preset' ({'/'.join(MODEL_PRESETS)}) or a "
+        f"'family' (bert/gpt/resnet/mlp), got {spec!r}",
+    )
+
+
+def build_cluster(spec: Any) -> Tuple[ClusterSpec, str]:
+    """Build the cluster for a request's ``cluster`` object.
+
+    Accepted shapes::
+
+        {"preset": "v100x8" | "v100x16" | "v100x32"}
+        {"nodes": 2}                        # 2 x 8 V100, paper testbed
+        {"nodes": 2, "comm_model": "topology", "nic_count": 2}
+    """
+    spec = _expect_object(spec, "cluster")
+    canonical = json.dumps(spec, sort_keys=True)
+    preset = spec.get("preset")
+    if preset is not None:
+        if preset not in CLUSTER_PRESETS:
+            raise ServiceError(
+                "bad_request",
+                f"unknown cluster preset {preset!r}; "
+                f"expected one of {sorted(CLUSTER_PRESETS)}",
+            )
+        return paper_cluster(CLUSTER_PRESETS[preset]), canonical
+    nodes = spec.get("nodes")
+    if nodes is None:
+        raise ServiceError(
+            "bad_request",
+            "cluster needs a 'preset' (v100x8/v100x16/v100x32) or "
+            "'nodes' (number of 8-V100 nodes)",
+        )
+    try:
+        cluster = paper_cluster(
+            num_nodes=int(nodes),
+            comm_model=spec.get("comm_model", "flat"),
+            nvlink_degree=spec.get("nvlink_degree"),
+            nic_count=int(spec.get("nic_count", 1)),
+        )
+    except (TypeError, ValueError) as exc:
+        raise ServiceError(
+            "bad_request", f"invalid cluster spec: {exc}"
+        ) from exc
+    return cluster, canonical
+
+
+#: request option name -> PlannerConfig field it maps onto
+OPTION_FIELDS = {
+    "blocks": "num_blocks",
+    "amp": "precision",
+    "max_microbatches": "max_microbatches",
+    "memory_budget_gb": "memory_budget",
+    "comm_model": "comm_model",
+    "dp_engine": "dp_engine",
+    "search_backend": "search_backend",
+    "schedule": "schedule",
+}
+
+
+def build_config(
+    params: Dict[str, Any],
+    *,
+    cache_dir=None,
+    cache_budget_bytes: Optional[int] = None,
+) -> PlannerConfig:
+    """The :class:`PlannerConfig` for one request.
+
+    ``batch_size`` is required; everything else comes from the optional
+    ``options`` object (see :data:`OPTION_FIELDS`).  ``verify`` is
+    always on -- the service's contract is that every served plan passed
+    :mod:`repro.verify` -- and the cache knobs come from the service
+    deployment, not the request.
+    """
+    batch_size = params.get("batch_size")
+    if not isinstance(batch_size, int) or batch_size < 1:
+        raise ServiceError(
+            "bad_request", "batch_size must be a positive integer"
+        )
+    options = _expect_object(params.get("options", {}), "options")
+    unknown = sorted(set(options) - set(OPTION_FIELDS))
+    if unknown:
+        raise ServiceError(
+            "bad_request",
+            f"unknown options {unknown}; "
+            f"supported: {sorted(OPTION_FIELDS)}",
+        )
+    kwargs: Dict[str, Any] = {"batch_size": batch_size, "verify": True}
+    if options.get("amp"):
+        kwargs["precision"] = Precision.AMP
+    if "blocks" in options:
+        kwargs["num_blocks"] = int(options["blocks"])
+    if "max_microbatches" in options:
+        kwargs["max_microbatches"] = int(options["max_microbatches"])
+    if "memory_budget_gb" in options:
+        kwargs["memory_budget"] = float(options["memory_budget_gb"]) * 2**30
+    for name in ("comm_model", "dp_engine", "search_backend", "schedule"):
+        if name in options:
+            kwargs[name] = options[name]
+    try:
+        return PlannerConfig(
+            cache_dir=cache_dir,
+            cache_budget_bytes=cache_budget_bytes,
+            **kwargs,
+        )
+    except ValueError as exc:
+        raise ServiceError("bad_request", str(exc)) from exc
+
+
+def normalize_plan_request(
+    params: Any,
+    *,
+    cache_dir=None,
+    cache_budget_bytes: Optional[int] = None,
+    graph_cache: Optional[Dict[str, TaskGraph]] = None,
+) -> PlanRequest:
+    """Validate raw ``plan``/``replan``/``simulate`` params into a
+    :class:`PlanRequest`.
+
+    ``graph_cache`` (canonical model spec -> built graph) makes repeated
+    requests skip the graph build; graphs are immutable, so sharing them
+    across requests is safe and keeps the fingerprint memo warm.
+    """
+    params = _expect_object(params, "params")
+    model_spec = params.get("model")
+    if model_spec is None:
+        raise ServiceError("bad_request", "missing 'model'")
+    cluster_spec = params.get("cluster")
+    if cluster_spec is None:
+        raise ServiceError("bad_request", "missing 'cluster'")
+    canonical_model = json.dumps(
+        _expect_object(model_spec, "model"), sort_keys=True
+    )
+    graph = None
+    if graph_cache is not None:
+        graph = graph_cache.get(canonical_model)
+    if graph is None:
+        graph, canonical_model = build_model(model_spec)
+        if graph_cache is not None:
+            graph_cache[canonical_model] = graph
+    cluster, canonical_cluster = build_cluster(cluster_spec)
+    config = build_config(
+        params,
+        cache_dir=cache_dir,
+        cache_budget_bytes=cache_budget_bytes,
+    )
+    from repro.partitioner.deployment import graph_fingerprint
+
+    model_key = graph_fingerprint(graph)
+    key = "|".join(
+        (
+            model_key,
+            f"{cluster.num_nodes}x{cluster.devices_per_node}",
+            cluster.comm_model,
+            str(cluster.nvlink_degree),
+            str(cluster.nic_count),
+            config.fingerprint(),
+        )
+    )
+    return PlanRequest(
+        graph=graph,
+        cluster=cluster,
+        config=config,
+        key=key,
+        model_key=model_key,
+        model_spec=canonical_model,
+        cluster_spec=canonical_cluster,
+    )
+
+
+def ok_envelope(result: Dict[str, Any]) -> Dict[str, Any]:
+    return {"ok": True, "result": result}
+
+
+def error_envelope(exc: ServiceError) -> Dict[str, Any]:
+    return {"ok": False, "error": exc.as_error_doc()}

@@ -1,0 +1,334 @@
+"""Asyncio HTTP front end of the plan service.
+
+Stdlib-only: :func:`asyncio.start_server` with a minimal HTTP/1.1
+reader/writer (request line + headers + ``Content-Length`` body,
+keep-alive supported), dispatching JSON bodies into a
+:class:`~repro.service.engine.PlanEngine` on a bounded thread pool so
+the event loop never blocks on a pipeline run.
+
+Routes (see ``docs/SERVICE.md`` for the schemas)::
+
+    GET  /healthz         liveness (also reports draining state)
+    GET  /v1/stats        counters, latency percentiles, store stats
+    POST /v1/plan         plan (cold / warm / delta, coalesced)
+    POST /v1/replan       plan against a warm base (409 without one)
+    POST /v1/simulate     plan + 1F1B flush timeline summary
+    POST /v1/verify       round-trip verify a deployment document
+    POST /v1/shutdown     graceful stop (drains in-flight plans)
+
+Graceful shutdown (SIGTERM, SIGINT/KeyboardInterrupt, or POST
+``/v1/shutdown``): the listener closes first, then the engine drains --
+in-flight and coalesced futures complete (or are cancelled after the
+drain timeout) and their HTTP responses are written before connections
+close.  The artifact/deployment store only ever sees atomic
+write-then-rename I/O, so even a hard kill (SIGKILL mid-plan) cannot
+leave a torn cache entry: a restarted service treats any partial state
+as a miss and repairs it on the next request.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import json
+import signal
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from repro.service.engine import PlanEngine
+from repro.service.protocol import (
+    ServiceError,
+    error_envelope,
+    ok_envelope,
+)
+
+__all__ = ["PlanServer", "serve"]
+
+_MAX_BODY_BYTES = 8 * 2**20
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: (HTTP verb, path) -> engine method
+_ROUTES = {
+    ("POST", "/v1/plan"): "plan",
+    ("POST", "/v1/replan"): "replan",
+    ("POST", "/v1/verify"): "verify",
+    ("POST", "/v1/simulate"): "simulate",
+    ("GET", "/v1/stats"): "stats",
+}
+
+
+class PlanServer:
+    """One listening plan service: engine + asyncio HTTP transport."""
+
+    def __init__(
+        self,
+        engine: Optional[PlanEngine] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        drain_timeout: float = 30.0,
+        **engine_kwargs: Any,
+    ) -> None:
+        self.engine = engine if engine is not None else PlanEngine(**engine_kwargs)
+        self.host = host
+        self.port = port
+        self.drain_timeout = drain_timeout
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.engine.workers,
+            thread_name_prefix="plan-worker",
+        )
+        self._stop_requested = asyncio.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listener (resolves :attr:`port` when it was 0)."""
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started.set()
+
+    async def serve_until_stopped(self) -> None:
+        """Serve until :meth:`request_stop` (or a handled signal) fires,
+        then drain gracefully."""
+        if self._server is None:
+            await self.start()
+        await self._stop_requested.wait()
+        await self.shutdown()
+
+    def request_stop(self) -> None:
+        """Thread/signal-safe graceful-stop trigger."""
+        loop = self._loop
+        if loop is None:
+            return
+        loop.call_soon_threadsafe(self._stop_requested.set)
+
+    async def shutdown(self) -> None:
+        """Close the listener, drain the engine, release the pool."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        drained = await asyncio.get_running_loop().run_in_executor(
+            None, lambda: self.engine.drain(self.drain_timeout)
+        )
+        # after the drain window, anything still queued is abandoned;
+        # running futures were completed by their leader thread
+        self._pool.shutdown(wait=drained, cancel_futures=not drained)
+
+    # ------------------------------------------------------------------
+    # background-thread harness (tests, benchmarks, in-process use)
+    # ------------------------------------------------------------------
+    def start_in_thread(self) -> "PlanServer":
+        """Run the server on a daemon thread; returns once listening."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+
+        def _run() -> None:
+            asyncio.run(self.serve_until_stopped())
+
+        self._thread = threading.Thread(
+            target=_run, name="plan-server", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=10.0):
+            raise RuntimeError("plan server failed to start listening")
+        return self
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Gracefully stop a :meth:`start_in_thread` server."""
+        self.request_stop()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                verb, path, headers, body = request
+                status, payload = await self._dispatch(verb, path, body)
+                keep_alive = (
+                    headers.get("connection", "keep-alive").lower()
+                    != "close"
+                )
+                data = json.dumps(payload).encode()
+                writer.write(
+                    (
+                        f"HTTP/1.1 {status} "
+                        f"{_STATUS_TEXT.get(status, 'OK')}\r\n"
+                        "Content-Type: application/json\r\n"
+                        f"Content-Length: {len(data)}\r\n"
+                        "Connection: "
+                        f"{'keep-alive' if keep_alive else 'close'}\r\n"
+                        "\r\n"
+                    ).encode()
+                )
+                writer.write(data)
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+        ):
+            pass  # client went away; nothing to answer
+        except asyncio.CancelledError:
+            pass  # event loop tearing down mid-read; close quietly
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                asyncio.CancelledError,
+            ):
+                pass
+
+    @staticmethod
+    async def _read_request(
+        reader: asyncio.StreamReader,
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        """One HTTP/1.1 request, or ``None`` on a clean close."""
+        line = await reader.readline()
+        if not line or line in (b"\r\n", b"\n"):
+            return None
+        try:
+            verb, path, _version = line.decode("latin-1").split(None, 2)
+        except ValueError:
+            return "GET", "/__malformed__", {}, b""
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > _MAX_BODY_BYTES:
+            return verb.upper(), "/__too_large__", headers, b""
+        body = await reader.readexactly(length) if length else b""
+        return verb.upper(), path, headers, body
+
+    async def _dispatch(
+        self, verb: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, Any]]:
+        path = path.split("?", 1)[0]
+        if path == "/__too_large__":
+            err = ServiceError("bad_request", "request body too large")
+            return 413, error_envelope(err)
+        if path == "/__malformed__":
+            err = ServiceError("bad_request", "malformed request line")
+            return 400, error_envelope(err)
+        if verb == "GET" and path == "/healthz":
+            return 200, ok_envelope(
+                {"status": "draining" if self.engine.draining else "ok"}
+            )
+        if verb == "POST" and path == "/v1/shutdown":
+            self.request_stop()
+            return 200, ok_envelope({"stopping": True})
+        method = _ROUTES.get((verb, path))
+        if method is None:
+            err = ServiceError("not_found", f"no route for {verb} {path}")
+            known_paths = {p for _v, p in _ROUTES}
+            status = 405 if path in known_paths else err.status
+            return status, error_envelope(err)
+        if body:
+            try:
+                params = json.loads(body)
+            except ValueError:
+                err = ServiceError("bad_request", "body is not valid JSON")
+                return err.status, error_envelope(err)
+        else:
+            params = {}
+        loop = asyncio.get_running_loop()
+        try:
+            result = await loop.run_in_executor(
+                self._pool, self.engine.handle, method, params
+            )
+        except ServiceError as exc:
+            return exc.status, error_envelope(exc)
+        except RuntimeError as exc:
+            # pool shut down mid-request during a non-graceful exit
+            err = ServiceError("shutting_down", str(exc))
+            return err.status, error_envelope(err)
+        except Exception as exc:  # noqa: BLE001 - boundary of the daemon
+            err = ServiceError("internal", f"{type(exc).__name__}: {exc}")
+            return err.status, error_envelope(err)
+        return 200, ok_envelope(result)
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8321,
+    *,
+    engine: Optional[PlanEngine] = None,
+    drain_timeout: float = 30.0,
+    trace_out: Optional[str] = None,
+    announce=print,
+    **engine_kwargs: Any,
+) -> int:
+    """Blocking entry point used by ``repro serve``.
+
+    Installs SIGTERM/SIGINT handlers that trigger a graceful drain, and
+    optionally exports the serving window's Perfetto trace on exit.
+    """
+
+    async def _main() -> None:
+        server = PlanServer(
+            engine=engine,
+            host=host,
+            port=port,
+            drain_timeout=drain_timeout,
+            **engine_kwargs,
+        )
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, server.request_stop)
+            except NotImplementedError:  # pragma: no cover - non-posix
+                pass
+        announce(
+            f"plan service listening on http://{server.host}:{server.port} "
+            f"(workers={server.engine.workers}, "
+            f"cache_dir={server.engine.cache_dir})"
+        )
+        await server.serve_until_stopped()
+        if trace_out:
+            events = server.engine.export_trace(trace_out)
+            announce(f"serving-window trace written to {trace_out} "
+                     f"({events} events)")
+        announce("plan service stopped (drained)")
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:  # pragma: no cover - signal-handler race
+        pass
+    return 0

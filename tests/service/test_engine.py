@@ -1,0 +1,176 @@
+"""Unit tests for the transport-independent plan engine.
+
+Coalescing semantics (N identical concurrent requests -> one pipeline
+run, N-1 coalesced followers), cold/warm/delta classification against
+the shared artifact store, the ``replan`` base contract, the verify
+round trip, and the stats surface.
+"""
+
+import concurrent.futures
+import threading
+
+import pytest
+
+from repro.service import PlanEngine, ServiceError
+
+#: small-but-real model: plans in well under a second, exercises every
+#: pipeline pass (the module-scoped engine below keeps it warm)
+MODEL = {"family": "bert", "hidden": 256, "layers": 4, "heads": 8}
+PARAMS = {"model": MODEL, "cluster": {"preset": "v100x8"}, "batch_size": 64}
+
+
+@pytest.fixture(scope="module")
+def warm_engine():
+    """One engine that has already served PARAMS cold."""
+    engine = PlanEngine(workers=2)
+    engine.plan(dict(PARAMS))
+    return engine
+
+
+class TestClassification:
+    def test_cold_then_warm_then_delta(self):
+        engine = PlanEngine(workers=2)
+
+        cold = engine.plan(dict(PARAMS))
+        assert cold["meta"]["cache"] == "cold"
+        assert cold["meta"]["reused_passes"] == []
+        assert cold["meta"]["verified"] is True
+        assert cold["plan"]["stages"]
+
+        warm = engine.plan(dict(PARAMS))
+        assert warm["meta"]["cache"] == "warm"
+        assert warm["plan"] == cold["plan"]
+
+        delta = engine.plan(dict(PARAMS, cluster={"preset": "v100x16"}))
+        assert delta["meta"]["cache"] == "delta"
+        # a cluster resize keeps the model-side artifacts
+        assert "profile_tensors" in delta["meta"]["reused_passes"]
+        assert delta["meta"]["fingerprint"] != cold["meta"]["fingerprint"]
+
+    def test_option_change_is_a_new_fingerprint(self, warm_engine):
+        capped = warm_engine.plan(
+            dict(PARAMS, options={"max_microbatches": 2})
+        )
+        assert capped["meta"]["cache"] in ("cold", "delta")
+
+
+class TestReplanContract:
+    def test_replan_without_a_base_is_409(self):
+        engine = PlanEngine(workers=1)
+        with pytest.raises(ServiceError) as ei:
+            engine.replan(dict(PARAMS))
+        assert ei.value.code == "no_base"
+        assert ei.value.status == 409
+
+    def test_replan_with_a_base_serves_the_delta(self, warm_engine):
+        out = warm_engine.replan(
+            dict(PARAMS, cluster={"preset": "v100x16"})
+        )
+        assert out["meta"]["cache"] in ("warm", "delta")
+
+
+class TestCoalescing:
+    def test_n_identical_concurrent_requests_run_once(self):
+        engine = PlanEngine(workers=4)
+        n = 5
+        calls = []
+        release = threading.Event()
+        real_execute = engine._execute
+
+        def gated_execute(req):
+            calls.append(req.key)
+            # hold the leader until the followers have all coalesced,
+            # so the test is deterministic rather than racy
+            assert release.wait(timeout=30)
+            return real_execute(req)
+
+        engine._execute = gated_execute
+        with concurrent.futures.ThreadPoolExecutor(n) as pool:
+            futures = [
+                pool.submit(engine.plan, dict(PARAMS)) for _ in range(n)
+            ]
+            deadline = threading.Event()
+            for _ in range(300):
+                coalesced = engine.stats()["counters"].get(
+                    "service.coalesced", 0
+                )
+                if coalesced >= n - 1:
+                    break
+                deadline.wait(0.05)
+            release.set()
+            results = [f.result() for f in futures]
+
+        assert len(calls) == 1  # one pipeline run
+        metas = [r["meta"] for r in results]
+        assert sum(1 for m in metas if m.get("coalesced")) == n - 1
+        assert len({m["fingerprint"] for m in metas}) == 1
+        docs = [r["plan"] for r in results]
+        assert all(doc == docs[0] for doc in docs)
+
+    def test_infeasible_leader_fails_and_clears_the_key(self):
+        engine = PlanEngine(workers=2)
+        # an impossibly small memory budget: the leader's pipeline run
+        # fails, and the failure must reach every coalesced waiter
+        params = dict(PARAMS, options={"memory_budget_gb": 1e-6})
+        with pytest.raises(ServiceError) as ei:
+            engine.plan(params)
+        assert ei.value.code == "infeasible"
+        assert ei.value.status == 422
+        # the key is no longer in flight: a retry fails the same way
+        # rather than hanging on a dead future
+        with pytest.raises(ServiceError):
+            engine.plan(params)
+
+
+class TestVerifyEndpoint:
+    def test_round_trip(self, warm_engine):
+        doc = warm_engine.plan(dict(PARAMS))["plan"]
+        out = warm_engine.verify(
+            {
+                "plan": doc,
+                "model": MODEL,
+                "cluster": PARAMS["cluster"],
+            }
+        )
+        assert out["verified"] is True
+        assert out["num_stages"] == len(doc["stages"])
+
+    def test_mutilated_document_fails(self, warm_engine):
+        doc = dict(warm_engine.plan(dict(PARAMS))["plan"])
+        doc["stages"] = []
+        with pytest.raises(ServiceError) as ei:
+            warm_engine.verify(
+                {"plan": doc, "model": MODEL, "cluster": PARAMS["cluster"]}
+            )
+        assert ei.value.code == "verification_failed"
+        assert ei.value.status == 422
+
+    def test_missing_fields(self, warm_engine):
+        with pytest.raises(ServiceError):
+            warm_engine.verify({"plan": {}})
+
+
+class TestSimulate:
+    def test_timeline_summary(self, warm_engine):
+        out = warm_engine.simulate(dict(PARAMS))
+        timeline = out["timeline"]
+        assert timeline["makespan"] > 0
+        assert 0 <= timeline["bubble_fraction"] < 1
+        assert len(timeline["stage_utilization"]) == timeline["num_stages"]
+
+
+class TestStats:
+    def test_surface(self, warm_engine):
+        warm_engine.plan(dict(PARAMS))
+        stats = warm_engine.stats()
+        assert stats["counters"]["service.requests"] >= 2
+        assert stats["models_planned"] >= 1
+        assert "warm" in stats["latency_ms"]
+        assert stats["latency_ms"]["warm"]["p50_ms"] > 0
+        assert stats["store"]["entries"] > 0
+        assert stats["draining"] is False
+
+    def test_unknown_method(self, warm_engine):
+        with pytest.raises(ServiceError) as ei:
+            warm_engine.handle("explode", {})
+        assert ei.value.code == "not_found"

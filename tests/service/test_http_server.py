@@ -1,0 +1,123 @@
+"""HTTP round-trip tests against a live in-thread ``PlanServer``.
+
+Real sockets, the stdlib client, and the raw-HTTP edge cases a JSON
+client never sends (unknown routes, wrong verbs, malformed bodies,
+oversized payloads).
+"""
+
+import http.client
+import json
+
+import pytest
+
+from repro.service import (
+    PlanServer,
+    ServiceClient,
+    ServiceHTTPError,
+    wait_until_healthy,
+)
+
+MODEL = {"family": "bert", "hidden": 256, "layers": 4, "heads": 8}
+PARAMS = {"model": MODEL, "cluster": {"preset": "v100x8"}, "batch_size": 64}
+
+
+@pytest.fixture(scope="module")
+def server():
+    server = PlanServer(workers=2).start_in_thread()
+    yield server
+    server.stop()
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    client = wait_until_healthy(port=server.port)
+    yield client
+    client.close()
+
+
+def raw_request(server, verb, path, body=None, headers=None):
+    """One raw HTTP exchange, bypassing the JSON client's conventions."""
+    conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
+    try:
+        conn.request(verb, path, body=body, headers=headers or {})
+        response = conn.getresponse()
+        return response.status, json.loads(response.read().decode())
+    finally:
+        conn.close()
+
+
+class TestRoundTrips:
+    def test_healthz(self, client):
+        assert client.healthz()["status"] == "ok"
+
+    def test_plan_warm_repeat_on_one_connection(self, client):
+        cold = client.plan(**PARAMS)
+        warm = client.plan(**PARAMS)
+        assert cold["meta"]["cache"] in ("cold", "warm")
+        assert warm["meta"]["cache"] == "warm"
+        assert warm["plan"] == cold["plan"]
+
+    def test_verify_round_trip(self, client):
+        doc = client.plan(**PARAMS)["plan"]
+        out = client.verify(plan=doc, model=MODEL,
+                            cluster=PARAMS["cluster"])
+        assert out["verified"] is True
+
+    def test_stats(self, client):
+        client.plan(**PARAMS)
+        stats = client.stats()
+        assert stats["counters"]["service.requests"] >= 1
+        assert stats["store"]["entries"] > 0
+
+    def test_error_carries_code_and_status(self, client):
+        with pytest.raises(ServiceHTTPError) as ei:
+            client.plan(model={"preset": "nope"},
+                        cluster={"preset": "v100x8"}, batch_size=64)
+        assert ei.value.http_status == 400
+        assert ei.value.code == "bad_request"
+
+    def test_replan_no_base_is_409(self, server):
+        client = ServiceClient(port=server.port)
+        try:
+            with pytest.raises(ServiceHTTPError) as ei:
+                client.replan(model={"family": "mlp", "widths": [16, 4]},
+                              cluster={"preset": "v100x8"}, batch_size=8)
+            assert ei.value.http_status == 409
+            assert ei.value.code == "no_base"
+        finally:
+            client.close()
+
+
+class TestRawHTTP:
+    def test_unknown_route_is_404(self, server):
+        status, doc = raw_request(server, "GET", "/v1/nothing-here")
+        assert status == 404
+        assert doc["error"]["code"] == "not_found"
+
+    def test_wrong_verb_on_known_route_is_405(self, server):
+        status, _doc = raw_request(server, "GET", "/v1/plan")
+        assert status == 405
+
+    def test_body_that_is_not_json_is_400(self, server):
+        status, doc = raw_request(
+            server, "POST", "/v1/plan", body=b"this is not json",
+            headers={"Content-Length": "16"},
+        )
+        assert status == 400
+        assert doc["error"]["code"] == "bad_request"
+
+    def test_oversized_body_is_413(self, server):
+        status, doc = raw_request(
+            server, "POST", "/v1/plan", body=None,
+            headers={"Content-Length": str(64 * 2**20)},
+        )
+        assert status == 413
+        assert doc["error"]["code"] == "bad_request"
+
+    def test_missing_params_is_400(self, server):
+        status, doc = raw_request(
+            server, "POST", "/v1/plan", body=b"{}",
+            headers={"Content-Length": "2"},
+        )
+        assert status == 400
+        assert "model" in doc["error"]["message"]

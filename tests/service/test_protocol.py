@@ -1,0 +1,180 @@
+"""Unit tests for the plan-service wire protocol.
+
+Request normalization (model/cluster/config builders), the coalescing
+fingerprint, and the error-code table that maps protocol failures onto
+HTTP statuses.
+"""
+
+import pytest
+
+from repro.hardware.device import Precision
+from repro.service.protocol import (
+    ERROR_STATUS,
+    ServiceError,
+    build_cluster,
+    build_config,
+    build_model,
+    error_envelope,
+    normalize_plan_request,
+    ok_envelope,
+)
+
+
+def plan_params(**overrides):
+    params = {
+        "model": {"family": "mlp", "widths": [64, 32, 10]},
+        "cluster": {"preset": "v100x8"},
+        "batch_size": 64,
+    }
+    params.update(overrides)
+    return params
+
+
+class TestServiceError:
+    def test_status_comes_from_the_code_table(self):
+        assert ServiceError("no_base", "x").status == 409
+        assert ServiceError("infeasible", "x").status == 422
+        assert ServiceError("shutting_down", "x").status == 503
+
+    def test_unknown_code_is_a_programming_error(self):
+        with pytest.raises(ValueError):
+            ServiceError("typo_code", "x")
+
+    def test_detail_lands_in_the_error_doc(self):
+        exc = ServiceError("bad_request", "boom", {"field": "model"})
+        doc = exc.as_error_doc()
+        assert doc["code"] == "bad_request"
+        assert doc["message"] == "boom"
+        assert doc["field"] == "model"
+
+    def test_every_code_maps_to_a_real_http_status(self):
+        for code, status in ERROR_STATUS.items():
+            assert 400 <= status < 600, code
+
+
+class TestEnvelopes:
+    def test_shapes(self):
+        assert ok_envelope({"a": 1}) == {"ok": True, "result": {"a": 1}}
+        env = error_envelope(ServiceError("not_found", "nope"))
+        assert env["ok"] is False
+        assert env["error"]["code"] == "not_found"
+
+
+class TestBuildModel:
+    def test_presets(self):
+        base, _ = build_model({"preset": "bert-base"})
+        large, _ = build_model({"preset": "bert-large"})
+        assert len(base.tasks) < len(large.tasks)
+
+    def test_unknown_preset(self):
+        with pytest.raises(ServiceError) as ei:
+            build_model({"preset": "bert-xxl"})
+        assert ei.value.code == "bad_request"
+
+    def test_gpt_default_heads_divide_hidden(self):
+        # regression: the default head count must divide any hidden size
+        # the caller picks (1024/12 used to blow up in reshape)
+        graph, _ = build_model({"family": "gpt", "hidden": 1024, "layers": 2})
+        assert graph.tasks
+
+    def test_mlp_family(self):
+        graph, canonical = build_model({"family": "mlp", "widths": [8, 4, 2]})
+        assert graph.tasks
+        assert '"family": "mlp"' in canonical
+
+    def test_model_must_be_an_object(self):
+        with pytest.raises(ServiceError):
+            build_model("bert-base")
+
+    def test_missing_preset_and_family(self):
+        with pytest.raises(ServiceError) as ei:
+            build_model({"name": "bert"})
+        assert "preset" in str(ei.value)
+
+
+class TestBuildCluster:
+    def test_presets_scale_nodes(self):
+        one, _ = build_cluster({"preset": "v100x8"})
+        four, _ = build_cluster({"preset": "v100x32"})
+        assert one.total_devices == 8
+        assert four.total_devices == 32
+
+    def test_explicit_nodes_and_comm_model(self):
+        cluster, _ = build_cluster({"nodes": 2, "comm_model": "topology"})
+        assert cluster.num_nodes == 2
+        assert cluster.comm_model == "topology"
+
+    def test_missing_shape(self):
+        with pytest.raises(ServiceError) as ei:
+            build_cluster({})
+        assert ei.value.code == "bad_request"
+
+
+class TestBuildConfig:
+    def test_batch_size_required_and_positive(self):
+        for bad in ({}, {"batch_size": 0}, {"batch_size": "64"}):
+            with pytest.raises(ServiceError):
+                build_config(bad)
+
+    def test_verify_always_on(self):
+        cfg = build_config({"batch_size": 32})
+        assert cfg.verify is True
+
+    def test_options_map_onto_planner_config(self):
+        cfg = build_config(
+            {
+                "batch_size": 32,
+                "options": {
+                    "amp": True,
+                    "blocks": 8,
+                    "max_microbatches": 4,
+                    "memory_budget_gb": 2.0,
+                    "comm_model": "topology",
+                },
+            }
+        )
+        assert cfg.precision == Precision.AMP
+        assert cfg.num_blocks == 8
+        assert cfg.max_microbatches == 4
+        assert cfg.memory_budget == 2.0 * 2**30
+        assert cfg.comm_model == "topology"
+
+    def test_unknown_option_is_rejected_with_the_supported_list(self):
+        with pytest.raises(ServiceError) as ei:
+            build_config({"batch_size": 32, "options": {"blokcs": 8}})
+        assert "blokcs" in str(ei.value)
+        assert "blocks" in str(ei.value)
+
+
+class TestNormalize:
+    def test_missing_model_or_cluster(self):
+        with pytest.raises(ServiceError):
+            normalize_plan_request({"cluster": {"preset": "v100x8"}})
+        with pytest.raises(ServiceError):
+            normalize_plan_request({"model": {"preset": "bert-base"}})
+
+    def test_key_pins_model_cluster_and_config(self):
+        base = normalize_plan_request(plan_params())
+        same = normalize_plan_request(plan_params())
+        assert same.key == base.key
+
+        resized = normalize_plan_request(
+            plan_params(cluster={"preset": "v100x16"})
+        )
+        assert resized.key != base.key
+        assert resized.model_key == base.model_key  # same family
+
+        rebatched = normalize_plan_request(plan_params(batch_size=128))
+        assert rebatched.key != base.key
+
+        other_model = normalize_plan_request(
+            plan_params(model={"family": "mlp", "widths": [32, 16, 10]})
+        )
+        assert other_model.model_key != base.model_key
+
+    def test_graph_cache_shares_built_graphs(self):
+        cache = {}
+        first = normalize_plan_request(plan_params(), graph_cache=cache)
+        second = normalize_plan_request(plan_params(), graph_cache=cache)
+        assert second.graph is first.graph
+        assert len(cache) == 1

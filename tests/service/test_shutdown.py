@@ -1,0 +1,136 @@
+"""Graceful-shutdown and crash-safety tests for the plan service.
+
+The drain contract: in-flight plans complete, already-coalesced waiters
+get the leader's result, new leaders are refused with
+``shutting_down``.  Crash safety: a killed process can leave at most
+truncated-or-orphaned cache files, which the next engine treats as a
+miss and repairs (write-then-rename keeps final paths whole).
+"""
+
+import concurrent.futures
+import threading
+
+import pytest
+
+from repro.service import PlanEngine, PlanServer, ServiceError, ServiceClient
+
+MODEL = {"family": "bert", "hidden": 256, "layers": 4, "heads": 8}
+PARAMS = {"model": MODEL, "cluster": {"preset": "v100x8"}, "batch_size": 64}
+
+
+def gate_execute(engine):
+    """Wrap ``engine._execute`` so the test controls when it finishes."""
+    entered = threading.Event()
+    release = threading.Event()
+    real_execute = engine._execute
+
+    def gated(req):
+        entered.set()
+        assert release.wait(timeout=30)
+        return real_execute(req)
+
+    engine._execute = gated
+    return entered, release
+
+
+class TestDrain:
+    def test_drain_waits_for_inflight_and_refuses_new_leaders(self):
+        engine = PlanEngine(workers=2)
+        entered, release = gate_execute(engine)
+        with concurrent.futures.ThreadPoolExecutor(3) as pool:
+            inflight = pool.submit(engine.plan, dict(PARAMS))
+            assert entered.wait(timeout=10)
+
+            drain = pool.submit(engine.drain, 60.0)
+            while not engine.draining:
+                pass
+            # a *new* key must be refused while draining
+            with pytest.raises(ServiceError) as ei:
+                engine.plan(dict(PARAMS, batch_size=128))
+            assert ei.value.code == "shutting_down"
+            assert ei.value.status == 503
+
+            # the in-flight key still coalesces: this waiter gets the
+            # leader's result even though the engine is draining
+            follower = pool.submit(engine.plan, dict(PARAMS))
+
+            release.set()
+            assert drain.result(timeout=60) is True
+            assert inflight.result(timeout=60)["meta"]["cache"] == "cold"
+            out = follower.result(timeout=60)
+            assert out["meta"].get("coalesced") is True
+
+    def test_drain_timeout_reports_incomplete(self):
+        engine = PlanEngine(workers=1)
+        entered, release = gate_execute(engine)
+        with concurrent.futures.ThreadPoolExecutor(1) as pool:
+            inflight = pool.submit(engine.plan, dict(PARAMS))
+            assert entered.wait(timeout=10)
+            assert engine.drain(timeout=0.05) is False
+            release.set()
+            assert inflight.result(timeout=60)["plan"]["stages"]
+
+    def test_idle_drain_is_immediate(self):
+        engine = PlanEngine(workers=1)
+        assert engine.drain(timeout=1.0) is True
+        assert engine.draining is True
+
+
+class TestServerShutdown:
+    def test_stop_drains_and_the_socket_closes(self):
+        server = PlanServer(workers=2).start_in_thread()
+        client = ServiceClient(port=server.port)
+        try:
+            out = client.plan(**PARAMS)
+            assert out["meta"]["verified"] is True
+        finally:
+            client.close()
+        server.stop()
+        fresh = ServiceClient(port=server.port, timeout=2.0)
+        with pytest.raises((ConnectionError, OSError)):
+            fresh.healthz()
+        fresh.close()
+
+    def test_shutdown_endpoint_stops_the_server(self):
+        server = PlanServer(workers=1).start_in_thread()
+        client = ServiceClient(port=server.port)
+        try:
+            assert client.shutdown() == {"stopping": True}
+        finally:
+            client.close()
+        server._thread.join(timeout=30)
+        assert not server._thread.is_alive()
+        server._thread = None  # already joined; stop() must not re-join
+
+
+class TestMissThenRepair:
+    def test_corrupt_cache_is_a_miss_not_a_failure(self, tmp_path):
+        cold = PlanEngine(cache_dir=tmp_path, workers=1).plan(dict(PARAMS))
+        assert cold["meta"]["cache"] == "cold"
+
+        # a fresh engine over the same root serves from disk
+        warm = PlanEngine(cache_dir=tmp_path, workers=1).plan(dict(PARAMS))
+        assert warm["meta"]["cache"] in ("warm", "delta")
+        assert warm["plan"] == cold["plan"]
+
+        # simulate a hard kill: every final-path file truncated to
+        # garbage, plus an orphaned half-written temp file
+        files = [p for p in tmp_path.rglob("*") if p.is_file()]
+        assert files, "the disk cache should have entries"
+        for path in files:
+            path.write_bytes(b"\x00 definitely not a cache entry")
+        orphan_dir = tmp_path / "artifacts"
+        orphan_dir.mkdir(exist_ok=True)
+        (orphan_dir / ".crashed.npz.tmp").write_bytes(b"partial write")
+
+        repaired = PlanEngine(cache_dir=tmp_path, workers=1).plan(
+            dict(PARAMS)
+        )
+        assert repaired["meta"]["cache"] == "cold"  # miss...
+        assert repaired["meta"]["verified"] is True
+        assert repaired["plan"] == cold["plan"]
+
+        # ...then repair: the rewritten entries serve the next engine
+        again = PlanEngine(cache_dir=tmp_path, workers=1).plan(dict(PARAMS))
+        assert again["meta"]["cache"] in ("warm", "delta")
+        assert again["plan"] == cold["plan"]

@@ -1,17 +1,20 @@
 #!/usr/bin/env python
 """Documentation checks, run by the CI ``docs`` job.
 
-Two checks:
+Three checks:
 
 1. **Intra-repo links** — every relative markdown link in the checked
    files must point at a file (or directory) that exists.  External
    links (``http(s)://``, ``mailto:``) and pure fragments (``#...``)
    are ignored; a trailing ``#fragment`` on a relative link is stripped
    before the existence check.
-2. **Doctests** — fenced ```` ```python ```` blocks in
-   ``docs/OBSERVABILITY.md`` are extracted *in order into one shared
-   namespace* and executed with :mod:`doctest`, so the documented
-   examples cannot rot.
+2. **Doctests** — fenced ```` ```python ```` blocks in the
+   :data:`DOCTEST_DOCS` files are extracted *in order into one shared
+   namespace per file* and executed with :mod:`doctest`, so the
+   documented examples cannot rot.
+3. **Config coverage** — every ``PlannerConfig`` field name must appear
+   somewhere in the docs corpus, so a new planner knob cannot land
+   undocumented.
 
 Usage::
 
@@ -41,8 +44,10 @@ LINKED_DOCS = (
     "docs/ALGORITHMS.md",
     "docs/COMMUNICATION.md",
     "docs/INCREMENTAL.md",
+    "docs/INDEX.md",
     "docs/OBSERVABILITY.md",
     "docs/SCALING.md",
+    "docs/SERVICE.md",
     "docs/VERIFICATION.md",
     "examples/README.md",
 )
@@ -53,7 +58,11 @@ DOCTEST_DOCS = (
     "docs/COMMUNICATION.md",
     "docs/INCREMENTAL.md",
     "docs/SCALING.md",
+    "docs/SERVICE.md",
 )
+
+#: files searched by the PlannerConfig coverage check
+COVERAGE_DOCS = LINKED_DOCS
 
 _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _FENCE_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
@@ -104,6 +113,34 @@ def run_doctests(
     return failures, attempts
 
 
+def check_config_coverage(root: Path, rel_paths=COVERAGE_DOCS) -> List[str]:
+    """One error per ``PlannerConfig`` field absent from the docs corpus.
+
+    A field is covered when its exact name appears as a whole word in
+    any of ``rel_paths`` — enough to guarantee a reader can grep the
+    docs for the knob they are holding.
+    """
+    import dataclasses
+
+    sys.path.insert(0, str(root / "src"))
+    try:
+        from repro.planner.context import PlannerConfig
+    finally:
+        sys.path.pop(0)
+
+    corpus = "\n".join(
+        (root / rel).read_text() for rel in rel_paths if (root / rel).exists()
+    )
+    errors: List[str] = []
+    for field in dataclasses.fields(PlannerConfig):
+        if not re.search(rf"\b{re.escape(field.name)}\b", corpus):
+            errors.append(
+                f"PlannerConfig.{field.name}: not mentioned in any doc "
+                f"({', '.join(rel_paths[:3])}, ...)"
+            )
+    return errors
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--root", type=Path, default=REPO_ROOT)
@@ -128,6 +165,14 @@ def main(argv=None) -> int:
         print("doctest FAIL (no examples found — fence regex broken?)")
     else:
         print(f"doctests OK ({attempts} examples)")
+
+    coverage_errors = check_config_coverage(args.root)
+    if coverage_errors:
+        rc = 1
+        for err in coverage_errors:
+            print(f"COVERAGE FAIL  {err}")
+    else:
+        print("PlannerConfig coverage OK (every field documented)")
     return rc
 
 

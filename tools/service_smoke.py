@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Smoke-test a running plan service, used by the CI ``service`` job.
+
+Exercises the daemon's whole contract end to end against a live
+socket -- cold plan, warm repeat, delta replan through ``/v1/replan``,
+verify round-trip of the served document, simulate, stats -- and exits
+non-zero the moment any response disagrees with ``docs/SERVICE.md``.
+
+Usage (the server must already be listening)::
+
+    python -m repro serve --port 8321 &
+    PYTHONPATH=src python tools/service_smoke.py --port 8321
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+REQUEST = {
+    "model": {"preset": "bert-base"},
+    "cluster": {"preset": "v100x8"},
+    "batch_size": 256,
+}
+
+
+def check(condition: bool, label: str) -> bool:
+    print(f"{'ok  ' if condition else 'FAIL'}  {label}")
+    return condition
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--host", default="127.0.0.1")
+    ap.add_argument("--port", type=int, default=8321)
+    ap.add_argument("--timeout", type=float, default=60.0,
+                    help="seconds to wait for the daemon to be healthy")
+    args = ap.parse_args(argv)
+
+    from repro.service import ServiceHTTPError, wait_until_healthy
+
+    client = wait_until_healthy(args.host, args.port, timeout=args.timeout)
+    ok = check(client.healthz()["status"] == "ok", "healthz answers")
+
+    cold = client.plan(**REQUEST)
+    ok &= check(cold["meta"]["cache"] == "cold", "first plan is cold")
+    ok &= check(cold["meta"]["verified"] is True, "cold plan verified")
+    ok &= check(bool(cold["plan"]["stages"]), "plan document has stages")
+
+    warm = client.plan(**REQUEST)
+    ok &= check(warm["meta"]["cache"] == "warm", "repeat is a warm hit")
+    ok &= check(warm["plan"] == cold["plan"], "warm plan is byte-identical")
+
+    delta = client.replan(**dict(REQUEST, cluster={"preset": "v100x16"}))
+    ok &= check(delta["meta"]["cache"] == "delta", "replan after resize is delta")
+    ok &= check(
+        "profile_tensors" in delta["meta"]["reused_passes"],
+        "delta reused the profile tensors",
+    )
+
+    try:
+        client.replan(model={"preset": "bert-large"},
+                      cluster={"preset": "v100x8"}, batch_size=64)
+        ok &= check(False, "replan without a base returns 409 no_base")
+    except ServiceHTTPError as exc:
+        ok &= check(
+            exc.http_status == 409 and exc.code == "no_base",
+            "replan without a base returns 409 no_base",
+        )
+
+    verify = client.verify(plan=cold["plan"], model=REQUEST["model"],
+                           cluster=REQUEST["cluster"],
+                           batch_size=REQUEST["batch_size"])
+    ok &= check(verify["verified"] is True, "served plan round-trip verifies")
+
+    sim = client.simulate(**REQUEST)
+    ok &= check(sim["timeline"]["makespan"] > 0, "simulate reports a timeline")
+
+    stats = client.stats()
+    ok &= check(stats["counters"]["service.requests"] >= 4, "stats count requests")
+    ok &= check(stats["counters"]["service.verify_requests"] >= 1,
+                "stats count verify requests")
+    ok &= check("warm" in stats["latency_ms"], "stats report warm latency")
+
+    broken = dict(cold["plan"])
+    broken["stages"] = []
+    try:
+        client.verify(plan=broken, model=REQUEST["model"],
+                      cluster=REQUEST["cluster"],
+                      batch_size=REQUEST["batch_size"])
+        ok &= check(False, "mutilated document fails verification")
+    except ServiceHTTPError as exc:
+        ok &= check(exc.http_status == 422,
+                    "mutilated document fails verification")
+
+    client.close()
+    if not ok:
+        print("SMOKE FAIL")
+        return 1
+    print("smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
