@@ -95,6 +95,17 @@ def _add_plan(sub: argparse._SubParsersAction) -> None:
                    help="Algorithm-2 sweep pool: threads (default), "
                         "processes (true parallelism on large graphs) or "
                         "a serial sweep")
+    p.add_argument("--a100-nodes", type=int, default=0,
+                   help="add this many 8-A100 nodes, making the cluster "
+                        "heterogeneous (--nodes keeps counting the V100 "
+                        "nodes; forces the flat comm model)")
+    p.add_argument("--straggler", type=float, default=1.0,
+                   help="slowdown factor of the V100 class in a "
+                        "heterogeneous cluster (with --a100-nodes)")
+    p.add_argument("--repair", type=str, default=None, metavar="EVENT",
+                   help="after planning, repair the plan for a cluster "
+                        "event: 'node-loss:IDX', 'preemption:IDX' or "
+                        "'scale-up:N'")
     p.add_argument("--explain", action="store_true",
                    help="print per-pass timings, peak-RSS deltas, "
                         "profiler statistics, and cache / artifact-reuse "
@@ -300,8 +311,28 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         print("ERROR: --delta needs --cache-dir (the artifacts persist "
               "under <cache-dir>/artifacts/)")
         return 2
+    event = None
+    if args.repair is not None:
+        try:
+            event = _parse_repair_event(args.repair)
+        except ValueError as exc:
+            print(f"ERROR: {exc}")
+            return 2
     graph = _build_graph(args)
-    cluster = paper_cluster(num_nodes=args.nodes)
+    if args.a100_nodes > 0:
+        from repro.hardware import mixed_cluster
+
+        if args.comm_model != "flat":
+            print("ERROR: heterogeneous clusters support only the flat "
+                  "comm model")
+            return 2
+        cluster = mixed_cluster(
+            v100_nodes=args.nodes,
+            a100_nodes=args.a100_nodes,
+            straggler_factor=args.straggler,
+        )
+    else:
+        cluster = paper_cluster(num_nodes=args.nodes)
     precision = Precision.AMP if args.amp else Precision.FP32
     config = PlannerConfig(
         batch_size=args.batch_size,
@@ -340,6 +371,24 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     print(plan.summary())
     if plan.diagnostics.cache_hit:
         print("  (plan restored from the deployment cache)")
+    if event is not None:
+        from repro.planner import repair
+
+        try:
+            result = repair(ctx, event)
+        except (PartitioningError, ValueError) as exc:
+            print(f"REPAIR FAILED: {exc}")
+            return 1
+        plan = result.plan
+        mode = ("full replan ({})".format(result.fallback_reason)
+                if result.used_full_replan else "in-place")
+        print(f"repaired after {result.event.kind}: {mode}")
+        print(f"  migrated (replica, stage) pairs: {result.migrated_pairs}"
+              f"  ({result.migration_bytes / 2**20:.1f} MiB, "
+              f"{result.migration_time * 1e3:.1f}ms simulated)")
+        print(f"  repair latency: {result.repair_latency * 1e3:.1f}ms on "
+              f"{result.cluster.total_devices} surviving devices")
+        print(plan.summary())
     if args.explain:
         print(_render_events(ctx))
     if args.save:
@@ -349,6 +398,30 @@ def _cmd_plan(args: argparse.Namespace) -> int:
             fh.write(plan_to_json(plan, graph))
         print(f"deployment written to {args.save}")
     return 0
+
+
+def _parse_repair_event(spec: str):
+    """``node-loss:IDX`` / ``preemption:IDX`` / ``scale-up:N`` -> event."""
+    from repro.planner import NodeLoss, Preemption, ScaleUp
+
+    kind, _, arg = spec.partition(":")
+    kind = kind.replace("_", "-").lower()
+    if not arg:
+        raise ValueError(
+            f"--repair needs an argument, e.g. 'node-loss:1' "
+            f"(got {spec!r})"
+        )
+    value = int(arg)
+    if kind == "node-loss":
+        return NodeLoss(node_index=value)
+    if kind == "preemption":
+        return Preemption(node_index=value)
+    if kind == "scale-up":
+        return ScaleUp(extra_nodes=value)
+    raise ValueError(
+        f"unknown repair event {kind!r}; expected node-loss, "
+        f"preemption or scale-up"
+    )
 
 
 def _render_events(ctx) -> str:

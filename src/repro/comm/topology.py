@@ -118,12 +118,19 @@ class NetworkTopology:
     def _build(self) -> None:
         cl = self.cluster
         d = cl.devices_per_node
+        # nodes may host fewer than ``devices_per_node`` devices on a
+        # heterogeneous cluster; rank arithmetic goes through the
+        # per-node prefix sums (identical to ``node * d`` when uniform)
+        firsts = cl.node_first_ranks()
+        widths = cl.node_device_counts()
         for node in range(cl.num_nodes):
-            base = node * d
-            # NVLink mesh (or ring neighbourhood) between local GPUs
-            for i in range(d):
-                for j in range(i + 1, d):
-                    if self._nvlink_peers(i, j):
+            base = firsts[node]
+            width = widths[node]
+            # NVLink mesh (or ring neighbourhood) between local GPUs; a
+            # narrower-than-max node keeps the full mesh (few devices)
+            for i in range(width):
+                for j in range(i + 1, width):
+                    if width < d or self._nvlink_peers(i, j):
                         gi, gj = f"gpu:{base + i}", f"gpu:{base + j}"
                         self._add(gi, gj, cl.intra_node_bandwidth, "nvlink")
                         self._add(gj, gi, cl.intra_node_bandwidth, "nvlink")
@@ -133,7 +140,7 @@ class NetworkTopology:
             per_nic = cl.inter_node_bandwidth / cl.nic_count
             for n in range(cl.nic_count):
                 nic = f"nic:{node}:{n}"
-                for i in range(d):
+                for i in range(width):
                     gpu = f"gpu:{base + i}"
                     self._add(gpu, nic, cl.intra_node_bandwidth, "pci")
                     self._add(nic, gpu, cl.intra_node_bandwidth, "pci")
@@ -160,16 +167,18 @@ class NetworkTopology:
         local-rank round-robin over the node's NICs)."""
         cl = self.cluster
         node = cl.node_of(rank)
-        local = rank % cl.devices_per_node
+        local = rank - cl.node_first_ranks()[node]
         return f"nic:{node}:{local % cl.nic_count}"
 
     def _intra_path(self, node: int, src_local: int, dst_local: int) -> List[Link]:
         """Deterministic same-node GPU->GPU path: the direct NVLink when
         present, otherwise greedy max-stride hops around the ring in the
         shorter direction (ties broken toward increasing local index)."""
-        base = node * self.cluster.devices_per_node
+        base = self.cluster.node_first_ranks()[node]
         d = self.cluster.devices_per_node
-        if self._nvlink_peers(src_local, dst_local):
+        width = self.cluster.node_device_counts()[node]
+        if width < d or self._nvlink_peers(src_local, dst_local):
+            # narrower nodes were built full-mesh; direct link exists
             return [self.link(f"gpu:{base + src_local}", f"gpu:{base + dst_local}")]
         fwd = (dst_local - src_local) % d
         bwd = (src_local - dst_local) % d
@@ -196,9 +205,11 @@ class NetworkTopology:
             return Route(())
         cl = self.cluster
         src_node, dst_node = cl.node_of(src_rank), cl.node_of(dst_rank)
-        d = cl.devices_per_node
         if src_node == dst_node:
-            return Route(tuple(self._intra_path(src_node, src_rank % d, dst_rank % d)))
+            base = cl.node_first_ranks()[src_node]
+            return Route(tuple(
+                self._intra_path(src_node, src_rank - base, dst_rank - base)
+            ))
         src_nic, dst_nic = self.nic_of(src_rank), self.nic_of(dst_rank)
         return Route((
             self.link(f"gpu:{src_rank}", src_nic),

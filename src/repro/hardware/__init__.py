@@ -4,30 +4,39 @@ The paper's testbed -- compute nodes with eight 32 GB V100s linked by
 NVLink (25-50 GB/s) and 100 Gb/s InfiniBand between nodes -- is modelled
 by :class:`DeviceSpec` and :class:`ClusterSpec`.  All throughput numbers
 produced by this repository are *simulated* on these specs (see DESIGN.md
-for the substitution rationale).
+for the substitution rationale).  Heterogeneous clusters declare
+:class:`DeviceClass` slices (mixed V100/A100 generations, stragglers);
+see docs/HETEROGENEOUS.md.
 """
 
 from repro.hardware.device import DeviceSpec, Precision
-from repro.hardware.cluster import ClusterSpec
+from repro.hardware.cluster import ClusterSpec, DeviceClass
 from repro.hardware.presets import (
+    A100,
     PAPER_CLUSTER,
     SINGLE_NODE,
     TINY_CLUSTER,
     V100,
+    mixed_cluster,
     paper_cluster,
     single_node,
     tiny_cluster,
+    tiny_mixed_cluster,
 )
 
 __all__ = [
+    "A100",
     "ClusterSpec",
+    "DeviceClass",
     "DeviceSpec",
     "PAPER_CLUSTER",
     "Precision",
     "SINGLE_NODE",
     "TINY_CLUSTER",
     "V100",
+    "mixed_cluster",
     "paper_cluster",
     "single_node",
     "tiny_cluster",
+    "tiny_mixed_cluster",
 ]

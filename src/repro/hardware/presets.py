@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.hardware.cluster import ClusterSpec
+from repro.hardware.cluster import ClusterSpec, DeviceClass
 from repro.hardware.device import DeviceSpec
 
 #: NVIDIA V100 SXM2 32 GB: 15.7 TFLOP/s FP32, 125 TFLOP/s FP16 tensor
@@ -22,6 +22,16 @@ V100 = DeviceSpec(
     peak_flops_fp32=15.7e12,
     peak_flops_fp16=125.0e12,
     mem_bandwidth=900.0e9,
+)
+
+#: NVIDIA A100 SXM4 40 GB: 19.5 TFLOP/s FP32, 312 TFLOP/s FP16 tensor
+#: cores, 1.56 TB/s HBM2e.
+A100 = DeviceSpec(
+    name="A100-SXM4-40GB",
+    memory_bytes=40 * 1024**3,
+    peak_flops_fp32=19.5e12,
+    peak_flops_fp16=312.0e12,
+    mem_bandwidth=1555.0e9,
 )
 
 
@@ -84,6 +94,93 @@ def tiny_cluster(num_nodes: int = 1, devices_per_node: int = 4,
         comm_model=comm_model,
         nvlink_degree=nvlink_degree,
         nic_count=nic_count,
+    )
+
+
+def mixed_cluster(
+    v100_nodes: int = 2,
+    a100_nodes: int = 2,
+    straggler_factor: float = 1.0,
+) -> ClusterSpec:
+    """A mixed V100/A100 cluster: the heterogeneous analogue of the
+    paper's testbed.
+
+    V100 nodes carry 8 devices, A100 nodes 8 devices with more memory
+    and higher throughput; the V100 stays the profiling reference
+    device, so a pure-V100 declaration reproduces homogeneous numbers.
+    ``straggler_factor`` slows every V100 node (e.g. ``1.25`` models a
+    thermally throttled rack)."""
+    return ClusterSpec(
+        num_nodes=v100_nodes + a100_nodes,
+        devices_per_node=8,
+        device=V100,
+        intra_node_bandwidth=25.0e9,
+        inter_node_bandwidth=12.5e9,
+        device_classes=(
+            DeviceClass(
+                name="v100",
+                device=V100,
+                num_nodes=v100_nodes,
+                devices_per_node=8,
+                straggler_factor=straggler_factor,
+            ),
+            DeviceClass(
+                name="a100",
+                device=A100,
+                num_nodes=a100_nodes,
+                devices_per_node=8,
+            ),
+        ),
+    )
+
+
+def tiny_mixed_cluster(
+    small_nodes: int = 1,
+    big_nodes: int = 1,
+    devices_per_node: int = 4,
+    small_memory_bytes: int = 2 * 1024**3,
+    big_memory_bytes: int = 8 * 1024**3,
+    straggler_factor: float = 1.0,
+) -> ClusterSpec:
+    """A two-class toy cluster for fast heterogeneous tests: one class
+    of memory-starved devices next to one class with headroom, so a
+    model that cannot fit on the homogeneous small cluster becomes
+    feasible once the big class joins."""
+    small = DeviceSpec(
+        name="tiny-small",
+        memory_bytes=small_memory_bytes,
+        peak_flops_fp32=V100.peak_flops_fp32,
+        peak_flops_fp16=V100.peak_flops_fp16,
+        mem_bandwidth=V100.mem_bandwidth,
+    )
+    big = DeviceSpec(
+        name="tiny-big",
+        memory_bytes=big_memory_bytes,
+        peak_flops_fp32=V100.peak_flops_fp32,
+        peak_flops_fp16=V100.peak_flops_fp16,
+        mem_bandwidth=V100.mem_bandwidth,
+    )
+    return ClusterSpec(
+        num_nodes=small_nodes + big_nodes,
+        devices_per_node=devices_per_node,
+        device=small,
+        intra_node_bandwidth=25.0e9,
+        inter_node_bandwidth=12.5e9,
+        device_classes=(
+            DeviceClass(
+                name="small",
+                device=small,
+                num_nodes=small_nodes,
+                devices_per_node=devices_per_node,
+                straggler_factor=straggler_factor,
+            ),
+            DeviceClass(
+                name="big",
+                device=big,
+                num_nodes=big_nodes,
+                devices_per_node=devices_per_node,
+            ),
+        ),
     )
 
 

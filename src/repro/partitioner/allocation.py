@@ -76,16 +76,28 @@ def allocate_devices(
             flat model, stages take consecutive ranks unconditionally).
 
     Raises:
-        ValueError: if the allocation does not exactly cover the cluster.
+        ValueError: if the allocation needs more devices than the
+            cluster has, or ``boundary_bytes`` has the wrong length.
+            Partial coverage (``D * R < total_devices``) is allowed:
+            elastic repair and heterogeneous prefix levels leave the
+            trailing ranks idle.
     """
     D = sum(device_counts)
     total = D * replica_factor
-    if total != cluster.total_devices:
+    if total > cluster.total_devices:
         raise ValueError(
             f"allocation covers {total} devices, cluster has "
             f"{cluster.total_devices}"
         )
     S = len(device_counts)
+    # validate unconditionally: a malformed boundary list must fail the
+    # same way under every comm model, not only when the topology
+    # scoring below happens to consume it
+    if boundary_bytes is not None and len(boundary_bytes) != S - 1:
+        raise ValueError(
+            f"boundary_bytes has {len(boundary_bytes)} entries for "
+            f"{S - 1} stage boundaries"
+        )
     order: Tuple[int, ...] = tuple(range(S))
     if (
         cluster.comm_model == "topology"
@@ -96,11 +108,6 @@ def allocate_devices(
             if boundary_bytes is not None
             else [1.0] * (S - 1)
         )
-        if len(weights) != S - 1:
-            raise ValueError(
-                f"boundary_bytes has {len(weights)} entries for "
-                f"{S - 1} stage boundaries"
-            )
         # permutations() yields the identity first; strict < keeps it
         # on ties, so the topology model only deviates from contiguity
         # when the network model says a reordering is actually cheaper

@@ -265,20 +265,46 @@ def form_stage(
         raise ValueError("batch size mismatch with DPContext")
     if tracer is not None and not tracer.enabled:
         tracer = None
-    n = 1
+    hetero = ctx.cluster.is_heterogeneous
+    if hetero:
+        # heterogeneous levels: ``n`` counts a PREFIX of nodes in class
+        # declaration order, so ``D`` is that prefix's device total (the
+        # per-node counts may differ across classes).  Divisibility is
+        # not required -- replicas beyond ``total // D`` stay idle and
+        # the DP's position-aware tables price the slots each band
+        # actually lands on -- so the doubling sweep always ends on the
+        # full-cluster level.
+        offsets = ctx.cluster.node_first_ranks()
+        total_devices = ctx.cluster.total_devices
+        levels: List[int] = []
+        lvl = 1
+        while lvl < num_nodes:
+            levels.append(lvl)
+            lvl *= 2
+        levels.append(num_nodes)
+    else:
+        # a span that does not divide the node count (e.g. n=2 on 3
+        # nodes) has no integral replica factor; skip the level and
+        # keep doubling rather than aborting the search
+        levels = []
+        lvl = 1
+        while lvl <= num_nodes:
+            if num_nodes % lvl == 0:
+                levels.append(lvl)
+            lvl *= 2
     dp_calls = 0
     tried = 0
-    while n <= num_nodes:
-        if num_nodes % n:
-            # a span that does not divide the node count (e.g. n=2 on 3
-            # nodes) has no integral replica factor; skip the level and
-            # keep doubling rather than aborting the search
-            n *= 2
-            continue
-        D = devices_per_node * n
-        R = num_nodes // n
-        s_lo = devices_per_node * (n - 1) + 1
-        s_hi = devices_per_node * n
+    for n in levels:
+        if hetero:
+            D = offsets[n]
+            R = total_devices // D
+            s_lo = offsets[n - 1] + 1
+            s_hi = offsets[n]
+        else:
+            D = devices_per_node * n
+            R = num_nodes // n
+            s_lo = devices_per_node * (n - 1) + 1
+            s_hi = devices_per_node * n
         mb_cap = batch_size // R
         if max_microbatches is not None:
             mb_cap = min(mb_cap, max_microbatches)
@@ -351,5 +377,4 @@ def form_stage(
                     candidates_tried=tried,
                     dp_calls=dp_calls,
                 )
-        n *= 2
     return None

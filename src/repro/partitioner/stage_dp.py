@@ -134,6 +134,23 @@ class StageProfile:
         )
 
 
+def scale_stage_profile(prof: StageProfile, factor: float) -> StageProfile:
+    """A stage profile with its times scaled by a device-class factor
+    (heterogeneous clusters: the stage runs at its slowest device's
+    pace; memory and traffic are byte counts and do not scale)."""
+    if factor == 1.0:
+        return prof
+    return StageProfile(
+        time_fwd=prof.time_fwd * factor,
+        time_bwd=prof.time_bwd * factor,
+        memory=prof.memory,
+        microbatch_size=prof.microbatch_size,
+        in_bytes=prof.in_bytes,
+        out_bytes=prof.out_bytes,
+        param_count=prof.param_count,
+    )
+
+
 @dataclass
 class DPSolution:
     """Result of one ``form_stage_dp`` call."""
@@ -269,6 +286,9 @@ class DPContext:
         self._band_cache: Dict[
             Tuple[int, int, int, bool], BandedProfile
         ] = {}
+        self._hetero_cache: Dict[
+            Tuple[int, int], Tuple[np.ndarray, np.ndarray]
+        ] = {}
         self.dp_calls = 0
         self.states_evaluated = 0
 
@@ -346,6 +366,8 @@ class DPContext:
         self.profiler.rebind_cluster(cluster)
         with self._lock:
             old_usable = self.usable_memory
+            if cluster != self.cluster:
+                self._hetero_cache.clear()
             self.cluster = cluster
             self.metrics = metrics
             if memory_budget != self.memory_budget:
@@ -767,6 +789,47 @@ class DPContext:
             self._dp_tensor_cache[key] = result
             return result
 
+    def hetero_tables(self, D: int, R: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Position-dependent capacity/speed tables for a heterogeneous
+        cluster: ``(MINMEM, SLOW)``, both ``(D+1, D+1)``.
+
+        A stage at cumulative-device boundary ``(d', d)`` occupies slot
+        range ``[d', d)`` of every one of the ``R`` contiguous replica
+        bands (the contract of ``allocate_devices``), i.e. global ranks
+        ``r*D + d' .. r*D + d - 1``.  ``MINMEM[d', d]`` is the smallest
+        usable memory over those ranks (the stage must fit its tightest
+        device) and ``SLOW[d', d]`` the largest reference-relative time
+        factor (the stage runs at its slowest device's pace).  Cached per
+        ``(D, R)``; requires ``D * R <= cluster.total_devices``.
+        """
+        key = (D, R)
+        with self._lock:
+            cached = self._hetero_cache.get(key)
+            if cached is not None:
+                return cached
+            mems = np.asarray(self.cluster.rank_memories())
+            facs = np.asarray(
+                self.cluster.rank_time_factors(self.profiler.precision)
+            )
+            if D * R > mems.size:
+                raise ValueError(
+                    f"D*R = {D * R} exceeds the cluster's "
+                    f"{mems.size} devices"
+                )
+            # collapse the replica axis first: slot j of a band maps to
+            # rank r*D + j, and a stage's constraint is the worst over
+            # every replica band it appears in
+            slot_mem = mems[: D * R].reshape(R, D).min(axis=0)
+            slot_fac = facs[: D * R].reshape(R, D).max(axis=0)
+            MINMEM = np.full((D + 1, D + 1), np.inf)
+            SLOW = np.ones((D + 1, D + 1))
+            for dp in range(D):
+                MINMEM[dp, dp + 1:] = np.minimum.accumulate(slot_mem[dp:])
+                SLOW[dp, dp + 1:] = np.maximum.accumulate(slot_fac[dp:])
+            result = (MINMEM, SLOW)
+            self._hetero_cache[key] = result
+            return result
+
     # ------------------------------------------------------------------
     # banded construction (O(band * D) peak memory)
     # ------------------------------------------------------------------
@@ -1172,9 +1235,22 @@ def _form_stage_dp_body(
         metrics.counter("dp.calls").inc()
     checkpointing = S > 1
     M = ctx.usable_memory
-    mode = resolve_dp_engine(
-        engine, k, D, banded_supported=ctx.supports_banded
-    )
+    hetero = ctx.cluster.is_heterogeneous
+    if hetero:
+        # position-aware variant of the rows engine: the memory cap and
+        # stage speed depend on WHICH cumulative-device slots [d', d) a
+        # stage lands on, so the scalar-M engines cannot apply.  The
+        # d_min rule is also off: feasibility is no longer monotone in d
+        # once a class boundary sits inside the slot range.
+        MINMEM, SLOW = ctx.hetero_tables(D, R)
+        if ctx.memory_budget is not None:
+            MINMEM = np.minimum(MINMEM, ctx.memory_budget)
+        dmin_pruning = False
+        mode = "rows"
+    else:
+        mode = resolve_dp_engine(
+            engine, k, D, banded_supported=ctx.supports_banded
+        )
     full = mode == "full"
     kernel = None
     if full:
@@ -1314,6 +1390,10 @@ def _form_stage_dp_body(
                 rmat = ds[None, :] - dprimes[:, None]  # (d', d)
                 r_idx = np.clip(rmat, 0, D)
                 valid_dp = rmat >= 1
+                if hetero:
+                    # per-boundary caps/speeds for the slot range [d', d)
+                    capmat = MINMEM[dprimes[:, None], ds[None, :]]
+                    slowmat = SLOW[dprimes[:, None], ds[None, :]]
                 prev_ok_sl = prev_ok[:, s - 1:d_hi]
                 tf_sl = tf[s - 1][:, s - 1:d_hi]
                 tb_sl = tb[s - 1][:, s - 1:d_hi]
@@ -1321,11 +1401,18 @@ def _form_stage_dp_body(
                     stage_tf = TF[s - 1:b, b, :][:, r_idx]  # (b', d', d)
                     stage_tb = TB[s - 1:b, b, :][:, r_idx]
                     stage_m = MEM[s - 1:b, b, :][:, r_idx]
+                    if hetero:
+                        stage_tf = stage_tf * slowmat[None, :, :]
+                        stage_tb = stage_tb * slowmat[None, :, :]
                     cand_tf = np.maximum(tf_sl[s - 1:b, :, None], stage_tf)
                     cand_tb = np.maximum(tb_sl[s - 1:b, :, None], stage_tb)
                     v = cand_tf + cand_tb
                     fin = np.isfinite(stage_tf)
-                    over = stage_m > M
+                    over = (
+                        stage_m > capmat[None, :, :]
+                        if hetero
+                        else stage_m > M
+                    )
                     pok = prev_ok_sl[s - 1:b, :, None] & valid_dp[None, :, :]
                     v = np.where(pok & fin & ~over, v, INF)
                     nbp, ndp, nd = v.shape
@@ -1411,11 +1498,15 @@ def _form_stage_dp_body(
 
     profiles: List[StageProfile] = []
     lo = 0
+    dlo = 0
     for hi, devs in zip(boundaries, device_counts):
         prof = ctx.stage_profile(lo, hi, devs, R, MB, checkpointing)
         assert prof is not None
+        if hetero:
+            prof = scale_stage_profile(prof, float(SLOW[dlo, dlo + devs]))
         profiles.append(prof)
         lo = hi
+        dlo += devs
 
     if sp is not None:
         sp.set(feasible=True, objective=float(V[S, k, D]))

@@ -76,10 +76,17 @@ def allreduce_phase(plan: "PartitionPlan") -> Tuple[float, Dict[str, Any]]:
         grad_bytes = stage.profile.param_count * 4.0
         # a replica group spans nodes whenever whole-pipeline replicas
         # exist (they live on different nodes) or the intra-pipeline
-        # replicas straddle a node boundary
-        spans = plan.replica_factor > 1 or (
-            stage.devices_per_pipeline > cluster.devices_per_node
-        )
+        # replicas straddle a node boundary; with non-uniform nodes the
+        # uniform-width heuristic is wrong, so consult the actual ranks
+        if cluster.is_heterogeneous and plan.assignment is not None:
+            spans = plan.replica_factor > 1 or any(
+                plan.assignment.stage_spans_nodes(rep, stage.index)
+                for rep in range(plan.replica_factor)
+            )
+        else:
+            spans = plan.replica_factor > 1 or (
+                stage.devices_per_pipeline > cluster.devices_per_node
+            )
         allreduce = max(
             allreduce, cluster.allreduce_time(grad_bytes, n_ranks, spans)
         )

@@ -49,6 +49,15 @@ from repro.planner.passes import (
     ValidatePass,
     VerifyPass,
 )
+from repro.planner.repair import (
+    ClusterEvent,
+    NodeLoss,
+    Preemption,
+    RepairResult,
+    ScaleUp,
+    repair,
+    survivor_map,
+)
 from repro.planner.replan import ensure_store, replan
 from repro.planner.store import Artifact, ArtifactStore, DiskBackend
 from repro.profiler.profiler import GraphProfiler
@@ -133,6 +142,7 @@ __all__ = [
     "BLOCKS",
     "COMPONENTS",
     "CachePass",
+    "ClusterEvent",
     "CoarsenPass",
     "DP_CONTEXT",
     "DiskBackend",
@@ -142,6 +152,7 @@ __all__ = [
     "FACET_NAMES",
     "FRAMEWORK_RESULT",
     "GraphProfiler",
+    "NodeLoss",
     "PLAN",
     "PartitioningError",
     "PassError",
@@ -150,8 +161,11 @@ __all__ = [
     "PlannerConfig",
     "PlannerPass",
     "PlanningContext",
+    "Preemption",
     "ProfileTensorsPass",
+    "RepairResult",
     "SEARCH_RESULT",
+    "ScaleUp",
     "StageSearchPass",
     "VALIDATED",
     "VERIFIED",
@@ -162,6 +176,8 @@ __all__ = [
     "default_passes",
     "ensure_store",
     "plan_graph",
+    "repair",
     "replan",
     "run_framework_pipeline",
+    "survivor_map",
 ]

@@ -288,18 +288,23 @@ class PlanningContext:
         plan-determining planner configuration."""
         from repro.partitioner.deployment import graph_fingerprint
 
-        blob = json.dumps(
-            {
-                "graph": graph_fingerprint(self.graph),
-                "cluster": [
-                    self.cluster.num_nodes,
-                    self.cluster.devices_per_node,
-                    self.cluster.comm_model,
-                    self.cluster.nvlink_degree,
-                    self.cluster.nic_count,
-                ],
-                "config": self.config.fingerprint(),
-            },
-            sort_keys=True,
-        ).encode()
+        doc = {
+            "graph": graph_fingerprint(self.graph),
+            "cluster": [
+                self.cluster.num_nodes,
+                self.cluster.devices_per_node,
+                self.cluster.comm_model,
+                self.cluster.nvlink_degree,
+                self.cluster.nic_count,
+            ],
+            "config": self.config.fingerprint(),
+        }
+        if self.cluster.device_classes:
+            # only keyed when present, so homogeneous cache keys stay
+            # identical to earlier releases
+            doc["classes"] = [
+                [c.name, c.num_nodes, c.devices_per_node, c.straggler_factor]
+                for c in self.cluster.device_classes
+            ]
+        blob = json.dumps(doc, sort_keys=True).encode()
         return hashlib.sha256(blob).hexdigest()[:20]

@@ -64,28 +64,50 @@ def compute_facets(
 
     device = cluster.device
     lat, bw = cluster.comm.p2p_affine(same_node=True)
+    # device-class data enters the digests only when present, so every
+    # homogeneous fingerprint (and hence every cached artifact) stays
+    # bit-identical to the pre-heterogeneity planner
+    arch_doc: Dict[str, Any] = {
+        "device": [
+            device.peak_flops_fp32,
+            device.peak_flops_fp16,
+            device.mem_bandwidth,
+            device.matmul_efficiency,
+            device.kernel_overhead,
+        ],
+        "precision": config.precision.value,
+        "optimizer": config.optimizer.value,
+    }
+    capacity_doc: Any = [device.memory_bytes, device.memory_reserve_fraction]
+    shape_doc: Any = [cluster.num_nodes, cluster.devices_per_node]
+    if cluster.device_classes:
+        classes = [
+            [
+                c.name,
+                c.num_nodes,
+                c.devices_per_node,
+                c.straggler_factor,
+                c.device.peak_flops_fp32,
+                c.device.peak_flops_fp16,
+                c.device.mem_bandwidth,
+                c.device.matmul_efficiency,
+                c.device.kernel_overhead,
+                c.device.memory_bytes,
+                c.device.memory_reserve_fraction,
+            ]
+            for c in cluster.device_classes
+        ]
+        arch_doc["classes"] = classes
+        capacity_doc = [capacity_doc, classes]
+        shape_doc = [shape_doc, classes]
     return {
         # the traced model itself
         "graph": graph_fingerprint(graph),
         # device performance model + numerics: everything a per-task
         # time or memory profile depends on
-        "arch": _digest(
-            {
-                "device": [
-                    device.peak_flops_fp32,
-                    device.peak_flops_fp16,
-                    device.mem_bandwidth,
-                    device.matmul_efficiency,
-                    device.kernel_overhead,
-                ],
-                "precision": config.precision.value,
-                "optimizer": config.optimizer.value,
-            }
-        ),
+        "arch": _digest(arch_doc),
         # per-device memory capacity (bounds coarsening and the DP)
-        "capacity": _digest(
-            [device.memory_bytes, device.memory_reserve_fraction]
-        ),
+        "capacity": _digest(capacity_doc),
         # the planner-level cap below capacity (DP feasibility only)
         "budget": _digest(config.memory_budget),
         # block-level partitioning knobs
@@ -93,9 +115,7 @@ def compute_facets(
         # global minibatch size
         "batch": _digest(config.batch_size),
         # how many devices Algorithm 2 may spread a pipeline over
-        "cluster_shape": _digest(
-            [cluster.num_nodes, cluster.devices_per_node]
-        ),
+        "cluster_shape": _digest(shape_doc),
         # the same-node p2p affine the profile tensors price stage
         # boundaries at (footnote 3): latency + bytes / bandwidth
         "comm_local": _digest([cluster.comm_model, lat, bw]),

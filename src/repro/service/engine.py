@@ -122,7 +122,10 @@ class PlanEngine:
         self._latency: Dict[str, List[float]] = {}
         self._latency_lock = threading.Lock()
         self._closing = threading.Event()
-        self.started_at = time.time()
+        # uptime must survive wall-clock jumps (NTP steps, DST): measure
+        # it on the monotonic clock; keep the unix stamp for display only
+        self.started_at = time.monotonic()
+        self.started_at_unix = time.time()
 
     # ------------------------------------------------------------------
     # dispatch
@@ -133,6 +136,7 @@ class PlanEngine:
         handler = {
             "plan": self.plan,
             "replan": self.replan,
+            "repair": self.repair,
             "verify": self.verify,
             "simulate": self.simulate,
             "stats": lambda _params: self.stats(),
@@ -166,6 +170,83 @@ class PlanEngine:
             )
         doc, meta = self._coalesced_plan(req)
         return {"plan": doc, "meta": meta}
+
+    def repair(self, params: Any) -> Dict[str, Any]:
+        """Replan-on-event: repair the deployed plan after a cluster
+        event (node loss, preemption, scale-up), migrating as few
+        (replica, stage) pairs as possible.
+
+        The request is a ``plan`` request (model + *pre-event* cluster +
+        batch_size/options) plus an ``event`` object (see
+        :func:`~repro.service.protocol.parse_event`).  Like ``replan``,
+        it fails with ``no_base`` unless this engine already planned the
+        model family; the base plan itself is rebuilt from the shared
+        store, which is a full reuse after any earlier ``plan``.
+        """
+        from repro.partitioner.deployment import plan_to_json
+        from repro.planner.repair import repair as plan_repair
+        from repro.service.protocol import parse_event
+
+        params = params if isinstance(params, dict) else {}
+        event = parse_event(params.get("event"))
+        req = self._normalize(
+            {k: v for k, v in params.items() if k != "event"}
+        )
+        if req.model_key not in self._planned_models:
+            raise ServiceError(
+                "no_base",
+                "repair requires a previous plan for this model; "
+                "POST /v1/plan first",
+                {"model": json.loads(req.model_spec)},
+            )
+        started = time.perf_counter()
+        self.metrics.counter("service.repair_requests").inc()
+        with self._model_lock(req.model_key):
+            ctx = PlanningContext(req.graph, req.cluster, req.config)
+            ctx.attach_store(self.store)
+            with self.tracer.span(
+                "service.repair",
+                category="service",
+                model=req.graph.name,
+                event=event.kind,
+            ) as span:
+                try:
+                    plan_graph(req.graph, req.cluster, req.config, context=ctx)
+                    result = plan_repair(ctx, event)
+                except PartitioningError as exc:
+                    span.set(outcome="infeasible")
+                    raise ServiceError("infeasible", str(exc)) from exc
+                except ValueError as exc:
+                    span.set(outcome="bad_request")
+                    raise ServiceError("bad_request", str(exc)) from exc
+                span.set(
+                    outcome="ok",
+                    full_replan=result.used_full_replan,
+                    migrated=result.migrated_pairs,
+                )
+        wall_ms = (time.perf_counter() - started) * 1e3
+        self._observe_latency("repair", wall_ms)
+        doc = json.loads(plan_to_json(result.plan, req.graph))
+        return {
+            "plan": doc,
+            "repair": {
+                "event": event.kind,
+                "used_full_replan": result.used_full_replan,
+                "fallback_reason": result.fallback_reason,
+                "migrated_pairs": result.migrated_pairs,
+                "migration_bytes": result.migration_bytes,
+                "migration_time_s": result.migration_time,
+                "repair_latency_s": result.repair_latency,
+                "surviving_devices": result.cluster.total_devices,
+            },
+            "meta": {
+                "fingerprint": req.key,
+                "wall_ms": wall_ms,
+                "iteration_time": result.plan.iteration_time,
+                "throughput": result.plan.throughput,
+                "num_stages": result.plan.num_stages,
+            },
+        }
 
     def simulate(self, params: Any) -> Dict[str, Any]:
         """Plan (warm requests reuse everything) and report the simulated
@@ -262,7 +343,8 @@ class PlanEngine:
                 if samples
             }
         return {
-            "uptime_s": time.time() - self.started_at,
+            "uptime_s": time.monotonic() - self.started_at,
+            "started_at_unix": self.started_at_unix,
             "inflight": inflight,
             "draining": self._closing.is_set(),
             "models_planned": len(self._planned_models),

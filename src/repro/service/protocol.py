@@ -186,6 +186,64 @@ def build_model(spec: Any) -> Tuple[TaskGraph, str]:
     )
 
 
+#: device names accepted in heterogeneous class specs
+DEVICE_PRESETS = ("v100", "a100")
+
+
+def _build_hetero_cluster(spec: Dict[str, Any]) -> ClusterSpec:
+    """A heterogeneous cluster from a ``classes`` list, e.g.::
+
+        {"classes": [
+            {"name": "fast", "device": "a100", "nodes": 2,
+             "devices_per_node": 8},
+            {"name": "slow", "device": "v100", "nodes": 2,
+             "devices_per_node": 8, "straggler_factor": 1.3,
+             "memory_gb": 16},
+        ]}
+    """
+    import dataclasses as _dc
+
+    from repro.hardware import A100, V100
+    from repro.hardware.cluster import DeviceClass
+
+    devices = {"v100": V100, "a100": A100}
+    classes = []
+    for i, doc in enumerate(spec["classes"]):
+        doc = _expect_object(doc, f"classes[{i}]")
+        device_name = str(doc.get("device", "v100")).lower()
+        if device_name not in devices:
+            raise ServiceError(
+                "bad_request",
+                f"unknown device {device_name!r}; "
+                f"expected one of {DEVICE_PRESETS}",
+            )
+        device = devices[device_name]
+        if "memory_gb" in doc:
+            device = _dc.replace(
+                device, memory_bytes=float(doc["memory_gb"]) * 2**30
+            )
+        classes.append(
+            DeviceClass(
+                name=str(doc.get("name", f"class{i}")),
+                device=device,
+                num_nodes=int(doc.get("nodes", 1)),
+                devices_per_node=int(doc.get("devices_per_node", 8)),
+                straggler_factor=float(doc.get("straggler_factor", 1.0)),
+            )
+        )
+    if not classes:
+        raise ServiceError("bad_request", "'classes' must be non-empty")
+    base = paper_cluster(1)
+    return _dc.replace(
+        base,
+        num_nodes=sum(c.num_nodes for c in classes),
+        devices_per_node=max(c.devices_per_node for c in classes),
+        device=classes[0].device,
+        comm_model="flat",
+        device_classes=tuple(classes),
+    )
+
+
 def build_cluster(spec: Any) -> Tuple[ClusterSpec, str]:
     """Build the cluster for a request's ``cluster`` object.
 
@@ -194,9 +252,20 @@ def build_cluster(spec: Any) -> Tuple[ClusterSpec, str]:
         {"preset": "v100x8" | "v100x16" | "v100x32"}
         {"nodes": 2}                        # 2 x 8 V100, paper testbed
         {"nodes": 2, "comm_model": "topology", "nic_count": 2}
+        {"classes": [{"name": "fast", "device": "a100", "nodes": 2,
+                      "devices_per_node": 8}, ...]}   # heterogeneous
     """
     spec = _expect_object(spec, "cluster")
     canonical = json.dumps(spec, sort_keys=True)
+    if "classes" in spec:
+        try:
+            return _build_hetero_cluster(spec), canonical
+        except ServiceError:
+            raise
+        except (TypeError, ValueError) as exc:
+            raise ServiceError(
+                "bad_request", f"invalid cluster spec: {exc}"
+            ) from exc
     preset = spec.get("preset")
     if preset is not None:
         if preset not in CLUSTER_PRESETS:
@@ -329,16 +398,26 @@ def normalize_plan_request(
     from repro.partitioner.deployment import graph_fingerprint
 
     model_key = graph_fingerprint(graph)
-    key = "|".join(
-        (
-            model_key,
-            f"{cluster.num_nodes}x{cluster.devices_per_node}",
-            cluster.comm_model,
-            str(cluster.nvlink_degree),
-            str(cluster.nic_count),
-            config.fingerprint(),
+    parts = [
+        model_key,
+        f"{cluster.num_nodes}x{cluster.devices_per_node}",
+        cluster.comm_model,
+        str(cluster.nvlink_degree),
+        str(cluster.nic_count),
+        config.fingerprint(),
+    ]
+    if cluster.device_classes:
+        # only keyed when present, so homogeneous request keys stay
+        # identical to earlier releases
+        parts.append(
+            ";".join(
+                f"{c.name}:{c.num_nodes}x{c.devices_per_node}"
+                f"@{c.straggler_factor}:{c.device.name}"
+                f":{c.device.memory_bytes}"
+                for c in cluster.device_classes
+            )
         )
-    )
+    key = "|".join(parts)
     return PlanRequest(
         graph=graph,
         cluster=cluster,
@@ -347,6 +426,45 @@ def normalize_plan_request(
         model_key=model_key,
         model_spec=canonical_model,
         cluster_spec=canonical_cluster,
+    )
+
+
+#: event type names accepted by ``parse_event`` / ``POST /v1/repair``
+EVENT_TYPES = ("node_loss", "preemption", "scale_up")
+
+
+def parse_event(spec: Any):
+    """A :class:`~repro.planner.repair.ClusterEvent` from a request's
+    ``event`` object.
+
+    Accepted shapes::
+
+        {"type": "node_loss",  "node_index": 1}
+        {"type": "preemption", "node_index": 0}
+        {"type": "scale_up",   "extra_nodes": 2, "class_name": "fast"}
+    """
+    from repro.planner.repair import NodeLoss, Preemption, ScaleUp
+
+    spec = _expect_object(spec, "event")
+    kind = spec.get("type")
+    try:
+        if kind == "node_loss":
+            return NodeLoss(node_index=int(spec["node_index"]))
+        if kind == "preemption":
+            return Preemption(node_index=int(spec["node_index"]))
+        if kind == "scale_up":
+            return ScaleUp(
+                extra_nodes=int(spec.get("extra_nodes", 1)),
+                class_name=spec.get("class_name"),
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ServiceError(
+            "bad_request", f"invalid event spec: {exc}"
+        ) from exc
+    raise ServiceError(
+        "bad_request",
+        f"event needs a 'type' (one of {'/'.join(EVENT_TYPES)}), "
+        f"got {spec!r}",
     )
 
 

@@ -12,6 +12,7 @@ Routes (see ``docs/SERVICE.md`` for the schemas)::
     GET  /v1/stats        counters, latency percentiles, store stats
     POST /v1/plan         plan (cold / warm / delta, coalesced)
     POST /v1/replan       plan against a warm base (409 without one)
+    POST /v1/repair       replan-on-event plan repair (409 cold)
     POST /v1/simulate     plan + 1F1B flush timeline summary
     POST /v1/verify       round-trip verify a deployment document
     POST /v1/shutdown     graceful stop (drains in-flight plans)
@@ -61,6 +62,7 @@ _STATUS_TEXT = {
 _ROUTES = {
     ("POST", "/v1/plan"): "plan",
     ("POST", "/v1/replan"): "replan",
+    ("POST", "/v1/repair"): "repair",
     ("POST", "/v1/verify"): "verify",
     ("POST", "/v1/simulate"): "simulate",
     ("GET", "/v1/stats"): "stats",

@@ -394,9 +394,51 @@ class _Checker:
                 )
 
     # ------------------------------------------------------------------
-    def _check_memory_static(self) -> None:
-        usable = self.cluster.device.usable_memory
+    def _stage_limits(self) -> List[tuple]:
+        """Per-stage ``(usable_memory, time_factor)``.
+
+        Homogeneous clusters use the single device's capacity and a 1.0
+        factor everywhere.  Heterogeneous clusters derive both from the
+        ranks each stage actually occupies (the attached assignment when
+        present, else the contiguous-band slot arithmetic the DP and
+        ``allocate_devices`` share): the stage must fit its tightest
+        device and runs at its slowest device's pace."""
+        cluster = self.cluster
+        if not cluster.is_heterogeneous:
+            usable = cluster.device.usable_memory
+            return [(usable, 1.0) for _ in self.plan.stages]
+        mems = cluster.rank_memories()
+        facs = cluster.rank_time_factors(self.plan.precision)
+        assignment = self.plan.assignment
+        R = max(1, self.plan.replica_factor)
+        D = self.plan.devices_per_pipeline
+        limits: List[tuple] = []
+        dlo = 0
         for stage in self.plan.stages:
+            ranks: List[int] = []
+            if assignment is not None:
+                for rep in range(R):
+                    ranks.extend(assignment.ranks.get((rep, stage.index), ()))
+            if not ranks:
+                for rep in range(R):
+                    base = rep * D + dlo
+                    ranks.extend(
+                        range(base, base + stage.devices_per_pipeline)
+                    )
+            ranks = [r for r in ranks if 0 <= r < cluster.total_devices]
+            if ranks:
+                limits.append(
+                    (min(mems[r] for r in ranks),
+                     max(facs[r] for r in ranks))
+                )
+            else:  # out-of-range ranks were already reported under devices
+                limits.append((cluster.device.usable_memory, 1.0))
+            dlo += stage.devices_per_pipeline
+        return limits
+
+    def _check_memory_static(self) -> None:
+        limits = self._stage_limits()
+        for stage, (usable, _factor) in zip(self.plan.stages, limits):
             self._checked()
             if stage.profile.memory > usable * (1.0 + MEM_REL_TOL):
                 self._fail(
@@ -423,12 +465,12 @@ class _Checker:
         loosely -- see the module docstring on clone accounting)."""
         plan, cluster = self.plan, self.cluster
         profiler = self._ensure_profiler()
-        usable = cluster.device.usable_memory
+        limits = self._stage_limits()
         checkpointing = plan.num_stages > 1
         inflight = plan.num_microbatches if checkpointing else 1
         max_mem_err = 0.0
         max_time_err = 0.0
-        for stage in plan.stages:
+        for stage, (usable, factor) in zip(plan.stages, limits):
             if stage.microbatch_size < 1:
                 continue  # reported under divisibility
             prof = profiler.profile(
@@ -438,13 +480,16 @@ class _Checker:
                 checkpointing=checkpointing,
             )
             # the DP charges boundary communication to the sender's
-            # occupancy; mirror that before comparing times
-            t_f = prof.time_fwd + (
+            # occupancy; mirror that before comparing times.  On a
+            # heterogeneous cluster the profile was taken on the
+            # reference device, so the stage's class time factor scales
+            # the whole re-derived time exactly as the DP did.
+            t_f = (prof.time_fwd + (
                 cluster.p2p_time(prof.out_bytes) if prof.out_bytes else 0.0
-            )
-            t_b = prof.time_bwd + (
+            )) * factor
+            t_b = (prof.time_bwd + (
                 cluster.p2p_time(prof.in_bytes) if prof.in_bytes else 0.0
-            )
+            )) * factor
             mem_err = _rel_err(prof.memory, stage.profile.memory)
             max_mem_err = max(max_mem_err, mem_err)
             self._checked(4)

@@ -1,0 +1,237 @@
+"""Device classes and heterogeneous :class:`ClusterSpec` invariants."""
+
+import dataclasses
+
+import pytest
+
+from repro.hardware import (
+    A100,
+    V100,
+    DeviceClass,
+    mixed_cluster,
+    tiny_mixed_cluster,
+)
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.device import Precision
+
+
+def two_class_cluster(widths=(4, 2), straggler=1.0):
+    """Two single-node classes with the given (non-uniform) widths."""
+    small = dataclasses.replace(V100, name="small", memory_bytes=2 * 2**30)
+    big = dataclasses.replace(V100, name="big", memory_bytes=8 * 2**30)
+    return ClusterSpec(
+        num_nodes=2,
+        devices_per_node=max(widths),
+        device=small,
+        intra_node_bandwidth=25e9,
+        inter_node_bandwidth=12.5e9,
+        device_classes=(
+            DeviceClass("a", small, 1, widths[0],
+                        straggler_factor=straggler),
+            DeviceClass("b", big, 1, widths[1]),
+        ),
+    )
+
+
+class TestDeviceClass:
+    def test_time_factor_identity(self):
+        cls = DeviceClass("x", V100, 1, 8)
+        assert cls.time_factor(V100, Precision.FP32) == 1.0
+
+    def test_time_factor_straggler(self):
+        cls = DeviceClass("x", V100, 1, 8, straggler_factor=1.5)
+        assert cls.time_factor(V100, Precision.FP32) == pytest.approx(1.5)
+
+    def test_time_factor_faster_device(self):
+        cls = DeviceClass("x", A100, 1, 8)
+        f = cls.time_factor(V100, Precision.FP32)
+        assert 0.0 < f < 1.0  # A100 runs V100-profiled stages faster
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceClass("x", V100, 0, 8)
+        with pytest.raises(ValueError):
+            DeviceClass("x", V100, 1, 0)
+        with pytest.raises(ValueError):
+            DeviceClass("x", V100, 1, 8, straggler_factor=0.0)
+
+
+class TestHeterogeneousClusterSpec:
+    def test_node_counts_must_match(self):
+        with pytest.raises(ValueError, match="num_nodes"):
+            ClusterSpec(
+                num_nodes=3,
+                devices_per_node=8,
+                device=V100,
+                intra_node_bandwidth=25e9,
+                inter_node_bandwidth=12.5e9,
+                device_classes=(DeviceClass("a", V100, 2, 8),),
+            )
+
+    def test_devices_per_node_is_max_width(self):
+        with pytest.raises(ValueError, match="devices_per_node"):
+            ClusterSpec(
+                num_nodes=1,
+                devices_per_node=4,
+                device=V100,
+                intra_node_bandwidth=25e9,
+                inter_node_bandwidth=12.5e9,
+                device_classes=(DeviceClass("a", V100, 1, 8),),
+            )
+
+    def test_flat_comm_model_required(self):
+        with pytest.raises(ValueError, match="flat"):
+            ClusterSpec(
+                num_nodes=1,
+                devices_per_node=8,
+                device=V100,
+                intra_node_bandwidth=25e9,
+                inter_node_bandwidth=12.5e9,
+                comm_model="topology",
+                device_classes=(DeviceClass("a", V100, 1, 8),),
+            )
+
+    def test_unique_class_names(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ClusterSpec(
+                num_nodes=2,
+                devices_per_node=8,
+                device=V100,
+                intra_node_bandwidth=25e9,
+                inter_node_bandwidth=12.5e9,
+                device_classes=(
+                    DeviceClass("a", V100, 1, 8),
+                    DeviceClass("a", V100, 1, 8),
+                ),
+            )
+
+    def test_total_devices_non_uniform(self):
+        cl = two_class_cluster(widths=(4, 2))
+        assert cl.total_devices == 6
+        assert cl.is_heterogeneous
+
+    def test_node_of_non_uniform(self):
+        # rank -> node arithmetic must not assume uniform node widths:
+        # node 0 hosts ranks 0-3, node 1 hosts ranks 4-5
+        cl = two_class_cluster(widths=(4, 2))
+        assert [cl.node_of(r) for r in range(6)] == [0, 0, 0, 0, 1, 1]
+        with pytest.raises(ValueError):
+            cl.node_of(6)
+        with pytest.raises(ValueError):
+            cl.node_of(-1)
+
+    def test_node_first_ranks(self):
+        cl = two_class_cluster(widths=(4, 2))
+        assert cl.node_first_ranks() == (0, 4, 6)
+        assert cl.node_device_counts() == (4, 2)
+
+    def test_rank_tables(self):
+        cl = two_class_cluster(widths=(2, 2), straggler=2.0)
+        mems = cl.rank_memories()
+        assert len(mems) == 4
+        assert mems[0] < mems[2]  # small class first, big class second
+        facs = cl.rank_time_factors(Precision.FP32)
+        assert facs == (2.0, 2.0, 1.0, 1.0)
+
+    def test_homogeneous_rank_tables(self):
+        cl = ClusterSpec(num_nodes=2, devices_per_node=2, device=V100,
+                         intra_node_bandwidth=25e9,
+                         inter_node_bandwidth=12.5e9)
+        assert cl.rank_memories() == (V100.usable_memory,) * 4
+        assert cl.rank_time_factors(Precision.FP32) == (1.0,) * 4
+
+    def test_scaled_refused(self):
+        with pytest.raises(ValueError, match="drop_node"):
+            two_class_cluster().scaled(4)
+
+    def test_drop_node(self):
+        cl = two_class_cluster(widths=(4, 2))
+        survivor = cl.drop_node(0)
+        assert survivor.num_nodes == 1
+        assert survivor.total_devices == 2
+        assert survivor.devices_per_node == 2  # max width recomputed
+        with pytest.raises(ValueError):
+            survivor.drop_node(0)  # cannot drop the last node
+
+    def test_grown(self):
+        cl = two_class_cluster(widths=(4, 2))
+        bigger = cl.grown(2, class_name="b")
+        assert bigger.num_nodes == 4
+        assert bigger.total_devices == 10
+        with pytest.raises(ValueError):
+            cl.grown(1, class_name="nope")
+
+
+class TestPresets:
+    def test_mixed_cluster(self):
+        cl = mixed_cluster(v100_nodes=2, a100_nodes=2)
+        assert cl.is_heterogeneous
+        assert cl.total_devices == 32
+        # V100 is the profiling reference; A100 ranks run faster
+        facs = cl.rank_time_factors(Precision.FP32)
+        assert facs[0] == 1.0 and facs[-1] < 1.0
+
+    def test_tiny_mixed_cluster(self):
+        cl = tiny_mixed_cluster()
+        assert cl.is_heterogeneous
+        mems = cl.rank_memories()
+        assert mems[0] < mems[-1]  # small nodes first
+
+
+class TestDeviceAssignmentNonUniform:
+    def test_rank_node_arithmetic(self):
+        # regression: DeviceAssignment's span/crossing checks delegate
+        # to cluster.node_of, which must respect non-uniform widths
+        from repro.partitioner.allocation import (
+            allocate_devices,
+            boundary_report,
+        )
+
+        cl = two_class_cluster(widths=(4, 2))
+        asg = allocate_devices(cl, [4, 2], 1)
+        assert asg.devices_of(0, 0) == (0, 1, 2, 3)
+        assert asg.devices_of(0, 1) == (4, 5)
+        assert not asg.stage_spans_nodes(0, 0)
+        assert not asg.stage_spans_nodes(0, 1)
+        # boundary rank 3 -> 4 crosses from node 0 to node 1; a uniform
+        # devices_per_node=4 heuristic would also call rank 5 "node 1"
+        # correctly here, but rank 4 "node 1" only via the prefix sums
+        assert asg.crossing_is_internode(0, 0)
+        report = boundary_report(asg, 1, 2)
+        assert report["internode_boundaries"] == 1.0
+
+    def test_spanning_stage(self):
+        from repro.partitioner.allocation import allocate_devices
+
+        cl = two_class_cluster(widths=(4, 2))
+        asg = allocate_devices(cl, [3, 3], 1)
+        assert not asg.stage_spans_nodes(0, 0)  # ranks 0-2, node 0
+        assert asg.stage_spans_nodes(0, 1)  # ranks 3-5 straddle nodes
+
+
+class TestHeteroTopology:
+    def test_routes_on_non_uniform_nodes(self):
+        # the link-level topology must build and route over non-uniform
+        # nodes without inventing ranks (base = node * devices_per_node
+        # was wrong whenever an earlier node was narrower)
+        from repro.comm.topology import NetworkTopology
+
+        small = dataclasses.replace(V100, name="small")
+        cl = ClusterSpec(
+            num_nodes=2,
+            devices_per_node=4,
+            device=small,
+        intra_node_bandwidth=25e9,
+        inter_node_bandwidth=12.5e9,
+            device_classes=(
+                DeviceClass("a", small, 1, 2),
+                DeviceClass("b", V100, 1, 4),
+            ),
+        )
+        topo = NetworkTopology(cl)
+        # node 0: ranks 0-1; node 1: ranks 2-5
+        assert topo.p2p_time(0, 1, 1e6) < topo.p2p_time(1, 2, 1e6)
+        assert topo.p2p_time(2, 5, 1e6) < topo.p2p_time(0, 5, 1e6)
+        for src in range(6):
+            for dst in range(6):
+                assert topo.p2p_time(src, dst, 1e6) >= 0.0

@@ -98,8 +98,20 @@ class TestAllocation:
 
     def test_coverage_enforced(self):
         cluster = paper_cluster()
+        # over-subscription always fails
         with pytest.raises(ValueError, match="allocation covers"):
-            allocate_devices(cluster, [2, 2], 4)  # 16 != 32
+            allocate_devices(cluster, [8, 8], 4)  # 64 > 32
+        # partial coverage is allowed: elastic repair and heterogeneous
+        # prefix levels leave trailing ranks idle
+        assignment = allocate_devices(cluster, [2, 2], 4)  # 16 of 32
+        assert assignment.total_devices_used() == 16
+
+    def test_boundary_bytes_validated_under_flat(self):
+        # a malformed boundary list must fail under every comm model,
+        # not only when the topology scoring consumes it
+        cluster = paper_cluster()
+        with pytest.raises(ValueError, match="boundary_bytes"):
+            allocate_devices(cluster, [4, 4], 4, boundary_bytes=[1.0, 2.0])
 
     def test_stage_spans_nodes(self):
         cluster = paper_cluster()

@@ -52,9 +52,13 @@ class TestAllocateDevices:
         with pytest.raises(ValueError, match="boundary_bytes"):
             allocate_devices(cl, [2, 2], 1, boundary_bytes=[1.0, 2.0])
 
-    def test_incomplete_cover_raises(self):
+    def test_oversubscription_raises(self):
+        cl = tiny_cluster()  # 1 node x 4 devices
         with pytest.raises(ValueError, match="allocation covers"):
-            allocate_devices(tiny_cluster(), [2], 1)
+            allocate_devices(cl, [3, 3], 1)  # 6 > 4
+        # partial coverage is legal (elastic repair / hetero prefixes)
+        asg = allocate_devices(cl, [2], 1)
+        assert asg.total_devices_used() == 2
 
 
 class TestBoundaryReport:

@@ -174,3 +174,54 @@ class TestStats:
         with pytest.raises(ServiceError) as ei:
             warm_engine.handle("explode", {})
         assert ei.value.code == "not_found"
+
+
+class TestRepairContract:
+    EVENT = {"type": "node_loss", "node_index": 0}
+
+    def test_repair_without_a_base_is_409(self):
+        engine = PlanEngine(workers=1)
+        with pytest.raises(ServiceError) as ei:
+            engine.repair(dict(PARAMS, event=dict(self.EVENT)))
+        assert ei.value.code == "no_base"
+        assert ei.value.status == 409
+
+    def test_repair_after_plan_returns_repaired_plan(self, warm_engine):
+        # the pre-event cluster must have a node to lose: v100x16 is
+        # two 8-device nodes (v100x8 is a single node)
+        out = warm_engine.repair(
+            dict(PARAMS, cluster={"preset": "v100x16"},
+                 event=dict(self.EVENT))
+        )
+        assert out["plan"]["stages"]
+        info = out["repair"]
+        assert info["event"] == "NodeLoss"
+        assert isinstance(info["used_full_replan"], bool)
+        assert info["migrated_pairs"] >= 0
+        assert info["surviving_devices"] == 8  # 2 nodes - 1, x8 devices
+        assert out["meta"]["fingerprint"]
+        stats = warm_engine.stats()
+        assert stats["counters"]["service.repair_requests"] >= 1
+
+    def test_bad_event_is_bad_request(self, warm_engine):
+        with pytest.raises(ServiceError) as ei:
+            warm_engine.repair(dict(PARAMS, event={"type": "flood"}))
+        assert ei.value.code == "bad_request"
+
+    def test_missing_event_is_bad_request(self, warm_engine):
+        with pytest.raises(ServiceError) as ei:
+            warm_engine.repair(dict(PARAMS))
+        assert ei.value.code == "bad_request"
+
+
+class TestUptimeClock:
+    def test_uptime_is_monotonic_not_wall_clock(self):
+        # regression: uptime_s used to be time.time() deltas, so an NTP
+        # step or DST change could report negative uptime; the unix
+        # timestamp now travels in its own field
+        engine = PlanEngine(workers=1)
+        stats = engine.stats()
+        assert stats["uptime_s"] >= 0.0
+        assert stats["started_at_unix"] > 1.6e9  # a real wall-clock date
+        later = engine.stats()
+        assert later["uptime_s"] >= stats["uptime_s"]

@@ -121,3 +121,30 @@ class TestRawHTTP:
         )
         assert status == 400
         assert "model" in doc["error"]["message"]
+
+
+class TestRepairRoute:
+    def test_repair_round_trip(self, client):
+        client.plan(**PARAMS)  # establish the base
+        out = client.request(
+            "POST", "/v1/repair",
+            dict(PARAMS, event={"type": "scale_up", "extra_nodes": 1}),
+        )
+        assert out["plan"]["stages"]
+        assert out["repair"]["event"] == "ScaleUp"
+        assert out["repair"]["surviving_devices"] == 16  # 1+1 nodes x 8
+
+    def test_repair_cold_is_409(self, server):
+        fresh = ServiceClient(port=server.port)
+        try:
+            with pytest.raises(ServiceHTTPError) as ei:
+                fresh.request(
+                    "POST", "/v1/repair",
+                    {"model": {"family": "mlp", "widths": [32, 16, 4]},
+                     "cluster": {"preset": "v100x8"}, "batch_size": 8,
+                     "event": {"type": "node_loss", "node_index": 0}},
+                )
+            assert ei.value.http_status == 409
+            assert ei.value.code == "no_base"
+        finally:
+            fresh.close()

@@ -178,3 +178,98 @@ class TestNormalize:
         second = normalize_plan_request(plan_params(), graph_cache=cache)
         assert second.graph is first.graph
         assert len(cache) == 1
+
+
+class TestParseEvent:
+    def test_node_loss_and_preemption(self):
+        from repro.planner.repair import NodeLoss, Preemption
+        from repro.service.protocol import parse_event
+
+        ev = parse_event({"type": "node_loss", "node_index": 1})
+        assert isinstance(ev, NodeLoss) and ev.node_index == 1
+        ev = parse_event({"type": "preemption", "node_index": 0})
+        assert isinstance(ev, Preemption) and ev.node_index == 0
+
+    def test_scale_up_with_class(self):
+        from repro.planner.repair import ScaleUp
+        from repro.service.protocol import parse_event
+
+        ev = parse_event(
+            {"type": "scale_up", "extra_nodes": 2, "class_name": "fast"}
+        )
+        assert isinstance(ev, ScaleUp)
+        assert ev.extra_nodes == 2 and ev.class_name == "fast"
+        # extra_nodes defaults to 1
+        assert parse_event({"type": "scale_up"}).extra_nodes == 1
+
+    def test_bad_specs_are_bad_requests(self):
+        from repro.service.protocol import parse_event
+
+        for spec in (
+            None,
+            [],
+            {"type": "meteor_strike"},
+            {"type": "node_loss"},  # missing node_index
+            {"type": "node_loss", "node_index": "two"},
+        ):
+            with pytest.raises(ServiceError) as ei:
+                parse_event(spec)
+            assert ei.value.code == "bad_request"
+
+
+class TestHeterogeneousCluster:
+    CLASSES = {
+        "classes": [
+            {"name": "slow", "device": "v100", "nodes": 1,
+             "devices_per_node": 8, "straggler_factor": 1.3},
+            {"name": "fast", "device": "a100", "nodes": 1,
+             "devices_per_node": 8},
+        ]
+    }
+
+    def test_classes_spec_builds_mixed_cluster(self):
+        cluster, _canonical = build_cluster(dict(self.CLASSES))
+        assert cluster.is_heterogeneous
+        assert cluster.total_devices == 16
+        assert cluster.comm_model == "flat"
+        names = [c.name for c in cluster.device_classes]
+        assert names == ["slow", "fast"]
+        assert cluster.device_classes[0].straggler_factor == 1.3
+
+    def test_memory_gb_override(self):
+        spec = {"classes": [
+            {"name": "a", "device": "v100", "nodes": 1,
+             "devices_per_node": 4, "memory_gb": 16},
+        ]}
+        cluster, _ = build_cluster(spec)
+        assert cluster.device_classes[0].device.memory_bytes == 16 * 2**30
+
+    def test_unknown_device_is_bad_request(self):
+        spec = {"classes": [{"name": "a", "device": "h100", "nodes": 1}]}
+        with pytest.raises(ServiceError) as ei:
+            build_cluster(spec)
+        assert ei.value.code == "bad_request"
+
+    def test_empty_classes_is_bad_request(self):
+        with pytest.raises(ServiceError) as ei:
+            build_cluster({"classes": []})
+        assert ei.value.code == "bad_request"
+
+    def test_request_key_appends_classes_only_when_present(self):
+        homogeneous = normalize_plan_request(plan_params())
+        hetero = normalize_plan_request(
+            plan_params(cluster=dict(self.CLASSES))
+        )
+        assert homogeneous.key != hetero.key
+        # homogeneous keys never mention device classes, so they stay
+        # bit-identical to what earlier releases computed
+        assert "slow" not in homogeneous.key
+        assert "slow:" in hetero.key and "fast:" in hetero.key
+
+    def test_straggler_changes_the_key(self):
+        spec = dict(self.CLASSES)
+        a = normalize_plan_request(plan_params(cluster=spec))
+        slowed = {"classes": [dict(c) for c in spec["classes"]]}
+        slowed["classes"][0]["straggler_factor"] = 2.0
+        b = normalize_plan_request(plan_params(cluster=slowed))
+        assert a.key != b.key

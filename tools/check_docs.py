@@ -43,6 +43,7 @@ LINKED_DOCS = (
     "CHANGES.md",
     "docs/ALGORITHMS.md",
     "docs/COMMUNICATION.md",
+    "docs/HETEROGENEOUS.md",
     "docs/INCREMENTAL.md",
     "docs/INDEX.md",
     "docs/OBSERVABILITY.md",
@@ -56,6 +57,7 @@ LINKED_DOCS = (
 DOCTEST_DOCS = (
     "docs/OBSERVABILITY.md",
     "docs/COMMUNICATION.md",
+    "docs/HETEROGENEOUS.md",
     "docs/INCREMENTAL.md",
     "docs/SCALING.md",
     "docs/SERVICE.md",
@@ -114,16 +116,18 @@ def run_doctests(
 
 
 def check_config_coverage(root: Path, rel_paths=COVERAGE_DOCS) -> List[str]:
-    """One error per ``PlannerConfig`` field absent from the docs corpus.
+    """One error per config field absent from the docs corpus.
 
-    A field is covered when its exact name appears as a whole word in
-    any of ``rel_paths`` — enough to guarantee a reader can grep the
-    docs for the knob they are holding.
+    Covers every ``PlannerConfig``, ``ClusterSpec`` and ``DeviceClass``
+    field: a field is covered when its exact name appears as a whole
+    word in any of ``rel_paths`` — enough to guarantee a reader can
+    grep the docs for the knob they are holding.
     """
     import dataclasses
 
     sys.path.insert(0, str(root / "src"))
     try:
+        from repro.hardware.cluster import ClusterSpec, DeviceClass
         from repro.planner.context import PlannerConfig
     finally:
         sys.path.pop(0)
@@ -132,12 +136,13 @@ def check_config_coverage(root: Path, rel_paths=COVERAGE_DOCS) -> List[str]:
         (root / rel).read_text() for rel in rel_paths if (root / rel).exists()
     )
     errors: List[str] = []
-    for field in dataclasses.fields(PlannerConfig):
-        if not re.search(rf"\b{re.escape(field.name)}\b", corpus):
-            errors.append(
-                f"PlannerConfig.{field.name}: not mentioned in any doc "
-                f"({', '.join(rel_paths[:3])}, ...)"
-            )
+    for cls in (PlannerConfig, ClusterSpec, DeviceClass):
+        for field in dataclasses.fields(cls):
+            if not re.search(rf"\b{re.escape(field.name)}\b", corpus):
+                errors.append(
+                    f"{cls.__name__}.{field.name}: not mentioned in any "
+                    f"doc ({', '.join(rel_paths[:3])}, ...)"
+                )
     return errors
 
 
