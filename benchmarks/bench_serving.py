@@ -1,0 +1,150 @@
+"""Serving-simulator snapshot: SLO attainment and inference plan cost.
+
+Two gates, both enforced by CI:
+
+* **SLO attainment** — the autoscaler's chosen replica count must
+  actually meet the latency SLO it was asked for: for the reference
+  load (gpt-tiny on v100x8, 50 req/s Poisson, 200 ms p99 SLO — the
+  acceptance workload of `repro serve-sim`) the simulated p99 at the
+  chosen count must be <= the SLO and `met_slo` true.  A second,
+  heavier point (gpt-small at 100 req/s) keeps the batcher/router under
+  a non-trivial queue.
+* **Inference plan cost** — planning in ``mode="inference"`` prices a
+  strict subset of the training search (no backward roofline, no
+  gradient allreduce, no optimizer state), so it must not cost more
+  wall-clock than the training-mode plan of the same model.  Gated on
+  bert-base and bert-large, min-of-``--rounds`` wall times; because the
+  DP search dominates both modes equally, the two times differ by a few
+  percent at most and CI gates at 110 % so shared-runner timer noise
+  cannot flake the job while a real regression (a mode branch adding
+  work) still trips it.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py --out BENCH_serving.json
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from repro.hardware import paper_cluster
+from repro.models import BertConfig, build_bert
+from repro.planner import PlannerConfig, plan_graph
+from repro.serving import run_serving_sim
+
+#: inference-mode planning may cost at most this multiple of the
+#: training-mode plan time (the contract is "never slower" -- the
+#: search prices a strict subset of the work -- but the difference is
+#: within timer noise, so CI leaves 10 % headroom)
+PLAN_TIME_BUDGET = 1.10
+
+#: serving workloads the autoscaler must satisfy: (model, cluster,
+#: rps, slo_ms, duration_s)
+SERVING_GRID = (
+    ("gpt-tiny", "v100x8", 50.0, 200.0, 2.0),
+    ("gpt-small", "v100x8", 100.0, 400.0, 2.0),
+)
+
+PLAN_MODELS = {
+    "bert-base": lambda: build_bert(
+        BertConfig(hidden_size=768, num_layers=12, num_heads=12)
+    ),
+    "bert-large": lambda: build_bert(BertConfig()),
+}
+
+
+def bench_serving_point(model, cluster, rps, slo_ms, duration_s):
+    t0 = time.perf_counter()
+    summary = run_serving_sim(
+        model, cluster, rps=rps, slo_ms=slo_ms,
+        duration_s=duration_s, seed=0,
+    )
+    wall = time.perf_counter() - t0
+    return {
+        "model": model,
+        "cluster": cluster,
+        "rps": rps,
+        "slo_ms": slo_ms,
+        "requests": summary["requests"],
+        "replicas": summary["replicas"],
+        "met_slo": summary["met_slo"],
+        "p50_ms": summary["latency_ms"]["p50"],
+        "p99_ms": summary["latency_ms"]["p99"],
+        "throughput_rps": summary["throughput_rps"],
+        "utilization": summary["utilization"],
+        "sweep": summary["sweep"],
+        "wall_s": wall,
+    }
+
+
+def bench_plan_time(build, rounds):
+    graph = build()
+    cluster = paper_cluster(4)
+    walls = {}
+    for mode in ("training", "inference"):
+        config = PlannerConfig(batch_size=256, mode=mode, verify=False)
+        times = []
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            plan_graph(graph, cluster, config)
+            times.append(time.perf_counter() - t0)
+        walls[mode] = min(times)
+    return {
+        "training_s": walls["training"],
+        "inference_s": walls["inference"],
+        "inference_over_training": walls["inference"] / walls["training"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="serving-simulator SLO + inference plan-time snapshot"
+    )
+    parser.add_argument("--out", default="BENCH_serving.json")
+    parser.add_argument("--rounds", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    ok = True
+    doc = {"serving": {}, "plan_time": {}}
+
+    for model, cluster, rps, slo_ms, duration_s in SERVING_GRID:
+        row = bench_serving_point(model, cluster, rps, slo_ms, duration_s)
+        doc["serving"][model] = row
+        point_ok = row["met_slo"] and row["p99_ms"] <= slo_ms
+        ok = ok and point_ok
+        print(
+            f"{model:<12} {cluster:<8} rps={rps:<6g} "
+            f"replicas={row['replicas']} p50={row['p50_ms']:.2f}ms "
+            f"p99={row['p99_ms']:.2f}ms "
+            f"(SLO {slo_ms:g}ms: {'OK' if point_ok else 'FAIL'})",
+            file=sys.stderr,
+        )
+
+    for name, build in PLAN_MODELS.items():
+        row = bench_plan_time(build, args.rounds)
+        doc["plan_time"][name] = row
+        point_ok = row["inference_over_training"] <= PLAN_TIME_BUDGET
+        ok = ok and point_ok
+        print(
+            f"{name:<12} plan training={row['training_s'] * 1000:.1f}ms "
+            f"inference={row['inference_s'] * 1000:.1f}ms "
+            f"(ratio={row['inference_over_training']:.1%}, "
+            f"budget {PLAN_TIME_BUDGET:.0%}: "
+            f"{'OK' if point_ok else 'FAIL'})",
+            file=sys.stderr,
+        )
+
+    doc["budget"] = {
+        "plan_time_budget": PLAN_TIME_BUDGET,
+        "ok": ok,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+    print(f"snapshot written to {args.out}", file=sys.stderr)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

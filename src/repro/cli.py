@@ -9,6 +9,8 @@ Examples::
     python -m repro verify deployment.json --model bert --nodes 4
     python -m repro serve --port 8321 --cache-dir ~/.cache/repro \
         --cache-budget-mb 256 --workers 4
+    python -m repro serve-sim --model gpt-tiny --cluster v100x8 \
+        --rps 50 --slo-ms 200
     python -m repro fig4 --fast
     python -m repro fig5
     python -m repro table1
@@ -29,7 +31,11 @@ from repro.models import build_bert, build_gpt, build_resnet
 from repro.partitioner import PartitioningError, auto_partition
 
 #: named model presets accepted wherever --model takes a value
-MODEL_PRESETS = ("bert", "resnet", "gpt", "bert-base", "bert-large")
+MODEL_PRESETS = (
+    "bert", "resnet", "gpt",
+    "bert-base", "bert-large",
+    "gpt-tiny", "gpt-small", "gpt-medium",
+)
 
 #: --cluster shorthand -> number of 8-V100 nodes
 CLUSTER_PRESETS = {"v100x8": 1, "v100x16": 2, "v100x32": 4}
@@ -234,6 +240,105 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
 
 
+def _add_serve_sim(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "serve-sim",
+        help="plan a model in inference mode and simulate serving it: "
+             "Poisson or trace-file arrivals, continuous batching, "
+             "least-outstanding-work routing, and an SLO autoscaler "
+             "that picks the minimum replica count whose simulated p99 "
+             "latency meets the SLO (see docs/SERVING_SIM.md)",
+    )
+    p.add_argument("--model", default="gpt-tiny",
+                   help="model preset (bert-base, bert-large, gpt-tiny, "
+                        "gpt-small, gpt-medium)")
+    p.add_argument("--cluster", choices=sorted(CLUSTER_PRESETS),
+                   default="v100x8",
+                   help="testbed preset (number of 8-V100 nodes)")
+    p.add_argument("--rps", type=float, default=50.0,
+                   help="offered load, requests/second (Poisson)")
+    p.add_argument("--slo-ms", type=float, default=200.0,
+                   help="p99 request-latency SLO (milliseconds)")
+    p.add_argument("--duration", type=float, default=2.0,
+                   help="simulated arrival window (seconds)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="workload RNG seed (same seed, same stream)")
+    p.add_argument("--max-wait-ms", type=float, default=10.0,
+                   help="continuous-batching wait bound per batch")
+    p.add_argument("--max-replicas", type=int, default=8,
+                   help="autoscaler sweep ceiling")
+    p.add_argument("--batch-size", type=int, default=32,
+                   help="global batch the planner partitions for")
+    p.add_argument("--workload-trace", type=str, default=None,
+                   help="replay this arrival-trace file instead of the "
+                        "Poisson stream (one arrival per line, or JSONL "
+                        "{'arrival': t, 'samples': n})")
+    p.add_argument("--trace-out", type=str, default=None,
+                   help="write per-request/per-batch spans as a "
+                        "Perfetto trace.json here")
+
+
+def _cmd_serve_sim(args: argparse.Namespace) -> int:
+    from repro.service.protocol import ServiceError
+    from repro.serving import run_serving_sim
+
+    try:
+        summary = run_serving_sim(
+            args.model,
+            args.cluster,
+            rps=args.rps,
+            slo_ms=args.slo_ms,
+            duration_s=args.duration,
+            seed=args.seed,
+            max_wait_ms=args.max_wait_ms,
+            max_replicas=args.max_replicas,
+            batch_size=args.batch_size,
+            workload_trace=args.workload_trace,
+            trace_out=args.trace_out,
+        )
+    except ServiceError as exc:
+        print(f"ERROR: {exc}")
+        return 2
+    except PartitioningError as exc:
+        print(f"INFEASIBLE: {exc}")
+        return 1
+    plan = summary["plan"]
+    workload = summary["workload"]
+    latency = summary["latency_ms"]
+    print(f"{summary['model']}  on {summary['devices']} devices "
+          f"({args.cluster}), inference plan: "
+          f"stages={plan['num_stages']} mb={plan['num_microbatches']} "
+          f"R={plan['replica_factor']}, "
+          f"{plan['capacity_per_replica']} samples/batch/replica, "
+          f"batch latency {plan['batch_latency_ms']:.2f}ms")
+    if workload["kind"] == "poisson":
+        print(f"workload: poisson {workload['rps']:g} rps x "
+              f"{workload['duration_s']:g}s (seed {workload['seed']}) = "
+              f"{workload['requests']} requests, "
+              f"max wait {workload['max_wait_ms']:g}ms")
+    else:
+        print(f"workload: trace {workload['trace']} = "
+              f"{workload['requests']} requests, "
+              f"max wait {workload['max_wait_ms']:g}ms")
+    print(f"replicas: {summary['replicas']} "
+          f"(SLO p99 <= {summary['slo_ms']:g}ms: "
+          f"{'met' if summary['met_slo'] else 'NOT MET'})")
+    print(f"latency: p50={latency['p50']:.2f}ms p99={latency['p99']:.2f}ms "
+          f"max={latency['max']:.2f}ms")
+    print(f"throughput: {summary['throughput_rps']:.1f} req/s, "
+          f"batch occupancy {summary['batch_occupancy']:.0%}, "
+          f"replica utilization {summary['utilization']:.0%}")
+    for point in summary["sweep"]:
+        marker = " <-- chosen" if point["replicas"] == summary["replicas"] else ""
+        print(f"  {point['replicas']} replica(s): "
+              f"p99={point['p99_ms']:.2f}ms "
+              f"util={point['utilization']:.0%}{marker}")
+    if args.trace_out:
+        print(f"serving trace written to {args.trace_out} "
+              f"(open at https://ui.perfetto.dev)")
+    return 0 if summary["met_slo"] else 1
+
+
 def _add_verify(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser(
         "verify",
@@ -283,6 +388,15 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0
 
 
+#: gpt preset name -> GPTConfig keyword arguments
+GPT_PRESETS = {
+    "gpt-tiny": dict(hidden_size=256, num_layers=4, num_heads=4,
+                     seq_len=256, vocab_size=8192),
+    "gpt-small": dict(),  # GPT-2 small: GPTConfig defaults
+    "gpt-medium": dict(hidden_size=1024, num_layers=24, num_heads=16),
+}
+
+
 def _build_graph(args: argparse.Namespace):
     if args.model == "bert-base":
         return build_bert(BertConfig(hidden_size=768, num_layers=12,
@@ -292,6 +406,8 @@ def _build_graph(args: argparse.Namespace):
     if args.model == "bert":
         return build_bert(BertConfig(hidden_size=args.hidden,
                                      num_layers=args.layers))
+    if args.model in GPT_PRESETS:
+        return build_gpt(GPTConfig(**GPT_PRESETS[args.model]))
     if args.model == "gpt":
         return build_gpt(GPTConfig(hidden_size=args.hidden,
                                    num_layers=args.layers))
@@ -592,6 +708,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_trace(sub)
     _add_verify(sub)
     _add_serve(sub)
+    _add_serve_sim(sub)
     p4 = sub.add_parser("fig4", help="regenerate the Fig. 4 BERT sweep")
     p4.add_argument("--fast", action="store_true")
     p4.add_argument("--amp", action="store_true")
@@ -616,6 +733,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": _cmd_trace,
         "verify": _cmd_verify,
         "serve": _cmd_serve,
+        "serve-sim": _cmd_serve_sim,
         "fig4": _cmd_fig4,
         "fig5": _cmd_fig5,
         "table1": _cmd_table1,

@@ -52,6 +52,7 @@ def auto_partition(
     search_backend: str = "thread",
     search_workers: Optional[int] = None,
     reuse_from: Optional[PlanningContext] = None,
+    mode: str = "training",
 ) -> PartitionPlan:
     """Automatically partition ``graph`` for hybrid parallelism.
 
@@ -114,6 +115,10 @@ def auto_partition(
             run; still-valid artifacts (coarsening, profile tensors,
             DP solution) are reused and only the invalidated passes
             rerun -- a *delta replan* (see :mod:`repro.planner.replan`).
+        mode: ``"training"`` (default) plans a full training iteration;
+            ``"inference"`` plans forward-only serving (no backward or
+            optimizer cost, weights-plus-KV memory accounting; see
+            ``docs/SERVING_SIM.md``).
 
     Returns:
         A fully evaluated :class:`PartitionPlan`.
@@ -137,6 +142,7 @@ def auto_partition(
         dp_engine=dp_engine,
         search_backend=search_backend,
         search_workers=search_workers,
+        mode=mode,
     )
     if context is None:
         context = PlanningContext(graph, cluster, config, profiler)

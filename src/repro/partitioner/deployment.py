@@ -79,6 +79,10 @@ def plan_to_json(plan: PartitionPlan, graph: TaskGraph) -> str:
             for s in plan.stages
         ],
     }
+    if plan.mode != "training":
+        # stored only when non-default, so pre-existing training
+        # deployments stay byte-identical
+        doc["mode"] = plan.mode
     return json.dumps(doc, sort_keys=True)
 
 
@@ -151,6 +155,7 @@ def plan_from_json(
             [s.devices_per_pipeline for s in stages],
             doc["replica_factor"],
         ),
+        mode=doc.get("mode", "training"),
     )
     plan = evaluate_plan(plan, schedule="sync")
     if verify:

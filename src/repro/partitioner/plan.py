@@ -143,6 +143,10 @@ class PartitionPlan:
     precision: Precision
     cluster: ClusterSpec
     assignment: Optional[DeviceAssignment] = None
+    #: "training" or "inference" -- which cost/memory semantics the
+    #: stage profiles were computed under (inference stages carry
+    #: time_bwd == 0 and forward-only memory)
+    mode: str = "training"
     # filled in by the throughput evaluation
     iteration_time: float = 0.0
     throughput: float = 0.0

@@ -268,6 +268,20 @@ class DPContext:
             [float(profiler.saved_bytes[idx].sum()) for idx in self._block_idx]
         )
         self._saved_prefix = np.concatenate([[0.0], np.cumsum(saved)])
+        # prefix over blocks of batch-1 attention K/V bytes (inference
+        # memory accounting; the training memory model ignores it).  The
+        # getattr guards profilers unpickled from pre-mode artifacts.
+        kv_task = getattr(profiler, "kv_saved_bytes", None)
+        if kv_task is None:
+            kv = np.zeros(k)
+        else:
+            kv = np.array(
+                [float(kv_task[idx].sum()) for idx in self._block_idx]
+            )
+        self._kv_prefix = np.concatenate([[0.0], np.cumsum(kv)])
+        #: forward-only profile semantics (no recompute, no gradient
+        #: return traffic on the backward edge)
+        self._inference = getattr(profiler, "mode", "training") == "inference"
 
         self._lock = threading.RLock()
         self._time_prefix: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
@@ -392,6 +406,7 @@ class DPContext:
         with self._lock:
             arrays: Dict[str, np.ndarray] = {
                 "saved_prefix": self._saved_prefix,
+                "kv_prefix": self._kv_prefix,
             }
             if self._range_mats is not None:
                 in1, out1, params = self._range_mats
@@ -408,6 +423,8 @@ class DPContext:
         with self._lock:
             if "saved_prefix" in arrays:
                 self._saved_prefix = np.asarray(arrays["saved_prefix"])
+            if "kv_prefix" in arrays:
+                self._kv_prefix = np.asarray(arrays["kv_prefix"])
             if "range_in1" in arrays:
                 self._range_mats = (
                     np.asarray(arrays["range_in1"]),
@@ -637,17 +654,22 @@ class DPContext:
         tf_prefix, tb_prefix = self._time_prefix_at(bs)
         t_f = float(tf_prefix[hi] - tf_prefix[lo])
         t_b = float(tb_prefix[hi] - tb_prefix[lo])
-        if checkpointing:
+        if checkpointing and not self._inference:
             t_b += t_f
         params, in1, out1 = self.range_meta(lo, hi)
         in_bytes = in1 * bs
         out_bytes = out1 * bs
         # execution time includes sending outputs forward / input grads back
+        # (inference never returns input gradients: t_b stays exactly 0)
         t_f += self.cluster.p2p_time(out_bytes) if out_bytes else 0.0
-        t_b += self.cluster.p2p_time(in_bytes) if in_bytes else 0.0
+        if not self._inference:
+            t_b += self.cluster.p2p_time(in_bytes) if in_bytes else 0.0
         act_factor = self.profiler.precision.activation_bytes_factor
         saved = float(
             self._saved_prefix[hi] - self._saved_prefix[lo]
+        ) * bs * act_factor
+        kv = float(
+            self._kv_prefix[hi] - self._kv_prefix[lo]
         ) * bs * act_factor
         memory = self.profiler.memory_model.total_bytes(
             param_count=params,
@@ -655,6 +677,7 @@ class DPContext:
             boundary_in_bytes_micro=in_bytes,
             microbatches_in_flight=MB if checkpointing else 1,
             checkpointing=checkpointing,
+            kv_bytes_micro=kv,
         )
         return StageProfile(
             time_fwd=t_f,
@@ -686,16 +709,22 @@ class DPContext:
         tf_prefix, tb_prefix = self._time_prefix_at(bs)
         tf_plane = tf_prefix[None, :] - tf_prefix[:, None]
         tb_plane = tb_prefix[None, :] - tb_prefix[:, None]
-        if checkpointing:
+        if checkpointing and not self._inference:
             tb_plane = tb_plane + tf_plane
         in_b = IN1 * bs
         out_b = OUT1 * bs
         lat, bw = self.cluster.comm.p2p_affine(same_node=True)
         tf_plane = tf_plane + np.where(out_b != 0.0, lat + out_b / bw, 0.0)
-        tb_plane = tb_plane + np.where(in_b != 0.0, lat + in_b / bw, 0.0)
+        if not self._inference:
+            tb_plane = tb_plane + np.where(
+                in_b != 0.0, lat + in_b / bw, 0.0
+            )
         act_factor = self.profiler.precision.activation_bytes_factor
         saved = (
             self._saved_prefix[None, :] - self._saved_prefix[:, None]
+        ) * bs * act_factor
+        kv = (
+            self._kv_prefix[None, :] - self._kv_prefix[:, None]
         ) * bs * act_factor
         mem_plane = self.profiler.memory_model.total_bytes(
             param_count=PARAMS,
@@ -703,6 +732,7 @@ class DPContext:
             boundary_in_bytes_micro=in_b,
             microbatches_in_flight=MB if checkpointing else 1,
             checkpointing=checkpointing,
+            kv_bytes_micro=kv,
         )
         return tf_plane, tb_plane, mem_plane
 
@@ -928,16 +958,22 @@ class DPContext:
         hic = np.minimum(hi, k)
         tf_band = tf_prefix[hic] - tf_prefix[lo]
         tb_band = tb_prefix[hic] - tb_prefix[lo]
-        if checkpointing:
+        if checkpointing and not self._inference:
             tb_band = tb_band + tf_band
         in_b = IN1[lo, hic] * bs
         out_b = OUT1[lo, hic] * bs
         lat, bw = self.cluster.comm.p2p_affine(same_node=True)
         tf_band = tf_band + np.where(out_b != 0.0, lat + out_b / bw, 0.0)
-        tb_band = tb_band + np.where(in_b != 0.0, lat + in_b / bw, 0.0)
+        if not self._inference:
+            tb_band = tb_band + np.where(
+                in_b != 0.0, lat + in_b / bw, 0.0
+            )
         act_factor = self.profiler.precision.activation_bytes_factor
         saved = (
             self._saved_prefix[hic] - self._saved_prefix[lo]
+        ) * bs * act_factor
+        kv = (
+            self._kv_prefix[hic] - self._kv_prefix[lo]
         ) * bs * act_factor
         mem_band = self.profiler.memory_model.total_bytes(
             param_count=PARAMS[lo, hic],
@@ -945,6 +981,7 @@ class DPContext:
             boundary_in_bytes_micro=in_b,
             microbatches_in_flight=MB if checkpointing else 1,
             checkpointing=checkpointing,
+            kv_bytes_micro=kv,
         )
         return (
             np.where(valid, tf_band, np.inf),

@@ -121,13 +121,20 @@ def evaluate_plan(plan: "PartitionPlan", schedule: str = "sync") -> "PartitionPl
 
     cluster = plan.cluster
     device = cluster.device
-    allreduce, comm_details = allreduce_phase(plan)
-    opt_step = 0.0
-    for stage in plan.stages:
-        opt_step = max(
-            opt_step,
-            stage.profile.param_count * _OPT_BYTES_PER_PARAM / device.mem_bandwidth,
-        )
+    if plan.mode == "inference":
+        # no gradients to sync, no optimizer step: the iteration is the
+        # forward-only pipeline makespan (tb is identically zero)
+        allreduce, comm_details = 0.0, {"comm_model": cluster.comm.name}
+        opt_step = 0.0
+    else:
+        allreduce, comm_details = allreduce_phase(plan)
+        opt_step = 0.0
+        for stage in plan.stages:
+            opt_step = max(
+                opt_step,
+                stage.profile.param_count * _OPT_BYTES_PER_PARAM
+                / device.mem_bandwidth,
+            )
 
     plan.iteration_time = pipe_time + allreduce + opt_step
     plan.throughput = plan.batch_size / plan.iteration_time

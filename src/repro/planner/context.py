@@ -103,6 +103,7 @@ class PlannerConfig:
     precision: Precision = Precision.FP32
     num_blocks: int = 32
     optimizer: OptimizerKind = OptimizerKind.ADAM
+    mode: str = "training"
     uncoarsen: bool = True
     max_microbatches: Optional[int] = None
     validate: bool = True
@@ -132,6 +133,11 @@ class PlannerConfig:
                 f"unknown search_backend {self.search_backend!r}; "
                 f"expected one of {SEARCH_BACKENDS}"
             )
+        if self.mode not in ("training", "inference"):
+            raise ValueError(
+                f"unknown mode {self.mode!r}; "
+                f"expected 'training' or 'inference'"
+            )
 
     def fingerprint(self) -> str:
         """Stable content hash of the plan-determining fields."""
@@ -149,6 +155,10 @@ class PlannerConfig:
             # only hashed when set, so pre-existing cache entries keyed
             # without the field keep hitting
             doc["memory_budget"] = self.memory_budget
+        if self.mode != "training":
+            # same back-compat contract as memory_budget: training-mode
+            # fingerprints are byte-identical to earlier releases
+            doc["mode"] = self.mode
         blob = json.dumps(doc, sort_keys=True).encode()
         return hashlib.sha256(blob).hexdigest()[:16]
 
@@ -280,6 +290,7 @@ class PlanningContext:
                 self.cluster,
                 self.config.precision,
                 self.config.optimizer,
+                mode=self.config.mode,
             )
         return self.profiler
 

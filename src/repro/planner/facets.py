@@ -78,6 +78,10 @@ def compute_facets(
         "precision": config.precision.value,
         "optimizer": config.optimizer.value,
     }
+    if config.mode != "training":
+        # like device classes: absent for training runs so every
+        # pre-existing training artifact fingerprint stays bit-identical
+        arch_doc["mode"] = config.mode
     capacity_doc: Any = [device.memory_bytes, device.memory_reserve_fraction]
     shape_doc: Any = [cluster.num_nodes, cluster.devices_per_node]
     if cluster.device_classes:

@@ -258,6 +258,7 @@ class AllocatePass(PlannerPass):
             precision=ctx.config.precision,
             cluster=ctx.cluster,
             assignment=assignment,
+            mode=ctx.config.mode,
         )
         diag = plan.diagnostics
         diag.dp_calls = result.dp_calls

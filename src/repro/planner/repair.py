@@ -340,6 +340,7 @@ def _inplace_plan(
             precision=prev_plan.precision,
             cluster=new_cluster,
             assignment=assignment,
+            mode=prev_plan.mode,
         )
         plan.diagnostics.num_blocks = prev_plan.diagnostics.num_blocks
         plan.diagnostics.num_atomic_components = (

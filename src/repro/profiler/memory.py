@@ -15,12 +15,23 @@ sizes of parameters used in the subcomponents and the type of optimizer."
     are stashed, plus one microbatch's full activations transiently during
     recompute-backward (RaNNC "automatically implements gradient
     checkpointing when it partitions a model to more than one stage").
+
+Inference mode (``mode="inference"``) drops everything training-only:
+no gradients, no optimizer state, no FP32 master weights under AMP
+(weights live in FP16), and no backward tape.  What persists per extra
+in-flight microbatch is the KV-cache-style attention state (or, when
+the stage-boundary stash is cheaper, the boundary tensors for a
+recompute) -- never more than the training scheme keeps, so an
+inference plan is always at least as memory-feasible as its training
+twin on the same stage split.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.hardware.device import Precision
 
@@ -39,13 +50,20 @@ class OptimizerKind(enum.Enum):
 
 @dataclass(frozen=True)
 class MemoryModel:
-    """Computes per-device training memory for a stage replica."""
+    """Computes per-device training (or inference) memory for a stage
+    replica.  ``mode="training"`` reproduces the paper's accounting;
+    ``mode="inference"`` keeps only weights and the forward working set."""
 
     precision: Precision = Precision.FP32
     optimizer: OptimizerKind = OptimizerKind.ADAM
+    mode: str = "training"
 
     def static_bytes(self, param_count: int) -> float:
         """Parameters + gradients + optimizer state (batch-independent)."""
+        if self.mode == "inference":
+            # weights only: fp16 under AMP, fp32 otherwise
+            per_param = 2.0 if self.precision is Precision.AMP else 4.0
+            return param_count * per_param
         per_param = 4.0 + 4.0  # fp32 weights + fp32 grads
         if self.precision is Precision.AMP:
             per_param += 2.0  # fp16 working copy (Apex AMP O2)
@@ -58,6 +76,7 @@ class MemoryModel:
         boundary_in_bytes_micro: float,
         microbatches_in_flight: int,
         checkpointing: bool,
+        kv_bytes_micro: float = 0.0,
     ) -> float:
         """Activation memory at peak.
 
@@ -68,9 +87,22 @@ class MemoryModel:
                 (already precision-scaled).
             microbatches_in_flight: microbatches resident at once
                 (synchronous pipeline: up to the number of microbatches).
-            checkpointing: whether activation checkpointing is on.
+            checkpointing: whether activation checkpointing is on
+                (training only; inference never keeps a backward tape).
+            kv_bytes_micro: attention K/V bytes of one microbatch of this
+                stage (already precision-scaled); only the inference mode
+                reads it.
         """
         inflight = max(1, microbatches_in_flight)
+        if self.mode == "inference":
+            # one microbatch's forward working set, plus -- per *extra*
+            # in-flight microbatch -- whichever persistent state is
+            # cheaper: its KV cache (clamped into the working set it is
+            # part of) or its boundary stash for a recompute
+            # np.minimum: the DP planes pass whole arrays through here
+            kv = np.minimum(kv_bytes_micro, saved_act_bytes_micro)
+            persist = np.minimum(kv, boundary_in_bytes_micro)
+            return saved_act_bytes_micro + persist * (inflight - 1)
         if not checkpointing:
             return saved_act_bytes_micro * inflight
         return boundary_in_bytes_micro * inflight + saved_act_bytes_micro
@@ -82,10 +114,12 @@ class MemoryModel:
         boundary_in_bytes_micro: float,
         microbatches_in_flight: int,
         checkpointing: bool,
+        kv_bytes_micro: float = 0.0,
     ) -> float:
         return self.static_bytes(param_count) + self.activation_bytes(
             saved_act_bytes_micro,
             boundary_in_bytes_micro,
             microbatches_in_flight,
             checkpointing,
+            kv_bytes_micro=kv_bytes_micro,
         )

@@ -46,12 +46,14 @@ class GraphProfiler:
         cluster: ClusterSpec,
         precision: Precision = Precision.FP32,
         optimizer: OptimizerKind = OptimizerKind.ADAM,
+        mode: str = "training",
     ) -> None:
         self.graph = graph
         self.cluster = cluster
         self.precision = precision
+        self.mode = mode
         self.cost_model = CostModel(cluster.device, precision)
-        self.memory_model = MemoryModel(precision, optimizer)
+        self.memory_model = MemoryModel(precision, optimizer, mode)
 
         names = list(graph.tasks)
         self._index: Dict[str, int] = {t: i for i, t in enumerate(names)}
@@ -62,16 +64,19 @@ class GraphProfiler:
         self.act_bytes = np.zeros(n)
         self.param_bytes = np.zeros(n)
         self.saved_bytes = np.zeros(n)
+        self.kv_saved_bytes = np.zeros(n)
         self.param_count = np.zeros(n, dtype=np.int64)
         self.is_matmul = np.zeros(n, dtype=bool)
         self.is_free = np.zeros(n, dtype=bool)
         for i, tname in enumerate(names):
-            cost = self.cost_model.task_cost(graph, graph.tasks[tname])
+            task = graph.tasks[tname]
+            cost = self.cost_model.task_cost(graph, task)
             self.fwd_flops[i] = cost.fwd_flops
             self.bwd_flops[i] = cost.bwd_flops
             self.act_bytes[i] = cost.act_bytes
             self.param_bytes[i] = cost.param_bytes
             self.saved_bytes[i] = cost.saved_bytes
+            self.kv_saved_bytes[i] = self._kv_bytes(graph, task)
             self.param_count[i] = cost.param_count
             self.is_matmul[i] = cost.is_matmul
             self.is_free[i] = cost.is_free
@@ -105,6 +110,28 @@ class GraphProfiler:
         self.cache_hits = 0
         self.table_calls = 0
         self.table_hits = 0
+
+    @staticmethod
+    def _kv_bytes(graph: TaskGraph, task) -> float:
+        """Per-sample attention K/V bytes persisted by ``task`` while a
+        microbatch stays in flight during inference.
+
+        Structural rule: a ``matmul`` whose two operands are both batched
+        activations is an attention contraction (``q @ k^T`` or
+        ``probs @ v``); its second operand is the cached K (or V) tensor.
+        Weight matmuls never qualify -- a PARAM/CONST operand (or any
+        value derived only from them, e.g. a transposed embedding table)
+        is not batched, so ``lm_head``-style projections are excluded.
+        """
+        if task.op_type != "matmul" or len(task.inputs) != 2:
+            return 0.0
+        operands = [graph.values[v] for v in task.inputs]
+        for value in operands:
+            if value.kind in (ValueKind.PARAM, ValueKind.CONST):
+                return 0.0
+            if not value.batched:
+                return 0.0
+        return float(operands[1].nbytes(1))
 
     # ------------------------------------------------------------------
     # pickling (process-pool Algorithm-2 workers ship the profiler with
@@ -185,12 +212,16 @@ class GraphProfiler:
         tf = np.maximum(compute_f, traffic_f) + device.kernel_overhead
         tf[self.is_free] = 0.0
 
-        compute_b = self.bwd_flops * batch_size / peak
-        traffic_b = (
-            2.0 * self.act_bytes * batch_size * act_factor + 2.0 * self.param_bytes
-        ) / device.mem_bandwidth
-        tb = np.maximum(compute_b, traffic_b) + device.kernel_overhead
-        tb[self.is_free] = 0.0
+        if self.mode == "inference":
+            tb = np.zeros_like(tf)  # no backward pass is ever run
+        else:
+            compute_b = self.bwd_flops * batch_size / peak
+            traffic_b = (
+                2.0 * self.act_bytes * batch_size * act_factor
+                + 2.0 * self.param_bytes
+            ) / device.mem_bandwidth
+            tb = np.maximum(compute_b, traffic_b) + device.kernel_overhead
+            tb[self.is_free] = 0.0
 
         table = (tf, tb)
         self._time_tables[batch_size] = table
@@ -242,11 +273,12 @@ class GraphProfiler:
         tf_all, tb_all = self._times_at(batch_size)
         t_f = float(tf_all[idx].sum())
         t_b = float(tb_all[idx].sum())
-        if checkpointing:
+        if checkpointing and self.mode == "training":
             t_b += t_f  # recompute the forward before the backward
 
         act_factor = self.precision.activation_bytes_factor
         saved = float(self.saved_bytes[idx].sum()) * batch_size * act_factor
+        kv = float(self.kv_saved_bytes[idx].sum()) * batch_size * act_factor
         params = self.unique_param_count(idx)
 
         in_bytes, out_bytes = self.boundary_bytes(task_names, batch_size)
@@ -256,6 +288,7 @@ class GraphProfiler:
             boundary_in_bytes_micro=in_bytes,
             microbatches_in_flight=microbatches_in_flight,
             checkpointing=checkpointing,
+            kv_bytes_micro=kv,
         )
         result = ProfileResult(
             time_fwd=t_f,

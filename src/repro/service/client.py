@@ -66,20 +66,49 @@ class ServiceClient:
             self._conn = None
 
     def request(
-        self, verb: str, path: str, body: Optional[Dict[str, Any]] = None
+        self,
+        verb: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        *,
+        timeout: Optional[float] = None,
     ) -> Dict[str, Any]:
         """One round trip; returns the ``result`` object of the envelope
-        or raises :class:`ServiceHTTPError`."""
+        or raises :class:`ServiceHTTPError`.
+
+        ``timeout`` overrides the client-wide socket timeout for this
+        request only (e.g. a short timeout on a cheap ``simulate`` next
+        to a generous one on a cold ``plan``); a dropped keep-alive
+        connection (``ConnectionResetError`` / ``BrokenPipeError``) gets
+        one automatic retry on a fresh connection.
+        """
         payload = None if body is None else json.dumps(body)
         headers = {"Content-Type": "application/json"}
+        effective = self.timeout if timeout is None else timeout
         for attempt in (0, 1):
             conn = self._connection()
+            conn.timeout = effective
             try:
+                if conn.sock is not None:
+                    conn.sock.settimeout(effective)
                 conn.request(verb, path, body=payload, headers=headers)
                 response = conn.getresponse()
                 doc = json.loads(response.read().decode())
                 break
-            except (http.client.HTTPException, ConnectionError, OSError):
+            except TimeoutError:
+                # an exceeded per-request deadline is a real failure,
+                # never retried (the server may still be working on it);
+                # drop the connection so a stale late response cannot be
+                # read by the next request
+                self.close()
+                raise
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                http.client.HTTPException,
+                ConnectionError,
+                OSError,
+            ):
                 # a dropped keep-alive connection gets one clean retry
                 self.close()
                 if attempt:
@@ -89,26 +118,41 @@ class ServiceClient:
         return doc["result"]
 
     # ------------------------------------------------------------------
-    def healthz(self) -> Dict[str, Any]:
-        return self.request("GET", "/healthz")
+    def healthz(self, *, timeout: Optional[float] = None) -> Dict[str, Any]:
+        return self.request("GET", "/healthz", timeout=timeout)
 
-    def stats(self) -> Dict[str, Any]:
-        return self.request("GET", "/v1/stats")
+    def stats(self, *, timeout: Optional[float] = None) -> Dict[str, Any]:
+        return self.request("GET", "/v1/stats", timeout=timeout)
 
-    def shutdown(self) -> Dict[str, Any]:
-        return self.request("POST", "/v1/shutdown")
+    def shutdown(self, *, timeout: Optional[float] = None) -> Dict[str, Any]:
+        return self.request("POST", "/v1/shutdown", timeout=timeout)
 
-    def plan(self, **params: Any) -> Dict[str, Any]:
-        return self.request("POST", "/v1/plan", params)
+    def plan(
+        self, *, timeout: Optional[float] = None, **params: Any
+    ) -> Dict[str, Any]:
+        return self.request("POST", "/v1/plan", params, timeout=timeout)
 
-    def replan(self, **params: Any) -> Dict[str, Any]:
-        return self.request("POST", "/v1/replan", params)
+    def replan(
+        self, *, timeout: Optional[float] = None, **params: Any
+    ) -> Dict[str, Any]:
+        return self.request("POST", "/v1/replan", params, timeout=timeout)
 
-    def simulate(self, **params: Any) -> Dict[str, Any]:
-        return self.request("POST", "/v1/simulate", params)
+    def simulate(
+        self, *, timeout: Optional[float] = None, **params: Any
+    ) -> Dict[str, Any]:
+        return self.request("POST", "/v1/simulate", params, timeout=timeout)
 
-    def verify(self, **params: Any) -> Dict[str, Any]:
-        return self.request("POST", "/v1/verify", params)
+    def serving_sim(
+        self, *, timeout: Optional[float] = None, **params: Any
+    ) -> Dict[str, Any]:
+        return self.request(
+            "POST", "/v1/serving-sim", params, timeout=timeout
+        )
+
+    def verify(
+        self, *, timeout: Optional[float] = None, **params: Any
+    ) -> Dict[str, Any]:
+        return self.request("POST", "/v1/verify", params, timeout=timeout)
 
 
 def wait_until_healthy(

@@ -139,6 +139,7 @@ class PlanEngine:
             "repair": self.repair,
             "verify": self.verify,
             "simulate": self.simulate,
+            "serving_sim": self.serving_sim,
             "stats": lambda _params: self.stats(),
         }.get(method)
         if handler is None:
@@ -271,6 +272,79 @@ class PlanEngine:
                 "throughput": plan.throughput,
             },
         }
+
+    #: numeric serving-sim request knobs -> coercion applied
+    _SERVING_SIM_KNOBS = {
+        "rps": float,
+        "slo_ms": float,
+        "duration_s": float,
+        "seed": int,
+        "max_wait_ms": float,
+        "max_replicas": int,
+        "batch_size": int,
+        "samples_per_request": int,
+    }
+
+    def serving_sim(self, params: Any) -> Dict[str, Any]:
+        """Plan in inference mode and simulate serving the offered load
+        (``POST /v1/serving-sim``).
+
+        The request carries ``model`` / ``cluster`` (a spec object or a
+        preset name string) plus the knobs of
+        :func:`repro.serving.api.run_serving_sim` (``rps``, ``slo_ms``,
+        ``duration_s``, ``seed``, ``max_wait_ms``, ``max_replicas``,
+        ``batch_size``, ``samples_per_request``).  The whole computation
+        is deterministic, so the returned ``serving`` summary is
+        identical to what ``repro serve-sim`` prints for the same
+        arguments -- a test holds the two surfaces to that contract.
+        """
+        from repro.serving import run_serving_sim
+
+        if not isinstance(params, dict):
+            raise ServiceError("bad_request", "params must be a JSON object")
+        model = params.get("model")
+        cluster = params.get("cluster")
+        if model is None or cluster is None:
+            raise ServiceError("bad_request", "missing 'model' or 'cluster'")
+        unknown = sorted(
+            set(params) - set(self._SERVING_SIM_KNOBS) - {"model", "cluster"}
+        )
+        if unknown:
+            raise ServiceError(
+                "bad_request",
+                f"unknown serving-sim parameters {unknown}; supported: "
+                f"{sorted(self._SERVING_SIM_KNOBS)}",
+            )
+        kwargs = {}
+        for name, cast in self._SERVING_SIM_KNOBS.items():
+            if name in params:
+                try:
+                    kwargs[name] = cast(params[name])
+                except (TypeError, ValueError) as exc:
+                    raise ServiceError(
+                        "bad_request", f"invalid {name!r}: {exc}"
+                    ) from exc
+        started = time.perf_counter()
+        self.metrics.counter("service.serving_sim_requests").inc()
+        with self.tracer.span(
+            "service.serving_sim", category="service"
+        ) as span:
+            try:
+                summary = run_serving_sim(model, cluster, **kwargs)
+            except PartitioningError as exc:
+                span.set(outcome="infeasible")
+                raise ServiceError("infeasible", str(exc)) from exc
+            except ValueError as exc:
+                span.set(outcome="bad_request")
+                raise ServiceError("bad_request", str(exc)) from exc
+            span.set(
+                outcome="ok",
+                replicas=summary["replicas"],
+                met_slo=summary["met_slo"],
+            )
+        wall_ms = (time.perf_counter() - started) * 1e3
+        self._observe_latency("serving_sim", wall_ms)
+        return {"serving": summary, "meta": {"wall_ms": wall_ms}}
 
     # ------------------------------------------------------------------
     # verify

@@ -31,7 +31,24 @@ from repro.hardware.device import Precision
 from repro.planner.context import PlannerConfig
 
 #: named model presets (also accepted by the CLI's ``--model``)
-MODEL_PRESETS = ("bert-base", "bert-large")
+MODEL_PRESETS = (
+    "bert-base",
+    "bert-large",
+    "gpt-tiny",
+    "gpt-small",
+    "gpt-medium",
+)
+
+#: gpt preset name -> GPTConfig keyword arguments (gpt-small is GPT-2
+#: small, i.e. the GPTConfig defaults)
+GPT_PRESETS = {
+    "gpt-tiny": dict(
+        hidden_size=256, num_layers=4, num_heads=4,
+        seq_len=256, vocab_size=8192,
+    ),
+    "gpt-small": dict(),
+    "gpt-medium": dict(hidden_size=1024, num_layers=24, num_heads=16),
+}
 
 #: cluster presets -> number of 8-V100 nodes
 CLUSTER_PRESETS = {"v100x8": 1, "v100x16": 2, "v100x32": 4}
@@ -110,7 +127,8 @@ def build_model(spec: Any) -> Tuple[TaskGraph, str]:
 
     Accepted shapes::
 
-        {"preset": "bert-base" | "bert-large"}
+        {"preset": "bert-base" | "bert-large" | "gpt-tiny" |
+                   "gpt-small" | "gpt-medium"}
         {"family": "bert" | "gpt", "hidden": 768, "layers": 12,
          "heads": 12}                        # heads optional for gpt
         {"family": "resnet", "depth": 50, "width_factor": 8}
@@ -141,6 +159,8 @@ def build_model(spec: Any) -> Tuple[TaskGraph, str]:
             )
         if preset == "bert-large":
             return build_bert(BertConfig()), canonical
+        if preset in GPT_PRESETS:
+            return build_gpt(GPTConfig(**GPT_PRESETS[preset])), canonical
         raise ServiceError(
             "bad_request",
             f"unknown model preset {preset!r}; "
@@ -306,6 +326,7 @@ OPTION_FIELDS = {
     "dp_engine": "dp_engine",
     "search_backend": "search_backend",
     "schedule": "schedule",
+    "mode": "mode",
 }
 
 
@@ -345,7 +366,8 @@ def build_config(
         kwargs["max_microbatches"] = int(options["max_microbatches"])
     if "memory_budget_gb" in options:
         kwargs["memory_budget"] = float(options["memory_budget_gb"]) * 2**30
-    for name in ("comm_model", "dp_engine", "search_backend", "schedule"):
+    for name in ("comm_model", "dp_engine", "search_backend", "schedule",
+                 "mode"):
         if name in options:
             kwargs[name] = options[name]
     try:

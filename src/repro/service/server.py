@@ -14,6 +14,8 @@ Routes (see ``docs/SERVICE.md`` for the schemas)::
     POST /v1/replan       plan against a warm base (409 without one)
     POST /v1/repair       replan-on-event plan repair (409 cold)
     POST /v1/simulate     plan + 1F1B flush timeline summary
+    POST /v1/serving-sim  inference plan + serving simulation + SLO
+                          autoscaling (see docs/SERVING_SIM.md)
     POST /v1/verify       round-trip verify a deployment document
     POST /v1/shutdown     graceful stop (drains in-flight plans)
 
@@ -65,6 +67,7 @@ _ROUTES = {
     ("POST", "/v1/repair"): "repair",
     ("POST", "/v1/verify"): "verify",
     ("POST", "/v1/simulate"): "simulate",
+    ("POST", "/v1/serving-sim"): "serving_sim",
     ("GET", "/v1/stats"): "stats",
 }
 

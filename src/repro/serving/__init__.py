@@ -1,0 +1,58 @@
+"""Inference serving over partition plans (see ``docs/SERVING_SIM.md``).
+
+The planner's ``mode="inference"`` produces forward-only plans with
+weights-plus-KV memory accounting; this package answers the deployment
+question those plans raise: *how many pipeline replicas does a latency
+SLO need at a given offered load?*
+
+* :mod:`~repro.serving.workload` -- seeded Poisson or trace-replay
+  request streams;
+* :mod:`~repro.serving.batcher` -- continuous batching with a
+  max-wait bound;
+* :mod:`~repro.serving.router` -- least-outstanding-work replica
+  routing;
+* :mod:`~repro.serving.simulator` -- the discrete-event loop, reusing
+  the pipeline flush model forward-only, with Perfetto span export;
+* :mod:`~repro.serving.autoscale` -- the minimum replica count whose
+  simulated p99 meets the SLO;
+* :mod:`~repro.serving.api` -- :func:`~repro.serving.api.run_serving_sim`,
+  the shared entry behind ``repro serve-sim`` and
+  ``POST /v1/serving-sim``.
+"""
+
+from repro.serving.api import run_serving_sim
+from repro.serving.autoscale import (
+    AutoscaleDecision,
+    ReplicaPoint,
+    autoscale_replicas,
+)
+from repro.serving.batcher import Batch, ContinuousBatcher
+from repro.serving.router import LeastOutstandingRouter
+from repro.serving.simulator import (
+    BatchRecord,
+    RequestRecord,
+    ServiceModel,
+    ServingResult,
+    simulate_serving,
+    write_serving_trace,
+)
+from repro.serving.workload import Request, poisson_arrivals, trace_arrivals
+
+__all__ = [
+    "AutoscaleDecision",
+    "Batch",
+    "BatchRecord",
+    "ContinuousBatcher",
+    "LeastOutstandingRouter",
+    "ReplicaPoint",
+    "Request",
+    "RequestRecord",
+    "ServiceModel",
+    "ServingResult",
+    "autoscale_replicas",
+    "poisson_arrivals",
+    "run_serving_sim",
+    "simulate_serving",
+    "trace_arrivals",
+    "write_serving_trace",
+]

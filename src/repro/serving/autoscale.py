@@ -1,0 +1,105 @@
+"""SLO autoscaler: the smallest replica count that meets a latency SLO.
+
+Sweeps the replica count upward, simulating the full serving window at
+each size, and stops at the first count whose simulated p99 request
+latency meets the SLO -- adding a replica never increases any request's
+latency under least-outstanding-work routing, so the first hit is the
+minimum.  When even ``max_replicas`` misses the SLO the decision is
+returned with ``met_slo=False`` and the best (largest) count, so
+callers can distinguish "provision N" from "this SLO is unreachable at
+this load" (e.g. the batch service time alone exceeds the SLO).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Sequence, Tuple
+
+from repro.serving.simulator import ServingResult, simulate_serving
+from repro.serving.workload import Request
+
+if TYPE_CHECKING:
+    from repro.partitioner.plan import PartitionPlan
+
+__all__ = ["ReplicaPoint", "AutoscaleDecision", "autoscale_replicas"]
+
+
+@dataclass(frozen=True)
+class ReplicaPoint:
+    """One evaluated replica count in the sweep."""
+
+    replicas: int
+    p50_ms: float
+    p99_ms: float
+    throughput_rps: float
+    utilization: float
+
+    def as_doc(self) -> Dict[str, Any]:
+        return {
+            "replicas": self.replicas,
+            "p50_ms": self.p50_ms,
+            "p99_ms": self.p99_ms,
+            "throughput_rps": self.throughput_rps,
+            "utilization": self.utilization,
+        }
+
+
+@dataclass(frozen=True)
+class AutoscaleDecision:
+    """The chosen replica count plus the evidence behind it."""
+
+    replicas: int
+    met_slo: bool
+    slo_ms: float
+    sweep: Tuple[ReplicaPoint, ...]
+    result: ServingResult
+
+
+def autoscale_replicas(
+    plan: "PartitionPlan",
+    requests: Sequence[Request],
+    slo_ms: float,
+    *,
+    max_replicas: int = 8,
+    max_wait_s: float = 0.01,
+) -> AutoscaleDecision:
+    """Pick the minimum replica count whose p99 latency meets ``slo_ms``.
+
+    Each candidate count replays the *same* request stream, so the
+    sweep isolates the effect of capacity from workload randomness.
+    """
+    if slo_ms <= 0:
+        raise ValueError(f"slo_ms must be positive, got {slo_ms}")
+    if max_replicas < 1:
+        raise ValueError(f"max_replicas must be >= 1, got {max_replicas}")
+    sweep: List[ReplicaPoint] = []
+    chosen_result = None
+    for count in range(1, max_replicas + 1):
+        result = simulate_serving(
+            plan, requests, num_replicas=count, max_wait_s=max_wait_s
+        )
+        point = ReplicaPoint(
+            replicas=count,
+            p50_ms=result.latency_percentile_ms(50),
+            p99_ms=result.latency_percentile_ms(99),
+            throughput_rps=result.throughput_rps,
+            utilization=result.mean_utilization,
+        )
+        sweep.append(point)
+        chosen_result = result
+        if point.p99_ms <= slo_ms:
+            return AutoscaleDecision(
+                replicas=count,
+                met_slo=True,
+                slo_ms=slo_ms,
+                sweep=tuple(sweep),
+                result=result,
+            )
+    assert chosen_result is not None
+    return AutoscaleDecision(
+        replicas=max_replicas,
+        met_slo=False,
+        slo_ms=slo_ms,
+        sweep=tuple(sweep),
+        result=chosen_result,
+    )

@@ -1,0 +1,102 @@
+"""Continuous batching: group requests into pipeline-sized batches.
+
+The batcher implements the standard serving trade-off between latency
+and device utilization: requests accumulate until either the batch is
+*full* (``capacity`` samples -- the number the plan's pipeline consumes
+per flush on one replica) or the *oldest* pending request has waited
+``max_wait_s`` seconds, whichever comes first.  ``max_wait_s = 0``
+degenerates to one batch per request (lowest latency, worst
+utilization); a large ``max_wait_s`` approaches fixed-size batching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.serving.workload import Request
+
+__all__ = ["Batch", "ContinuousBatcher"]
+
+
+@dataclass(frozen=True)
+class Batch:
+    """A closed batch awaiting dispatch to a replica."""
+
+    index: int
+    requests: Tuple[Request, ...]
+    formed_at: float
+
+    @property
+    def samples(self) -> int:
+        return sum(r.samples for r in self.requests)
+
+
+class ContinuousBatcher:
+    """Accumulate requests; close a batch on capacity or deadline.
+
+    The simulator drives it with three calls: :meth:`offer` on each
+    arrival (may close a full batch), :meth:`deadline` to learn when the
+    currently open batch must flush, and :meth:`flush` to close the open
+    batch at that deadline (or to drain at end of stream).
+
+    :attr:`token` identifies the currently open batch; it changes every
+    time a batch closes, so a scheduled deadline event can detect that
+    "its" batch was already closed by a capacity trigger and lapse
+    harmlessly (lazy invalidation in the event loop).
+    """
+
+    def __init__(self, capacity: int, max_wait_s: float) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if max_wait_s < 0:
+            raise ValueError(f"max_wait_s must be >= 0, got {max_wait_s}")
+        self.capacity = capacity
+        self.max_wait_s = max_wait_s
+        self._pending: List[Request] = []
+        self._pending_samples = 0
+        self._next_index = 0
+        self._token = 0
+
+    @property
+    def token(self) -> int:
+        return self._token
+
+    @property
+    def pending(self) -> int:
+        """Number of requests currently waiting."""
+        return len(self._pending)
+
+    def offer(self, request: Request, now: float) -> Optional[Batch]:
+        """Add one arrival; returns the batch if it reached capacity.
+
+        A single request larger than the capacity still forms one batch
+        (it cannot be split); it simply overflows the nominal size.
+        """
+        self._pending.append(request)
+        self._pending_samples += request.samples
+        if self._pending_samples >= self.capacity:
+            return self.flush(now)
+        return None
+
+    def deadline(self) -> Optional[float]:
+        """When the open batch must flush (oldest wait hits max_wait_s);
+        ``None`` when nothing is pending."""
+        if not self._pending:
+            return None
+        return self._pending[0].arrival + self.max_wait_s
+
+    def flush(self, now: float) -> Optional[Batch]:
+        """Close and return the open batch (``None`` if empty)."""
+        if not self._pending:
+            return None
+        batch = Batch(
+            index=self._next_index,
+            requests=tuple(self._pending),
+            formed_at=now,
+        )
+        self._next_index += 1
+        self._token += 1
+        self._pending = []
+        self._pending_samples = 0
+        return batch

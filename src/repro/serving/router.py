@@ -1,0 +1,58 @@
+"""Replica routing: least-outstanding-work batch placement.
+
+Each serving *replica* is one pipeline-parallel copy of the plan
+(``devices_per_pipeline`` devices per stage).  The router tracks, per
+replica, the simulated time at which its dispatch slot frees up and
+sends every new batch to the replica with the least outstanding work --
+the smallest backlog of seconds still queued ahead of it.  Ties break
+to the lowest replica index, keeping the simulation deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+__all__ = ["LeastOutstandingRouter"]
+
+
+class LeastOutstandingRouter:
+    """Route batches to the replica with the smallest backlog."""
+
+    def __init__(self, num_replicas: int) -> None:
+        if num_replicas < 1:
+            raise ValueError(
+                f"num_replicas must be >= 1, got {num_replicas}"
+            )
+        self.num_replicas = num_replicas
+        #: when each replica can next *start* a batch (its pipeline
+        #: front frees up; steady-state batches pack at this cadence)
+        self.next_start: List[float] = [0.0] * num_replicas
+        self.dispatched: List[int] = [0] * num_replicas
+        self.busy_s: List[float] = [0.0] * num_replicas
+
+    def backlog(self, replica: int, now: float) -> float:
+        """Seconds of work queued ahead of a batch arriving ``now``."""
+        return max(0.0, self.next_start[replica] - now)
+
+    def pick(self, now: float) -> int:
+        """The replica a batch arriving at ``now`` should go to."""
+        best = 0
+        best_backlog = self.backlog(0, now)
+        for replica in range(1, self.num_replicas):
+            candidate = self.backlog(replica, now)
+            if candidate < best_backlog:
+                best, best_backlog = replica, candidate
+        return best
+
+    def commit(self, replica: int, start: float, gap_s: float) -> None:
+        """Record a dispatch: the batch occupies the replica's front for
+        ``gap_s`` seconds starting at ``start``."""
+        self.next_start[replica] = start + gap_s
+        self.dispatched[replica] += 1
+        self.busy_s[replica] += gap_s
+
+    def stats(self) -> Dict[str, List[float]]:
+        return {
+            "dispatched": list(self.dispatched),
+            "busy_s": list(self.busy_s),
+        }

@@ -1,0 +1,349 @@
+"""Discrete-event serving simulator over a forward-only partition plan.
+
+Reuses the planner's own pipeline model: a replica serves one batch by
+streaming the plan's microbatches through its stages, so the batch
+*latency* is the forward flush makespan
+(:func:`~repro.pipeline.simulator.simulate_sync_pipeline` with zero
+backward times) and the replica can *start* a new batch every
+``num_microbatches x max(stage forward time)`` seconds -- the bottleneck
+stage's occupancy -- which is exactly the steady-state cadence of a
+pipelined server.
+
+The event loop is a heap of (time, priority, seq) events of two kinds:
+request arrivals and batch-deadline flushes.  Deadline events carry the
+batcher's open-batch token and lapse harmlessly when a capacity trigger
+already closed that batch (lazy invalidation).  Everything is
+deterministic: equal inputs give byte-identical results.
+
+Per-request and per-batch spans are exported through :mod:`repro.obs`
+(:class:`~repro.obs.tracer.Span`), so a simulated serving window opens
+in Perfetto with one track per replica.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Sequence, Tuple
+
+from repro.pipeline.simulator import simulate_sync_pipeline
+from repro.serving.batcher import Batch, ContinuousBatcher
+from repro.serving.router import LeastOutstandingRouter
+from repro.serving.workload import Request
+
+if TYPE_CHECKING:  # avoid importing partitioner types at runtime
+    from repro.partitioner.plan import PartitionPlan
+
+__all__ = [
+    "BatchRecord",
+    "RequestRecord",
+    "ServiceModel",
+    "ServingResult",
+    "simulate_serving",
+    "write_serving_trace",
+]
+
+#: Chrome-trace process id of the serving track group (the planner uses
+#: pid 1, the pipeline timeline pid 2; see repro.obs.export)
+SERVING_PID = 3
+
+
+@dataclass(frozen=True)
+class ServiceModel:
+    """Per-replica service times derived from a partition plan.
+
+    ``latency_s`` is the time one batch spends in the pipeline (forward
+    flush makespan); ``gap_s`` is the minimum separation between batch
+    starts on one replica (bottleneck-stage occupancy); ``capacity`` is
+    the number of samples one replica consumes per batch.
+    """
+
+    latency_s: float
+    gap_s: float
+    capacity: int
+    num_stages: int
+    num_microbatches: int
+
+    @classmethod
+    def from_plan(cls, plan: "PartitionPlan") -> "ServiceModel":
+        if plan.mode != "inference":
+            raise ValueError(
+                "serving simulation needs an inference-mode plan "
+                f"(got mode={plan.mode!r}); plan with mode='inference'"
+            )
+        tf = [s.time_fwd for s in plan.stages]
+        mb = plan.num_microbatches
+        latency = simulate_sync_pipeline(tf, [0.0] * len(tf), mb)
+        return cls(
+            latency_s=latency,
+            gap_s=mb * max(tf),
+            capacity=max(1, plan.batch_size // plan.replica_factor),
+            num_stages=len(tf),
+            num_microbatches=mb,
+        )
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """One dispatched batch: when it formed, started and finished."""
+
+    index: int
+    replica: int
+    num_requests: int
+    samples: int
+    formed_at: float
+    start: float
+    finish: float
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """One completed request and the batch that carried it."""
+
+    index: int
+    arrival: float
+    samples: int
+    replica: int
+    batch_index: int
+    finish: float
+
+    @property
+    def latency_s(self) -> float:
+        return self.finish - self.arrival
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]) of pre-sorted values."""
+    if not sorted_values:
+        return 0.0
+    rank = int(round(q / 100.0 * (len(sorted_values) - 1)))
+    return sorted_values[max(0, min(len(sorted_values) - 1, rank))]
+
+
+@dataclass
+class ServingResult:
+    """Everything the simulator observed over one serving window."""
+
+    model: ServiceModel
+    num_replicas: int
+    max_wait_s: float
+    requests: List[RequestRecord] = field(default_factory=list)
+    batches: List[BatchRecord] = field(default_factory=list)
+    replica_busy_s: List[float] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    @property
+    def horizon_s(self) -> float:
+        """End of the window: the last batch completion."""
+        return max((b.finish for b in self.batches), default=0.0)
+
+    def latencies_s(self) -> List[float]:
+        return sorted(r.latency_s for r in self.requests)
+
+    def latency_percentile_ms(self, q: float) -> float:
+        return _percentile(self.latencies_s(), q) * 1e3
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per second of simulated time."""
+        horizon = self.horizon_s
+        return len(self.requests) / horizon if horizon > 0 else 0.0
+
+    @property
+    def mean_batch_occupancy(self) -> float:
+        """Mean batch fill as a fraction of replica capacity."""
+        if not self.batches:
+            return 0.0
+        fills = [b.samples / self.model.capacity for b in self.batches]
+        return sum(fills) / len(fills)
+
+    @property
+    def mean_utilization(self) -> float:
+        """Mean fraction of the window each replica's pipeline front was
+        occupied."""
+        horizon = self.horizon_s
+        if horizon <= 0 or not self.replica_busy_s:
+            return 0.0
+        per = [min(1.0, busy / horizon) for busy in self.replica_busy_s]
+        return sum(per) / len(per)
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def spans(self):
+        """Per-request and per-batch :class:`~repro.obs.tracer.Span`
+        objects in simulated seconds, one thread (track) per replica."""
+        from repro.obs.tracer import Span
+
+        spans = []
+        for batch in self.batches:
+            spans.append(
+                Span(
+                    name=f"batch-{batch.index}",
+                    category="serving.batch",
+                    start=batch.start,
+                    duration=batch.finish - batch.start,
+                    attrs={
+                        "replica": batch.replica,
+                        "requests": batch.num_requests,
+                        "samples": batch.samples,
+                        "queued_ms": (batch.start - batch.formed_at) * 1e3,
+                    },
+                    span_id=len(spans) + 1,
+                    thread_id=batch.replica,
+                )
+            )
+        for record in self.requests:
+            spans.append(
+                Span(
+                    name=f"request-{record.index}",
+                    category="serving.request",
+                    start=record.arrival,
+                    duration=record.latency_s,
+                    attrs={
+                        "replica": record.replica,
+                        "batch": record.batch_index,
+                        "samples": record.samples,
+                        "latency_ms": record.latency_s * 1e3,
+                    },
+                    span_id=len(spans) + 1,
+                    thread_id=record.replica,
+                )
+            )
+        return spans
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-safe metrics block shared by the CLI and the daemon."""
+        return {
+            "requests": len(self.requests),
+            "batches": len(self.batches),
+            "replicas": self.num_replicas,
+            "latency_ms": {
+                "p50": self.latency_percentile_ms(50),
+                "p95": self.latency_percentile_ms(95),
+                "p99": self.latency_percentile_ms(99),
+                "max": self.latency_percentile_ms(100),
+            },
+            "throughput_rps": self.throughput_rps,
+            "batch_occupancy": self.mean_batch_occupancy,
+            "utilization": self.mean_utilization,
+            "horizon_s": self.horizon_s,
+        }
+
+
+#: event-kind priorities: at equal timestamps a deadline flush fires
+#: before the new arrival is offered (the open batch already waited its
+#: full max_wait_s)
+_FLUSH, _ARRIVAL = 0, 1
+
+
+def simulate_serving(
+    plan: "PartitionPlan",
+    requests: Sequence[Request],
+    *,
+    num_replicas: int = 1,
+    max_wait_s: float = 0.01,
+) -> ServingResult:
+    """Simulate serving ``requests`` on ``num_replicas`` copies of the
+    plan's pipeline with continuous batching and least-outstanding-work
+    routing.  Deterministic; all times are simulated seconds."""
+    model = ServiceModel.from_plan(plan)
+    return _simulate(model, requests, num_replicas, max_wait_s)
+
+
+def _simulate(
+    model: ServiceModel,
+    requests: Sequence[Request],
+    num_replicas: int,
+    max_wait_s: float,
+) -> ServingResult:
+    batcher = ContinuousBatcher(model.capacity, max_wait_s)
+    router = LeastOutstandingRouter(num_replicas)
+    result = ServingResult(
+        model=model, num_replicas=num_replicas, max_wait_s=max_wait_s
+    )
+
+    def dispatch(batch: Batch, now: float) -> None:
+        replica = router.pick(now)
+        start = max(now, router.next_start[replica])
+        finish = start + model.latency_s
+        router.commit(replica, start, model.gap_s)
+        result.batches.append(
+            BatchRecord(
+                index=batch.index,
+                replica=replica,
+                num_requests=len(batch.requests),
+                samples=batch.samples,
+                formed_at=batch.formed_at,
+                start=start,
+                finish=finish,
+            )
+        )
+        for request in batch.requests:
+            result.requests.append(
+                RequestRecord(
+                    index=request.index,
+                    arrival=request.arrival,
+                    samples=request.samples,
+                    replica=replica,
+                    batch_index=batch.index,
+                    finish=finish,
+                )
+            )
+
+    # (time, kind-priority, seq, payload): payload is the Request for
+    # arrivals, the batcher token for deadline flushes
+    events: List[Tuple[float, int, int, Any]] = []
+    seq = 0
+    for request in sorted(requests, key=lambda r: (r.arrival, r.index)):
+        events.append((request.arrival, _ARRIVAL, seq, request))
+        seq += 1
+    heapq.heapify(events)
+
+    while events:
+        now, kind, _, payload = heapq.heappop(events)
+        if kind == _ARRIVAL:
+            opened = batcher.pending == 0
+            batch = batcher.offer(payload, now)
+            if batch is not None:
+                dispatch(batch, now)
+            elif opened:
+                # this arrival opened a fresh batch: schedule its
+                # deadline under the current token
+                deadline = batcher.deadline()
+                assert deadline is not None
+                events_entry = (deadline, _FLUSH, seq, batcher.token)
+                seq += 1
+                heapq.heappush(events, events_entry)
+        else:  # deadline flush; lapse if the batch already closed
+            if payload == batcher.token and batcher.pending:
+                batch = batcher.flush(now)
+                assert batch is not None
+                dispatch(batch, now)
+
+    # drain: a final partial batch whose deadline lies past every event
+    # (only possible when max_wait_s scheduling raced the last arrival)
+    leftover = batcher.flush(batcher.deadline() or 0.0)
+    if leftover is not None:
+        dispatch(leftover, leftover.formed_at)
+
+    result.replica_busy_s = list(router.busy_s)
+    result.requests.sort(key=lambda r: r.index)
+    return result
+
+
+def write_serving_trace(path, result: ServingResult) -> int:
+    """Write the window's spans as a Chrome/Perfetto trace; returns the
+    event count.  Spans are in simulated seconds with origin 0."""
+    from repro.obs.export import spans_to_trace_events
+
+    events = spans_to_trace_events(
+        result.spans(), origin=0.0, pid=SERVING_PID, process_name="serving"
+    )
+    doc = {"traceEvents": events, "displayTimeUnit": "ms"}
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+    return len(events)

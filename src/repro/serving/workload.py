@@ -1,0 +1,107 @@
+"""Serving workloads: request streams fed to the serving simulator.
+
+A workload is just a list of :class:`Request` objects sorted by arrival
+time.  Two generators are provided:
+
+* :func:`poisson_arrivals` -- a seeded open-loop Poisson process (the
+  standard model for independent user requests at a given offered load);
+* :func:`trace_arrivals` -- replay a recorded trace file, one request
+  per line, so measured production arrival patterns can be simulated.
+
+Both are deterministic: the Poisson stream is driven by
+``random.Random(seed)`` and the trace replay is a pure function of the
+file contents, so the CLI and the daemon endpoint produce identical
+summaries for identical inputs.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Union
+
+__all__ = ["Request", "poisson_arrivals", "trace_arrivals"]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request.
+
+    ``arrival`` is in seconds from the start of the serving window;
+    ``samples`` is the number of batchable samples the request carries
+    (1 for a single query, >1 for a client-side batch).
+    """
+
+    index: int
+    arrival: float
+    samples: int = 1
+
+    def __post_init__(self) -> None:
+        if self.arrival < 0:
+            raise ValueError(f"arrival must be >= 0, got {self.arrival}")
+        if self.samples < 1:
+            raise ValueError(f"samples must be >= 1, got {self.samples}")
+
+
+def poisson_arrivals(
+    rps: float,
+    duration_s: float,
+    *,
+    seed: int = 0,
+    samples_per_request: int = 1,
+) -> List[Request]:
+    """A seeded Poisson request stream at ``rps`` requests/second.
+
+    Inter-arrival gaps are exponential with mean ``1/rps``; the stream
+    covers ``[0, duration_s)``.  The same ``(rps, duration_s, seed)``
+    triple always yields the same stream.
+    """
+    if rps <= 0:
+        raise ValueError(f"rps must be positive, got {rps}")
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be positive, got {duration_s}")
+    rng = random.Random(seed)
+    requests: List[Request] = []
+    t = rng.expovariate(rps)
+    while t < duration_s:
+        requests.append(
+            Request(index=len(requests), arrival=t, samples=samples_per_request)
+        )
+        t += rng.expovariate(rps)
+    return requests
+
+
+def trace_arrivals(source: Union[str, Path, Iterable[str]]) -> List[Request]:
+    """Replay a trace: one request per non-empty line.
+
+    Each line is either a bare arrival time in seconds (``0.0125``) or a
+    JSON object ``{"arrival": 0.0125, "samples": 4}``.  Lines starting
+    with ``#`` are comments.  Requests are sorted by arrival and
+    re-indexed, so the trace file itself need not be ordered.
+    """
+    if isinstance(source, (str, Path)):
+        lines: Iterable[str] = Path(source).read_text().splitlines()
+    else:
+        lines = source
+    parsed = []
+    for lineno, raw in enumerate(lines, 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            if line.startswith("{"):
+                doc = json.loads(line)
+                arrival = float(doc["arrival"])
+                samples = int(doc.get("samples", 1))
+            else:
+                arrival, samples = float(line), 1
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ValueError(f"trace line {lineno}: {exc}") from exc
+        parsed.append((arrival, samples))
+    parsed.sort(key=lambda pair: pair[0])
+    return [
+        Request(index=i, arrival=arrival, samples=samples)
+        for i, (arrival, samples) in enumerate(parsed)
+    ]

@@ -45,12 +45,13 @@ def default_clusters() -> Dict[str, ClusterSpec]:
 
 @dataclass
 class HarnessCase:
-    """Outcome of one (seed, cluster, comm model) planner run."""
+    """Outcome of one (seed, cluster, comm model, mode) planner run."""
 
     seed: int
     cluster_name: str
     feasible: bool
     comm_model: str = "flat"
+    mode: str = "training"
     num_stages: int = 0
     violations: Tuple[Violation, ...] = ()
     invariants_checked: int = 0
@@ -88,16 +89,20 @@ def run_harness(
     width: int = 64,
     num_blocks: int = 8,
     comm_models: Sequence[str] = ("flat", "topology"),
+    modes: Sequence[str] = ("training",),
 ) -> HarnessResult:
-    """Plan every (seed, cluster, comm model) combination and verify
-    each plan.
+    """Plan every (seed, cluster, comm model, mode) combination and
+    verify each plan.
 
     The planner runs with verification *disabled* so the harness is an
     independent referee: a planner bug produces a reported violation
     here instead of an exception inside the pipeline being measured.
     The ``comm_models`` column re-plans every combination under each
     communication model (:mod:`repro.comm`), so the topology model is
-    held to the same zero-violation bar as the flat one.
+    held to the same zero-violation bar as the flat one; the ``modes``
+    column does the same for forward-only inference plans
+    (``mode="inference"``), which the verifier holds to the extra
+    inference invariant family.
     """
     if clusters is None:
         clusters = default_clusters()
@@ -107,37 +112,43 @@ def run_harness(
         for cname, base_cluster in clusters.items():
             for comm_model in comm_models:
                 cluster = base_cluster.with_comm_model(comm_model)
-                try:
-                    plan = auto_partition(
-                        graph,
-                        cluster,
-                        batch_size=batch_size,
-                        num_blocks=num_blocks,
-                        verify=False,
+                for mode in modes:
+                    try:
+                        plan = auto_partition(
+                            graph,
+                            cluster,
+                            batch_size=batch_size,
+                            num_blocks=num_blocks,
+                            verify=False,
+                            mode=mode,
+                        )
+                    except PartitioningError:
+                        result.cases.append(
+                            HarnessCase(
+                                seed=seed,
+                                cluster_name=cname,
+                                feasible=False,
+                                comm_model=comm_model,
+                                mode=mode,
+                            )
+                        )
+                        continue
+                    report: VerificationReport = check_plan(
+                        plan, graph, cluster
                     )
-                except PartitioningError:
                     result.cases.append(
                         HarnessCase(
                             seed=seed,
                             cluster_name=cname,
-                            feasible=False,
+                            feasible=True,
                             comm_model=comm_model,
+                            mode=mode,
+                            num_stages=plan.num_stages,
+                            violations=tuple(report.violations),
+                            invariants_checked=report.invariants_checked,
+                            sim_rel_err=report.stats.get("sim_rel_err", 0.0),
                         )
                     )
-                    continue
-                report: VerificationReport = check_plan(plan, graph, cluster)
-                result.cases.append(
-                    HarnessCase(
-                        seed=seed,
-                        cluster_name=cname,
-                        feasible=True,
-                        comm_model=comm_model,
-                        num_stages=plan.num_stages,
-                        violations=tuple(report.violations),
-                        invariants_checked=report.invariants_checked,
-                        sim_rel_err=report.stats.get("sim_rel_err", 0.0),
-                    )
-                )
     return result
 
 
@@ -153,6 +164,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     ap.add_argument("--comm-models", nargs="+", default=["flat", "topology"],
                     choices=["flat", "topology"],
                     help="communication models to plan under")
+    ap.add_argument("--modes", nargs="+",
+                    default=["training", "inference"],
+                    choices=["training", "inference"],
+                    help="planning modes to cover (inference plans are "
+                         "held to the extra inference invariant family)")
     args = ap.parse_args(argv)
 
     result = run_harness(
@@ -162,15 +178,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         width=args.width,
         num_blocks=args.blocks,
         comm_models=tuple(args.comm_models),
+        modes=tuple(args.modes),
     )
     for case in result.cases:
-        label = f"{case.cluster_name}/{case.comm_model}"
+        label = f"{case.cluster_name}/{case.comm_model}/{case.mode}"
         if not case.feasible:
-            print(f"seed {case.seed:3d} {label:20s} INFEASIBLE")
+            print(f"seed {case.seed:3d} {label:30s} INFEASIBLE")
             continue
         status = "OK" if case.ok else "FAIL"
         print(
-            f"seed {case.seed:3d} {label:20s} {status}  "
+            f"seed {case.seed:3d} {label:30s} {status}  "
             f"stages={case.num_stages} checks={case.invariants_checked} "
             f"sim_rel_err={case.sim_rel_err:.2e}"
         )

@@ -43,7 +43,16 @@ The invariant families (see ``docs/VERIFICATION.md``):
   *configured* communication model
   (:func:`repro.pipeline.hybrid.allreduce_phase`), so an evaluation
   that priced gradient sync under one model cannot be silently reused
-  under another.
+  under another.  Skipped for inference plans, whose allreduce phase is
+  zero by definition.
+* **inference** -- forward-only plans (``plan.mode == "inference"``)
+  carry no training residue: every stage's backward time is exactly
+  zero, the recorded allreduce and optimizer phases are zero, and the
+  evaluated iteration time equals the forward pipeline makespan.  The
+  memory and differential families above re-derive through an
+  *inference-mode* profiler, so inference memory (weights + KV-bounded
+  working set) and forward latency are held to the same tolerances as
+  training plans.
 
 Tolerances
 ----------
@@ -201,6 +210,7 @@ class _Checker:
             self._check_derived_profiles()
         self._check_differential()
         self._check_comm()
+        self._check_inference()
         return self.report
 
     # ------------------------------------------------------------------
@@ -450,12 +460,21 @@ class _Checker:
 
     # ------------------------------------------------------------------
     def _ensure_profiler(self) -> GraphProfiler:
+        mode = self.plan.mode
+        if (
+            self.profiler is not None
+            and getattr(self.profiler, "mode", "training") != mode
+        ):
+            # a supplied training profiler cannot re-derive an inference
+            # plan (and vice versa); fall back to building a matching one
+            self.profiler = None
         if self.profiler is None:
             self.profiler = GraphProfiler(
                 self.graph,
                 self.cluster,
                 self.plan.precision,
                 self.optimizer,
+                mode=mode,
             )
         return self.profiler
 
@@ -487,9 +506,14 @@ class _Checker:
             t_f = (prof.time_fwd + (
                 cluster.p2p_time(prof.out_bytes) if prof.out_bytes else 0.0
             )) * factor
-            t_b = (prof.time_bwd + (
-                cluster.p2p_time(prof.in_bytes) if prof.in_bytes else 0.0
-            )) * factor
+            if plan.mode == "inference":
+                # no backward pass, hence no gradient-return traffic:
+                # the re-derived backward time is identically zero
+                t_b = 0.0
+            else:
+                t_b = (prof.time_bwd + (
+                    cluster.p2p_time(prof.in_bytes) if prof.in_bytes else 0.0
+                )) * factor
             mem_err = _rel_err(prof.memory, stage.profile.memory)
             max_mem_err = max(max_mem_err, mem_err)
             self._checked(4)
@@ -573,6 +597,8 @@ class _Checker:
         plan = self.plan
         if plan.iteration_time <= 0.0 or not plan.stages:
             return  # plan has not been evaluated yet
+        if plan.mode == "inference":
+            return  # no gradient sync exists; see _check_inference
         from repro.pipeline.hybrid import allreduce_phase
 
         rederived, details = allreduce_phase(plan)
@@ -598,6 +624,48 @@ class _Checker:
                 f"plan was evaluated under comm model "
                 f"{plan.diagnostics.comm_model!r} but the cluster is "
                 f"configured for {details['comm_model']!r}",
+            )
+
+    # ------------------------------------------------------------------
+    def _check_inference(self) -> None:
+        """Forward-only invariants of an inference plan: zero backward
+        time per stage, zero allreduce/optimizer phases, and -- once
+        evaluated -- an iteration time equal to the pipeline makespan."""
+        plan = self.plan
+        if plan.mode != "inference":
+            return
+        for stage in plan.stages:
+            self._checked()
+            if stage.time_bwd != 0.0:
+                self._fail(
+                    "inference",
+                    f"stage {stage.index} stores backward time "
+                    f"{stage.time_bwd:.6e}s; an inference stage runs no "
+                    f"backward pass (must be exactly 0)",
+                )
+        if plan.iteration_time <= 0.0:
+            return  # not evaluated yet; nothing more to hold it to
+        self._checked(3)
+        if plan.diagnostics.allreduce_time != 0.0:
+            self._fail(
+                "inference",
+                f"inference plan records a gradient allreduce phase of "
+                f"{plan.diagnostics.allreduce_time:.6e}s (must be 0)",
+            )
+        if plan.diagnostics.optimizer_time != 0.0:
+            self._fail(
+                "inference",
+                f"inference plan records an optimizer step of "
+                f"{plan.diagnostics.optimizer_time:.6e}s (must be 0)",
+            )
+        err = _rel_err(plan.iteration_time, plan.diagnostics.pipeline_time)
+        if err > SIM_REL_TOL:
+            self._fail(
+                "inference",
+                f"inference iteration time {plan.iteration_time:.6e}s is "
+                f"not the forward pipeline makespan "
+                f"{plan.diagnostics.pipeline_time:.6e}s "
+                f"(rel err {err:.2e} > {SIM_REL_TOL:.0e})",
             )
 
 

@@ -1,0 +1,47 @@
+"""Deployment serialization of the planning mode: inference plans
+round-trip through JSON with ``mode`` preserved, while training
+deployments stay byte-identical to earlier releases (no ``mode`` key)."""
+
+import json
+
+import pytest
+
+from repro.hardware.presets import tiny_cluster
+from repro.models.random_dag import build_random_dag
+from repro.partitioner import auto_partition
+from repro.partitioner.deployment import plan_from_json, plan_to_json
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_random_dag(seed=1, num_nodes=14, width=64)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return tiny_cluster(num_nodes=1, devices_per_node=4)
+
+
+class TestDeploymentMode:
+    def test_training_doc_has_no_mode_key(self, graph, cluster):
+        plan = auto_partition(graph, cluster, batch_size=32, num_blocks=8)
+        doc = json.loads(plan_to_json(plan, graph))
+        assert "mode" not in doc
+
+    def test_inference_round_trip(self, graph, cluster):
+        plan = auto_partition(
+            graph, cluster, batch_size=32, num_blocks=8, mode="inference"
+        )
+        text = plan_to_json(plan, graph)
+        assert json.loads(text)["mode"] == "inference"
+        restored = plan_from_json(text, graph, cluster)
+        assert restored.mode == "inference"
+        assert restored.iteration_time == pytest.approx(plan.iteration_time)
+        assert restored.diagnostics.allreduce_time == 0.0
+        assert restored.diagnostics.optimizer_time == 0.0
+
+    def test_restored_training_defaults_to_training(self, graph, cluster):
+        plan = auto_partition(graph, cluster, batch_size=32, num_blocks=8)
+        restored = plan_from_json(plan_to_json(plan, graph), graph, cluster)
+        assert restored.mode == "training"
+        assert restored.iteration_time == pytest.approx(plan.iteration_time)

@@ -1,0 +1,65 @@
+"""Per-request client timeouts and the dropped-keep-alive retry."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.service import PlanServer
+from repro.service.client import ServiceClient
+
+
+class TestPerRequestTimeout:
+    def test_override_applies_to_live_socket(self):
+        server = PlanServer(workers=1).start_in_thread()
+        try:
+            client = ServiceClient(port=server.port, timeout=120.0)
+            client.healthz()  # establish the keep-alive connection
+            assert client._conn.sock.gettimeout() == 120.0
+            client.healthz(timeout=7.5)
+            assert client._conn.sock.gettimeout() == 7.5
+            # the next request falls back to the client-wide default
+            client.healthz()
+            assert client._conn.sock.gettimeout() == 120.0
+        finally:
+            server.stop()
+
+    def test_deadline_exceeded_raises_and_drops_connection(self):
+        # a listener that accepts but never answers: the per-request
+        # deadline must fire instead of waiting the client-wide 120s
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+        accepted = []
+        thread = threading.Thread(
+            target=lambda: accepted.append(listener.accept()), daemon=True
+        )
+        thread.start()
+        client = ServiceClient(port=port, timeout=120.0)
+        try:
+            with pytest.raises(TimeoutError):
+                client.stats(timeout=0.2)
+            # a timed-out request must not leave a poisoned keep-alive
+            # connection behind
+            assert client._conn is None
+        finally:
+            client.close()
+            listener.close()
+            for sock, _addr in accepted:
+                sock.close()
+
+
+class TestDroppedKeepAliveRetry:
+    def test_request_retries_once_on_dead_connection(self):
+        server = PlanServer(workers=1).start_in_thread()
+        try:
+            client = ServiceClient(port=server.port)
+            client.healthz()
+            # kill the kept-alive socket under the client: the next
+            # request hits ConnectionResetError/BrokenPipeError and must
+            # transparently retry on a fresh connection
+            client._conn.sock.close()
+            assert client.healthz()["status"] == "ok"
+        finally:
+            server.stop()

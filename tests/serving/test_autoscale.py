@@ -1,0 +1,75 @@
+"""The SLO autoscaler picks the minimum sufficient replica count."""
+
+import pytest
+
+from repro.serving.autoscale import autoscale_replicas
+from repro.serving.simulator import ServiceModel, _simulate
+from repro.serving.workload import Request
+
+
+class _FakePlan:
+    """Duck-typed plan: just enough for ServiceModel.from_plan."""
+
+    def __init__(self, time_fwd, num_microbatches, batch_size, replica_factor):
+        class _Stage:
+            def __init__(self, tf):
+                self.time_fwd = tf
+
+        self.mode = "inference"
+        self.stages = [_Stage(time_fwd)]
+        self.num_microbatches = num_microbatches
+        self.batch_size = batch_size
+        self.replica_factor = replica_factor
+
+
+def _saturating_workload():
+    # back-to-back singleton batches: each occupies a replica front for
+    # gap_s = 0.1s, arrivals every 0.05s -> one replica falls behind
+    return [Request(index=i, arrival=0.05 * i) for i in range(40)]
+
+
+def _plan():
+    # latency = gap = 0.1s per batch, capacity 1 sample
+    return _FakePlan(
+        time_fwd=0.1, num_microbatches=1, batch_size=1, replica_factor=1
+    )
+
+
+class TestAutoscale:
+    def test_picks_minimum_count_meeting_slo(self):
+        decision = autoscale_replicas(
+            _plan(), _saturating_workload(), slo_ms=150.0,
+            max_replicas=4, max_wait_s=0.0,
+        )
+        assert decision.met_slo
+        assert decision.replicas == 2
+        # the sweep stopped at the first sufficient count
+        assert [p.replicas for p in decision.sweep] == [1, 2]
+        assert decision.sweep[0].p99_ms > 150.0
+        assert decision.sweep[1].p99_ms <= 150.0
+
+    def test_adding_replicas_never_hurts_p99(self):
+        workload = _saturating_workload()
+        p99 = [
+            _simulate(
+                ServiceModel.from_plan(_plan()), workload, n, 0.0
+            ).latency_percentile_ms(99)
+            for n in (1, 2, 3, 4)
+        ]
+        assert p99 == sorted(p99, reverse=True)
+
+    def test_unreachable_slo_reports_not_met(self):
+        # the batch service time alone is 100ms > 50ms SLO
+        decision = autoscale_replicas(
+            _plan(), _saturating_workload(), slo_ms=50.0,
+            max_replicas=3, max_wait_s=0.0,
+        )
+        assert not decision.met_slo
+        assert decision.replicas == 3
+        assert len(decision.sweep) == 3
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            autoscale_replicas(_plan(), [], slo_ms=0.0)
+        with pytest.raises(ValueError):
+            autoscale_replicas(_plan(), [], slo_ms=1.0, max_replicas=0)

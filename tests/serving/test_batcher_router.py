@@ -1,0 +1,92 @@
+"""Continuous batcher and least-outstanding-work router."""
+
+import pytest
+
+from repro.serving.batcher import ContinuousBatcher
+from repro.serving.router import LeastOutstandingRouter
+from repro.serving.workload import Request
+
+
+def _req(index, arrival, samples=1):
+    return Request(index=index, arrival=arrival, samples=samples)
+
+
+class TestContinuousBatcher:
+    def test_capacity_trigger_closes_batch(self):
+        batcher = ContinuousBatcher(capacity=2, max_wait_s=1.0)
+        assert batcher.offer(_req(0, 0.0), 0.0) is None
+        batch = batcher.offer(_req(1, 0.1), 0.1)
+        assert batch is not None
+        assert batch.samples == 2
+        assert batch.formed_at == 0.1
+        assert batcher.pending == 0
+
+    def test_deadline_is_oldest_arrival_plus_max_wait(self):
+        batcher = ContinuousBatcher(capacity=10, max_wait_s=0.5)
+        assert batcher.deadline() is None
+        batcher.offer(_req(0, 1.0), 1.0)
+        batcher.offer(_req(1, 1.2), 1.2)
+        assert batcher.deadline() == pytest.approx(1.5)
+
+    def test_flush_returns_partial_batch(self):
+        batcher = ContinuousBatcher(capacity=10, max_wait_s=0.5)
+        batcher.offer(_req(0, 1.0), 1.0)
+        batch = batcher.flush(1.5)
+        assert batch is not None
+        assert batch.samples == 1
+        assert batcher.flush(2.0) is None
+
+    def test_token_changes_on_close_for_lazy_invalidation(self):
+        batcher = ContinuousBatcher(capacity=1, max_wait_s=0.5)
+        token = batcher.token
+        batcher.offer(_req(0, 0.0), 0.0)  # capacity 1: closes at once
+        assert batcher.token != token
+
+    def test_oversized_request_forms_one_batch(self):
+        batcher = ContinuousBatcher(capacity=4, max_wait_s=0.5)
+        batch = batcher.offer(_req(0, 0.0, samples=9), 0.0)
+        assert batch is not None and batch.samples == 9
+
+    def test_batch_indices_are_sequential(self):
+        batcher = ContinuousBatcher(capacity=1, max_wait_s=0.5)
+        indices = [
+            batcher.offer(_req(i, 0.1 * i), 0.1 * i).index for i in range(3)
+        ]
+        assert indices == [0, 1, 2]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            ContinuousBatcher(capacity=0, max_wait_s=0.1)
+        with pytest.raises(ValueError):
+            ContinuousBatcher(capacity=1, max_wait_s=-0.1)
+
+
+class TestLeastOutstandingRouter:
+    def test_ties_break_to_lowest_index(self):
+        router = LeastOutstandingRouter(3)
+        assert router.pick(0.0) == 0
+
+    def test_routes_to_least_backlogged(self):
+        router = LeastOutstandingRouter(2)
+        router.commit(0, start=0.0, gap_s=1.0)  # replica 0 busy to t=1
+        assert router.pick(0.1) == 1
+        router.commit(1, start=0.1, gap_s=2.0)  # replica 1 busy to t=2.1
+        assert router.pick(0.2) == 0
+
+    def test_backlog_drains_with_time(self):
+        router = LeastOutstandingRouter(1)
+        router.commit(0, start=0.0, gap_s=1.0)
+        assert router.backlog(0, 0.5) == pytest.approx(0.5)
+        assert router.backlog(0, 2.0) == 0.0
+
+    def test_stats_track_dispatches_and_busy(self):
+        router = LeastOutstandingRouter(2)
+        router.commit(0, start=0.0, gap_s=1.0)
+        router.commit(1, start=0.0, gap_s=0.5)
+        stats = router.stats()
+        assert stats["dispatched"] == [1, 1]
+        assert stats["busy_s"] == [1.0, 0.5]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            LeastOutstandingRouter(0)

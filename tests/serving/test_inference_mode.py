@@ -1,0 +1,95 @@
+"""Inference-mode planning: memory never exceeds training mode, plans
+verify, and training plans are untouched.
+
+The memory property is checked at the profiler level on the *same*
+stage assignment (the apples-to-apples comparison the formula promises:
+weights-plus-KV accounting is pointwise <= weights-plus-gradients-plus-
+optimizer-state-plus-stashes), for every preset model x cluster combo,
+under both the plain and the checkpointed stash regimes.
+"""
+
+import pytest
+
+from repro.hardware import paper_cluster
+from repro.models import BertConfig, GPTConfig, build_bert, build_gpt
+from repro.partitioner import auto_partition
+from repro.profiler.profiler import GraphProfiler
+from repro.verify import verify_plan
+
+MODELS = {
+    "bert-base": lambda: build_bert(
+        BertConfig(hidden_size=768, num_layers=12, num_heads=12)
+    ),
+    "bert-large": lambda: build_bert(BertConfig()),
+    "gpt-tiny": lambda: build_gpt(GPTConfig(
+        hidden_size=256, num_layers=4, num_heads=4,
+        seq_len=256, vocab_size=8192,
+    )),
+}
+
+CLUSTERS = {"v100x8": 1, "v100x16": 2, "v100x32": 4}
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return {name: build() for name, build in MODELS.items()}
+
+
+@pytest.mark.parametrize("model_name", sorted(MODELS))
+@pytest.mark.parametrize("cluster_name", sorted(CLUSTERS))
+class TestInferenceMemoryNeverExceedsTraining:
+    def test_stagewise_memory_le_training(
+        self, graphs, model_name, cluster_name
+    ):
+        graph = graphs[model_name]
+        cluster = paper_cluster(CLUSTERS[cluster_name])
+        plan = auto_partition(
+            graph, cluster, batch_size=64, verify=False
+        )
+        prof_train = GraphProfiler(graph, cluster)
+        prof_inf = GraphProfiler(graph, cluster, mode="inference")
+        for stage in plan.stages:
+            for inflight, checkpointing in (
+                (1, False),
+                (plan.num_microbatches, plan.num_stages > 1),
+            ):
+                train = prof_train.profile(
+                    stage.tasks, stage.microbatch_size,
+                    inflight, checkpointing,
+                )
+                inference = prof_inf.profile(
+                    stage.tasks, stage.microbatch_size,
+                    inflight, checkpointing,
+                )
+                assert inference.memory <= train.memory * (1 + 1e-12)
+                assert inference.time_bwd == 0.0
+                assert inference.time_fwd == train.time_fwd
+
+
+@pytest.mark.parametrize("model_name", ["bert-base", "gpt-tiny"])
+class TestInferencePlans:
+    def test_plan_verifies_and_is_forward_only(self, graphs, model_name):
+        graph = graphs[model_name]
+        cluster = paper_cluster(1)
+        plan = auto_partition(
+            graph, cluster, batch_size=64, mode="inference"
+        )
+        assert plan.mode == "inference"
+        assert all(s.profile.time_bwd == 0.0 for s in plan.stages)
+        assert plan.diagnostics.allreduce_time == 0.0
+        assert plan.diagnostics.optimizer_time == 0.0
+        assert plan.iteration_time == pytest.approx(
+            plan.diagnostics.pipeline_time
+        )
+        # an explicit second verification, independent of the planner's
+        # own verify pass
+        verify_plan(plan, graph, cluster)
+
+    def test_inference_iteration_never_slower(self, graphs, model_name):
+        graph = graphs[model_name]
+        cluster = paper_cluster(1)
+        training = auto_partition(graph, cluster, batch_size=64)
+        inference = auto_partition(
+            graph, cluster, batch_size=64, mode="inference"
+        )
+        assert inference.iteration_time <= training.iteration_time

@@ -1,0 +1,140 @@
+"""The discrete-event serving simulator: hand-checkable scenarios on a
+synthetic service model, plus an end-to-end run over a real inference
+plan."""
+
+import json
+
+import pytest
+
+from repro.hardware import paper_cluster
+from repro.models import GPTConfig, build_gpt
+from repro.partitioner import auto_partition
+from repro.serving.simulator import (
+    ServiceModel,
+    _simulate,
+    simulate_serving,
+    write_serving_trace,
+)
+from repro.serving.workload import Request, poisson_arrivals
+
+
+def _model(latency=1.0, gap=0.5, capacity=2):
+    return ServiceModel(
+        latency_s=latency,
+        gap_s=gap,
+        capacity=capacity,
+        num_stages=1,
+        num_microbatches=1,
+    )
+
+
+def _reqs(*arrivals):
+    return [Request(index=i, arrival=t) for i, t in enumerate(arrivals)]
+
+
+class TestEventLoop:
+    def test_capacity_batch_dispatches_immediately(self):
+        # two arrivals fill the batch at t=0.05; latency 1.0
+        result = _simulate(_model(), _reqs(0.0, 0.05), 1, max_wait_s=0.2)
+        assert len(result.batches) == 1
+        batch = result.batches[0]
+        assert batch.start == pytest.approx(0.05)
+        assert batch.finish == pytest.approx(1.05)
+        latencies = [r.latency_s for r in result.requests]
+        assert latencies == [pytest.approx(1.05), pytest.approx(1.0)]
+
+    def test_partial_batch_flushes_at_deadline(self):
+        result = _simulate(_model(), _reqs(2.0), 1, max_wait_s=0.2)
+        assert len(result.batches) == 1
+        assert result.batches[0].start == pytest.approx(2.2)
+        assert result.requests[0].latency_s == pytest.approx(1.2)
+
+    def test_zero_wait_degenerates_to_per_request_batches(self):
+        result = _simulate(_model(), _reqs(0.0, 10.0, 20.0), 1, max_wait_s=0.0)
+        assert len(result.batches) == 3
+        assert all(b.num_requests == 1 for b in result.batches)
+
+    def test_queueing_behind_busy_replica(self):
+        # batch 1 (t=0, t=0.01) starts at 0.01 and occupies the front
+        # until 0.51; batch 2 (t=0.1, t=0.11) must wait for the gap
+        result = _simulate(
+            _model(), _reqs(0.0, 0.01, 0.1, 0.11), 1, max_wait_s=0.2
+        )
+        assert len(result.batches) == 2
+        second = result.batches[1]
+        assert second.start == pytest.approx(0.51)  # 0.01 + gap 0.5
+
+    def test_second_replica_absorbs_the_queue(self):
+        result = _simulate(
+            _model(), _reqs(0.0, 0.01, 0.1, 0.11), 2, max_wait_s=0.2
+        )
+        second = result.batches[1]
+        assert second.replica == 1
+        assert second.start == pytest.approx(0.11)  # no queueing
+
+    def test_deterministic(self):
+        requests = poisson_arrivals(200.0, 1.0, seed=5)
+        a = _simulate(_model(capacity=4), requests, 2, max_wait_s=0.01)
+        b = _simulate(_model(capacity=4), requests, 2, max_wait_s=0.01)
+        assert a.requests == b.requests
+        assert a.batches == b.batches
+
+    def test_every_request_served_exactly_once(self):
+        requests = poisson_arrivals(300.0, 1.0, seed=9)
+        result = _simulate(_model(capacity=8), requests, 3, max_wait_s=0.005)
+        assert sorted(r.index for r in result.requests) == [
+            r.index for r in requests
+        ]
+        assert sum(b.num_requests for b in result.batches) == len(requests)
+
+    def test_metrics_are_consistent(self):
+        result = _simulate(_model(), _reqs(0.0, 0.05), 1, max_wait_s=0.2)
+        assert result.horizon_s == pytest.approx(1.05)
+        assert result.throughput_rps == pytest.approx(2 / 1.05)
+        assert result.mean_batch_occupancy == pytest.approx(1.0)
+        summary = result.summary()
+        assert summary["requests"] == 2
+        assert summary["latency_ms"]["p99"] >= summary["latency_ms"]["p50"]
+        json.dumps(summary)  # JSON-safe
+
+
+class TestWithRealPlan:
+    @pytest.fixture(scope="class")
+    def plan(self):
+        graph = build_gpt(GPTConfig(
+            hidden_size=256, num_layers=4, num_heads=4,
+            seq_len=256, vocab_size=8192,
+        ))
+        return auto_partition(
+            graph, paper_cluster(1), batch_size=32, mode="inference"
+        )
+
+    def test_requires_inference_plan(self, plan):
+        graph = build_gpt(GPTConfig(
+            hidden_size=256, num_layers=4, num_heads=4,
+            seq_len=256, vocab_size=8192,
+        ))
+        training = auto_partition(graph, paper_cluster(1), batch_size=32)
+        with pytest.raises(ValueError, match="inference"):
+            simulate_serving(training, _reqs(0.0))
+
+    def test_service_model_from_plan(self, plan):
+        model = ServiceModel.from_plan(plan)
+        assert model.latency_s > 0
+        assert model.gap_s <= model.latency_s
+        assert model.capacity == plan.batch_size // plan.replica_factor
+
+    def test_end_to_end_and_trace_export(self, plan, tmp_path):
+        requests = poisson_arrivals(50.0, 1.0, seed=0)
+        result = simulate_serving(
+            plan, requests, num_replicas=2, max_wait_s=0.01
+        )
+        assert len(result.requests) == len(requests)
+        assert result.latency_percentile_ms(99) > 0
+        path = tmp_path / "serving_trace.json"
+        count = write_serving_trace(path, result)
+        doc = json.loads(path.read_text())
+        assert len(doc["traceEvents"]) == count
+        names = {e.get("name", "") for e in doc["traceEvents"]}
+        assert any(n.startswith("request-") for n in names)
+        assert any(n.startswith("batch-") for n in names)

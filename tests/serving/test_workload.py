@@ -1,0 +1,72 @@
+"""Workload generators: seeded Poisson streams and trace replay."""
+
+import pytest
+
+from repro.serving.workload import Request, poisson_arrivals, trace_arrivals
+
+
+class TestPoissonArrivals:
+    def test_deterministic_for_equal_seed(self):
+        a = poisson_arrivals(50.0, 2.0, seed=7)
+        b = poisson_arrivals(50.0, 2.0, seed=7)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert poisson_arrivals(50.0, 2.0, seed=0) != poisson_arrivals(
+            50.0, 2.0, seed=1
+        )
+
+    def test_sorted_in_window_and_indexed(self):
+        requests = poisson_arrivals(100.0, 1.0, seed=3)
+        assert all(0 <= r.arrival < 1.0 for r in requests)
+        arrivals = [r.arrival for r in requests]
+        assert arrivals == sorted(arrivals)
+        assert [r.index for r in requests] == list(range(len(requests)))
+
+    def test_rate_roughly_matches(self):
+        requests = poisson_arrivals(200.0, 5.0, seed=11)
+        # 1000 expected arrivals; a Poisson count is within +-20% with
+        # overwhelming probability (and the stream is seeded anyway)
+        assert 800 <= len(requests) <= 1200
+
+    def test_samples_per_request(self):
+        requests = poisson_arrivals(50.0, 1.0, seed=0, samples_per_request=4)
+        assert all(r.samples == 4 for r in requests)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(0.0, 1.0)
+        with pytest.raises(ValueError):
+            poisson_arrivals(10.0, 0.0)
+        with pytest.raises(ValueError):
+            Request(index=0, arrival=-1.0)
+        with pytest.raises(ValueError):
+            Request(index=0, arrival=0.0, samples=0)
+
+
+class TestTraceArrivals:
+    def test_plain_floats_and_jsonl(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text(
+            "# comment\n"
+            "0.5\n"
+            '{"arrival": 0.25, "samples": 3}\n'
+            "\n"
+            "0.75\n"
+        )
+        requests = trace_arrivals(path)
+        assert [r.arrival for r in requests] == [0.25, 0.5, 0.75]
+        assert [r.samples for r in requests] == [3, 1, 1]
+        assert [r.index for r in requests] == [0, 1, 2]
+
+    def test_accepts_iterable_of_lines(self):
+        requests = trace_arrivals(["0.2", "0.1"])
+        assert [r.arrival for r in requests] == [0.1, 0.2]
+
+    def test_bad_line_reports_line_number(self):
+        with pytest.raises(ValueError, match="line 2"):
+            trace_arrivals(["0.1", "not-a-number"])
+
+    def test_missing_arrival_key(self):
+        with pytest.raises(ValueError, match="line 1"):
+            trace_arrivals(['{"samples": 2}'])

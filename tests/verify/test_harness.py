@@ -32,8 +32,42 @@ class TestHarness:
         }
         assert flat_feasible == topo_feasible
 
+    def test_inference_mode_column_has_zero_violations(self):
+        result = run_harness(
+            seeds=range(5),
+            comm_models=("flat",),
+            modes=("training", "inference"),
+        )
+        assert len(result.cases) == 5 * len(default_clusters()) * 2
+        assert result.total_violations == 0, [
+            str(v) for c in result.cases for v in c.violations
+        ]
+        by_mode = {}
+        for case in result.cases:
+            by_mode.setdefault(case.mode, []).append(case)
+        assert set(by_mode) == {"training", "inference"}
+        assert any(c.feasible for c in by_mode["inference"])
+        # forward-only plans can only get *more* feasible: dropping the
+        # backward/optimizer memory never loses a feasible combination
+        train_feasible = {
+            (c.seed, c.cluster_name)
+            for c in by_mode["training"] if c.feasible
+        }
+        inf_feasible = {
+            (c.seed, c.cluster_name)
+            for c in by_mode["inference"] if c.feasible
+        }
+        assert train_feasible <= inf_feasible
+
     def test_cli_entry(self, capsys):
-        assert main(["--seeds", "2", "--comm-models", "flat"]) == 0
+        assert main(["--seeds", "2", "--comm-models", "flat",
+                     "--modes", "training"]) == 0
         out = capsys.readouterr().out
         assert "0 violation(s)" in out
         assert "seed   0" in out
+
+    def test_cli_entry_covers_inference_by_default(self, capsys):
+        assert main(["--seeds", "1", "--comm-models", "flat"]) == 0
+        out = capsys.readouterr().out
+        assert "/inference" in out
+        assert "0 violation(s)" in out

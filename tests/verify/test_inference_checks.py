@@ -1,0 +1,92 @@
+"""The verifier's ``inference`` invariant family: forward-only plans
+must carry zero backward time, zero gradient-sync / optimizer cost, and
+an iteration time equal to the pipeline makespan; the ``comm``
+differential is skipped (there is nothing to re-derive)."""
+
+import dataclasses
+
+import pytest
+
+from repro.hardware.presets import tiny_cluster
+from repro.models.random_dag import build_random_dag
+from repro.partitioner import auto_partition
+from repro.verify import PlanVerificationError, verify_plan
+from repro.verify.plan_checks import check_plan
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_random_dag(seed=0, num_nodes=14, width=64)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return tiny_cluster(num_nodes=1, devices_per_node=4)
+
+
+@pytest.fixture(scope="module")
+def plan(graph, cluster):
+    return auto_partition(
+        graph, cluster, batch_size=32, num_blocks=8,
+        verify=False, mode="inference",
+    )
+
+
+class TestInferenceFamily:
+    def test_clean_inference_plan_passes(self, plan, graph, cluster):
+        report = check_plan(plan, graph, cluster)
+        assert not report.violations, [str(v) for v in report.violations]
+        assert report.invariants_checked > 0
+
+    def test_comm_family_skipped(self, plan, graph, cluster):
+        report = check_plan(plan, graph, cluster)
+        assert "comm_rel_err" not in report.stats
+
+    def test_nonzero_backward_time_is_flagged(self, plan, graph, cluster):
+        tampered = dataclasses.replace(
+            plan,
+            stages=[
+                dataclasses.replace(
+                    s,
+                    profile=dataclasses.replace(s.profile, time_bwd=1e-3),
+                )
+                for s in plan.stages
+            ],
+        )
+        report = check_plan(tampered, graph, cluster)
+        families = {v.invariant for v in report.violations}
+        assert "inference" in families
+
+    def test_nonzero_allreduce_is_flagged(self, plan, graph, cluster):
+        tampered = dataclasses.replace(plan)
+        tampered.diagnostics = dataclasses.replace(
+            plan.diagnostics, allreduce_time=0.5
+        )
+        report = check_plan(tampered, graph, cluster)
+        assert any(
+            v.invariant == "inference" and "allreduce" in v.message
+            for v in report.violations
+        )
+
+    def test_verify_plan_raises_on_violation(self, plan, graph, cluster):
+        tampered = dataclasses.replace(
+            plan,
+            stages=[
+                dataclasses.replace(
+                    s,
+                    profile=dataclasses.replace(s.profile, time_bwd=1e-3),
+                )
+                for s in plan.stages
+            ],
+        )
+        with pytest.raises(PlanVerificationError):
+            verify_plan(tampered, graph, cluster)
+
+    def test_training_plan_unaffected(self, graph, cluster):
+        training = auto_partition(
+            graph, cluster, batch_size=32, num_blocks=8, verify=False
+        )
+        report = check_plan(training, graph, cluster)
+        assert not report.violations
+        # the comm differential still runs for training plans
+        assert "comm_rel_err" in report.stats

@@ -49,6 +49,7 @@ LINKED_DOCS = (
     "docs/OBSERVABILITY.md",
     "docs/SCALING.md",
     "docs/SERVICE.md",
+    "docs/SERVING_SIM.md",
     "docs/VERIFICATION.md",
     "examples/README.md",
 )
@@ -61,6 +62,7 @@ DOCTEST_DOCS = (
     "docs/INCREMENTAL.md",
     "docs/SCALING.md",
     "docs/SERVICE.md",
+    "docs/SERVING_SIM.md",
 )
 
 #: files searched by the PlannerConfig coverage check
